@@ -1,0 +1,123 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§6) at
+// quick scale. Each benchmark iteration runs the figure's full experiment
+// in the deterministic simulator and reports the headline metric via
+// b.ReportMetric, so `go test -bench=.` doubles as a reproduction smoke
+// run. Use cmd/efactory-bench for full-scale tables.
+package efactory_test
+
+import (
+	"io"
+	"testing"
+
+	"efactory/internal/bench"
+	"efactory/internal/model"
+)
+
+// BenchmarkFig1WriteLatency regenerates Figure 1: durable-write latency of
+// CA-w/o-persistence, SAW, IMM and RPC across value sizes.
+func BenchmarkFig1WriteLatency(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig1(io.Discard, &par, sc)
+		// Report the headline pair: CA vs RPC at 4 KB.
+		for _, r := range rs {
+			if r.ValLen == 4096 {
+				b.ReportMetric(float64(r.Median.Nanoseconds())/1000,
+					r.System.String()+"-4K-med-µs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2ReadBreakdown regenerates Figure 2: Erda/Forca GET latency
+// with the CRC share.
+func BenchmarkFig2ReadBreakdown(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig2(io.Discard, &par, sc)
+		for _, r := range rs {
+			if r.ValLen == 4096 {
+				b.ReportMetric(float64(r.Median.Nanoseconds())/1000,
+					r.System.String()+"-4K-med-µs")
+			}
+		}
+	}
+}
+
+func benchFig9(b *testing.B, mix int) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig9(io.Discard, &par, sc, mix)
+		for _, r := range rs {
+			if r.ValLen == 4096 && (r.System == bench.SysEFactory || r.System == bench.SysIMM) {
+				b.ReportMetric(r.Mops, r.System.String()+"-4K-Mops")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9aReadOnly regenerates Figure 9(a): YCSB-C throughput.
+func BenchmarkFig9aReadOnly(b *testing.B) { benchFig9(b, 0) }
+
+// BenchmarkFig9bReadIntensive regenerates Figure 9(b): YCSB-B throughput.
+func BenchmarkFig9bReadIntensive(b *testing.B) { benchFig9(b, 1) }
+
+// BenchmarkFig9cWriteIntensive regenerates Figure 9(c): YCSB-A throughput.
+func BenchmarkFig9cWriteIntensive(b *testing.B) { benchFig9(b, 2) }
+
+// BenchmarkFig9dUpdateOnly regenerates Figure 9(d): update-only throughput.
+func BenchmarkFig9dUpdateOnly(b *testing.B) { benchFig9(b, 3) }
+
+// BenchmarkFig10Scalability regenerates Figure 10: throughput vs number of
+// clients at 2048-byte values.
+func BenchmarkFig10Scalability(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig10(io.Discard, &par, sc)
+		for _, r := range rs {
+			if r.Clients == 16 && r.Mix.GetFrac == 0 &&
+				(r.System == bench.SysEFactory || r.System == bench.SysIMM) {
+				b.ReportMetric(r.Mops, r.System.String()+"-16c-Mops")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11LogCleaning regenerates Figure 11: latency impact of log
+// cleaning.
+func BenchmarkFig11LogCleaning(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := bench.Fig11(io.Discard, &par, sc)
+		for j := 0; j+1 < len(rs); j += 2 {
+			if rs[j].Mix.GetFrac == 1 {
+				base, clean := rs[j], rs[j+1]
+				over := float64(clean.Mean-base.Mean) / float64(base.Mean) * 100
+				b.ReportMetric(over, "readonly-clean-overhead-%")
+			}
+		}
+	}
+}
+
+// BenchmarkPut and BenchmarkGet are conventional single-op microbenchmarks
+// of the core library, useful for profiling the simulator itself.
+func BenchmarkPut2K(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	// The log is append-only: size the pool for b.N objects.
+	sc.PoolSize = 16<<20 + b.N*2304
+	r := bench.RunPutLatency(&par, bench.SysEFactory, 2048, b.N, sc, 1)
+	b.ReportMetric(float64(r.Median.Nanoseconds())/1000, "virtual-µs/op")
+}
+
+func BenchmarkGet2K(b *testing.B) {
+	par := model.Default()
+	sc := bench.QuickScale()
+	r := bench.RunGetLatency(&par, bench.SysEFactory, 2048, b.N, sc, 1)
+	b.ReportMetric(float64(r.Median.Nanoseconds())/1000, "virtual-µs/op")
+}

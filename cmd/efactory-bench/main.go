@@ -1,0 +1,94 @@
+// Command efactory-bench regenerates the paper's evaluation figures
+// (Figures 1, 2, 9a-9d, 10, 11 of Du et al., ICPP 2021) from the
+// deterministic simulation and prints each as a table.
+//
+// Usage:
+//
+//	efactory-bench [-fig 1|2|9a|9b|9c|9d|9|10|11|all] [-scale quick|full] [-seedinfo]
+//
+// Full scale matches the experiment sizes used for EXPERIMENTS.md; quick
+// scale is the same harness at smoke-test sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"efactory/internal/bench"
+	"efactory/internal/model"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, ablate, sensitivity, rcommit, or all")
+	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "quick":
+		sc = bench.QuickScale()
+	case "full":
+		sc = bench.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	par := model.Default()
+
+	run := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, time.Since(t0).Seconds())
+	}
+
+	any := false
+	want := func(names ...string) bool {
+		for _, n := range names {
+			if *fig == n {
+				any = true
+				return true
+			}
+		}
+		if *fig == "all" {
+			any = true
+			return true
+		}
+		return false
+	}
+
+	if want("1") {
+		run("figure 1", func() { bench.Fig1(os.Stdout, &par, sc) })
+	}
+	if want("2") {
+		run("figure 2", func() { bench.Fig2(os.Stdout, &par, sc) })
+	}
+	for i, sub := range []string{"9a", "9b", "9c", "9d"} {
+		i := i
+		if want(sub, "9") {
+			run("figure "+sub, func() { bench.Fig9(os.Stdout, &par, sc, i) })
+		}
+	}
+	if want("10") {
+		run("figure 10", func() { bench.Fig10(os.Stdout, &par, sc) })
+	}
+	if want("11") {
+		run("figure 11", func() { bench.Fig11(os.Stdout, &par, sc) })
+	}
+	if want("ablate") {
+		run("ablations", func() { bench.Ablations(os.Stdout, &par, sc) })
+	}
+	if *fig == "sensitivity" {
+		any = true
+		run("sensitivity", func() { bench.Sensitivity(os.Stdout, &par, sc) })
+	}
+	if *fig == "rcommit" {
+		any = true
+		run("rcommit extension", func() { bench.ExtensionRCommit(os.Stdout, &par, sc) })
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

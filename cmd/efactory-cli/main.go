@@ -1,0 +1,119 @@
+// Command efactory-cli is a client for efactory-server.
+//
+// Usage:
+//
+//	efactory-cli [-addr host:7420] put <key> <value>
+//	efactory-cli [-addr host:7420] get <key>
+//	efactory-cli [-addr host:7420] del <key>
+//	efactory-cli [-addr host:7420] stats
+//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256]
+//
+// bench drives a small closed-loop PUT/GET workload and prints achieved
+// throughput — wall-clock numbers over real TCP, not the simulation.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"efactory/internal/tcpkv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := tcpkv.Dial(*addr)
+	if err != nil {
+		fatal("connect: %v", err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := cl.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal("put: %v", err)
+		}
+		fmt.Println("OK")
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		val, err := cl.Get([]byte(args[1]))
+		if errors.Is(err, tcpkv.ErrNotFound) {
+			fatal("key not found")
+		}
+		if err != nil {
+			fatal("get: %v", err)
+		}
+		fmt.Printf("%s\n", val)
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cl.Delete([]byte(args[1])); err != nil {
+			fatal("del: %v", err)
+		}
+		fmt.Println("OK")
+	case "stats":
+		st, err := cl.ServerStats()
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		fmt.Printf("%+v\n", st)
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", 10000, "operations")
+		vlen := fs.Int("vlen", 256, "value size in bytes")
+		fs.Parse(args[1:])
+		runBench(cl, *n, *vlen)
+	default:
+		usage()
+	}
+}
+
+func runBench(cl *tcpkv.Client, n, vlen int) {
+	val := make([]byte, vlen)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("bench-%d", i%1024)
+		if err := cl.Put([]byte(key), val); err != nil {
+			fatal("bench put: %v", err)
+		}
+	}
+	putDur := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("bench-%d", i%1024)
+		if _, err := cl.Get([]byte(key)); err != nil {
+			fatal("bench get: %v", err)
+		}
+	}
+	getDur := time.Since(t0)
+	fmt.Printf("PUT: %d ops in %v (%.0f ops/s)\n", n, putDur, float64(n)/putDur.Seconds())
+	fmt.Printf("GET: %d ops in %v (%.0f ops/s, %d pure / %d fallback)\n",
+		n, getDur, float64(n)/getDur.Seconds(), cl.PureReads, cl.FallbackReads)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|bench ...")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command efactory-server runs the eFactory key-value store over TCP with
+// a file-backed NVM device, so the store survives restarts: on startup it
+// recovers by rolling every key back to its newest intact version.
+//
+// Usage:
+//
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"efactory/internal/nvm"
+	"efactory/internal/tcpkv"
+)
+
+func main() {
+	addr := flag.String("addr", ":7420", "listen address")
+	store := flag.String("store", "efactory-store.nvm", "path of the file-backed NVM device")
+	poolMiB := flag.Int("pool", 64, "data pool size in MiB")
+	buckets := flag.Int("buckets", 16384, "hash table buckets")
+	flag.Parse()
+
+	cfg := tcpkv.DefaultConfig()
+	cfg.Buckets = *buckets
+	cfg.PoolSize = *poolMiB << 20
+
+	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer dev.Close()
+
+	srv, err := tcpkv.NewServer(dev, cfg)
+	if err != nil {
+		log.Fatalf("start server: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("efactory-server: store %s, pool %d MiB, %d buckets", *store, *poolMiB, *buckets)
+	if st.Recovered > 0 || st.RolledBack > 0 {
+		log.Printf("recovery: %d keys restored, %d rolled back to a previous intact version",
+			st.Recovered, st.RolledBack)
+	}
+
+	go func() {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	srv.Close()
+}

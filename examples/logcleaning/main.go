@@ -1,0 +1,80 @@
+// Log cleaning: fill a small data pool with updates until automatic log
+// cleaning kicks in, while a reader keeps issuing GETs. Shows the two-stage
+// compress/merge protocol (§4.4): clients are notified to switch to the
+// RPC+RDMA read scheme, live versions migrate to the new pool, stale
+// versions are reclaimed, and the pools swap roles.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"efactory"
+	efcore "efactory/internal/efactory"
+)
+
+func main() {
+	env := efactory.NewEnv(3)
+	par := efactory.DefaultParams()
+	cfg := efactory.DefaultConfig()
+	cfg.PoolSize = 1 << 20    // 1 MiB pools: cleaning triggers quickly
+	cfg.CleanThreshold = 0.25 // clean when < 25% of the pool is free
+	srv := efactory.NewServer(env, &par, cfg)
+	writer := srv.AttachClient("writer")
+	reader := srv.AttachClient("reader")
+
+	fmt.Println("== eFactory log cleaning ==")
+	fmt.Printf("pool size %d KiB, clean threshold %.0f%%\n\n", cfg.PoolSize>>10, cfg.CleanThreshold*100)
+
+	env.Go("writer", func(p *efactory.Proc) {
+		val := make([]byte, 2048)
+		for i := 0; i < 600; i++ {
+			key := fmt.Sprintf("key%d", i%16) // 16 live keys, heavily updated
+			if err := writer.Put(p, []byte(key), val); err != nil {
+				if errors.Is(err, efcore.ErrServerFull) {
+					p.Sleep(50 * time.Microsecond)
+					continue
+				}
+				fmt.Println("put:", err)
+				return
+			}
+			p.Sleep(3 * time.Microsecond)
+		}
+	})
+
+	env.Go("reader", func(p *efactory.Proc) {
+		for i := 0; i < 1200; i++ {
+			key := fmt.Sprintf("key%d", i%16)
+			if _, err := reader.Get(p, []byte(key)); err != nil && !errors.Is(err, efcore.ErrNotFound) {
+				fmt.Println("get:", err)
+				return
+			}
+			p.Sleep(6 * time.Microsecond)
+		}
+	})
+
+	env.Go("monitor", func(p *efactory.Proc) {
+		wasCleaning := false
+		for i := 0; i < 400; i++ {
+			if srv.Cleaning() != wasCleaning {
+				wasCleaning = srv.Cleaning()
+				if wasCleaning {
+					fmt.Printf("t=%v  log cleaning STARTED (pool %d: %d KiB used)\n",
+						p.Now(), srv.CurrentPool(), srv.Pool(srv.CurrentPool()).Used()>>10)
+				} else {
+					fmt.Printf("t=%v  log cleaning FINISHED (now pool %d: %d KiB live)\n",
+						p.Now(), srv.CurrentPool(), srv.Pool(srv.CurrentPool()).Used()>>10)
+				}
+			}
+			p.Sleep(20 * time.Microsecond)
+		}
+		srv.Stop()
+	})
+	env.Run()
+
+	fmt.Printf("\ncleanings: %d, objects migrated: %d, stale versions reclaimed: %d\n",
+		srv.Stats.Cleanings, srv.Stats.CleanMoved, srv.Stats.CleanDropped)
+	fmt.Printf("reader paths: %d pure / %d fallback / %d via RPC during cleaning (notifications: %d)\n",
+		reader.Stats.PureReads, reader.Stats.FallbackReads, reader.Stats.RPCReads, reader.Stats.Notifications)
+}

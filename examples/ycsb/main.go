@@ -1,0 +1,38 @@
+// YCSB comparison: drive the paper's read-intensive workload (YCSB-B, 95%
+// GET / 5% PUT, Zipfian keys) against eFactory and two baselines — IMM
+// (write_with_imm durability) and Erda (client-side CRC verification) —
+// and print throughput and latency side by side. This is a small slice of
+// what cmd/efactory-bench reproduces in full.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"efactory/internal/bench"
+	"efactory/internal/model"
+	"efactory/internal/stats"
+	"efactory/internal/ycsb"
+)
+
+func main() {
+	par := model.Default()
+	sc := bench.QuickScale()
+	const clients = 8
+	const valLen = 1024
+
+	fmt.Printf("== YCSB-B (95%% GET / 5%% PUT), %d clients, %dB values, Zipfian(0.99) ==\n\n",
+		clients, valLen)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\tthroughput (Mops/s)\tmean (µs)\tp99 (µs)")
+	for _, sys := range []bench.System{bench.SysEFactory, bench.SysEFactoryNoHR, bench.SysIMM, bench.SysErda} {
+		r := bench.RunMixed(&par, sys, ycsb.WorkloadB, clients, valLen, sc, 1)
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%s\n", sys, r.Mops, stats.FmtDur(r.Mean), stats.FmtDur(r.P99))
+	}
+	tw.Flush()
+
+	fmt.Println("\neFactory keeps one-sided read performance (like IMM) while writing")
+	fmt.Println("without a durability round trip (unlike IMM); Erda pays a CRC on")
+	fmt.Println("every read. Run cmd/efactory-bench for the full figure set.")
+}

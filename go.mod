@@ -1,0 +1,3 @@
+module efactory
+
+go 1.22

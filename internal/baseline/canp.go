@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"fmt"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// CANP is the client-active scheme WITHOUT a persistence guarantee: the
+// Figure 1 reference point ("CA w/o persistence"). The server allocates and
+// publishes metadata immediately; the client pushes the value with a
+// one-sided write and considers the PUT complete at the write completion.
+// Nothing is ever flushed, no checksums exist: fast, and unsafe across
+// crashes — exactly the design whose inconsistency §3 demonstrates.
+type CANP struct {
+	*node
+}
+
+// NewCANP builds the server and starts its workers.
+func NewCANP(env *sim.Env, par *model.Params, cfg Config) *CANP {
+	s := &CANP{node: newNode(env, par, cfg, linearTable, false, "canp-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+func (s *CANP) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, int(m.Len), 0, kv.NilPtr, kv.FlagValid)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		p.Sleep(s.par.HashLookupCost)
+		if idx, _, ok := s.table.FindSlot(kv.HashKey(m.Key)); ok {
+			s.table.Publish(idx, kv.PackLoc(off, size))
+		}
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	}
+}
+
+// CANPClient issues the no-persistence client-active protocol.
+type CANPClient struct {
+	*clientCore
+}
+
+// AttachClient connects a new client.
+func (s *CANP) AttachClient(name string) *CANPClient {
+	return &CANPClient{clientCore: s.attach(name)}
+}
+
+// Put is an allocation RPC plus a one-sided write; completion of the write
+// ends the operation.
+func (c *CANPClient) Put(p *sim.Proc, key, value []byte) error {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("canp: put status %d", resp.Status)
+	}
+	return c.ep.Write(p, value, resp.RKey, int(resp.Off)+kv.ValueOffset(len(key)))
+}
+
+// Get is two one-sided reads with no consistency checks at all.
+func (c *CANPClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	e, found, err := c.readEntry(p, kv.HashKey(key))
+	if err != nil {
+		return nil, err
+	}
+	if !found || e.Current() == 0 {
+		return nil, ErrNotFound
+	}
+	off, l, _ := kv.UnpackLoc(e.Current())
+	h, obj, err := c.readObjectAt(p, c.poolRKey, off, l)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*CANPClient)(nil)

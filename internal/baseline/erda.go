@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"fmt"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// Erda (§5.3.3) keeps the client-active write scheme without immediate
+// persistence: the server allocates and publishes metadata right away
+// (hopscotch hashing with an 8-byte atomic region holding the latest two
+// version offsets and a tag), and consistency is handled at READ time — the
+// client computes a CRC over every fetched object and re-reads the previous
+// version when the head is incomplete. Data is never explicitly flushed
+// ("dirty updates become durable through natural eviction"), which is the
+// source of the non-monotonic-read weakness the paper contrasts eFactory
+// against.
+type Erda struct {
+	*node
+}
+
+// NewErda builds an Erda server and starts its workers.
+func NewErda(env *sim.Env, par *model.Params, cfg Config) *Erda {
+	s := &Erda{node: newNode(env, par, cfg, hopscotchTable, false, "erda-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+func (s *Erda) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, int(m.Len), m.Crc, kv.NilPtr, kv.FlagValid)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		idx, _, ok := s.hops.Insert(kv.HashKey(m.Key))
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		// Publish immediately: the atomic region shifts the previous
+		// version to slot 2 in a single 8-byte store.
+		s.hops.Publish(idx, off, size)
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	}
+}
+
+// ErdaClient issues Erda's protocol.
+type ErdaClient struct {
+	*clientCore
+	// Verifications counts client-side CRC checks; Rollbacks counts reads
+	// served from the previous version.
+	Verifications int
+	Rollbacks     int
+}
+
+// AttachClient connects a new client.
+func (s *Erda) AttachClient(name string) *ErdaClient {
+	return &ErdaClient{clientCore: s.attach(name)}
+}
+
+// Put is the client-active write: checksum, allocation RPC, one-sided
+// write. No durability round trip.
+func (c *ErdaClient) Put(p *sim.Proc, key, value []byte) error {
+	p.Sleep(c.par.CRCTime(len(value)))
+	sum := crc.Checksum(value)
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("erda: put status %d", resp.Status)
+	}
+	return c.ep.Write(p, value, resp.RKey, int(resp.Off)+kv.ValueOffset(len(key)))
+}
+
+// Get reads the hopscotch neighborhood with one RDMA read, fetches the
+// latest version, and verifies it with a client-computed CRC; on a mismatch
+// it re-reads the previous version from the entry's atomic region.
+func (c *ErdaClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	keyHash := kv.HashKey(key)
+	home := int(keyHash % uint64(c.buckets))
+	hood := make([]byte, kv.HopH*kv.EntrySize)
+	if err := c.ep.Read(p, hood, c.tableRKey, home*kv.EntrySize); err != nil {
+		return nil, err
+	}
+	var entry kv.HopEntry
+	found := false
+	for d := 0; d < kv.HopH; d++ {
+		e := kv.DecodeHopEntry(hood[d*kv.EntrySize:])
+		if e.KeyHash == keyHash {
+			entry, found = e, true
+			break
+		}
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	if off1, ok := entry.Off1(); ok {
+		if val, ok := c.fetchVerify(p, off1, entry.Len1(), key); ok {
+			return val, nil
+		}
+		// Head incomplete: fall back to the previous version.
+		if off2, ok := entry.Off2(); ok {
+			c.Rollbacks++
+			if val, ok := c.fetchVerify(p, off2, entry.Len2(), key); ok {
+				return val, nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// fetchVerify reads an object and CRC-verifies it client-side (the cost
+// Figure 2 breaks down).
+func (c *ErdaClient) fetchVerify(p *sim.Proc, off uint64, totalLen int, key []byte) ([]byte, bool) {
+	if totalLen <= 0 {
+		return nil, false
+	}
+	h, obj, err := c.readObjectAt(p, c.poolRKey, off, totalLen)
+	if err != nil {
+		return nil, false
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, false
+	}
+	c.Verifications++
+	p.Sleep(c.par.CRCTime(len(val)))
+	if crc.Checksum(val) != h.CRC {
+		return nil, false
+	}
+	return val, true
+}
+
+var _ KV = (*ErdaClient)(nil)

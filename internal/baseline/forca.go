@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/nvm"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// Forca (§5.3.4) writes like Erda (client-active, no immediate durability)
+// but ensures consistency at read time on the SERVER: every GET is an RPC;
+// the server dereferences the extra object-metadata layer, verifies the
+// object by CRC, persists it, and only then returns the offset for the
+// client's one-sided read. The extra metadata indirection is the structural
+// difference §6.1 credits for eFactory's small-value PUT edge.
+type Forca struct {
+	*node
+}
+
+// forcaMetaSize is the size of one metadata record (one cache line).
+const forcaMetaSize = nvm.LineSize
+
+// NewForca builds a Forca server and starts its workers.
+func NewForca(env *sim.Env, par *model.Params, cfg Config) *Forca {
+	s := &Forca{node: newNode(env, par, cfg, linearTable, true, "forca-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+// writeMeta stores a metadata record pointing at the object location.
+func (s *Forca) writeMeta(metaOff uint64, objLoc uint64) {
+	var b [forcaMetaSize]byte
+	binary.LittleEndian.PutUint64(b[0:], objLoc)
+	s.metaPool.Device().Write(s.metaPool.Base()+int(metaOff), b[:])
+	s.metaPool.Device().Flush(s.metaPool.Base()+int(metaOff), forcaMetaSize)
+	s.metaPool.Device().Drain()
+}
+
+func (s *Forca) readMeta(metaOff uint64) (objLoc uint64) {
+	var b [8]byte
+	s.metaPool.Device().Read(s.metaPool.Base()+int(metaOff), b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *Forca) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, int(m.Len), m.Crc, kv.NilPtr, kv.FlagValid)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost + s.par.MetaLayerCost)
+		metaOff, ok := s.metaPool.Alloc(forcaMetaSize)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		s.writeMeta(metaOff, kv.PackLoc(off, size))
+		p.Sleep(s.par.HashLookupCost)
+		idx, _, ok := s.table.FindSlot(kv.HashKey(m.Key))
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		// The hash entry points at the metadata record, not the object.
+		s.table.Publish(idx, kv.PackLoc(metaOff, forcaMetaSize))
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	case wire.TGet:
+		s.Stats.Gets++
+		p.Sleep(s.par.HashLookupCost)
+		_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+		if !found || e.Current() == 0 {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		metaOff, _, _ := kv.UnpackLoc(e.Current())
+		p.Sleep(s.par.MetaLayerCost)
+		objLoc := s.readMeta(metaOff)
+		off, size, ok := kv.UnpackLoc(objLoc)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		// Self-verification and persistence on the read path.
+		h := s.pool.Header(off)
+		s.Stats.Verifies++
+		p.Sleep(s.par.CRCTime(h.VLen))
+		val := s.pool.ReadValue(off, h.KLen, h.VLen)
+		if crc.Checksum(val) != h.CRC {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		if h.Durable() {
+			p.Sleep(s.par.FlushCleanTime(size))
+		} else {
+			s.flushObject(p, off, h.KLen, h.VLen)
+			s.pool.SetFlags(off, h.Flags|kv.FlagDurable)
+		}
+		s.reply(p, from, wire.Msg{
+			Type: wire.TGetResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	}
+}
+
+// ForcaClient issues Forca's protocol.
+type ForcaClient struct {
+	*clientCore
+}
+
+// AttachClient connects a new client.
+func (s *Forca) AttachClient(name string) *ForcaClient {
+	return &ForcaClient{clientCore: s.attach(name)}
+}
+
+// Put is the client-active write, identical to Erda's.
+func (c *ForcaClient) Put(p *sim.Proc, key, value []byte) error {
+	p.Sleep(c.par.CRCTime(len(value)))
+	sum := crc.Checksum(value)
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("forca: put status %d", resp.Status)
+	}
+	return c.ep.Write(p, value, resp.RKey, int(resp.Off)+kv.ValueOffset(len(key)))
+}
+
+// Get sends the read request to the server (which verifies and persists)
+// and then fetches the object one-sidedly.
+func (c *ForcaClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == wire.StNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("forca: get status %d", resp.Status)
+	}
+	h, obj, err := c.readObjectAt(p, c.poolRKey, resp.Off, int(resp.Len))
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*ForcaClient)(nil)

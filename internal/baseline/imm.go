@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"fmt"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// IMM is the write_with_imm durability scheme (§5.3.2, as in Orion): the
+// client obtains an allocation via RPC and transfers the value with
+// WRITE_WITH_IMM; the completion makes the server aware of the write, so it
+// flushes the data into NVMM, publishes the metadata, and acks. GET is two
+// one-sided reads, like SAW.
+type IMM struct {
+	*node
+}
+
+// NewIMM builds an IMM server and starts its workers.
+func NewIMM(env *sim.Env, par *model.Params, cfg Config) *IMM {
+	s := &IMM{node: newNode(env, par, cfg, linearTable, false, "imm-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle, onImm: s.handleImm})
+	return s
+}
+
+func (s *IMM) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, int(m.Len), 0, kv.NilPtr, 0)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		tok := s.token()
+		s.pending[tok] = &pendingAlloc{
+			keyHash: kv.HashKey(m.Key), off: off, size: size,
+			klen: len(m.Key), vlen: int(m.Len),
+		}
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			Token: tok, RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	case wire.TGet:
+		s.Stats.Gets++
+		p.Sleep(s.par.HashLookupCost)
+		_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+		if !found || e.Current() == 0 {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		off, l, _ := kv.UnpackLoc(e.Current())
+		s.reply(p, from, wire.Msg{
+			Type: wire.TGetResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(l),
+		})
+	}
+}
+
+// handleImm runs when the write_with_imm completion surfaces: the data is
+// already in the cache domain, so flush it, publish, and ack durability.
+func (s *IMM) handleImm(p *sim.Proc, from *rnic.Endpoint, imm uint32) {
+	s.Stats.Persists++
+	pa, ok := s.pending[imm]
+	if !ok {
+		return
+	}
+	delete(s.pending, imm)
+	s.flushObject(p, pa.off, pa.klen, pa.vlen)
+	s.pool.SetFlags(pa.off, kv.FlagValid|kv.FlagDurable)
+	p.Sleep(s.par.HashLookupCost)
+	if idx, _, ok := s.table.FindSlot(pa.keyHash); ok {
+		s.table.Publish(idx, kv.PackLoc(pa.off, pa.size))
+	}
+	s.reply(p, from, wire.Msg{Type: wire.TImmAck, Status: wire.StOK, Token: imm})
+}
+
+// IMMClient issues IMM's protocol.
+type IMMClient struct {
+	*clientCore
+}
+
+// AttachClient connects a new client.
+func (s *IMM) AttachClient(name string) *IMMClient {
+	return &IMMClient{clientCore: s.attach(name)}
+}
+
+// Put allocates via RPC, transfers with WRITE_WITH_IMM, and waits for the
+// server's durability ack.
+func (c *IMMClient) Put(p *sim.Proc, key, value []byte) error {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("imm: put status %d", resp.Status)
+	}
+	valOff := int(resp.Off) + kv.ValueOffset(len(key))
+	if err := c.ep.WriteImm(p, value, resp.RKey, valOff, resp.Token); err != nil {
+		return err
+	}
+	ack, err := c.waitAck(p, wire.TImmAck)
+	if err != nil {
+		return err
+	}
+	if ack.Status != wire.StOK {
+		return fmt.Errorf("imm: ack status %d", ack.Status)
+	}
+	return nil
+}
+
+// Get is two one-sided RDMA reads with no verification (metadata is only
+// published after durability).
+func (c *IMMClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	e, found, err := c.readEntry(p, kv.HashKey(key))
+	if err != nil {
+		return nil, err
+	}
+	if !found || e.Tombstone() || e.Current() == 0 {
+		return nil, ErrNotFound
+	}
+	off, l, _ := kv.UnpackLoc(e.Current())
+	h, obj, err := c.readObjectAt(p, c.poolRKey, off, l)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*IMMClient)(nil)

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// RCommit is an EXTENSION beyond the paper's evaluation: a durable
+// client-active store built on the proposed rcommit verb (§7.1's related
+// work — "RDMA Durable Write Commit", Talpey & Pinkerton). The paper
+// dismisses this class of designs because they "require either new PCIe
+// command or specific hardware"; simulating that hardware lets us place it
+// on the same axes as the evaluated systems.
+//
+// PUT is fully client-driven and durable with zero server-CPU bytes:
+//
+//  1. allocation RPC — the server allocates the object, persists its
+//     header, claims the hash slot, and returns both the object location
+//     and the entry word the client may publish into;
+//  2. one-sided WRITE of the value;
+//  3. rcommit of the object range (data now durable);
+//  4. one-sided 8-byte WRITE publishing the entry location word;
+//  5. rcommit of the entry word.
+//
+// Because the entry is published only after the data is durable, GET is
+// two plain RDMA reads with no verification, like SAW/IMM — but the server
+// CPU never touches data or flushes, like eFactory. The price is PUT
+// latency: three extra fabric round trips.
+type RCommit struct {
+	*node
+}
+
+// NewRCommit builds the server and starts its workers.
+func NewRCommit(env *sim.Env, par *model.Params, cfg Config) *RCommit {
+	s := &RCommit{node: newNode(env, par, cfg, linearTable, false, "rcommit-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+func (s *RCommit) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		// Claim the hash slot first so the client can be told where to
+		// publish; chain the previous version for multi-version safety.
+		p.Sleep(s.par.HashLookupCost)
+		idx, _, ok := s.table.FindSlot(kv.HashKey(m.Key))
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		e := s.table.Entry(idx)
+		pre := kv.NilPtr
+		if loc := e.Current(); loc != 0 {
+			off, l, _ := kv.UnpackLoc(loc)
+			pre = kv.PackVPtr(0, off, l)
+		}
+		off, size, allocOK := s.allocObject(m.Key, int(m.Len), 0, pre, kv.FlagValid|kv.FlagDurable)
+		if !allocOK {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		// The client publishes word 1+mark of the entry; mark is always 0
+		// here (no log cleaning in baselines).
+		entryWordOff := s.table.BucketOffset(idx) + 8
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+			Token: uint32(entryWordOff),
+		})
+	case wire.TGet:
+		s.Stats.Gets++
+		p.Sleep(s.par.HashLookupCost)
+		_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+		if !found || e.Current() == 0 {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		off, l, _ := kv.UnpackLoc(e.Current())
+		s.reply(p, from, wire.Msg{
+			Type: wire.TGetResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(l),
+		})
+	}
+}
+
+// RCommitClient issues the rcommit protocol.
+type RCommitClient struct {
+	*clientCore
+	poolRKeyV  uint32
+	tableRKeyV uint32
+}
+
+// AttachClient connects a new client.
+func (s *RCommit) AttachClient(name string) *RCommitClient {
+	cc := s.attach(name)
+	return &RCommitClient{clientCore: cc, poolRKeyV: cc.poolRKey, tableRKeyV: cc.tableRKey}
+}
+
+// Put performs the fully client-driven durable write: alloc RPC, value
+// write, rcommit, entry publish, rcommit.
+func (c *RCommitClient) Put(p *sim.Proc, key, value []byte) error {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("rcommit: put status %d", resp.Status)
+	}
+	objOff := int(resp.Off)
+	size := int(resp.Len)
+	if err := c.ep.Write(p, value, c.poolRKeyV, objOff+kv.ValueOffset(len(key))); err != nil {
+		return err
+	}
+	// Data durable before the entry becomes visible.
+	if err := c.ep.Commit(p, c.poolRKeyV, objOff, size); err != nil {
+		return err
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], kv.PackLoc(resp.Off, size))
+	if err := c.ep.Write(p, word[:], c.tableRKeyV, int(resp.Token)); err != nil {
+		return err
+	}
+	return c.ep.Commit(p, c.tableRKeyV, int(resp.Token), 8)
+}
+
+// Get is two one-sided reads, no verification (publish-after-durable).
+func (c *RCommitClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	e, found, err := c.readEntry(p, kv.HashKey(key))
+	if err != nil {
+		return nil, err
+	}
+	if !found || e.Tombstone() || e.Current() == 0 {
+		return nil, ErrNotFound
+	}
+	off, l, _ := kv.UnpackLoc(e.Current())
+	h, obj, err := c.readObjectAt(p, c.poolRKeyV, off, l)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*RCommitClient)(nil)

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"fmt"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// RPCKV is the classic server-mediated store (§2.2): the client ships the
+// whole value inside the request; the server copies it from volatile
+// network buffers into NVMM, flushes, updates metadata, and replies. One
+// round trip, but the server's CPU touches every byte.
+type RPCKV struct {
+	*node
+}
+
+// NewRPCKV builds the RPC server and starts its workers.
+func NewRPCKV(env *sim.Env, par *model.Params, cfg Config) *RPCKV {
+	s := &RPCKV{node: newNode(env, par, cfg, linearTable, false, "rpc-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+func (s *RPCKV) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TWrite:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, len(m.Value), 0, kv.NilPtr, 0)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TWriteResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		// Copy from the network buffer into NVMM, then flush: the
+		// durable-before-reply discipline RPC makes easy.
+		p.Sleep(s.par.CopyTime(len(m.Value)))
+		s.pool.WriteValue(off, len(m.Key), m.Value)
+		s.flushObject(p, off, len(m.Key), len(m.Value))
+		s.pool.SetFlags(off, kv.FlagValid|kv.FlagDurable)
+		p.Sleep(s.par.HashLookupCost)
+		if idx, _, ok := s.table.FindSlot(kv.HashKey(m.Key)); ok {
+			s.table.Publish(idx, kv.PackLoc(off, size))
+		}
+		s.reply(p, from, wire.Msg{Type: wire.TWriteResp, Status: wire.StOK})
+	case wire.TGet:
+		s.Stats.Gets++
+		p.Sleep(s.par.HashLookupCost)
+		_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+		if !found || e.Current() == 0 {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		off, l, _ := kv.UnpackLoc(e.Current())
+		s.reply(p, from, wire.Msg{
+			Type: wire.TGetResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(l),
+		})
+	}
+}
+
+// RPCClient issues the RPC protocol.
+type RPCClient struct {
+	*clientCore
+}
+
+// AttachClient connects a new client.
+func (s *RPCKV) AttachClient(name string) *RPCClient {
+	return &RPCClient{clientCore: s.attach(name)}
+}
+
+// Put ships the value in the request; the reply implies durability.
+func (c *RPCClient) Put(p *sim.Proc, key, value []byte) error {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TWrite, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("rpc: put status %d", resp.Status)
+	}
+	return nil
+}
+
+// Get resolves via RPC and fetches the object one-sidedly.
+func (c *RPCClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == wire.StNotFound {
+		return nil, ErrNotFound
+	}
+	h, obj, err := c.readObjectAt(p, c.poolRKey, resp.Off, int(resp.Len))
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*RPCClient)(nil)

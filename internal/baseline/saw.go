@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"fmt"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// SAW is the send-after-write scheme (§5.3.1): a durable PUT is an
+// allocation RPC, a one-sided RDMA write, and then an RDMA send telling the
+// server to persist the data and update metadata. Because the hash entry is
+// published only after the flush, reads never see undurable data and GET is
+// two plain RDMA reads with no verification.
+type SAW struct {
+	*node
+}
+
+// NewSAW builds a SAW server and starts its workers.
+func NewSAW(env *sim.Env, par *model.Params, cfg Config) *SAW {
+	s := &SAW{node: newNode(env, par, cfg, linearTable, false, "saw-server")}
+	s.startWorkers(handlerSet{onMsg: s.handle})
+	return s
+}
+
+func (s *SAW) handle(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	switch m.Type {
+	case wire.TPut:
+		s.Stats.Puts++
+		off, size, ok := s.allocObject(m.Key, int(m.Len), 0, kv.NilPtr, 0)
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+			return
+		}
+		p.Sleep(s.par.AllocCost)
+		tok := s.token()
+		s.pending[tok] = &pendingAlloc{
+			keyHash: kv.HashKey(m.Key), off: off, size: size,
+			klen: len(m.Key), vlen: int(m.Len),
+		}
+		s.reply(p, from, wire.Msg{
+			Type: wire.TPutResp, Status: wire.StOK,
+			Token: tok, RKey: s.poolMR.RKey(), Off: off, Len: uint64(size),
+		})
+	case wire.TPersist:
+		s.Stats.Persists++
+		pa, ok := s.pending[m.Token]
+		if !ok {
+			s.reply(p, from, wire.Msg{Type: wire.TPersistResp, Status: wire.StError})
+			return
+		}
+		delete(s.pending, m.Token)
+		// Flush the data, mark the object live, then publish metadata —
+		// durability strictly before visibility.
+		s.flushObject(p, pa.off, pa.klen, pa.vlen)
+		s.pool.SetFlags(pa.off, kv.FlagValid|kv.FlagDurable)
+		s.publish(p, pa)
+		s.reply(p, from, wire.Msg{Type: wire.TPersistResp, Status: wire.StOK})
+	case wire.TGet:
+		// Fallback resolution path (clients normally resolve
+		// one-sidedly); used after deep hash collisions.
+		s.Stats.Gets++
+		p.Sleep(s.par.HashLookupCost)
+		_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+		if !found || e.Current() == 0 {
+			s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+			return
+		}
+		off, l, _ := kv.UnpackLoc(e.Current())
+		s.reply(p, from, wire.Msg{
+			Type: wire.TGetResp, Status: wire.StOK,
+			RKey: s.poolMR.RKey(), Off: off, Len: uint64(l),
+		})
+	}
+}
+
+func (s *SAW) publish(p *sim.Proc, pa *pendingAlloc) {
+	p.Sleep(s.par.HashLookupCost)
+	idx, _, ok := s.table.FindSlot(pa.keyHash)
+	if !ok {
+		return // table full; the object is durable but unreachable
+	}
+	s.table.Publish(idx, kv.PackLoc(pa.off, pa.size))
+}
+
+// SAWClient issues SAW's protocol.
+type SAWClient struct {
+	*clientCore
+}
+
+// AttachClient connects a new client.
+func (s *SAW) AttachClient(name string) *SAWClient {
+	return &SAWClient{clientCore: s.attach(name)}
+}
+
+// Put performs the durable three-step write: alloc RPC, RDMA write, persist
+// send (Figure 8's SAW column).
+func (c *SAWClient) Put(p *sim.Proc, key, value []byte) error {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StFull {
+		return ErrFull
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("saw: put status %d", resp.Status)
+	}
+	if err := c.ep.Write(p, value, resp.RKey, int(resp.Off)+kv.ValueOffset(len(key))); err != nil {
+		return err
+	}
+	ack, err := c.rpc(p, wire.Msg{Type: wire.TPersist, Token: resp.Token})
+	if err != nil {
+		return err
+	}
+	if ack.Status != wire.StOK {
+		return fmt.Errorf("saw: persist status %d", ack.Status)
+	}
+	return nil
+}
+
+// Get is two one-sided RDMA reads: entry, then object. No verification is
+// needed because metadata is only published after durability.
+func (c *SAWClient) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	e, found, err := c.readEntry(p, kv.HashKey(key))
+	if err != nil {
+		return nil, err
+	}
+	if !found || e.Tombstone() || e.Current() == 0 {
+		return nil, ErrNotFound
+	}
+	off, l, _ := kv.UnpackLoc(e.Current())
+	h, obj, err := c.readObjectAt(p, c.poolRKey, off, l)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := valueFrom(h, obj, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+var _ KV = (*SAWClient)(nil)

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"efactory/internal/baseline"
+	"efactory/internal/efactory"
+	"efactory/internal/model"
+	"efactory/internal/sim"
+	"efactory/internal/stats"
+	"efactory/internal/ycsb"
+)
+
+// Ablations quantifies the contribution of eFactory's individual design
+// choices (the decisions DESIGN.md calls out), beyond the paper's own
+// factor analysis of the hybrid read scheme:
+//
+//  1. hybrid read on/off (the paper's §6.1 factor analysis)
+//  2. selective durability guarantee vs verify-every-RPC-read (the Forca
+//     read-path behaviour)
+//  3. receive batching on/off (the §6.1 multi-receive-region optimization)
+//  4. background verification thread on/off (asynchronous durability)
+//  5. request worker count (the CPU-offload claim: eFactory barely needs
+//     server CPU, so worker count should not matter for it)
+func Ablations(w io.Writer, par *model.Params, sc Scale) {
+	const clients = 8
+	const valLen = 2048
+
+	fmt.Fprintln(w, "Ablation A: hybrid read scheme (YCSB-B, 2048B, 8 clients)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "variant\tMops/s\tmean µs")
+	for _, v := range []struct {
+		name string
+		sys  System
+	}{{"hybrid read (eFactory)", SysEFactory}, {"RPC reads only (w/o hr)", SysEFactoryNoHR}} {
+		r := RunMixed(par, v.sys, ycsb.WorkloadB, clients, valLen, sc, 71)
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", v.name, r.Mops, stats.FmtDur(r.Mean))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Ablation B: selective durability guarantee on the RPC read path")
+	fmt.Fprintln(w, "(both variants forced to RPC reads; YCSB-C, 2048B, 8 clients)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "variant\tMops/s\tmean µs")
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"durability-flag check first", false}, {"CRC verify on every read", true}} {
+		r := runCustom(par, sc, clients, valLen, ycsb.WorkloadC, 72, func(cfg *efactory.Config) {
+			cfg.DisableSelectiveDurability = v.disable
+		}, func(cl *efactory.Client) { cl.SetHybridRead(false) })
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", v.name, r.Mops, stats.FmtDur(r.Mean))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Ablation C: receive batching (update-only, 2048B, 16 clients)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "variant\tMops/s\tmean µs")
+	for _, v := range []struct {
+		name  string
+		batch bool
+	}{{"multiple receive regions", true}, {"single receive region", false}} {
+		r := runCustom(par, sc, 16, valLen, ycsb.WorkloadUpdateOnly, 73, func(cfg *efactory.Config) {
+			cfg.RecvBatching = v.batch
+		}, nil)
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", v.name, r.Mops, stats.FmtDur(r.Mean))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Ablation D: background verification thread (YCSB-B, 2048B, 8 clients)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "variant\tMops/s\tmean µs")
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"background thread on", false}, {"background thread off", true}} {
+		r := runCustom(par, sc, clients, valLen, ycsb.WorkloadB, 74, func(cfg *efactory.Config) {
+			cfg.DisableBackground = v.disable
+		}, nil)
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", v.name, r.Mops, stats.FmtDur(r.Mean))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Ablation E: request worker count (update-only, 2048B, 16 clients)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "workers\teFactory Mops/s\tIMM Mops/s")
+	for _, workers := range []int{1, 2, 4, 8} {
+		ef := runCustom(par, sc, 16, valLen, ycsb.WorkloadUpdateOnly, 75, func(cfg *efactory.Config) {
+			cfg.Workers = workers
+		}, nil)
+		imm := runIMMWorkers(par, sc, 16, valLen, workers, 75)
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", workers, ef.Mops, imm.Mops)
+	}
+	tw.Flush()
+}
+
+// runCustom is RunMixed for an eFactory server with config and client
+// tweaks applied.
+func runCustom(par *model.Params, sc Scale, nClients, valLen int, mix ycsb.Mix, seed uint64,
+	tweakCfg func(*efactory.Config), tweakClient func(*efactory.Client)) Result {
+	env := sim.NewEnv(seed)
+	cfg := efactory.DefaultConfig()
+	cfg.Buckets = sc.Buckets
+	cfg.PoolSize = sc.PoolSize
+	if tweakCfg != nil {
+		tweakCfg(&cfg)
+	}
+	srv := efactory.NewServer(env, par, cfg)
+	clients := make([]*efactory.Client, nClients)
+	for i := range clients {
+		clients[i] = srv.AttachClient(fmt.Sprintf("c%d", i))
+		if tweakClient != nil {
+			tweakClient(clients[i])
+		}
+	}
+	kvs := make([]interface {
+		Put(p *sim.Proc, key, value []byte) error
+		Get(p *sim.Proc, key []byte) ([]byte, error)
+	}, nClients)
+	for i, cl := range clients {
+		kvs[i] = cl
+	}
+	return driveWorkload(env, srv.Stop, kvs, par, mix, nClients, valLen, sc, seed)
+}
+
+// runIMMWorkers is RunMixed for an IMM server with a worker-count tweak.
+func runIMMWorkers(par *model.Params, sc Scale, nClients, valLen, workers int, seed uint64) Result {
+	env := sim.NewEnv(seed)
+	cfg := baseline.Config{Buckets: sc.Buckets, PoolSize: sc.PoolSize, Workers: workers}
+	s := baseline.NewIMM(env, par, cfg)
+	kvs := make([]interface {
+		Put(p *sim.Proc, key, value []byte) error
+		Get(p *sim.Proc, key []byte) ([]byte, error)
+	}, nClients)
+	for i := range kvs {
+		kvs[i] = s.AttachClient(fmt.Sprintf("c%d", i))
+	}
+	return driveWorkload(env, s.Stop, kvs, par, ycsb.WorkloadUpdateOnly, nClients, valLen, sc, seed)
+}
+
+// driveWorkload is the shared measurement loop used by the ablation
+// harness (RunMixed keeps its own copy for the common path).
+func driveWorkload(env *sim.Env, stop func(), kvs []interface {
+	Put(p *sim.Proc, key, value []byte) error
+	Get(p *sim.Proc, key []byte) ([]byte, error)
+}, par *model.Params, mix ycsb.Mix, nClients, valLen int, sc Scale, seed uint64) Result {
+	var rec stats.Recorder
+	var start, end time.Duration
+	totalOps := 0
+	env.Go("driver", func(p *sim.Proc) {
+		loader := kvs[0]
+		val := make([]byte, valLen)
+		for i := uint64(0); i < sc.NKeys; i++ {
+			if err := loader.Put(p, ycsb.Key(i, KeyLen), val); err != nil {
+				panic(fmt.Sprintf("bench: ablation load failed: %v", err))
+			}
+		}
+		p.Sleep(20 * time.Millisecond)
+		start = p.Now()
+		done := sim.NewSignal(env)
+		remaining := nClients
+		for ci, cl := range kvs {
+			ci, cl := ci, cl
+			env.Go(fmt.Sprintf("client-%d", ci), func(p *sim.Proc) {
+				gen := ycsb.NewGenerator(mix, sc.NKeys, KeyLen, valLen, seed+uint64(ci)*1000+1)
+				for n := 0; n < sc.OpsPerClient; n++ {
+					op, key, value := gen.Next()
+					t0 := p.Now()
+					var err error
+					if op == ycsb.OpGet {
+						_, err = cl.Get(p, key)
+					} else {
+						err = cl.Put(p, key, value)
+					}
+					if err != nil && !isNotFound(err) {
+						panic(fmt.Sprintf("bench: ablation op failed: %v", err))
+					}
+					rec.Record(p.Now() - t0)
+					totalOps++
+				}
+				remaining--
+				if remaining == 0 {
+					done.Fire(nil)
+				}
+			})
+		}
+		done.Wait(p)
+		end = p.Now()
+		stop()
+	})
+	env.Run()
+	elapsed := end - start
+	return Result{
+		Mix: mix, ValLen: valLen, Clients: nClients,
+		Ops: totalOps, Elapsed: elapsed,
+		Mops:   stats.Mops(totalOps, elapsed),
+		Mean:   rec.Mean(),
+		Median: rec.Median(),
+		P99:    rec.P99(),
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"efactory/internal/efactory"
+	"efactory/internal/model"
+	"efactory/internal/ycsb"
+)
+
+// TestAblationDirections asserts that each design choice contributes in
+// the direction the design claims.
+func TestAblationDirections(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+
+	// Selective durability guarantee: checking the flag must beat
+	// re-verifying every RPC read by a wide margin.
+	withFlag := runCustom(&par, sc, 8, 2048, ycsb.WorkloadC, 72,
+		nil, func(cl *efactory.Client) { cl.SetHybridRead(false) })
+	without := runCustom(&par, sc, 8, 2048, ycsb.WorkloadC, 72,
+		func(cfg *efactory.Config) { cfg.DisableSelectiveDurability = true },
+		func(cl *efactory.Client) { cl.SetHybridRead(false) })
+	if withFlag.Mops < 1.2*without.Mops {
+		t.Errorf("selective durability gain too small: %.3f vs %.3f", withFlag.Mops, without.Mops)
+	}
+
+	// Background thread: disabling it must hurt mixed workloads.
+	bgOn := runCustom(&par, sc, 8, 2048, ycsb.WorkloadB, 74, nil, nil)
+	bgOff := runCustom(&par, sc, 8, 2048, ycsb.WorkloadB, 74,
+		func(cfg *efactory.Config) { cfg.DisableBackground = true }, nil)
+	if bgOn.Mops <= bgOff.Mops {
+		t.Errorf("background thread not beneficial: on %.3f vs off %.3f", bgOn.Mops, bgOff.Mops)
+	}
+
+	// Receive batching: must help (even a little) at write saturation.
+	batched := runCustom(&par, sc, 16, 2048, ycsb.WorkloadUpdateOnly, 73, nil, nil)
+	unbatched := runCustom(&par, sc, 16, 2048, ycsb.WorkloadUpdateOnly, 73,
+		func(cfg *efactory.Config) { cfg.RecvBatching = false }, nil)
+	if batched.Mops < unbatched.Mops {
+		t.Errorf("recv batching hurt: %.3f vs %.3f", batched.Mops, unbatched.Mops)
+	}
+
+	// Worker count: IMM is server-CPU-bound (scales with workers);
+	// eFactory is not (flat beyond 2).
+	imm1 := runIMMWorkers(&par, sc, 16, 2048, 1, 75)
+	imm4 := runIMMWorkers(&par, sc, 16, 2048, 4, 75)
+	if imm4.Mops < 2.5*imm1.Mops {
+		t.Errorf("IMM should scale with workers: 1w %.3f, 4w %.3f", imm1.Mops, imm4.Mops)
+	}
+	ef2 := runCustom(&par, sc, 16, 2048, ycsb.WorkloadUpdateOnly, 75,
+		func(cfg *efactory.Config) { cfg.Workers = 2 }, nil)
+	ef8 := runCustom(&par, sc, 16, 2048, ycsb.WorkloadUpdateOnly, 75,
+		func(cfg *efactory.Config) { cfg.Workers = 8 }, nil)
+	if ef8.Mops > 1.3*ef2.Mops {
+		t.Errorf("eFactory should not need server CPU: 2w %.3f, 8w %.3f", ef2.Mops, ef8.Mops)
+	}
+}
+
+// TestAblationsRunnerPrints smoke-tests the table printer.
+func TestAblationsRunnerPrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	par := model.Default()
+	var sb strings.Builder
+	sc := QuickScale()
+	sc.OpsPerClient = 50
+	sc.NKeys = 50
+	Ablations(&sb, &par, sc)
+	out := sb.String()
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

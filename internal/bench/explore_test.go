@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"efactory/internal/model"
+)
+
+// TestExploreShapes prints the quick-scale figures when EXPLORE=1; used
+// during calibration.
+func TestExploreShapes(t *testing.T) {
+	if os.Getenv("EXPLORE") == "" {
+		t.Skip("set EXPLORE=1 to print calibration tables")
+	}
+	par := model.Default()
+	sc := QuickScale()
+	switch os.Getenv("EXPLORE") {
+	case "1":
+		Fig1(os.Stdout, &par, sc)
+		Fig2(os.Stdout, &par, sc)
+		Fig9(os.Stdout, &par, sc, -1)
+	case "10":
+		Fig10(os.Stdout, &par, sc)
+	case "11":
+		Fig11(os.Stdout, &par, sc)
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"efactory/internal/model"
+	"efactory/internal/stats"
+	"efactory/internal/ycsb"
+)
+
+// ExtensionRCommit evaluates the rcommit-based durable store (simulated
+// future hardware, §7.1's related-work axis) against the paper's systems:
+// durable PUT latency across value sizes and update-only throughput at 8
+// and 16 clients. The expected shape: rcommit keeps eFactory-like server
+// offload (scales with clients, flush off the server CPU) but pays three
+// extra fabric round trips per PUT, landing its latency between eFactory's
+// and the software durability schemes'.
+func ExtensionRCommit(w io.Writer, par *model.Params, sc Scale) {
+	fmt.Fprintln(w, "Extension: rcommit (simulated hardware) — durable PUT latency (µs, median)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "value\teFactory*\tRCommit\tIMM\tSAW")
+	for _, vs := range ValueSizes {
+		fmt.Fprintf(tw, "%dB\t", vs)
+		for _, sys := range []System{SysEFactory, SysRCommit, SysIMM, SysSAW} {
+			r := RunPutLatency(par, sys, vs, sc.OpsPerClient, sc, 61)
+			fmt.Fprintf(tw, "%s\t", stats.FmtDur(r.Median))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(*eFactory PUT completes before durability; the others are durable at the ack)")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Extension: rcommit — update-only throughput (Mops/s, 2048B)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "clients\teFactory\tRCommit\tIMM\tSAW")
+	for _, nc := range []int{8, 16} {
+		fmt.Fprintf(tw, "%d\t", nc)
+		for _, sys := range []System{SysEFactory, SysRCommit, SysIMM, SysSAW} {
+			r := RunMixed(par, sys, ycsb.WorkloadUpdateOnly, nc, 2048, sc, 62)
+			fmt.Fprintf(tw, "%.3f\t", r.Mops)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

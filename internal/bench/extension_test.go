@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"efactory/internal/model"
+	"efactory/internal/ycsb"
+)
+
+// TestRCommitExtensionShapes asserts the expected placement of the
+// simulated-hardware rcommit design among the paper's systems.
+func TestRCommitExtensionShapes(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+
+	// Durable PUT latency at 4 KB: rcommit's NIC-side flush beats the
+	// software schemes whose server CPU must CLFLUSH the payload...
+	rc := RunPutLatency(&par, SysRCommit, 4096, 150, sc, 61)
+	imm := RunPutLatency(&par, SysIMM, 4096, 150, sc, 61)
+	if rc.Median >= imm.Median {
+		t.Errorf("4KB: RCommit (%v) should beat IMM (%v)", rc.Median, imm.Median)
+	}
+	// ...but at small values the extra round trips dominate.
+	rc64 := RunPutLatency(&par, SysRCommit, 64, 150, sc, 61)
+	imm64 := RunPutLatency(&par, SysIMM, 64, 150, sc, 61)
+	if rc64.Median <= imm64.Median {
+		t.Errorf("64B: RCommit (%v) should lose to IMM (%v)", rc64.Median, imm64.Median)
+	}
+
+	// Scalability: rcommit needs no server CPU for durability, so at 16
+	// clients it clearly beats IMM...
+	rc16 := RunMixed(&par, SysRCommit, ycsb.WorkloadUpdateOnly, 16, 2048, sc, 62)
+	imm16 := RunMixed(&par, SysIMM, ycsb.WorkloadUpdateOnly, 16, 2048, sc, 62)
+	if rc16.Mops < 1.5*imm16.Mops {
+		t.Errorf("16 clients: RCommit %.3f not well above IMM %.3f", rc16.Mops, imm16.Mops)
+	}
+	// ...while eFactory stays ahead (asynchronous durability needs no
+	// extra round trips at all).
+	ef16 := RunMixed(&par, SysEFactory, ycsb.WorkloadUpdateOnly, 16, 2048, sc, 62)
+	if ef16.Mops <= rc16.Mops {
+		t.Errorf("16 clients: eFactory %.3f not above RCommit %.3f", ef16.Mops, rc16.Mops)
+	}
+}

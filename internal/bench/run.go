@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"efactory/internal/baseline"
+	"efactory/internal/efactory"
+	"efactory/internal/model"
+	"efactory/internal/sim"
+	"efactory/internal/stats"
+	"efactory/internal/ycsb"
+)
+
+// isNotFound matches either store's not-found sentinel.
+func isNotFound(err error) bool {
+	return errors.Is(err, baseline.ErrNotFound) || errors.Is(err, efactory.ErrNotFound)
+}
+
+// KeyLen matches the paper's scalability experiment (32-byte keys, §6.2).
+const KeyLen = 32
+
+// Scale controls experiment sizes, so the same runners serve quick smoke
+// benchmarks and full reproductions.
+type Scale struct {
+	NKeys        uint64 // distinct keys loaded before measurement
+	OpsPerClient int    // measured operations per client
+	PoolSize     int    // server data pool bytes (sized to avoid cleaning)
+	Buckets      int
+}
+
+// FullScale is the default for cmd/efactory-bench.
+func FullScale() Scale {
+	return Scale{NKeys: 1000, OpsPerClient: 1500, PoolSize: 192 << 20, Buckets: 16384}
+}
+
+// QuickScale keeps `go test -bench` fast.
+func QuickScale() Scale {
+	return Scale{NKeys: 200, OpsPerClient: 200, PoolSize: 48 << 20, Buckets: 4096}
+}
+
+// Result is one measured configuration.
+type Result struct {
+	System  System
+	Mix     ycsb.Mix
+	ValLen  int
+	Clients int
+	Ops     int
+	Elapsed time.Duration
+	Mops    float64
+	Mean    time.Duration
+	Median  time.Duration
+	P99     time.Duration
+}
+
+// RunMixed loads NKeys keys of valLen bytes, then drives nClients
+// closed-loop clients through opsPerClient YCSB operations each and
+// reports throughput and latency.
+func RunMixed(par *model.Params, sys System, mix ycsb.Mix, nClients, valLen int, sc Scale, seed uint64) Result {
+	env := sim.NewEnv(seed)
+	c := Build(env, par, sys, nClients, sc.Buckets, sc.PoolSize)
+
+	var rec stats.Recorder
+	var start, end time.Duration
+	totalOps := 0
+
+	env.Go("driver", func(p *sim.Proc) {
+		// Load phase: populate every key so GETs always hit.
+		loader := c.Clients[0]
+		val := make([]byte, valLen)
+		for i := range val {
+			val[i] = byte(i)
+		}
+		for i := uint64(0); i < sc.NKeys; i++ {
+			if err := loader.Put(p, ycsb.Key(i, KeyLen), val); err != nil {
+				panic(fmt.Sprintf("bench: load put failed: %v", err))
+			}
+		}
+		// Let the background thread (where present) settle so the
+		// measured phase starts from the steady state.
+		p.Sleep(20 * time.Millisecond)
+
+		start = p.Now()
+		done := sim.NewSignal(env)
+		remaining := nClients
+		for ci, cl := range c.Clients {
+			ci, cl := ci, cl
+			env.Go(fmt.Sprintf("client-%d", ci), func(p *sim.Proc) {
+				gen := ycsb.NewGenerator(mix, sc.NKeys, KeyLen, valLen, seed+uint64(ci)*1000+1)
+				local := &stats.Recorder{}
+				for n := 0; n < sc.OpsPerClient; n++ {
+					op, key, value := gen.Next()
+					t0 := p.Now()
+					var err error
+					if op == ycsb.OpGet {
+						_, err = cl.Get(p, key)
+					} else {
+						err = cl.Put(p, key, value)
+					}
+					if err != nil && !isNotFound(err) {
+						panic(fmt.Sprintf("bench: %s op failed: %v", sys, err))
+					}
+					local.Record(p.Now() - t0)
+				}
+				rec.Merge(local)
+				totalOps += sc.OpsPerClient
+				remaining--
+				if remaining == 0 {
+					done.Fire(nil)
+				}
+			})
+		}
+		done.Wait(p)
+		end = p.Now()
+		c.Stop()
+	})
+	env.Run()
+
+	elapsed := end - start
+	return Result{
+		System: sys, Mix: mix, ValLen: valLen, Clients: nClients,
+		Ops: totalOps, Elapsed: elapsed,
+		Mops:   stats.Mops(totalOps, elapsed),
+		Mean:   rec.Mean(),
+		Median: rec.Median(),
+		P99:    rec.P99(),
+	}
+}
+
+// RunPutLatency measures durable (or scheme-native) PUT latency with a
+// single client: the Figure 1 microbenchmark.
+func RunPutLatency(par *model.Params, sys System, valLen, ops int, sc Scale, seed uint64) Result {
+	env := sim.NewEnv(seed)
+	c := Build(env, par, sys, 1, sc.Buckets, sc.PoolSize)
+	var rec stats.Recorder
+	env.Go("driver", func(p *sim.Proc) {
+		cl := c.Clients[0]
+		val := make([]byte, valLen)
+		keys := sc.NKeys
+		if keys > 256 {
+			keys = 256
+		}
+		// Warm up allocation paths.
+		for i := uint64(0); i < 8; i++ {
+			cl.Put(p, ycsb.Key(i, KeyLen), val)
+		}
+		for n := 0; n < ops; n++ {
+			key := ycsb.Key(uint64(n)%keys, KeyLen)
+			t0 := p.Now()
+			if err := cl.Put(p, key, val); err != nil {
+				panic(fmt.Sprintf("bench: put failed: %v", err))
+			}
+			rec.Record(p.Now() - t0)
+		}
+		c.Stop()
+	})
+	env.Run()
+	return Result{
+		System: sys, ValLen: valLen, Clients: 1, Ops: ops,
+		Mean: rec.Mean(), Median: rec.Median(), P99: rec.P99(),
+	}
+}
+
+// RunGetLatency measures GET latency with a single client against a
+// pre-loaded, settled store: the Figure 2 microbenchmark.
+func RunGetLatency(par *model.Params, sys System, valLen, ops int, sc Scale, seed uint64) Result {
+	env := sim.NewEnv(seed)
+	c := Build(env, par, sys, 1, sc.Buckets, sc.PoolSize)
+	var rec stats.Recorder
+	env.Go("driver", func(p *sim.Proc) {
+		cl := c.Clients[0]
+		val := make([]byte, valLen)
+		keys := sc.NKeys
+		if keys > 256 {
+			keys = 256
+		}
+		for i := uint64(0); i < keys; i++ {
+			if err := cl.Put(p, ycsb.Key(i, KeyLen), val); err != nil {
+				panic(fmt.Sprintf("bench: load failed: %v", err))
+			}
+		}
+		p.Sleep(10 * time.Millisecond)
+		// Warm pass: systems that persist on the read path (Forca) do
+		// their one-time flush per object here, not in the measurement.
+		for i := uint64(0); i < keys; i++ {
+			if _, err := cl.Get(p, ycsb.Key(i, KeyLen)); err != nil {
+				panic(fmt.Sprintf("bench: warm get failed: %v", err))
+			}
+		}
+		for n := 0; n < ops; n++ {
+			key := ycsb.Key(uint64(n)%keys, KeyLen)
+			t0 := p.Now()
+			if _, err := cl.Get(p, key); err != nil {
+				panic(fmt.Sprintf("bench: get failed: %v", err))
+			}
+			rec.Record(p.Now() - t0)
+		}
+		c.Stop()
+	})
+	env.Run()
+	return Result{
+		System: sys, ValLen: valLen, Clients: 1, Ops: ops,
+		Mean: rec.Mean(), Median: rec.Median(), P99: rec.P99(),
+	}
+}

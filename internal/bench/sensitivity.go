@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"efactory/internal/model"
+	"efactory/internal/ycsb"
+)
+
+// Sensitivity sweeps the most influential cost-model constants around
+// their calibrated values and reports how the paper's headline ratios
+// respond. The point is robustness: the qualitative conclusions (who wins
+// and why) should not hinge on any single calibration choice.
+//
+// Swept knobs:
+//   - FlushPerLine (CLFLUSH cost): drives IMM/SAW's server-side write
+//     penalty — the eFactory/IMM update-only ratio.
+//   - CRCPerByte: drives Erda's read-side penalty — the eFactory/Erda
+//     read-only ratio at 4 KB.
+//   - WireDelay: scales everything; ratios should be comparatively stable.
+func Sensitivity(w io.Writer, base *model.Params, sc Scale) {
+	fmt.Fprintln(w, "Sensitivity: eFactory/IMM update-only throughput ratio (2048B, 8 clients)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "FlushPerLine\tratio")
+	for _, mult := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+		par := *base
+		par.FlushPerLine = time.Duration(float64(base.FlushPerLine) * mult)
+		ef := RunMixed(&par, SysEFactory, ycsb.WorkloadUpdateOnly, 8, 2048, sc, 81)
+		imm := RunMixed(&par, SysIMM, ycsb.WorkloadUpdateOnly, 8, 2048, sc, 81)
+		fmt.Fprintf(tw, "%v (x%.2f)\t%.2f\n", par.FlushPerLine, mult, ef.Mops/imm.Mops)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Sensitivity: eFactory/Erda read-only throughput ratio (4096B, 8 clients)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "CRCPerByte\tratio")
+	for _, mult := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+		par := *base
+		par.CRCPerByte = base.CRCPerByte * mult
+		ef := RunMixed(&par, SysEFactory, ycsb.WorkloadC, 8, 4096, sc, 82)
+		erda := RunMixed(&par, SysErda, ycsb.WorkloadC, 8, 4096, sc, 82)
+		fmt.Fprintf(tw, "%.2f ns/B (x%.2f)\t%.2f\n", par.CRCPerByte, mult, ef.Mops/erda.Mops)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Sensitivity: headline ratios vs network base latency")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "WireDelay\teF/IMM update-only\teF/Erda read-only 4K")
+	for _, mult := range []float64{0.5, 1.0, 2.0} {
+		par := *base
+		par.WireDelay = time.Duration(float64(base.WireDelay) * mult)
+		efU := RunMixed(&par, SysEFactory, ycsb.WorkloadUpdateOnly, 8, 2048, sc, 83)
+		immU := RunMixed(&par, SysIMM, ycsb.WorkloadUpdateOnly, 8, 2048, sc, 83)
+		efR := RunMixed(&par, SysEFactory, ycsb.WorkloadC, 8, 4096, sc, 83)
+		erdaR := RunMixed(&par, SysErda, ycsb.WorkloadC, 8, 4096, sc, 83)
+		fmt.Fprintf(tw, "%v (x%.1f)\t%.2f\t%.2f\n", par.WireDelay, mult, efU.Mops/immU.Mops, efR.Mops/erdaR.Mops)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,97 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+var stdTable = crc32.MakeTable(crc32.Castagnoli)
+
+func TestKnownVectors(t *testing.T) {
+	// RFC 3720 (iSCSI) test vectors for CRC-32C.
+	cases := []struct {
+		data []byte
+		want uint32
+	}{
+		{[]byte(""), 0},
+		{[]byte("123456789"), 0xe3069283},
+		{make([]byte, 32), 0x8a9136aa},
+	}
+	for _, c := range cases {
+		if got := Checksum(c.data); got != c.want {
+			t.Errorf("Checksum(%q) = %#x, want %#x", c.data, got, c.want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		n := rng.IntN(5000)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(rng.Uint32())
+		}
+		if got, want := Checksum(data), crc32.Checksum(data, stdTable); got != want {
+			t.Fatalf("len %d: got %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestPropertyMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum(data) == crc32.Checksum(data, stdTable)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUpdateComposes(t *testing.T) {
+	f := func(a, b []byte) bool {
+		whole := Checksum(append(append([]byte{}, a...), b...))
+		split := Update(Update(0, a), b)
+		return whole == split
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDetectsSingleBitFlip(t *testing.T) {
+	f := func(data []byte, pos uint16, bit uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := Checksum(data)
+		p := int(pos) % len(data)
+		data[p] ^= 1 << (bit % 8)
+		return Checksum(data) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	var d Digest
+	d.Write([]byte("1234"))
+	d.Write([]byte("56789"))
+	if d.Sum32() != 0xe3069283 {
+		t.Fatalf("Digest = %#x", d.Sum32())
+	}
+	d.Reset()
+	if d.Sum32() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func BenchmarkChecksum4K(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Checksum(data)
+	}
+}

@@ -1,0 +1,118 @@
+package efactory
+
+import (
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/sim"
+)
+
+// background is the single verification-and-persisting thread of §4.3.2.
+// It walks each data pool from the head, object by object: compute the CRC
+// over the value, compare with the recorded CRC, and on a match persist the
+// object and set its durability flag. A mismatching object is either still
+// in flight (wait and retry) or dead (past VerifyTimeout: mark invalid and
+// move on; log cleaning reclaims the space).
+//
+// The thread needs no synchronization with the request workers: flag
+// updates are idempotent stores, and the durability flag lets each side
+// skip objects the other already persisted.
+func (s *Server) background(p *sim.Proc) {
+	for !s.stopped {
+		progressed := false
+		for pi := 0; pi < 2; pi++ {
+			if s.bgStep(p, pi) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			p.Sleep(s.par.BGIdlePoll)
+		}
+	}
+}
+
+// bgStep processes up to one batch of objects in pool pi, returning whether
+// it made progress. It stalls (returns false) behind an in-flight object
+// that has not yet timed out, like the paper's one-by-one scan.
+func (s *Server) bgStep(p *sim.Proc, pi int) bool {
+	pool := s.pools[pi]
+	progressed := false
+	for s.bgCursor[pi]+kv.HeaderSize <= pool.Used() {
+		off := uint64(s.bgCursor[pi])
+		p.Sleep(s.par.BGScanStep)
+		if pool != s.pools[pi] {
+			// The log cleaner recycled this pool while we slept.
+			return progressed
+		}
+		h := pool.Header(off)
+		if h.Magic != kv.Magic || h.KLen <= 0 {
+			// Allocation raced us; retry this position later.
+			return progressed
+		}
+		size := kv.ObjectSize(h.KLen, h.VLen)
+		if !h.Valid() || h.Durable() {
+			s.Stats.BGSkipped++
+			s.bgCursor[pi] += size
+			progressed = true
+			continue
+		}
+		// Skip versions that have already been superseded by a newer
+		// write: nobody reads them through the entry head, verifying
+		// them buys nothing (log cleaning reclaims them, and a rollback
+		// read verifies on demand). This keeps the single background
+		// thread from falling behind under update-heavy load.
+		if s.bgSuperseded(p, pi, off, h.KLen) {
+			s.Stats.BGStale++
+			s.bgCursor[pi] += size
+			progressed = true
+			continue
+		}
+		p.Sleep(s.par.CRCTime(h.VLen))
+		if pool != s.pools[pi] {
+			return progressed
+		}
+		val := pool.ReadValue(off, h.KLen, h.VLen)
+		if crc.Checksum(val) == h.CRC {
+			p.Sleep(s.par.BGFlushTime(size))
+			if pool != s.pools[pi] {
+				return progressed
+			}
+			pool.FlushObject(off, h.KLen, h.VLen)
+			pool.SetFlags(off, h.Flags|kv.FlagDurable)
+			s.Stats.BGVerified++
+			s.bgCursor[pi] += size
+			progressed = true
+			continue
+		}
+		if uint64(s.env.Now())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
+			pool.SetFlags(off, h.Flags&^kv.FlagValid)
+			s.Stats.BGInvalidated++
+			s.bgCursor[pi] += size
+			progressed = true
+			continue
+		}
+		// Value still in flight: wait here (one-by-one scan).
+		return progressed
+	}
+	return progressed
+}
+
+// bgSuperseded reports whether the version at off in pool pi is no longer
+// its key's head version.
+func (s *Server) bgSuperseded(p *sim.Proc, pi int, off uint64, klen int) bool {
+	pool := s.pools[pi]
+	key := make([]byte, klen)
+	s.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+	p.Sleep(s.par.HashLookupCost)
+	_, e, found := s.table.Lookup(kv.HashKey(key))
+	if !found {
+		return true // entry reclaimed: version unreachable
+	}
+	loc := e.Loc[s.slotFor(pi)]
+	if loc == 0 {
+		// The PUT handler has appended the object but not yet published
+		// the entry: treat as current and verify normally.
+		return false
+	}
+	headOff, _, _ := kv.UnpackLoc(loc)
+	return headOff != off
+}

@@ -1,0 +1,212 @@
+package efactory
+
+import (
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// Log cleaning (§4.4) reclaims deleted and stale versions in two stages:
+//
+// Stage 1, log compressing: clients are told to switch to the RPC+RDMA
+// read scheme; a fresh data pool is prepared; the cleaner scans the old
+// pool in reverse (newest first) and migrates, for each live key, the
+// newest version that is durable or can be made durable, staging the new
+// location in the hash entry's second offset. Writes keep flowing into the
+// old pool and publish through the "old" offset as usual.
+//
+// Stage 2, log merging: new writes switch to the new pool; the objects
+// written to the old pool during compression are scanned in reverse and
+// merged, skipping any version superseded by a durable newer one (the
+// D1/D2 rule of Figure 7(b)).
+//
+// Finally every entry's mark bit flips to the new pool, old offsets are
+// cleared, clients are told cleaning has finished, and the pools swap
+// roles.
+
+// StartCleaning triggers a log-cleaning run (also triggered automatically
+// by CleanThreshold). It returns false if one is already in progress.
+func (s *Server) StartCleaning() bool {
+	if s.cleaning || s.stopped {
+		return false
+	}
+	s.startCleaning()
+	return true
+}
+
+func (s *Server) startCleaning() {
+	s.cleaning = true
+	s.env.Go("efactory-cleaner", s.cleaner)
+}
+
+// cleaner is the log-cleaning process.
+func (s *Server) cleaner(p *sim.Proc) {
+	old := s.cur
+	newer := 1 - s.cur
+
+	s.broadcast(p, wire.TCleanStart)
+
+	// Prepare the new pool: recycle the region and zero it so stale
+	// headers from the run before last cannot be misread.
+	s.pools[newer] = kv.NewPool(s.dev, s.pools[newer].Base(), s.cfg.PoolSize)
+	s.pools[newer].SetSeq(s.nextSeq)
+	s.dev.Zero(s.pools[newer].Base(), s.cfg.PoolSize)
+	s.bgCursor[newer] = 0
+
+	// ---- Stage 1: log compressing ----
+	compressEnd := s.pools[old].Used()
+	s.sweep(p, old, 0, compressEnd)
+
+	// ---- Stage 2: log merging ----
+	s.merging = true // new writes now target the new pool
+	mergeEnd := s.pools[old].Used()
+	s.sweep(p, old, compressEnd, mergeEnd)
+
+	// Final sweep: flip every staged entry to the new pool; reclaim
+	// entries with no surviving version.
+	s.table.RangeAll(func(i int, e kv.Entry) bool {
+		p.Sleep(s.par.HashLookupCost)
+		if e.Tombstone() || e.Loc[1-s.mark] == 0 {
+			s.table.Clear(i)
+			return true
+		}
+		s.table.FlipMark(i)
+		return true
+	})
+
+	s.cur = newer
+	s.mark = 1 - s.mark
+	s.merging = false
+	s.cleaning = false
+	s.Stats.Cleanings++
+	s.broadcast(p, wire.TCleanEnd)
+}
+
+// broadcast notifies every connected client.
+func (s *Server) broadcast(p *sim.Proc, typ uint8) {
+	m := wire.Msg{Type: typ}
+	for _, ep := range s.clients {
+		s.busy(p, s.par.SendCost)
+		_ = ep.Send(p, m.Encode())
+	}
+}
+
+// sweep reverse-scans pool pi over [lo, hi) and migrates live versions to
+// the other pool.
+func (s *Server) sweep(p *sim.Proc, pi, lo, hi int) {
+	pool := s.pools[pi]
+	// Collect object offsets in the window, then walk newest-first.
+	var offs []uint64
+	pool.Scan(hi, func(off uint64, h kv.Header) bool {
+		if int(off) >= lo {
+			offs = append(offs, off)
+		}
+		return true
+	})
+	for i := len(offs) - 1; i >= 0; i-- {
+		s.migrateOne(p, pi, offs[i])
+	}
+}
+
+// migrateOne decides the fate of the version at off in pool pi: migrate it
+// to the new pool, or drop it as stale/dead.
+func (s *Server) migrateOne(p *sim.Proc, pi int, off uint64) {
+	pool := s.pools[pi]
+	p.Sleep(s.par.BGScanStep)
+	h := pool.Header(off)
+	if h.Magic != kv.Magic || !h.Valid() {
+		s.Stats.CleanDropped++
+		return
+	}
+	key := make([]byte, h.KLen)
+	s.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+	p.Sleep(s.par.HashLookupCost)
+	idx, e, found := s.table.Lookup(kv.HashKey(key))
+	if !found || e.Tombstone() {
+		s.Stats.CleanDropped++
+		return
+	}
+	newSlot := 1 - s.mark
+	if staged := e.Loc[newSlot]; staged != 0 {
+		// A newer version was already migrated (reverse scan visits
+		// newest first) or written directly to the new pool during
+		// merging. Confirm it is durable — or can be made durable —
+		// before discarding this one (Figure 7(b)'s D1/D2 rule).
+		stagedOff, _, _ := kv.UnpackLoc(staged)
+		stagedHdr := s.pools[1-pi].Header(stagedOff)
+		if stagedHdr.Seq > h.Seq && s.ensureDurable(p, 1-pi, stagedOff) {
+			pool.SetFlags(off, h.Flags|kv.FlagTrans)
+			s.Stats.CleanDropped++
+			return
+		}
+	}
+	// This version is the migration candidate: it must be intact.
+	if !s.ensureDurable(p, pi, off) {
+		s.Stats.CleanDropped++
+		return // dead write; an older version may still be migrated later
+	}
+	h = pool.Header(off) // re-read: ensureDurable set the flag
+	s.copyObject(p, pi, off, &h, key, idx)
+}
+
+// ensureDurable makes the version at off durable if possible: returns true
+// once the durability flag is set, false if the CRC never matched within
+// VerifyTimeout (the version is invalidated).
+func (s *Server) ensureDurable(p *sim.Proc, pi int, off uint64) bool {
+	pool := s.pools[pi]
+	for {
+		h := pool.Header(off)
+		if !h.Valid() {
+			return false
+		}
+		if h.Durable() {
+			return true
+		}
+		p.Sleep(s.par.CRCTime(h.VLen))
+		val := pool.ReadValue(off, h.KLen, h.VLen)
+		if crc.Checksum(val) == h.CRC {
+			size := kv.ObjectSize(h.KLen, h.VLen)
+			p.Sleep(s.par.BGFlushTime(size))
+			pool.FlushObject(off, h.KLen, h.VLen)
+			pool.SetFlags(off, h.Flags|kv.FlagDurable)
+			return true
+		}
+		if uint64(s.env.Now())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
+			pool.SetFlags(off, h.Flags&^kv.FlagValid)
+			s.Stats.BGInvalidated++
+			return false
+		}
+		p.Sleep(s.par.BGIdlePoll) // value still in flight; wait
+	}
+}
+
+// copyObject migrates the durable version at (pi, off) into the other pool
+// and stages its location in entry idx.
+func (s *Server) copyObject(p *sim.Proc, pi int, off uint64, h *kv.Header, key []byte, idx int) {
+	src := s.pools[pi]
+	dst := s.pools[1-pi]
+	size := kv.ObjectSize(h.KLen, h.VLen)
+	nh := kv.Header{
+		PrePtr:    kv.NilPtr,
+		NextPtr:   kv.NilPtr,
+		Seq:       h.Seq,
+		CreatedAt: h.CreatedAt,
+		CRC:       h.CRC,
+		VLen:      h.VLen,
+		Flags:     kv.FlagValid | kv.FlagDurable,
+	}
+	p.Sleep(s.par.CleanMoveCost + s.par.CopyTime(size) + s.par.BGFlushTime(size))
+	newOff, ok := dst.AppendObject(&nh, key)
+	if !ok {
+		// The new pool cannot be smaller than the live set unless the
+		// configuration is broken; surface loudly in tests.
+		panic("efactory: new pool full during log cleaning")
+	}
+	dst.WriteValue(newOff, h.KLen, src.ReadValue(off, h.KLen, h.VLen))
+	dst.FlushObject(newOff, h.KLen, h.VLen)
+	// Mark the old copy as transferred, then stage the entry.
+	src.SetFlags(off, h.Flags|kv.FlagTrans)
+	s.table.SetLoc(idx, 1-s.mark, kv.PackLoc(newOff, size))
+	s.Stats.CleanMoved++
+}

@@ -1,0 +1,273 @@
+package efactory
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"efactory/internal/sim"
+)
+
+func TestCleaningReclaimsSpaceAndFlipsPools(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 1 << 20
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		// 10 keys, 10 updates each: 100 versions, 10 live.
+		for round := 0; round < 10; round++ {
+			for k := 0; k < 10; k++ {
+				v := []byte(fmt.Sprintf("key%d-round%d", k, round))
+				if err := cl.Put(p, []byte(fmt.Sprintf("key%d", k)), v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		p.Sleep(2 * time.Millisecond)
+		usedBefore := c.srv.Pool(0).Used()
+		if !c.srv.StartCleaning() {
+			t.Fatal("StartCleaning refused")
+		}
+		for c.srv.Cleaning() {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if c.srv.CurrentPool() != 1 {
+			t.Fatalf("current pool = %d after cleaning, want 1", c.srv.CurrentPool())
+		}
+		usedAfter := c.srv.Pool(1).Used()
+		if usedAfter >= usedBefore/2 {
+			t.Fatalf("cleaning reclaimed too little: %d -> %d", usedBefore, usedAfter)
+		}
+		// All keys still readable with their latest values.
+		for k := 0; k < 10; k++ {
+			got, err := cl.Get(p, []byte(fmt.Sprintf("key%d", k)))
+			if err != nil {
+				t.Fatalf("Get key%d after cleaning: %v", k, err)
+			}
+			want := fmt.Sprintf("key%d-round9", k)
+			if string(got) != want {
+				t.Fatalf("key%d = %q, want %q", k, got, want)
+			}
+		}
+	})
+	if c.srv.Stats.Cleanings != 1 {
+		t.Fatalf("Cleanings = %d", c.srv.Stats.Cleanings)
+	}
+	if c.srv.Stats.CleanMoved != 10 {
+		t.Fatalf("CleanMoved = %d, want 10", c.srv.Stats.CleanMoved)
+	}
+	if c.srv.Stats.CleanDropped < 90 {
+		t.Fatalf("CleanDropped = %d, want >= 90", c.srv.Stats.CleanDropped)
+	}
+}
+
+func TestCleaningWithConcurrentTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 2 << 20
+	c := newCluster(t, cfg, 2)
+	latest := make(map[string]string)
+	pad := bytes.Repeat([]byte{'.'}, 2048) // bulk so cleaning takes real time
+	mkVal := func(tag string) string { return tag + string(pad) }
+	c.run(func(p *sim.Proc) {
+		writer, reader := c.clients[0], c.clients[1]
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%d", i%8)
+			v := mkVal(fmt.Sprintf("pre-%d-", i))
+			if err := writer.Put(p, []byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			latest[k] = v
+		}
+		p.Sleep(time.Millisecond)
+
+		// Concurrent writer during cleaning.
+		writerDone := sim.NewSignal(c.env)
+		c.env.Go("during-clean-writer", func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				k := fmt.Sprintf("k%d", i%8)
+				v := mkVal(fmt.Sprintf("mid-%d-", i))
+				if err := writer.Put(p, []byte(k), []byte(v)); err != nil {
+					t.Errorf("Put during cleaning: %v", err)
+				}
+				latest[k] = v
+				p.Sleep(5 * time.Microsecond)
+			}
+			writerDone.Fire(nil)
+		})
+		// Concurrent reader during cleaning: every observed value must be
+		// one that was written for that key.
+		c.env.Go("during-clean-reader", func(p *sim.Proc) {
+			for i := 0; i < 60; i++ {
+				k := fmt.Sprintf("k%d", i%8)
+				got, err := reader.Get(p, []byte(k))
+				if err != nil {
+					t.Errorf("Get during cleaning: %v", err)
+				} else if !bytes.HasPrefix(got, []byte("pre-")) && !bytes.HasPrefix(got, []byte("mid-")) {
+					t.Errorf("Get %s returned garbage %.16q", k, got)
+				}
+				p.Sleep(5 * time.Microsecond)
+			}
+		})
+
+		c.srv.StartCleaning()
+		writerDone.Wait(p)
+		for c.srv.Cleaning() {
+			p.Sleep(100 * time.Microsecond)
+		}
+		p.Sleep(2 * time.Millisecond)
+		// Final values are the latest writes.
+		for k, want := range latest {
+			got, err := reader.Get(p, []byte(k))
+			if err != nil || string(got) != want {
+				t.Fatalf("post-clean Get %s = %q, %v; want %q", k, got, err, want)
+			}
+		}
+		if reader.Stats.Notifications == 0 {
+			t.Error("reader never processed a cleaning notification")
+		}
+		if reader.Stats.RPCReads == 0 {
+			t.Error("reader never used the RPC scheme during cleaning")
+		}
+	})
+}
+
+func TestAutoCleaningTriggersOnThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 128 << 10
+	cfg.CleanThreshold = 0.3
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		// Updates to a small key set; total volume exceeds the pool.
+		for i := 0; i < 400; i++ {
+			k := fmt.Sprintf("k%d", i%4)
+			err := cl.Put(p, []byte(k), bytes.Repeat([]byte{byte(i)}, 512))
+			if err != nil && !errors.Is(err, ErrServerFull) {
+				t.Fatal(err)
+			}
+			p.Sleep(10 * time.Microsecond)
+		}
+		for c.srv.Cleaning() {
+			p.Sleep(100 * time.Microsecond)
+		}
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 4; i++ {
+			if _, err := cl.Get(p, []byte(fmt.Sprintf("k%d", i))); err != nil {
+				t.Fatalf("Get k%d after auto-clean: %v", i, err)
+			}
+		}
+	})
+	if c.srv.Stats.Cleanings == 0 {
+		t.Fatal("threshold never triggered cleaning")
+	}
+	if c.srv.Stats.AllocFailures > 0 {
+		t.Fatalf("allocation failed %d times despite cleaning", c.srv.Stats.AllocFailures)
+	}
+}
+
+func TestCleaningDropsDeletedKeys(t *testing.T) {
+	cfg := DefaultConfig()
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		cl.Put(p, []byte("keep"), []byte("kept"))
+		cl.Put(p, []byte("drop"), []byte("dropped"))
+		p.Sleep(time.Millisecond)
+		cl.Delete(p, []byte("drop"))
+		c.srv.StartCleaning()
+		for c.srv.Cleaning() {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if _, err := cl.Get(p, []byte("drop")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key resurrected: err = %v", err)
+		}
+		got, err := cl.Get(p, []byte("keep"))
+		if err != nil || string(got) != "kept" {
+			t.Fatalf("kept key = %q, %v", got, err)
+		}
+	})
+	if c.srv.Stats.CleanMoved != 1 {
+		t.Fatalf("CleanMoved = %d, want 1", c.srv.Stats.CleanMoved)
+	}
+}
+
+func TestCleaningMigratesOlderIntactWhenHeadTorn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VerifyTimeout = 30 * time.Microsecond
+	c := newCluster(t, cfg, 2)
+	c.run(func(p *sim.Proc) {
+		good, evil := c.clients[0], c.clients[1]
+		good.Put(p, []byte("k"), []byte("intact"))
+		p.Sleep(time.Millisecond)
+		tornPut(p, evil, []byte("k"), 128) // head version never completes
+		p.Sleep(100 * time.Microsecond)    // exceed the verify timeout
+		c.srv.StartCleaning()
+		for c.srv.Cleaning() {
+			p.Sleep(100 * time.Microsecond)
+		}
+		got, err := good.Get(p, []byte("k"))
+		if err != nil || string(got) != "intact" {
+			t.Fatalf("post-clean Get = %q, %v; want the older intact version", got, err)
+		}
+	})
+}
+
+func TestBackToBackCleanings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 1 << 20
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 20; i++ {
+				k := fmt.Sprintf("k%d", i%5)
+				v := fmt.Sprintf("r%d-i%d", round, i)
+				if err := cl.Put(p, []byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p.Sleep(time.Millisecond)
+			c.srv.StartCleaning()
+			for c.srv.Cleaning() {
+				p.Sleep(100 * time.Microsecond)
+			}
+		}
+		// After three cleanings the pool index is back to 1 (0→1→0→1).
+		if c.srv.CurrentPool() != 1 {
+			t.Fatalf("pool = %d after 3 cleanings", c.srv.CurrentPool())
+		}
+		for i := 0; i < 5; i++ {
+			k := fmt.Sprintf("k%d", i)
+			got, err := cl.Get(p, []byte(k))
+			if err != nil {
+				t.Fatalf("Get %s: %v", k, err)
+			}
+			want := fmt.Sprintf("r2-i%d", 15+i)
+			if string(got) != want {
+				t.Fatalf("%s = %q, want %q", k, got, want)
+			}
+		}
+	})
+	if c.srv.Stats.Cleanings != 3 {
+		t.Fatalf("Cleanings = %d", c.srv.Stats.Cleanings)
+	}
+}
+
+func TestStartCleaningWhileCleaningRefused(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		c.clients[0].Put(p, []byte("k"), []byte("v"))
+		p.Sleep(time.Millisecond)
+		if !c.srv.StartCleaning() {
+			t.Fatal("first StartCleaning refused")
+		}
+		if c.srv.StartCleaning() {
+			t.Fatal("second StartCleaning accepted while cleaning")
+		}
+		for c.srv.Cleaning() {
+			p.Sleep(50 * time.Microsecond)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package efactory
+
+import (
+	"errors"
+	"fmt"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/rnic"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// ErrNotFound is returned by Get/Delete for absent keys.
+var ErrNotFound = errors.New("efactory: key not found")
+
+// ErrServerFull is returned by Put when the log and cleaning cannot make
+// room.
+var ErrServerFull = errors.New("efactory: server pool full")
+
+// maxEntryProbes bounds client-side linear probing before falling back to
+// the RPC path (the server probes authoritatively).
+const maxEntryProbes = 4
+
+// ClientStats counts client-side path choices.
+type ClientStats struct {
+	Puts          int
+	Gets          int
+	PureReads     int // GETs satisfied entirely one-sidedly
+	FallbackReads int // GETs that fell back to RPC after an undurable fetch
+	RPCReads      int // GETs that went straight to RPC (cleaning / no hybrid)
+	Notifications int // clean-start/end notifications processed
+}
+
+// Client is an eFactory client: it performs PUT with the client-active
+// scheme (RPC allocation + one-sided value write) and GET with the hybrid
+// read scheme.
+type Client struct {
+	env       *sim.Env
+	par       *model.Params
+	ep        *rnic.Endpoint
+	tableRKey uint32
+	buckets   int
+	poolRKey  [2]uint32
+	hybrid    bool
+	cleaning  bool
+
+	Stats ClientStats
+}
+
+// SetHybridRead toggles the hybrid read scheme. Disabling it yields the
+// "eFactory w/o hr" configuration from the paper's factor analysis (§6.1):
+// every GET uses the RPC+RDMA path.
+func (c *Client) SetHybridRead(on bool) { c.hybrid = on }
+
+// drainNotifications consumes any queued clean-start/end notifications
+// without blocking, so a client that only issues one-sided reads still
+// learns about log cleaning promptly.
+func (c *Client) drainNotifications() {
+	for {
+		raw, ok := c.ep.RecvQueue().TryGet()
+		if !ok {
+			return
+		}
+		c.handleAsync(raw)
+	}
+}
+
+func (c *Client) handleAsync(raw rnic.Message) bool {
+	m, err := wire.Decode(raw.Data)
+	if err != nil {
+		return true
+	}
+	switch m.Type {
+	case wire.TCleanStart:
+		c.cleaning = true
+		c.Stats.Notifications++
+		return true
+	case wire.TCleanEnd:
+		c.cleaning = false
+		c.Stats.Notifications++
+		return true
+	}
+	return false
+}
+
+// rpc sends a request and blocks until the matching response, handling any
+// notifications that arrive in between.
+func (c *Client) rpc(p *sim.Proc, req wire.Msg) (wire.Msg, error) {
+	if err := c.ep.Send(p, req.Encode()); err != nil {
+		return wire.Msg{}, err
+	}
+	for {
+		raw, ok := c.ep.Recv(p)
+		if !ok {
+			return wire.Msg{}, rnic.ErrCrashed
+		}
+		if c.handleAsync(raw) {
+			continue
+		}
+		m, err := wire.Decode(raw.Data)
+		if err != nil {
+			return wire.Msg{}, err
+		}
+		c.cleaning = m.Note&wire.NoteCleaning != 0
+		return m, nil
+	}
+}
+
+// Put stores value under key using the client-active scheme with
+// asynchronous durability (Figure 5): checksum the value, obtain an
+// allocation via SEND-based RPC, then push the value with a one-sided
+// write. No durability round trip — the background thread persists it.
+func (c *Client) Put(p *sim.Proc, key, value []byte) error {
+	c.drainNotifications()
+	c.Stats.Puts++
+	p.Sleep(c.par.CRCTime(len(value))) // client computes the CRC for the request
+	sum := crc.Checksum(value)
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StOK:
+	case wire.StFull:
+		return ErrServerFull
+	default:
+		return fmt.Errorf("efactory: put failed with status %d", resp.Status)
+	}
+	valOff := int(resp.Off) + kv.ValueOffset(len(key))
+	return c.ep.Write(p, value, resp.RKey, valOff)
+}
+
+// Get fetches the value for key with the hybrid read scheme (Figure 6):
+// optimistically resolve the hash entry and the object with two one-sided
+// reads and check the durability flag embedded in the object; if the
+// object is not yet completely durable (or cleaning is in progress), fall
+// back to the RPC+RDMA path where the server guarantees consistency.
+func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	c.drainNotifications()
+	c.Stats.Gets++
+	if c.hybrid && !c.cleaning {
+		val, ok, err := c.pureRead(p, key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			c.Stats.PureReads++
+			return val, nil
+		}
+		c.Stats.FallbackReads++
+	} else {
+		c.Stats.RPCReads++
+	}
+	return c.rpcRead(p, key)
+}
+
+// pureRead attempts the pure one-sided path. ok is false when the client
+// must fall back (entry missing client-side, undurable object, or a key
+// mismatch from probing).
+func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err error) {
+	keyHash := kv.HashKey(key)
+	idx := int(keyHash % uint64(c.buckets))
+	var entry kv.Entry
+	found := false
+	buf := make([]byte, kv.EntrySize)
+	for probe := 0; probe < maxEntryProbes; probe++ {
+		bucket := (idx + probe) % c.buckets
+		if err := c.ep.Read(p, buf, c.tableRKey, bucket*kv.EntrySize); err != nil {
+			return nil, false, err
+		}
+		e := kv.DecodeEntry(buf)
+		if e.KeyHash == 0 {
+			return nil, false, ErrNotFound
+		}
+		if e.Free() {
+			continue // reclaimed slot: probe past it
+		}
+		if e.KeyHash == keyHash {
+			entry, found = e, true
+			break
+		}
+	}
+	if !found || entry.Tombstone() {
+		return nil, false, nil // fall back; server resolves authoritatively
+	}
+	loc := entry.Current()
+	if loc == 0 {
+		return nil, false, nil
+	}
+	off, totalLen, _ := kv.UnpackLoc(loc)
+	pool := c.poolForRKeyIndex(entry.Mark())
+	obj := make([]byte, totalLen)
+	if err := c.ep.Read(p, obj, pool, int(off)); err != nil {
+		return nil, false, err
+	}
+	h := kv.DecodeHeader(obj)
+	if h.Magic != kv.Magic || !h.Valid() || !h.Durable() {
+		return nil, false, nil // step 4 failed: not completely durable
+	}
+	if h.KLen != len(key) || string(obj[kv.KeyOffset():kv.KeyOffset()+h.KLen]) != string(key) {
+		return nil, false, nil // hash collision; let the server disambiguate
+	}
+	vo := kv.ValueOffset(h.KLen)
+	if vo+h.VLen > len(obj) {
+		return nil, false, nil // torn metadata; fall back
+	}
+	return append([]byte(nil), obj[vo:vo+h.VLen]...), true, nil
+}
+
+// poolForRKeyIndex maps an entry mark bit to the rkey of that pool's MR.
+// Entry marks equal the pool index by construction.
+func (c *Client) poolForRKeyIndex(mark int) uint32 { return c.poolRKey[mark&1] }
+
+// rpcRead is the RPC+RDMA read scheme: the server returns the location of
+// a durable, intact version; the client fetches it one-sidedly.
+func (c *Client) rpcRead(p *sim.Proc, key []byte) ([]byte, error) {
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == wire.StNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("efactory: get failed with status %d", resp.Status)
+	}
+	obj := make([]byte, resp.Len)
+	if err := c.ep.Read(p, obj, resp.RKey, int(resp.Off)); err != nil {
+		return nil, err
+	}
+	h := kv.DecodeHeader(obj)
+	vo := kv.ValueOffset(h.KLen)
+	if h.Magic != kv.Magic || vo+h.VLen > len(obj) {
+		return nil, fmt.Errorf("efactory: server returned corrupt object at %d", resp.Off)
+	}
+	return append([]byte(nil), obj[vo:vo+h.VLen]...), nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(p *sim.Proc, key []byte) error {
+	c.drainNotifications()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TDel, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StNotFound {
+		return ErrNotFound
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package efactory implements the paper's primary contribution: a
+// multi-version, log-structured key-value store over RDMA and NVM that
+// provides crash consistency with high performance for both reads and
+// writes (§4).
+//
+// The three mechanisms, mapped to code:
+//
+//   - Multi-version log structuring: Server.handlePut appends versions
+//     out-of-place into a kv.Pool and links them with PrePtr into a version
+//     list headed by the hash entry, so any torn head can be rolled back to
+//     an intact predecessor (server.go, recovery.go).
+//   - Background verification and durability: Server.background verifies
+//     CRCs and flushes objects off the critical path, setting the
+//     durability flag embedded in each object (bg.go).
+//   - Hybrid read scheme: Client.Get optimistically uses pure one-sided
+//     reads and checks the durability flag; on a miss it falls back to the
+//     RPC+RDMA path where the server applies the selective durability
+//     guarantee (client.go).
+//
+// Log cleaning (clean.go) implements the two-stage compress/merge protocol
+// of §4.4, and recovery.go restores a consistent state from the persisted
+// image after a crash.
+package efactory
+
+import (
+	"time"
+
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+)
+
+// Config sizes and tunes a Server.
+type Config struct {
+	// Buckets is the hash-table size. Keep the load factor modest so
+	// client-side probing stays short.
+	Buckets int
+	// PoolSize is the byte capacity of EACH of the two data pools.
+	PoolSize int
+	// Workers is the number of request-processing threads.
+	Workers int
+	// RecvBatching enables the multiple-receive-region optimization
+	// (cheaper per-message receive handling, §6.1). On for eFactory; off
+	// for baselines that emulate single-recv servers.
+	RecvBatching bool
+	// CleanThreshold triggers log cleaning when the current pool's free
+	// fraction drops below it. Zero disables automatic cleaning.
+	CleanThreshold float64
+	// VerifyTimeout overrides model.Params.VerifyTimeout when nonzero.
+	VerifyTimeout time.Duration
+	// DisableBackground turns the verification thread off (for tests that
+	// want full control over when verification happens).
+	DisableBackground bool
+	// DisableSelectiveDurability makes the RPC read path verify by CRC on
+	// every request instead of trusting the durability flag — the Forca
+	// behaviour eFactory improves on (§5.3.4). Used by ablation benches.
+	DisableSelectiveDurability bool
+}
+
+// DefaultConfig returns a server sized for tests and small experiments.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:        4096,
+		PoolSize:       8 << 20,
+		Workers:        4,
+		RecvBatching:   true,
+		CleanThreshold: 0, // benches size pools to avoid cleaning unless testing it
+	}
+}
+
+// DeviceSize returns the NVM capacity a server with this config needs:
+// the hash table plus two data pools, line-aligned.
+func (c *Config) DeviceSize() int {
+	t := kv.TableBytes(c.Buckets)
+	t = (t + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	return t + 2*c.PoolSize
+}

@@ -1,0 +1,357 @@
+package efactory
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"efactory/internal/kv"
+	"efactory/internal/model"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+type cluster struct {
+	env     *sim.Env
+	par     model.Params
+	srv     *Server
+	clients []*Client
+}
+
+func newCluster(t *testing.T, cfg Config, nClients int) *cluster {
+	t.Helper()
+	env := sim.NewEnv(7)
+	par := model.Default()
+	srv := NewServer(env, &par, cfg)
+	c := &cluster{env: env, par: par, srv: srv}
+	for i := 0; i < nClients; i++ {
+		c.clients = append(c.clients, srv.AttachClient(fmt.Sprintf("client-%d", i)))
+	}
+	return c
+}
+
+// run executes fn as a simulated process, stops the server afterwards, and
+// drains the simulation.
+func (c *cluster) run(fn func(p *sim.Proc)) {
+	c.env.Go("test", func(p *sim.Proc) {
+		fn(p)
+		c.srv.Stop()
+	})
+	c.env.Run()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		if err := cl.Put(p, []byte("hello"), []byte("world")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, err := cl.Get(p, []byte("hello"))
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(got) != "world" {
+			t.Fatalf("Get = %q", got)
+		}
+	})
+}
+
+func TestGetMissingKey(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		if _, err := c.clients[0].Get(p, []byte("nope")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestImmediateReadFallsBackThenTurnsPure(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		if err := cl.Put(p, []byte("k"), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		// Read immediately: the background thread likely has not
+		// persisted the object yet, so the hybrid scheme falls back.
+		got, err := cl.Get(p, []byte("k"))
+		if err != nil || string(got) != "v1" {
+			t.Fatalf("immediate Get = %q, %v", got, err)
+		}
+		// Give the background thread time, then read again: pure path.
+		p.Sleep(200 * time.Microsecond)
+		before := cl.Stats.PureReads
+		got, err = cl.Get(p, []byte("k"))
+		if err != nil || string(got) != "v1" {
+			t.Fatalf("later Get = %q, %v", got, err)
+		}
+		if cl.Stats.PureReads != before+1 {
+			t.Errorf("expected a pure one-sided read after background persist; stats = %+v", cl.Stats)
+		}
+	})
+	if c.srv.Stats.BGVerified == 0 && c.srv.Stats.GetVerified == 0 {
+		t.Error("nothing was ever verified server-side")
+	}
+}
+
+func TestUpdatesCreateVersionsAndReturnLatest(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		for i := 1; i <= 5; i++ {
+			if err := cl.Put(p, []byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Sleep(time.Millisecond)
+		got, err := cl.Get(p, []byte("k"))
+		if err != nil || string(got) != "v5" {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+	})
+	// Version list: head's PrePtr chain must reach all 5 versions.
+	e, found := lookupEntry(c.srv, []byte("k"))
+	if !found {
+		t.Fatal("entry missing")
+	}
+	off, _, _ := kv.UnpackLoc(e.Current())
+	count := 0
+	pi := c.srv.CurrentPool()
+	for {
+		h := c.srv.Pool(pi).Header(off)
+		count++
+		var ok bool
+		pi, off, _, ok = kv.UnpackVPtr(h.PrePtr)
+		if !ok {
+			break
+		}
+	}
+	if count != 5 {
+		t.Fatalf("version chain length = %d, want 5", count)
+	}
+}
+
+func lookupEntry(s *Server, key []byte) (kv.Entry, bool) {
+	_, e, found := s.Table().Lookup(kv.HashKey(key))
+	return e, found
+}
+
+func TestManyKeysManyClients(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 4)
+	const perClient = 50
+	c.run(func(p *sim.Proc) {
+		done := sim.NewSignal(c.env)
+		remaining := len(c.clients)
+		for ci, cl := range c.clients {
+			ci, cl := ci, cl
+			c.env.Go(fmt.Sprintf("load-%d", ci), func(p *sim.Proc) {
+				for i := 0; i < perClient; i++ {
+					key := []byte(fmt.Sprintf("c%d-k%d", ci, i))
+					val := bytes.Repeat([]byte{byte(ci + 1)}, 100+i)
+					if err := cl.Put(p, key, val); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				}
+				remaining--
+				if remaining == 0 {
+					done.Fire(nil)
+				}
+			})
+		}
+		done.Wait(p)
+		p.Sleep(5 * time.Millisecond) // let the background thread settle
+		for ci, cl := range c.clients {
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("c%d-k%d", ci, i))
+				got, err := cl.Get(p, key)
+				if err != nil {
+					t.Fatalf("Get %s: %v", key, err)
+				}
+				want := bytes.Repeat([]byte{byte(ci + 1)}, 100+i)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("Get %s: wrong value (len %d vs %d)", key, len(got), len(want))
+				}
+			}
+		}
+	})
+	if c.srv.Stats.Puts != 4*perClient {
+		t.Fatalf("server saw %d puts, want %d", c.srv.Stats.Puts, 4*perClient)
+	}
+}
+
+func TestWithoutHybridReadAlwaysRPC(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		cl.SetHybridRead(false)
+		cl.Put(p, []byte("k"), []byte("v"))
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			if _, err := cl.Get(p, []byte("k")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cl.Stats.RPCReads != 3 || cl.Stats.PureReads != 0 {
+			t.Fatalf("stats = %+v; want all reads via RPC", cl.Stats)
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		cl.Put(p, []byte("k"), []byte("v"))
+		p.Sleep(time.Millisecond)
+		if err := cl.Delete(p, []byte("k")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Get(p, []byte("k")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("post-delete Get err = %v", err)
+		}
+		// Re-put after delete works.
+		if err := cl.Put(p, []byte("k"), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+		got, err := cl.Get(p, []byte("k"))
+		if err != nil || string(got) != "v2" {
+			t.Fatalf("re-put Get = %q, %v", got, err)
+		}
+	})
+}
+
+// tornPut performs the PUT RPC and deliberately never sends the value: the
+// torn-write scenario (client crash between steps 4 and 5 of Figure 5).
+func tornPut(p *sim.Proc, cl *Client, key []byte, vlen int) error {
+	resp, err := cl.rpc(p, wire.Msg{Type: wire.TPut, Crc: 0xdeadbeef, Len: uint64(vlen), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("status %d", resp.Status)
+	}
+	return nil
+}
+
+func TestTornWriteRollsBackToPreviousVersion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VerifyTimeout = 50 * time.Microsecond
+	c := newCluster(t, cfg, 2)
+	c.run(func(p *sim.Proc) {
+		good, evil := c.clients[0], c.clients[1]
+		if err := good.Put(p, []byte("k"), []byte("stable")); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond) // v1 becomes durable
+		if err := tornPut(p, evil, []byte("k"), 64); err != nil {
+			t.Fatal(err)
+		}
+		// Hybrid read: fetches the torn head, sees no durability flag,
+		// falls back; the server rolls back to the intact version.
+		got, err := good.Get(p, []byte("k"))
+		if err != nil {
+			t.Fatalf("Get after torn write: %v", err)
+		}
+		if string(got) != "stable" {
+			t.Fatalf("Get = %q, want rollback to %q", got, "stable")
+		}
+		// After the verify timeout the background thread invalidates the
+		// dead version.
+		p.Sleep(5 * time.Millisecond)
+	})
+	if c.srv.Stats.GetRolledBack == 0 {
+		t.Errorf("no server-side rollback recorded: %+v", c.srv.Stats)
+	}
+	if c.srv.Stats.BGInvalidated == 0 {
+		t.Errorf("torn version never invalidated: %+v", c.srv.Stats)
+	}
+}
+
+func TestTornFirstWriteIsNotFound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VerifyTimeout = 50 * time.Microsecond
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		if err := tornPut(p, cl, []byte("ghost"), 128); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Get(p, []byte("ghost")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get of never-completed key: err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestPoolFullReturnsServerFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 4096 // tiny: a few objects only
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		var sawFull bool
+		for i := 0; i < 64; i++ {
+			err := cl.Put(p, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{1}, 200))
+			if errors.Is(err, ErrServerFull) {
+				sawFull = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !sawFull {
+			t.Fatal("tiny pool never reported full")
+		}
+	})
+}
+
+func TestServerStatsFastPath(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		cl.SetHybridRead(false) // force every GET through the server
+		cl.Put(p, []byte("k"), []byte("v"))
+		p.Sleep(time.Millisecond) // background persists
+		cl.Get(p, []byte("k"))
+		cl.Get(p, []byte("k"))
+	})
+	if c.srv.Stats.GetFastPath != 2 {
+		t.Fatalf("fast-path gets = %d, want 2 (selective durability guarantee): %+v",
+			c.srv.Stats.GetFastPath, c.srv.Stats)
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		val := bytes.Repeat([]byte("x0y1"), 1024) // 4 KiB
+		if err := cl.Put(p, []byte("big"), val); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+		got, err := cl.Get(p, []byte("big"))
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("big Get len=%d err=%v", len(got), err)
+		}
+	})
+}
+
+func TestEmptyishValues(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		if err := cl.Put(p, []byte("tiny"), []byte{42}); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+		got, err := cl.Get(p, []byte("tiny"))
+		if err != nil || len(got) != 1 || got[0] != 42 {
+			t.Fatalf("tiny Get = %v, %v", got, err)
+		}
+	})
+}

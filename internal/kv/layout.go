@@ -1,0 +1,161 @@
+// Package kv is the storage substrate shared by eFactory and every baseline
+// (the paper implements all five systems "on the same code base", §5.3): the
+// on-NVM object layout with co-located metadata, the log-structured data
+// pool, and the RDMA-readable hash tables.
+//
+// All structures live inside an nvm.Device so that persistence is explicit:
+// a metadata update is durable only after the covering lines are flushed,
+// and tests can crash the device at any point to check recoverability.
+package kv
+
+import (
+	"encoding/binary"
+
+	"efactory/internal/nvm"
+)
+
+// Object layout inside the data pool (paper Figure 4, with metadata
+// co-located with the object — the choice §6.1 credits for eFactory's edge
+// over Forca's extra indirection layer):
+//
+//	offset size field
+//	0      8    PrePtr    pool offset of the previous version (NilPtr if none)
+//	8      8    NextPtr   pool offset of the next (newer) version, for cleaning
+//	16     8    Seq       global write sequence number
+//	24     8    CreatedAt virtual ns when the server allocated the region
+//	32     4    CRC       checksum of the value bytes
+//	36     4    KLen      key length
+//	40     4    VLen      value length
+//	44     1    Flags     Valid | Durable | Trans bits
+//	45     3    (pad)
+//	48     4    Magic     layout guard, set at allocation
+//	52     12   (reserved)
+//	64     ...  key bytes, padded to 8
+//	...    ...  value bytes
+//
+// The header occupies exactly one cache line, so persisting a flag update
+// flushes a single line, and the durability flag travels with the object in
+// a single RDMA read (the key enabler of the hybrid read scheme, §4.3.3).
+const (
+	HeaderSize = 64
+
+	offPrePtr    = 0
+	offNextPtr   = 8
+	offSeq       = 16
+	offCreatedAt = 24
+	offCRC       = 32
+	offKLen      = 36
+	offVLen      = 40
+	offFlags     = 44
+	offMagic     = 48
+)
+
+// NilPtr marks the absence of a previous/next version.
+const NilPtr = ^uint64(0)
+
+// Magic guards against interpreting unallocated pool space as an object.
+const Magic = 0x65464143 // "eFAC"
+
+// Flag bits.
+const (
+	FlagValid   = 1 << 0 // version participates in its object's chain
+	FlagDurable = 1 << 1 // verified + persisted (the durability flag)
+	FlagTrans   = 1 << 2 // previous version migrated to the new pool
+)
+
+// Header is the decoded object metadata.
+type Header struct {
+	PrePtr    uint64
+	NextPtr   uint64
+	Seq       uint64
+	CreatedAt uint64
+	CRC       uint32
+	KLen      int
+	VLen      int
+	Flags     uint8
+	Magic     uint32
+}
+
+// Valid reports the valid bit.
+func (h *Header) Valid() bool { return h.Flags&FlagValid != 0 }
+
+// Durable reports the durability flag.
+func (h *Header) Durable() bool { return h.Flags&FlagDurable != 0 }
+
+// Trans reports the transfer flag.
+func (h *Header) Trans() bool { return h.Flags&FlagTrans != 0 }
+
+// EncodeHeader serializes h into a HeaderSize-byte buffer.
+func EncodeHeader(h *Header) []byte {
+	b := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint64(b[offPrePtr:], h.PrePtr)
+	binary.LittleEndian.PutUint64(b[offNextPtr:], h.NextPtr)
+	binary.LittleEndian.PutUint64(b[offSeq:], h.Seq)
+	binary.LittleEndian.PutUint64(b[offCreatedAt:], h.CreatedAt)
+	binary.LittleEndian.PutUint32(b[offCRC:], h.CRC)
+	binary.LittleEndian.PutUint32(b[offKLen:], uint32(h.KLen))
+	binary.LittleEndian.PutUint32(b[offVLen:], uint32(h.VLen))
+	b[offFlags] = h.Flags
+	binary.LittleEndian.PutUint32(b[offMagic:], h.Magic)
+	return b
+}
+
+// DecodeHeader parses an object header from b (at least HeaderSize bytes).
+func DecodeHeader(b []byte) Header {
+	return Header{
+		PrePtr:    binary.LittleEndian.Uint64(b[offPrePtr:]),
+		NextPtr:   binary.LittleEndian.Uint64(b[offNextPtr:]),
+		Seq:       binary.LittleEndian.Uint64(b[offSeq:]),
+		CreatedAt: binary.LittleEndian.Uint64(b[offCreatedAt:]),
+		CRC:       binary.LittleEndian.Uint32(b[offCRC:]),
+		KLen:      int(binary.LittleEndian.Uint32(b[offKLen:])),
+		VLen:      int(binary.LittleEndian.Uint32(b[offVLen:])),
+		Flags:     b[offFlags],
+		Magic:     binary.LittleEndian.Uint32(b[offMagic:]),
+	}
+}
+
+// pad8 rounds n up to a multiple of 8.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// ObjectSize returns the total pool footprint of an object with the given
+// key and value lengths: header + padded key + value, rounded up to a cache
+// line so every object starts line-aligned.
+func ObjectSize(klen, vlen int) int {
+	n := HeaderSize + pad8(klen) + vlen
+	return (n + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+}
+
+// KeyOffset returns the offset of the key bytes within an object.
+func KeyOffset() int { return HeaderSize }
+
+// ValueOffset returns the offset of the value bytes within an object whose
+// key is klen bytes.
+func ValueOffset(klen int) int { return HeaderSize + pad8(klen) }
+
+// WriteHeader stores (volatile) an encoded header at pool offset off.
+func WriteHeader(dev nvm.Device, base int, off uint64, h *Header) {
+	dev.Write(base+int(off), EncodeHeader(h))
+}
+
+// ReadHeader loads a header from pool offset off through the coherent view.
+func ReadHeader(dev nvm.Device, base int, off uint64) Header {
+	b := make([]byte, HeaderSize)
+	dev.Read(base+int(off), b)
+	return DecodeHeader(b)
+}
+
+// SetFlags atomically updates the flags byte of the header at off. The
+// flags share an 8-byte word with padding only, so an 8-byte atomic store
+// updates them without touching neighbouring fields.
+func SetFlags(dev nvm.Device, base int, off uint64, flags uint8) {
+	addr := base + int(off) + offFlags
+	// offFlags is 44: not 8-aligned. Read-modify-write the containing
+	// aligned word (bytes 40..47 hold VLen, Flags, pad — VLen is
+	// immutable after allocation, so this is safe).
+	word := addr &^ 7
+	var b [8]byte
+	dev.Read(word, b[:])
+	b[addr-word] = flags
+	dev.Write8(word, binary.LittleEndian.Uint64(b[:]))
+}

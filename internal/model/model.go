@@ -1,0 +1,200 @@
+// Package model holds the calibrated cost model for the simulated cluster:
+// every latency and CPU-time constant used to charge virtual time in the
+// discrete-event simulation lives in Params.
+//
+// The constants are calibrated against the paper's testbed (two Xeon
+// E5-2640 v4 servers, Mellanox ConnectX-5 100 Gb/s InfiniBand, PMDK-emulated
+// persistent memory) so that the relative shapes of the paper's figures
+// reproduce: one-sided verbs complete in ~2 µs, a 4 KB CRC costs ~4.4 µs
+// (paper §3, Figure 2), flushing is per-cache-line, and two-sided messages
+// carry per-message CPU cost at the server that one-sided verbs avoid.
+// Absolute numbers are not the goal — orderings and ratios are.
+package model
+
+import (
+	"time"
+
+	"efactory/internal/nvm"
+)
+
+// Params is the full set of cost-model constants. The zero value is not
+// usable; start from Default and adjust.
+type Params struct {
+	// ---- Network fabric ----
+
+	// WireDelay is the one-way propagation + NIC processing delay for any
+	// message or verb, excluding payload serialization.
+	WireDelay time.Duration
+	// BytesPerNS is the serialization bandwidth in bytes per nanosecond
+	// (12.5 ≈ 100 Gb/s).
+	BytesPerNS float64
+	// PostCost is the requester CPU cost to post a work request (doorbell,
+	// WQE build).
+	PostCost time.Duration
+	// JitterFrac adds uniform ±JitterFrac relative noise to every wire
+	// delay, giving latency distributions a realistic spread (so medians
+	// and p99s differ, as in Figure 1). Zero disables jitter; the noise
+	// is drawn from the simulation's seeded PRNG, so runs stay
+	// reproducible.
+	JitterFrac float64
+
+	// ---- Two-sided (send/recv) CPU costs ----
+
+	// RecvCost is the server CPU cost to consume one incoming message:
+	// completion-queue poll, message dispatch, and re-posting a receive
+	// buffer one at a time.
+	RecvCost time.Duration
+	// RecvCostBatched replaces RecvCost for servers that maintain multiple
+	// receive regions and repost them in batches (the eFactory optimization
+	// credited in §6.1 for its 5-22%% PUT edge over Erda).
+	RecvCostBatched time.Duration
+	// SendCost is the CPU cost to transmit one message.
+	SendCost time.Duration
+	// ImmNotifyCost is the server CPU cost to consume a write_with_imm
+	// completion (cheaper than a full recv: the payload already sits in
+	// its final location; only the immediate value is processed).
+	ImmNotifyCost time.Duration
+
+	// ---- Server request handling ----
+
+	// DispatchCost is the fixed cost to parse a request and route it to a
+	// handler.
+	DispatchCost time.Duration
+	// AllocCost is the cost to allocate a log region, fill object
+	// metadata, update the hash entry, and persist the metadata (PUT
+	// steps 2-3 in Figure 5).
+	AllocCost time.Duration
+	// HashLookupCost is the cost of one hash-table probe.
+	HashLookupCost time.Duration
+	// MetaLayerCost is the extra cost of Forca's intermediate
+	// object-metadata layer: one more allocation + pointer dereference on
+	// the PUT and GET paths (§6.1 credits eFactory's co-located metadata
+	// for its small-value edge over Forca).
+	MetaLayerCost time.Duration
+
+	// ---- Memory / NVM ----
+
+	// CRCPerByte is the CRC-32 computation cost (paper: ~4.4 µs for 4 KB
+	// => ~1.07 ns/B).
+	CRCPerByte float64
+	// CopyPerByte is the cost of copying a received payload from volatile
+	// network buffers into NVMM (the RPC write path). Includes NVM write
+	// amplification; dominant for large values.
+	CopyPerByte float64
+	// FlushPerLine is the CLFLUSH cost per dirty cache line. CLFLUSH
+	// chains serialize (~100-250 ns/line on the paper's Broadwell
+	// generation), which is why flushing a 4 KB object on the server's
+	// critical path is so punishing for IMM and SAW.
+	FlushPerLine time.Duration
+	// FlushCleanPerLine is the cost of flushing an already-clean line
+	// (CLWB of unmodified data).
+	FlushCleanPerLine time.Duration
+	// DrainCost is the SFENCE cost after one or more flushes.
+	DrainCost time.Duration
+	// BGFlushPerLine is the per-line flush cost for the background
+	// verification thread and the log cleaner, which batch CLWBs and
+	// drain once per object instead of issuing serialized CLFLUSHes on a
+	// request's critical path.
+	BGFlushPerLine time.Duration
+
+	// ---- Background / housekeeping ----
+
+	// BGScanStep is the background thread's cost to examine one object
+	// header before deciding to verify, skip, or wait.
+	BGScanStep time.Duration
+	// BGIdlePoll is how long the background thread sleeps when it reaches
+	// the log head with nothing to do.
+	BGIdlePoll time.Duration
+	// VerifyTimeout is how long the server waits for an object's CRC to
+	// match before declaring the write dead and marking the version
+	// invalid (§4.3.2).
+	VerifyTimeout time.Duration
+
+	// CleanMoveCost is the per-object CPU cost of migrating one object
+	// during log cleaning (copy + metadata rewrite), excluding the
+	// per-byte copy charge.
+	CleanMoveCost time.Duration
+}
+
+// Default returns the calibrated parameter set. See the package comment for
+// the calibration targets.
+func Default() Params {
+	return Params{
+		WireDelay:  900 * time.Nanosecond,
+		BytesPerNS: 12.5,
+		PostCost:   150 * time.Nanosecond,
+		JitterFrac: 0.15,
+
+		RecvCost:        420 * time.Nanosecond,
+		RecvCostBatched: 210 * time.Nanosecond,
+		SendCost:        220 * time.Nanosecond,
+		ImmNotifyCost:   300 * time.Nanosecond,
+
+		DispatchCost:   90 * time.Nanosecond,
+		AllocCost:      330 * time.Nanosecond,
+		HashLookupCost: 110 * time.Nanosecond,
+		MetaLayerCost:  160 * time.Nanosecond,
+
+		CRCPerByte:        1.07,
+		CopyPerByte:       0.90,
+		FlushPerLine:      150 * time.Nanosecond,
+		FlushCleanPerLine: 20 * time.Nanosecond,
+		DrainCost:         110 * time.Nanosecond,
+		BGFlushPerLine:    40 * time.Nanosecond,
+
+		BGScanStep:    60 * time.Nanosecond,
+		BGIdlePoll:    3 * time.Microsecond,
+		VerifyTimeout: 500 * time.Microsecond,
+
+		CleanMoveCost: 250 * time.Nanosecond,
+	}
+}
+
+// Serialize returns the time to push n payload bytes onto the wire.
+func (p *Params) Serialize(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.BytesPerNS)
+}
+
+// OneWay returns the one-way delivery latency for a message carrying n
+// payload bytes.
+func (p *Params) OneWay(n int) time.Duration {
+	return p.WireDelay + p.Serialize(n)
+}
+
+// CRCTime returns the CPU time to checksum n bytes.
+func (p *Params) CRCTime(n int) time.Duration {
+	return time.Duration(float64(n) * p.CRCPerByte)
+}
+
+// CopyTime returns the CPU time to copy n bytes into NVMM.
+func (p *Params) CopyTime(n int) time.Duration {
+	return time.Duration(float64(n) * p.CopyPerByte)
+}
+
+// Lines returns how many cache lines cover n bytes starting line-aligned.
+func Lines(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + nvm.LineSize - 1) / nvm.LineSize
+}
+
+// FlushTime returns the CPU time to flush n dirty bytes plus the drain.
+func (p *Params) FlushTime(n int) time.Duration {
+	return time.Duration(Lines(n))*p.FlushPerLine + p.DrainCost
+}
+
+// FlushCleanTime returns the CPU time to flush n already-clean bytes plus
+// the drain (the fast path for re-flushing persisted objects).
+func (p *Params) FlushCleanTime(n int) time.Duration {
+	return time.Duration(Lines(n))*p.FlushCleanPerLine + p.DrainCost
+}
+
+// BGFlushTime returns the background thread's batched flush cost for n
+// bytes.
+func (p *Params) BGFlushTime(n int) time.Duration {
+	return time.Duration(Lines(n))*p.BGFlushPerLine + p.DrainCost
+}

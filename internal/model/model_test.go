@@ -1,0 +1,88 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultIsCalibrated(t *testing.T) {
+	p := Default()
+	// The paper's headline cost: verifying a 4KB object takes ~4.4µs
+	// (Figure 2 discussion, §3).
+	if c := p.CRCTime(4096); c < 4200*time.Nanosecond || c > 4600*time.Nanosecond {
+		t.Errorf("CRCTime(4096) = %v, want ~4.4µs", c)
+	}
+	// One-sided verbs complete in a couple of µs.
+	rtt := p.PostCost + p.OneWay(0) + p.OneWay(64)
+	if rtt < time.Microsecond || rtt > 4*time.Microsecond {
+		t.Errorf("small READ rtt = %v, want 1-4µs", rtt)
+	}
+	// Batched receive must be cheaper than unbatched (the §6.1 edge).
+	if p.RecvCostBatched >= p.RecvCost {
+		t.Error("RecvCostBatched not cheaper than RecvCost")
+	}
+	// Background flushes must be cheaper than critical-path flushes.
+	if p.BGFlushPerLine >= p.FlushPerLine {
+		t.Error("BGFlushPerLine not cheaper than FlushPerLine")
+	}
+}
+
+func TestSerializeBandwidth(t *testing.T) {
+	p := Default()
+	// 100 Gb/s = 12.5 B/ns: 4 KB serializes in ~328 ns.
+	if d := p.Serialize(4096); d < 300*time.Nanosecond || d > 360*time.Nanosecond {
+		t.Errorf("Serialize(4096) = %v", d)
+	}
+	if p.Serialize(0) != 0 || p.Serialize(-5) != 0 {
+		t.Error("non-positive sizes must serialize in zero time")
+	}
+}
+
+func TestOneWayMonotonicInSize(t *testing.T) {
+	p := Default()
+	f := func(a, b uint16) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return p.OneWay(int(a)) <= p.OneWay(int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLines(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 64: 1, 65: 2, 4096: 64, -3: 0}
+	for n, want := range cases {
+		if got := Lines(n); got != want {
+			t.Errorf("Lines(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFlushTimeScalesWithLines(t *testing.T) {
+	p := Default()
+	one := p.FlushTime(64)
+	two := p.FlushTime(128)
+	if two-one != p.FlushPerLine {
+		t.Errorf("flush delta = %v, want %v", two-one, p.FlushPerLine)
+	}
+	// Clean flushes are strictly cheaper than dirty ones.
+	if p.FlushCleanTime(4096) >= p.FlushTime(4096) {
+		t.Error("clean flush not cheaper than dirty flush")
+	}
+	if p.BGFlushTime(4096) >= p.FlushTime(4096) {
+		t.Error("background flush not cheaper than critical-path flush")
+	}
+}
+
+func TestCopyAndCRCScaleLinearly(t *testing.T) {
+	p := Default()
+	if 2*p.CopyTime(1000) != p.CopyTime(2000) {
+		t.Error("CopyTime not linear")
+	}
+	if 2*p.CRCTime(1000) != p.CRCTime(2000) {
+		t.Error("CRCTime not linear")
+	}
+}

@@ -1,0 +1,386 @@
+package nvm
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadCoherent(t *testing.T) {
+	m := New(1024)
+	data := []byte("hello, persistent world")
+	m.Write(100, data)
+	got := make([]byte, len(data))
+	m.Read(100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("coherent read = %q, want %q", got, data)
+	}
+}
+
+func TestUnflushedDataNotPersisted(t *testing.T) {
+	m := New(1024)
+	m.Write(0, []byte("volatile"))
+	got := make([]byte, 8)
+	m.ReadPersisted(0, got)
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("unflushed write reached media: %q", got)
+	}
+}
+
+func TestFlushPersists(t *testing.T) {
+	m := New(1024)
+	data := []byte("durable data crossing a cache line boundary......................")
+	m.Write(40, data) // straddles lines 0..1
+	m.Flush(40, len(data))
+	got := make([]byte, len(data))
+	m.ReadPersisted(40, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("flushed data not on media: %q", got)
+	}
+	if m.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines = %d after full flush", m.DirtyLines())
+	}
+}
+
+func TestPartialFlushOnlyCoversRange(t *testing.T) {
+	m := New(1024)
+	m.Write(0, bytes.Repeat([]byte{0xAA}, 256)) // lines 0-3 dirty
+	m.Flush(0, 64)                              // only line 0
+	if m.DirtyLines() != 3 {
+		t.Fatalf("DirtyLines = %d, want 3", m.DirtyLines())
+	}
+	got := make([]byte, 128)
+	m.ReadPersisted(0, got)
+	if got[0] != 0xAA || got[63] != 0xAA {
+		t.Fatal("line 0 not persisted")
+	}
+	if got[64] != 0 {
+		t.Fatal("line 1 persisted without flush")
+	}
+}
+
+func TestCrashDropsDirtyLines(t *testing.T) {
+	m := New(1024)
+	m.Write(0, []byte("to be lost"))
+	m.Write(512, []byte("to be kept"))
+	m.Flush(512, 10)
+	m.Crash(1, 0) // survival 0: all unflushed lines lost
+	got := make([]byte, 10)
+	m.Read(0, got)
+	if !bytes.Equal(got, make([]byte, 10)) {
+		t.Fatalf("unflushed data survived crash: %q", got)
+	}
+	m.Read(512, got)
+	if string(got) != "to be kept" {
+		t.Fatalf("flushed data lost in crash: %q", got)
+	}
+}
+
+func TestCrashSurvivalOneKeepsEverything(t *testing.T) {
+	m := New(1024)
+	m.Write(128, []byte("evicted before crash"))
+	m.Crash(1, 1)
+	got := make([]byte, 20)
+	m.Read(128, got)
+	if string(got) != "evicted before crash" {
+		t.Fatalf("survival=1 lost data: %q", got)
+	}
+}
+
+func TestCrashPartialIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		m := New(4096)
+		for i := 0; i < 64; i++ {
+			m.Write(i*64, bytes.Repeat([]byte{byte(i + 1)}, 64))
+		}
+		m.Crash(99, 0.5)
+		out := make([]byte, 4096)
+		m.Read(0, out)
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("crash with same seed is nondeterministic")
+	}
+	// And a 0.5 survival rate over 64 lines should keep some, lose some.
+	kept := 0
+	for i := 0; i < 64; i++ {
+		if a[i*64] != 0 {
+			kept++
+		}
+	}
+	if kept == 0 || kept == 64 {
+		t.Fatalf("survival=0.5 kept %d/64 lines; model not partial", kept)
+	}
+}
+
+func TestWrite8Atomicity(t *testing.T) {
+	m := New(128)
+	m.Write8(16, 0xdeadbeefcafef00d)
+	if v := m.Read8(16); v != 0xdeadbeefcafef00d {
+		t.Fatalf("Read8 = %#x", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Write8 did not panic")
+		}
+	}()
+	m.Write8(17, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Write(60, []byte("overflows"))
+}
+
+func TestSizeRoundsUpToLine(t *testing.T) {
+	m := New(100)
+	if m.Size() != 128 {
+		t.Fatalf("Size = %d, want 128", m.Size())
+	}
+}
+
+func TestFlushedLinesCounter(t *testing.T) {
+	m := New(1024)
+	m.Write(0, bytes.Repeat([]byte{1}, 192))
+	m.Flush(0, 192)
+	if m.FlushedLines() != 3 {
+		t.Fatalf("FlushedLines = %d, want 3", m.FlushedLines())
+	}
+	m.Flush(0, 192) // clean lines: no-op
+	if m.FlushedLines() != 3 {
+		t.Fatalf("FlushedLines = %d after redundant flush, want 3", m.FlushedLines())
+	}
+}
+
+// TestPropertyFlushedEqualsCrashView: after an arbitrary sequence of writes
+// where a subset is flushed, a survival-0 crash exposes exactly the flushed
+// state. This is the core invariant every consistency argument rests on.
+func TestPropertyFlushedEqualsCrashView(t *testing.T) {
+	type op struct {
+		Off   uint16
+		Data  []byte
+		Flush bool
+	}
+	f := func(ops []op, seed uint64) bool {
+		const size = 4096
+		m := New(size)
+		shadow := make([]byte, size)   // expected persistent state
+		volatile := make([]byte, size) // expected coherent state
+		for _, o := range ops {
+			if len(o.Data) == 0 {
+				continue
+			}
+			off := int(o.Off) % (size - len(o.Data)%size)
+			if off+len(o.Data) > size {
+				continue
+			}
+			m.Write(off, o.Data)
+			copy(volatile[off:], o.Data)
+			if o.Flush {
+				m.Flush(off, len(o.Data))
+				// Flush persists whole covering lines of the coherent view.
+				first := off / LineSize * LineSize
+				last := (off + len(o.Data) + LineSize - 1) / LineSize * LineSize
+				if last > size {
+					last = size
+				}
+				copy(shadow[first:last], volatile[first:last])
+			}
+		}
+		// Coherent view must match the volatile shadow before crash.
+		got := make([]byte, size)
+		m.Read(0, got)
+		if !bytes.Equal(got, volatile) {
+			return false
+		}
+		m.Crash(seed, 0)
+		m.Read(0, got)
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileBackedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.nvm")
+	d, err := OpenFile(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(100, []byte("persisted across reopen"))
+	d.Flush(100, 23)
+	d.Drain()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFile(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, 23)
+	d2.Read(100, got)
+	if string(got) != "persisted across reopen" {
+		t.Fatalf("reopened contents = %q", got)
+	}
+}
+
+func TestFileBackedUnflushedLostOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.nvm")
+	d, err := OpenFile(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(0, []byte("never flushed"))
+	// Simulate a crash: close the file WITHOUT flushing the overlay.
+	d.f.Close()
+
+	d2, err := OpenFile(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, 13)
+	d2.Read(0, got)
+	if !bytes.Equal(got, make([]byte, 13)) {
+		t.Fatalf("unflushed write survived crash: %q", got)
+	}
+}
+
+func TestFileBackedWrite8(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.nvm")
+	d, err := OpenFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Write8(8, 12345)
+	if v := d.Read8(8); v != 12345 {
+		t.Fatalf("Read8 = %d", v)
+	}
+}
+
+func TestZeroClearsPersistAndOverlay(t *testing.T) {
+	m := New(1024)
+	m.Write(0, bytes.Repeat([]byte{0xFF}, 256))
+	m.Flush(0, 128) // first two lines persisted, next two dirty
+	m.Zero(64, 128) // spans one persisted and one dirty line
+	got := make([]byte, 256)
+	m.Read(0, got)
+	for i := 0; i < 64; i++ {
+		if got[i] != 0xFF {
+			t.Fatalf("byte %d clobbered outside Zero range", i)
+		}
+	}
+	for i := 64; i < 192; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed (coherent view)", i)
+		}
+	}
+	m.ReadPersisted(64, got[:128])
+	for i, b := range got[:128] {
+		if b != 0 {
+			t.Fatalf("persisted byte %d not zeroed", 64+i)
+		}
+	}
+	m.Drain() // no-op, for coverage of the contract
+	m.Zero(0, 0)
+}
+
+func TestFileBackedZeroAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "z.nvm")
+	d, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1024 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	d.Write(0, bytes.Repeat([]byte{7}, 256))
+	d.Flush(0, 128)
+	d.Zero(64, 128)
+	got := make([]byte, 256)
+	d.Read(0, got)
+	for i := 64; i < 192; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	d.Drain()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The zeroed range must be durable across reopen.
+	d2, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	d2.Read(0, got)
+	for i := 64; i < 192; i++ {
+		if got[i] != 0 {
+			t.Fatalf("zeroed byte %d resurrected after reopen", i)
+		}
+	}
+	// Flushed-then-zeroed prefix stays as flushed.
+	for i := 0; i < 64; i++ {
+		if got[i] != 7 {
+			t.Fatalf("byte %d lost (was flushed)", i)
+		}
+	}
+}
+
+func TestFileBackedOutOfRangePanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.nvm")
+	d, err := OpenFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Read(120, make([]byte, 16))
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "x.nvm"), 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nodir", "deep", "x.nvm"), 128); err == nil {
+		t.Fatal("unreachable path accepted")
+	}
+}
+
+func TestOpenFilePreservesLargerExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.nvm")
+	d, err := OpenFile(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(100, []byte("keep"))
+	d.Flush(100, 4)
+	d.Close()
+	// Reopen smaller: existing bytes within the window must be intact.
+	d2, err := OpenFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, 4)
+	d2.Read(100, got)
+	if string(got) != "keep" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO channel between simulated processes. Get
+// blocks the calling process until an item is available; Put never blocks.
+// Items are delivered to getters in FIFO order, and blocked getters are
+// served in FIFO order, so behaviour is deterministic.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	getters []*queueWaiter[T]
+	closed  bool
+}
+
+type queueWaiter[T any] struct {
+	p    *Proc
+	item T
+	ok   bool
+	done bool
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends an item. If a process is blocked in Get, the item is handed
+// to the oldest such process, which is scheduled to resume now.
+func (q *Queue[T]) Put(item T) {
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	for len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		if w.done {
+			continue // timed out earlier
+		}
+		w.item, w.ok, w.done = item, true, true
+		w.p.wake()
+		return
+	}
+	q.items = append(q.items, item)
+}
+
+// Close marks the queue closed: buffered items can still be drained, and
+// blocked or future getters receive ok == false once the buffer is empty.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.getters {
+		if !w.done {
+			w.done = true
+			w.p.wake()
+		}
+	}
+	q.getters = nil
+}
+
+// Get removes and returns the oldest item, blocking p until one exists.
+// ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
+	if len(q.items) > 0 {
+		item = q.items[0]
+		q.items = q.items[1:]
+		return item, true
+	}
+	if q.closed {
+		return item, false
+	}
+	w := &queueWaiter[T]{p: p}
+	q.getters = append(q.getters, w)
+	p.block()
+	return w.item, w.ok
+}
+
+// GetTimeout is Get with a deadline: it reports ok == false if no item
+// arrived within d or the queue closed.
+func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (item T, ok bool) {
+	if len(q.items) > 0 {
+		item = q.items[0]
+		q.items = q.items[1:]
+		return item, true
+	}
+	if q.closed {
+		return item, false
+	}
+	w := &queueWaiter[T]{p: p}
+	q.getters = append(q.getters, w)
+	p.env.After(d, func() {
+		if !w.done {
+			w.done = true
+			p.wake()
+		}
+	})
+	p.block()
+	return w.item, w.ok
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Resource is a counted semaphore with FIFO waiters, used to model
+// contended hardware or software capacity (DMA engines, worker slots,
+// lock-protected structures). Acquire blocks the calling process until a
+// unit is free; Release returns one.
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: Resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire takes one unit, blocking p until one is available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+	// The releaser transferred its unit to us; inUse stays constant.
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle Resource")
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.wake()
+		return // unit transfers to the waiter
+	}
+	r.inUse--
+}
+
+// Use runs fn while holding one unit: a convenience for critical sections.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "time"
+
+// Signal is a one-shot broadcast event. Processes Wait on it; Fire releases
+// all current and future waiters. A fired Signal stays fired.
+//
+// Signals carry an optional value set at Fire time, which is convenient for
+// completion notifications (e.g. an RDMA work completion).
+type Signal struct {
+	env    *Env
+	fired  bool
+	value  any
+	waiter []*signalWaiter
+}
+
+type signalWaiter struct {
+	p    *Proc
+	done bool // woken by either the signal or a timeout
+	out  bool // true if the wait timed out
+}
+
+// NewSignal returns an unfired Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the value passed to Fire, or nil if unfired.
+func (s *Signal) Value() any { return s.value }
+
+// Fire marks the signal fired with the given value and wakes all waiters.
+// Firing an already-fired signal is a no-op (the first value wins).
+func (s *Signal) Fire(value any) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.value = value
+	for _, w := range s.waiter {
+		if !w.done {
+			w.done = true
+			w.p.wake()
+		}
+	}
+	s.waiter = nil
+}
+
+// Wait suspends p until the signal fires. If it already fired, Wait returns
+// immediately. Returns the fire value.
+func (s *Signal) Wait(p *Proc) any {
+	if s.fired {
+		return s.value
+	}
+	w := &signalWaiter{p: p}
+	s.waiter = append(s.waiter, w)
+	p.block()
+	return s.value
+}
+
+// WaitTimeout suspends p until the signal fires or d elapses. It reports
+// true if the signal fired within the window and false on timeout.
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	if s.fired {
+		return true
+	}
+	w := &signalWaiter{p: p}
+	s.waiter = append(s.waiter, w)
+	p.env.After(d, func() {
+		if !w.done {
+			w.done = true
+			w.out = true
+			p.wake()
+		}
+	})
+	p.block()
+	return !w.out
+}

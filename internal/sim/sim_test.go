@@ -1,0 +1,468 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv(1)
+	var woke time.Duration
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(250 * time.Microsecond)
+		woke = p.Now()
+	})
+	env.Run()
+	if woke != 250*time.Microsecond {
+		t.Fatalf("woke at %v, want 250µs", woke)
+	}
+	if env.Now() != 250*time.Microsecond {
+		t.Fatalf("env.Now() = %v, want 250µs", env.Now())
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	env := NewEnv(1)
+	ran := 0
+	env.Go("a", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-time.Second)
+		ran++
+	})
+	env.Run()
+	if ran != 1 {
+		t.Fatal("proc did not finish")
+	}
+	if env.Now() != 0 {
+		t.Fatalf("clock moved to %v for zero sleeps", env.Now())
+	}
+}
+
+func TestEventOrderingFIFOAtSameTime(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			p.Sleep(time.Microsecond) // all wake at the same instant
+			order = append(order, name)
+		})
+	}
+	env.Run()
+	got := fmt.Sprint(order)
+	if got != "[a b c d]" {
+		t.Fatalf("same-time events out of spawn order: %v", got)
+	}
+}
+
+func TestInterleavingByTime(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	env.Go("slow", func(p *Proc) {
+		p.Sleep(30)
+		order = append(order, 30)
+	})
+	env.Go("fast", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, 10)
+		p.Sleep(40) // wakes at 50
+		order = append(order, 50)
+	})
+	env.Go("mid", func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, 20)
+	})
+	env.Run()
+	want := "[10 20 30 50]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	env.Go("late", func(p *Proc) {
+		p.Sleep(time.Second)
+		fired = true
+	})
+	env.RunUntil(100 * time.Millisecond)
+	if fired {
+		t.Fatal("event past the horizon fired")
+	}
+	if env.Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v, want 100ms", env.Now())
+	}
+	env.Run()
+	if !fired {
+		t.Fatal("event did not fire after resuming Run")
+	}
+}
+
+func TestSignalBroadcastAndValue(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	got := make([]any, 0, 3)
+	for i := 0; i < 3; i++ {
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			got = append(got, sig.Wait(p))
+		})
+	}
+	env.Go("firer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		sig.Fire("done")
+	})
+	env.Run()
+	if len(got) != 3 {
+		t.Fatalf("only %d waiters woke", len(got))
+	}
+	for _, v := range got {
+		if v != "done" {
+			t.Fatalf("waiter got %v", v)
+		}
+	}
+	// A late waiter on a fired signal returns immediately.
+	env.Go("late", func(p *Proc) {
+		if v := sig.Wait(p); v != "done" {
+			t.Errorf("late waiter got %v", v)
+		}
+	})
+	env.Run()
+}
+
+func TestSignalRefireIsNoop(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	sig.Fire(1)
+	sig.Fire(2)
+	if sig.Value() != 1 {
+		t.Fatalf("value = %v, want first fire to win", sig.Value())
+	}
+}
+
+func TestSignalWaitTimeout(t *testing.T) {
+	env := NewEnv(1)
+	slow := NewSignal(env)
+	fast := NewSignal(env)
+	var slowOK, fastOK bool
+	env.Go("waiter", func(p *Proc) {
+		fastOK = fast.WaitTimeout(p, 10*time.Millisecond)
+		slowOK = slow.WaitTimeout(p, 10*time.Millisecond)
+	})
+	env.Go("firer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		fast.Fire(nil)
+		p.Sleep(100 * time.Millisecond)
+		slow.Fire(nil)
+	})
+	env.Run()
+	if !fastOK {
+		t.Error("fast signal reported timeout")
+	}
+	if slowOK {
+		t.Error("slow signal did not report timeout")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env)
+	var got []int
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(i)
+			p.Sleep(time.Microsecond)
+		}
+		q.Close()
+	})
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	env.Run()
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueMultipleGettersServedInOrder(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env)
+	var order []string
+	for _, name := range []string{"g1", "g2", "g3"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			v, ok := q.Get(p)
+			if ok {
+				order = append(order, fmt.Sprintf("%s=%d", name, v))
+			}
+		})
+	}
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Put(1)
+		q.Put(2)
+		q.Put(3)
+	})
+	env.Run()
+	if got := fmt.Sprint(order); got != "[g1=1 g2=2 g3=3]" {
+		t.Fatalf("getters served out of order: %v", got)
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env)
+	var firstOK, secondOK bool
+	var second int
+	env.Go("consumer", func(p *Proc) {
+		_, firstOK = q.GetTimeout(p, time.Millisecond)
+		second, secondOK = q.GetTimeout(p, time.Second)
+	})
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		q.Put(42)
+	})
+	env.Run()
+	if firstOK {
+		t.Error("first GetTimeout should have timed out")
+	}
+	if !secondOK || second != 42 {
+		t.Errorf("second GetTimeout = (%d, %v), want (42, true)", second, secondOK)
+	}
+}
+
+func TestQueueCloseReleasesBlockedGetters(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env)
+	released := 0
+	for i := 0; i < 2; i++ {
+		env.Go("g", func(p *Proc) {
+			if _, ok := q.Get(p); !ok {
+				released++
+			}
+		})
+	}
+	env.Go("closer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Close()
+	})
+	env.Run()
+	if released != 2 {
+		t.Fatalf("released = %d, want 2", released)
+	}
+	if env.Blocked() != 0 {
+		t.Fatalf("Blocked() = %d after close", env.Blocked())
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[string](env)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put("x")
+	v, ok := q.TryGet()
+	if !ok || v != "x" {
+		t.Fatalf("TryGet = (%q, %v)", v, ok)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	env := NewEnv(1)
+	res := NewResource(2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		env.Go("worker", func(p *Proc) {
+			res.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(time.Millisecond)
+			inside--
+			res.Release()
+		})
+	}
+	env.Run()
+	if maxInside != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxInside)
+	}
+	if res.InUse() != 0 {
+		t.Fatalf("InUse = %d after all released", res.InUse())
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	env := NewEnv(1)
+	res := NewResource(1)
+	ran := false
+	env.Go("u", func(p *Proc) {
+		res.Use(p, func() {
+			if res.InUse() != 1 {
+				t.Error("unit not held inside Use")
+			}
+			ran = true
+		})
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("Use body did not run")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(1).Release()
+}
+
+func TestBlockedCountsDeadlockedProcs(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	env.Go("stuck", func(p *Proc) { sig.Wait(p) })
+	env.Run()
+	if env.Blocked() != 1 {
+		t.Fatalf("Blocked() = %d, want 1", env.Blocked())
+	}
+	if env.Live() != 1 {
+		t.Fatalf("Live() = %d, want 1", env.Live())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	env := NewEnv(1)
+	depth := 0
+	var spawn func(p *Proc)
+	spawn = func(p *Proc) {
+		depth++
+		if depth < 5 {
+			p.Env().Go("child", spawn)
+		}
+	}
+	env.Go("root", spawn)
+	env.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+}
+
+// trace runs a fixed mini-simulation and returns an execution trace, used to
+// check determinism across runs.
+func trace(seed uint64) string {
+	env := NewEnv(seed)
+	q := NewQueue[int](env)
+	out := ""
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 4; j++ {
+				d := time.Duration(env.Rand().IntN(1000)) * time.Microsecond
+				p.Sleep(d)
+				q.Put(i*10 + j)
+			}
+		})
+	}
+	env.Go("drain", func(p *Proc) {
+		for k := 0; k < 12; k++ {
+			v, _ := q.Get(p)
+			out += fmt.Sprintf("%d@%d ", v, p.Now().Microseconds())
+		}
+	})
+	env.Run()
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	a := trace(42)
+	for i := 0; i < 5; i++ {
+		if b := trace(42); b != a {
+			t.Fatalf("same seed produced different trace:\n%s\n%s", a, b)
+		}
+	}
+	if b := trace(43); b == a {
+		t.Fatal("different seeds produced identical randomized trace")
+	}
+}
+
+func TestPropertyClockMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		env := NewEnv(7)
+		last := time.Duration(-1)
+		mono := true
+		env.Go("p", func(p *Proc) {
+			for _, d := range delays {
+				p.Sleep(time.Duration(d) * time.Nanosecond)
+				if p.Now() < last {
+					mono = false
+				}
+				last = p.Now()
+			}
+		})
+		env.Run()
+		return mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQueuePreservesAllItems(t *testing.T) {
+	f := func(items []int16) bool {
+		env := NewEnv(3)
+		q := NewQueue[int16](env)
+		var got []int16
+		env.Go("prod", func(p *Proc) {
+			for _, it := range items {
+				q.Put(it)
+				p.Sleep(time.Duration(it&7) * time.Nanosecond)
+			}
+			q.Close()
+		})
+		env.Go("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		env.Run()
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterCallbackOrdering(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	env.After(20*time.Nanosecond, func() { order = append(order, 2) })
+	env.After(10*time.Nanosecond, func() { order = append(order, 1) })
+	env.After(30*time.Nanosecond, func() { order = append(order, 3) })
+	env.Run()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order %v", order)
+	}
+}

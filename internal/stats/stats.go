@@ -1,0 +1,86 @@
+// Package stats provides the small latency/throughput accounting used by
+// the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Recorder accumulates per-operation latencies.
+type Recorder struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Merge folds other's samples into r.
+func (r *Recorder) Merge(other *Recorder) {
+	r.samples = append(r.samples, other.samples...)
+	r.sorted = false
+}
+
+func (r *Recorder) sortSamples() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100).
+func (r *Recorder) Percentile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortSamples()
+	idx := int(q / 100 * float64(len(r.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.samples) {
+		idx = len(r.samples) - 1
+	}
+	return r.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (r *Recorder) Median() time.Duration { return r.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (r *Recorder) P99() time.Duration { return r.Percentile(99) }
+
+// Mean returns the arithmetic mean.
+func (r *Recorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Mops converts an operation count over a duration into millions of
+// operations per second.
+func Mops(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds() / 1e6
+}
+
+// FmtDur renders a duration in microseconds with two decimals, the unit
+// the paper's figures use.
+func FmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1000.0)
+}

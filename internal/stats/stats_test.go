@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if m := r.Median(); m < 49*time.Microsecond || m > 51*time.Microsecond {
+		t.Fatalf("median = %v", m)
+	}
+	if p := r.Percentile(99); p < 98*time.Microsecond || p > 100*time.Microsecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if r.Percentile(100) != 100*time.Microsecond {
+		t.Fatalf("p100 = %v", r.Percentile(100))
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	var r Recorder
+	if r.Median() != 0 || r.Mean() != 0 || r.Count() != 0 {
+		t.Fatal("empty recorder not zero-valued")
+	}
+}
+
+func TestMeanAndMerge(t *testing.T) {
+	var a, b Recorder
+	a.Record(10 * time.Microsecond)
+	a.Record(20 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Mean() != 20*time.Microsecond {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+}
+
+func TestRecordAfterPercentileStaysSorted(t *testing.T) {
+	var r Recorder
+	r.Record(30 * time.Microsecond)
+	r.Record(10 * time.Microsecond)
+	_ = r.Median()
+	r.Record(20 * time.Microsecond)
+	if r.Median() != 20*time.Microsecond {
+		t.Fatalf("median = %v", r.Median())
+	}
+}
+
+func TestMops(t *testing.T) {
+	if m := Mops(1_000_000, time.Second); m != 1.0 {
+		t.Fatalf("Mops = %f", m)
+	}
+	if Mops(5, 0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	if s := FmtDur(1500 * time.Nanosecond); s != "1.50" {
+		t.Fatalf("FmtDur = %q", s)
+	}
+}

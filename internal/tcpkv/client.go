@@ -1,0 +1,286 @@
+package tcpkv
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/wire"
+)
+
+// ErrNotFound is returned by Get/Delete for absent keys.
+var ErrNotFound = errors.New("tcpkv: key not found")
+
+// ErrServerFull is returned by Put when the pool is exhausted.
+var ErrServerFull = errors.New("tcpkv: server pool full")
+
+// Client is a TCP-mode eFactory client implementing the client-active
+// write scheme and the hybrid read scheme over two connections: an RPC
+// channel and a one-sided channel.
+type Client struct {
+	mu      sync.Mutex // operations are serialized per client, like a QP
+	rpcConn net.Conn
+	osConn  net.Conn
+
+	tableRKey    uint32
+	poolRKeyBase uint32 // pool i is addressed as poolRKeyBase + i
+	buckets      int
+
+	// Hybrid disabled => every GET is an RPC (for comparison runs).
+	hybrid bool
+
+	// PureReads / FallbackReads / RPCReads mirror the simulation client's
+	// path counters.
+	PureReads     int
+	FallbackReads int
+	RPCReads      int
+}
+
+// Dial connects to a tcpkv server and performs the geometry handshake.
+func Dial(addr string) (*Client, error) {
+	rpcConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rpcConn.Write([]byte{chanRPC}); err != nil {
+		rpcConn.Close()
+		return nil, err
+	}
+	osConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		rpcConn.Close()
+		return nil, err
+	}
+	if _, err := osConn.Write([]byte{chanOneSided}); err != nil {
+		rpcConn.Close()
+		osConn.Close()
+		return nil, err
+	}
+	c := &Client{rpcConn: rpcConn, osConn: osConn, hybrid: true}
+	resp, err := c.rpc(wire.Msg{Type: wire.THello})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpkv: handshake: %w", err)
+	}
+	c.tableRKey = resp.RKey
+	c.poolRKeyBase = resp.Token
+	c.buckets = int(resp.Len)
+	if c.buckets <= 0 {
+		c.Close()
+		return nil, errors.New("tcpkv: bad handshake geometry")
+	}
+	return c, nil
+}
+
+// Close tears both connections down.
+func (c *Client) Close() error {
+	err1 := c.rpcConn.Close()
+	err2 := c.osConn.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SetHybridRead toggles the hybrid read scheme.
+func (c *Client) SetHybridRead(on bool) { c.hybrid = on }
+
+// rpc performs one request/response on the RPC channel.
+func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
+	if err := writeFrame(c.rpcConn, req.Encode()); err != nil {
+		return wire.Msg{}, err
+	}
+	raw, err := readFrame(c.rpcConn)
+	if err != nil {
+		return wire.Msg{}, err
+	}
+	return wire.Decode(raw)
+}
+
+// read performs a one-sided READ of length bytes at (rkey, off).
+func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
+	frame := make([]byte, 17)
+	frame[0] = opRead
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	binary.BigEndian.PutUint64(frame[5:], off)
+	binary.BigEndian.PutUint32(frame[13:], uint32(length))
+	if err := writeFrame(c.osConn, frame); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.osConn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 || resp[0] != 1 {
+		return nil, errors.New("tcpkv: one-sided read NAK")
+	}
+	return resp[1:], nil
+}
+
+// write performs a one-sided WRITE of data at (rkey, off).
+func (c *Client) write(rkey uint32, off uint64, data []byte) error {
+	frame := make([]byte, 17+len(data))
+	frame[0] = opWrite
+	binary.BigEndian.PutUint32(frame[1:], rkey)
+	binary.BigEndian.PutUint64(frame[5:], off)
+	binary.BigEndian.PutUint32(frame[13:], uint32(len(data)))
+	copy(frame[17:], data)
+	if err := writeFrame(c.osConn, frame); err != nil {
+		return err
+	}
+	resp, err := readFrame(c.osConn)
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != 1 {
+		return errors.New("tcpkv: one-sided write NAK")
+	}
+	return nil
+}
+
+// Put stores value under key: checksum, allocation RPC, one-sided value
+// write — no durability round trip (asynchronous durability).
+func (c *Client) Put(key, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum := crc.Checksum(value)
+	resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StOK:
+	case wire.StFull:
+		return ErrServerFull
+	default:
+		return fmt.Errorf("tcpkv: put status %d", resp.Status)
+	}
+	return c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
+}
+
+// Get fetches key's value with the hybrid read scheme.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hybrid {
+		val, ok, err := c.pureRead(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			c.PureReads++
+			return val, nil
+		}
+		c.FallbackReads++
+	} else {
+		c.RPCReads++
+	}
+	return c.rpcRead(key)
+}
+
+// pureRead is the optimistic one-sided path; ok is false on fallback.
+func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
+	keyHash := kv.HashKey(key)
+	idx := int(keyHash % uint64(c.buckets))
+	var entry kv.Entry
+	found := false
+	for probe := 0; probe < 4; probe++ {
+		bucket := (idx + probe) % c.buckets
+		raw, err := c.read(c.tableRKey, uint64(bucket*kv.EntrySize), kv.EntrySize)
+		if err != nil {
+			return nil, false, err
+		}
+		e := kv.DecodeEntry(raw)
+		if e.KeyHash == 0 {
+			return nil, false, ErrNotFound
+		}
+		if e.Free() {
+			continue
+		}
+		if e.KeyHash == keyHash {
+			entry, found = e, true
+			break
+		}
+	}
+	if !found || entry.Tombstone() || entry.Current() == 0 {
+		return nil, false, nil
+	}
+	off, totalLen, _ := kv.UnpackLoc(entry.Current())
+	obj, err := c.read(c.poolRKeyBase+uint32(entry.Mark()&1), off, totalLen)
+	if err != nil {
+		return nil, false, err
+	}
+	h := kv.DecodeHeader(obj)
+	if h.Magic != kv.Magic || !h.Valid() || !h.Durable() {
+		return nil, false, nil
+	}
+	if h.KLen != len(key) || string(obj[kv.KeyOffset():kv.KeyOffset()+h.KLen]) != string(key) {
+		return nil, false, nil
+	}
+	vo := kv.ValueOffset(h.KLen)
+	if vo+h.VLen > len(obj) {
+		return nil, false, nil
+	}
+	return append([]byte(nil), obj[vo:vo+h.VLen]...), true, nil
+}
+
+// rpcRead is the RPC+one-sided fallback.
+func (c *Client) rpcRead(key []byte) ([]byte, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == wire.StNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("tcpkv: get status %d", resp.Status)
+	}
+	obj, err := c.read(resp.RKey, resp.Off, int(resp.Len))
+	if err != nil {
+		return nil, err
+	}
+	h := kv.DecodeHeader(obj)
+	vo := kv.ValueOffset(h.KLen)
+	if h.Magic != kv.Magic || vo+h.VLen > len(obj) {
+		return nil, errors.New("tcpkv: corrupt object from server")
+	}
+	return append([]byte(nil), obj[vo:vo+h.VLen]...), nil
+}
+
+// ServerStats fetches the server's counters.
+func (c *Client) ServerStats() (Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.rpc(wire.Msg{Type: wire.TStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Status != wire.StOK {
+		return Stats{}, fmt.Errorf("tcpkv: stats status %d", resp.Status)
+	}
+	var st Stats
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		return Stats{}, fmt.Errorf("tcpkv: stats decode: %w", err)
+	}
+	return st, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StNotFound {
+		return ErrNotFound
+	}
+	return nil
+}

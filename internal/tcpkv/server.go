@@ -1,0 +1,906 @@
+// Package tcpkv runs the eFactory protocol over real TCP, giving the
+// library a deployable network mode (cmd/efactory-server and
+// cmd/efactory-cli). It reuses the storage substrate — the nvm device
+// model, the on-NVM object layout and hash table, the wire protocol and
+// the CRC — and emulates RDMA semantics faithfully:
+//
+//   - One-sided READ/WRITE frames are served by a dedicated engine
+//     goroutine per connection that touches the device directly, never the
+//     request loop — like an RNIC bypassing the host CPU. Racing reads can
+//     observe torn objects, exactly as over real RDMA; the durability flag
+//     and CRC machinery handle it.
+//   - PUT acknowledges before durability (client-active scheme with
+//     asynchronous durability); a background goroutine verifies and
+//     persists, setting the durability flag.
+//   - GET uses the hybrid read scheme: one-sided entry + object reads,
+//     falling back to an RPC when the fetched object is not durable.
+//   - Log cleaning (§4.4) runs the two-stage compress/merge protocol over
+//     two data pools, triggered by a free-space threshold.
+//
+// Unlike the simulation transport, clients are not push-notified when
+// cleaning starts. They do not need to be for safety: a stale one-sided
+// read can only land in (a) the old pool, whose objects stay intact until
+// the NEXT cleaning recycles that region — at which point the zeroed bytes
+// fail the Magic/durability checks and the client falls back to the RPC
+// path — or (b) a reclaimed entry, which also falls back. Responses still
+// carry wire.NoteCleaning so RPC-active clients can bias toward the server
+// path during cleaning.
+//
+// Backed by an nvm.FileBacked device the store survives process restarts:
+// on startup the server recovers by walking version lists and restoring
+// the newest intact version of every key, as efactory.Recover does in
+// simulation mode.
+package tcpkv
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+	"efactory/internal/wire"
+)
+
+// Channel bytes sent as the first byte of each TCP connection.
+const (
+	chanRPC      = 0x01
+	chanOneSided = 0x02
+)
+
+// One-sided opcodes.
+const (
+	opRead  = 0x01
+	opWrite = 0x02
+)
+
+// Region keys: the hash table plus one rkey per data pool. Clients address
+// pool i as rkeyPoolBase + i, matching the entry mark bit.
+const (
+	rkeyTable    = 1
+	rkeyPoolBase = 2
+)
+
+// Config sizes a TCP server.
+type Config struct {
+	Buckets  int
+	PoolSize int // capacity of EACH of the two data pools
+	// VerifyTimeout bounds how long an incomplete write may stay pending
+	// before being invalidated.
+	VerifyTimeout time.Duration
+	// BGInterval is the background verifier's idle poll period.
+	BGInterval time.Duration
+	// CleanThreshold triggers log cleaning when the working pool's free
+	// fraction drops below it. Zero disables automatic cleaning.
+	CleanThreshold float64
+}
+
+// DefaultConfig returns a small, usable configuration.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:        16384,
+		PoolSize:       64 << 20,
+		VerifyTimeout:  50 * time.Millisecond,
+		BGInterval:     200 * time.Microsecond,
+		CleanThreshold: 0.15,
+	}
+}
+
+// DeviceSize returns the device capacity cfg requires.
+func (c Config) DeviceSize() int {
+	tb := (kv.TableBytes(c.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	return tb + 2*c.PoolSize
+}
+
+// Stats counts server events (updated under mu).
+type Stats struct {
+	Puts          int
+	Gets          int
+	Dels          int
+	BGVerified    int
+	BGInvalidated int
+	Recovered     int
+	RolledBack    int
+	Cleanings     int
+	CleanMoved    int
+	CleanDropped  int
+}
+
+// Server is a TCP-mode eFactory server.
+type Server struct {
+	cfg   Config
+	dev   nvm.Device
+	table *kv.Table
+	pools [2]*kv.Pool
+
+	mu       sync.Mutex // guards all metadata below
+	cur      int        // current working pool
+	mark     int        // mark bit entries carry outside cleaning (== cur)
+	cleaning bool
+	merging  bool
+	seq      uint64
+	bgPos    [2]int
+	stats    Stats
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	ln        net.Listener
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+}
+
+// NewServer builds a server over dev, recovering any existing state (a
+// reopened file-backed device). The caller owns dev's lifetime.
+func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
+	if cfg.Buckets <= 0 || cfg.PoolSize <= 0 {
+		return nil, errors.New("tcpkv: invalid config")
+	}
+	if cfg.VerifyTimeout == 0 {
+		cfg.VerifyTimeout = DefaultConfig().VerifyTimeout
+	}
+	if cfg.BGInterval == 0 {
+		cfg.BGInterval = DefaultConfig().BGInterval
+	}
+	if dev.Size() < cfg.DeviceSize() {
+		return nil, fmt.Errorf("tcpkv: device %d B smaller than config needs (%d B)", dev.Size(), cfg.DeviceSize())
+	}
+	tb := (kv.TableBytes(cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	s := &Server{
+		cfg:     cfg,
+		dev:     dev,
+		table:   kv.NewTable(dev, 0, cfg.Buckets),
+		closing: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < 2; i++ {
+		s.pools[i] = kv.NewPool(dev, tb+i*cfg.PoolSize, cfg.PoolSize)
+	}
+	s.recover()
+	s.wg.Add(1)
+	go s.background()
+	return s, nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Cleaning reports whether log cleaning is in progress.
+func (s *Server) Cleaning() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cleaning
+}
+
+// recover rebuilds consistent state from the device (see package comment):
+// resolve each entry to its newest intact version via its own mark bit and
+// version list, then re-materialize everything into a fresh pool 0.
+func (s *Server) recover() {
+	maxSeq := uint64(0)
+	empty := true
+	for pi := 0; pi < 2; pi++ {
+		head := 0
+		s.pools[pi].ScanPersisted(func(off uint64, h kv.Header) bool {
+			head = int(off) + kv.ObjectSize(h.KLen, h.VLen)
+			if h.Seq > maxSeq {
+				maxSeq = h.Seq
+			}
+			return true
+		})
+		s.pools[pi].SetHead(head)
+		if head > 0 {
+			empty = false
+		}
+	}
+	if empty {
+		return // fresh device
+	}
+	type survivor struct {
+		key []byte
+		val []byte
+		h   kv.Header
+	}
+	var live []survivor
+	s.table.RangeAll(func(i int, e kv.Entry) bool {
+		if e.Tombstone() {
+			return true
+		}
+		slot := e.Mark()
+		loc := e.Loc[slot]
+		if loc == 0 {
+			slot = 1 - slot
+			loc = e.Loc[slot]
+		}
+		if loc == 0 {
+			return true
+		}
+		pi := slot
+		off, totalLen, _ := kv.UnpackLoc(loc)
+		rolled := false
+		for {
+			if int(off)+totalLen > s.pools[pi].Cap() {
+				return true
+			}
+			h := s.pools[pi].Header(off)
+			if h.Magic == kv.Magic && h.Valid() && h.KLen > 0 &&
+				kv.ObjectSize(h.KLen, h.VLen) == totalLen {
+				key := make([]byte, h.KLen)
+				base := s.pools[pi].Base() + int(off)
+				s.dev.Read(base+kv.KeyOffset(), key)
+				val := s.pools[pi].ReadValue(off, h.KLen, h.VLen)
+				if crc.Checksum(val) == h.CRC {
+					live = append(live, survivor{key: key, val: val, h: h})
+					s.stats.Recovered++
+					if rolled {
+						s.stats.RolledBack++
+					}
+					return true
+				}
+			}
+			rolled = true
+			if h.Magic != kv.Magic {
+				return true
+			}
+			var ok bool
+			pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
+			if !ok {
+				return true
+			}
+		}
+	})
+	// Re-materialize into a canonical state.
+	tb := (kv.TableBytes(s.cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	s.dev.Zero(0, tb)
+	for pi := 0; pi < 2; pi++ {
+		s.dev.Zero(s.pools[pi].Base(), s.cfg.PoolSize)
+		s.pools[pi] = kv.NewPool(s.dev, s.pools[pi].Base(), s.cfg.PoolSize)
+	}
+	for _, sv := range live {
+		h := kv.Header{
+			PrePtr:    kv.NilPtr,
+			NextPtr:   kv.NilPtr,
+			Seq:       sv.h.Seq,
+			CreatedAt: sv.h.CreatedAt,
+			CRC:       sv.h.CRC,
+			VLen:      sv.h.VLen,
+			Flags:     kv.FlagValid | kv.FlagDurable,
+		}
+		off, ok := s.pools[0].AppendObject(&h, sv.key)
+		if !ok {
+			panic("tcpkv: recovery pool overflow")
+		}
+		s.pools[0].WriteValue(off, len(sv.key), sv.val)
+		s.pools[0].FlushObject(off, len(sv.key), sv.h.VLen)
+		idx, _, ok := s.table.FindSlot(kv.HashKey(sv.key))
+		if !ok {
+			panic("tcpkv: recovery table overflow")
+		}
+		s.table.Publish(idx, kv.PackLoc(off, kv.ObjectSize(len(sv.key), sv.h.VLen)))
+	}
+	s.bgPos[0] = s.pools[0].Used()
+	s.seq = maxSeq
+	s.pools[0].SetSeq(maxSeq)
+	s.pools[1].SetSeq(maxSeq)
+	s.dev.Drain()
+}
+
+// Serve accepts and serves connections until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops the server, disconnects every client, and waits for its
+// goroutines. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	var kind [1]byte
+	if _, err := io.ReadFull(conn, kind[:]); err != nil {
+		return
+	}
+	switch kind[0] {
+	case chanRPC:
+		s.serveRPC(conn)
+	case chanOneSided:
+		s.serveOneSided(conn)
+	}
+}
+
+// writeFrame sends one length-prefixed frame with a single Write so the
+// header and payload share a TCP segment.
+func writeFrame(conn net.Conn, payload []byte) error {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readFrame receives one length-prefixed frame.
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("tcpkv: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// serveRPC is the two-sided channel: the request-processing loop.
+func (s *Server) serveRPC(conn net.Conn) {
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := wire.Decode(raw)
+		if err != nil {
+			return
+		}
+		resp := s.handle(m)
+		if s.Cleaning() {
+			resp.Note |= wire.NoteCleaning
+		}
+		if err := writeFrame(conn, resp.Encode()); err != nil {
+			return
+		}
+	}
+}
+
+// serveOneSided is the RNIC-emulation channel: READ/WRITE frames touch the
+// device directly, bypassing the request loop.
+func (s *Server) serveOneSided(conn net.Conn) {
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(raw) < 17 {
+			return
+		}
+		op := raw[0]
+		rkey := binary.BigEndian.Uint32(raw[1:])
+		off := int(binary.BigEndian.Uint64(raw[5:]))
+		length := int(binary.BigEndian.Uint32(raw[13:]))
+		base, size, ok := s.region(rkey)
+		if !ok || off < 0 || length < 0 || off+length > size {
+			writeFrame(conn, []byte{0}) // NAK
+			continue
+		}
+		switch op {
+		case opRead:
+			out := make([]byte, 1+length)
+			out[0] = 1
+			s.dev.Read(base+off, out[1:])
+			if err := writeFrame(conn, out); err != nil {
+				return
+			}
+		case opWrite:
+			data := raw[17:]
+			if len(data) != length {
+				writeFrame(conn, []byte{0})
+				continue
+			}
+			s.dev.Write(base+off, data)
+			if err := writeFrame(conn, []byte{1}); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// region resolves an rkey to a device window.
+func (s *Server) region(rkey uint32) (base, size int, ok bool) {
+	tb := (kv.TableBytes(s.cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	switch rkey {
+	case rkeyTable:
+		return 0, tb, true
+	case rkeyPoolBase:
+		return tb, s.cfg.PoolSize, true
+	case rkeyPoolBase + 1:
+		return tb + s.cfg.PoolSize, s.cfg.PoolSize, true
+	}
+	return 0, 0, false
+}
+
+// handle processes one RPC.
+func (s *Server) handle(m wire.Msg) wire.Msg {
+	switch m.Type {
+	case wire.THello:
+		return wire.Msg{
+			Type: wire.THelloResp, Status: wire.StOK,
+			RKey: rkeyTable, Token: rkeyPoolBase, Len: uint64(s.cfg.Buckets),
+		}
+	case wire.TPut:
+		return s.handlePut(m)
+	case wire.TGet:
+		return s.handleGet(m)
+	case wire.TDel:
+		return s.handleDel(m)
+	case wire.TStats:
+		blob, err := json.Marshal(s.Stats())
+		if err != nil {
+			return wire.Msg{Type: wire.TStatsResp, Status: wire.StError}
+		}
+		return wire.Msg{Type: wire.TStatsResp, Status: wire.StOK, Value: blob}
+	}
+	return wire.Msg{Type: m.Type + 1, Status: wire.StError}
+}
+
+// writePool returns the index and pool new allocations target (callers
+// hold mu).
+func (s *Server) writePool() (int, *kv.Pool) {
+	if s.merging {
+		return 1 - s.cur, s.pools[1-s.cur]
+	}
+	return s.cur, s.pools[s.cur]
+}
+
+// slotFor maps a pool index to the entry location slot publishing it
+// (callers hold mu).
+func (s *Server) slotFor(pi int) int {
+	if pi == s.cur {
+		return s.mark
+	}
+	return 1 - s.mark
+}
+
+func (s *Server) handlePut(m wire.Msg) wire.Msg {
+	s.mu.Lock()
+	s.stats.Puts++
+	pi, pool := s.writePool()
+	size := kv.ObjectSize(len(m.Key), int(m.Len))
+
+	if s.cfg.CleanThreshold > 0 && !s.cleaning &&
+		float64(pool.Free()-size) < s.cfg.CleanThreshold*float64(pool.Cap()) {
+		s.cleaning = true
+		s.wg.Add(1)
+		go s.cleaner()
+	}
+
+	keyHash := kv.HashKey(m.Key)
+	idx, existed, ok := s.table.FindSlot(keyHash)
+	if !ok {
+		s.mu.Unlock()
+		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
+	}
+	if !existed && s.mark == 1 {
+		s.table.SetMark(idx, s.mark)
+	}
+	e := s.table.Entry(idx)
+	pre := kv.NilPtr
+	slot := s.slotFor(pi)
+	if loc := e.Loc[slot]; loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		pre = kv.PackVPtr(pi, off, l)
+	} else if loc := e.Loc[1-slot]; loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		pre = kv.PackVPtr(s.poolOfSlot(1-slot), off, l)
+	}
+	s.seq++
+	h := kv.Header{
+		PrePtr:    pre,
+		NextPtr:   kv.NilPtr,
+		Seq:       s.seq,
+		CreatedAt: uint64(time.Now().UnixNano()),
+		CRC:       m.Crc,
+		VLen:      int(m.Len),
+		Flags:     kv.FlagValid,
+	}
+	off, allocOK := pool.AppendObject(&h, m.Key)
+	if !allocOK {
+		s.mu.Unlock()
+		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
+	}
+	if e.Tombstone() {
+		s.table.Undelete(idx)
+	}
+	s.table.SetLoc(idx, slot, kv.PackLoc(off, size))
+	if prePool, preOff, _, ok := kv.UnpackVPtr(pre); ok {
+		s.pools[prePool].SetNextPtr(preOff, kv.PackVPtr(pi, off, size))
+	}
+	s.mu.Unlock()
+	return wire.Msg{
+		Type: wire.TPutResp, Status: wire.StOK,
+		RKey: rkeyPoolBase + uint32(pi), Off: off, Len: uint64(size),
+	}
+}
+
+// poolOfSlot maps an entry location slot back to its pool (callers hold mu).
+func (s *Server) poolOfSlot(slot int) int {
+	if slot == s.mark {
+		return s.cur
+	}
+	return 1 - s.cur
+}
+
+func (s *Server) handleGet(m wire.Msg) wire.Msg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	_, e, found := s.table.Lookup(kv.HashKey(m.Key))
+	if !found || e.Tombstone() {
+		return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
+	}
+	// Prefer the staged (new-pool) location during cleaning.
+	var pi int
+	var off uint64
+	var totalLen int
+	if loc := e.Other(); loc != 0 {
+		off, totalLen, _ = kv.UnpackLoc(loc)
+		pi = s.poolOfSlot(1 - e.Mark())
+	} else if loc := e.Current(); loc != 0 {
+		off, totalLen, _ = kv.UnpackLoc(loc)
+		pi = s.poolOfSlot(e.Mark())
+	} else {
+		return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
+	}
+	for {
+		pool := s.pools[pi]
+		h := pool.Header(off)
+		if h.Magic != kv.Magic {
+			break
+		}
+		if h.Valid() {
+			if h.Durable() {
+				return s.locResp(pi, off, totalLen, h.KLen)
+			}
+			val := pool.ReadValue(off, h.KLen, h.VLen)
+			if crc.Checksum(val) == h.CRC {
+				pool.FlushObject(off, h.KLen, h.VLen)
+				pool.SetFlags(off, h.Flags|kv.FlagDurable)
+				return s.locResp(pi, off, totalLen, h.KLen)
+			}
+			if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
+				pool.SetFlags(off, h.Flags&^kv.FlagValid)
+				s.stats.BGInvalidated++
+			}
+		}
+		var ok bool
+		pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
+		if !ok {
+			break
+		}
+	}
+	return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
+}
+
+func (s *Server) locResp(pi int, off uint64, totalLen, klen int) wire.Msg {
+	return wire.Msg{
+		Type: wire.TGetResp, Status: wire.StOK,
+		RKey: rkeyPoolBase + uint32(pi), Off: off, Len: uint64(totalLen), KLen: uint32(klen),
+	}
+}
+
+func (s *Server) handleDel(m wire.Msg) wire.Msg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Dels++
+	idx, e, found := s.table.Lookup(kv.HashKey(m.Key))
+	if !found || e.Tombstone() {
+		return wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound}
+	}
+	s.table.Delete(idx)
+	return wire.Msg{Type: wire.TDelResp, Status: wire.StOK}
+}
+
+// background is the verification-and-persisting thread (§4.3.2) in real
+// time: scan the active log(s), verify CRCs, flush, set durability flags.
+func (s *Server) background() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.BGInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-ticker.C:
+		}
+		for s.bgStep() {
+		}
+	}
+}
+
+// bgStep processes one object in one pool under the lock; returns false
+// when the verifier should go back to sleep.
+func (s *Server) bgStep() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pis := []int{s.cur}
+	if s.cleaning {
+		pis = append(pis, 1-s.cur)
+	}
+	for _, pi := range pis {
+		pool := s.pools[pi]
+		if s.bgPos[pi]+kv.HeaderSize > pool.Used() {
+			continue
+		}
+		off := uint64(s.bgPos[pi])
+		h := pool.Header(off)
+		if h.Magic != kv.Magic || h.KLen <= 0 {
+			continue
+		}
+		size := kv.ObjectSize(h.KLen, h.VLen)
+		if !h.Valid() || h.Durable() {
+			s.bgPos[pi] += size
+			return true
+		}
+		val := pool.ReadValue(off, h.KLen, h.VLen)
+		if crc.Checksum(val) == h.CRC {
+			pool.FlushObject(off, h.KLen, h.VLen)
+			pool.SetFlags(off, h.Flags|kv.FlagDurable)
+			s.stats.BGVerified++
+			s.bgPos[pi] += size
+			return true
+		}
+		if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
+			pool.SetFlags(off, h.Flags&^kv.FlagValid)
+			s.stats.BGInvalidated++
+			s.bgPos[pi] += size
+			return true
+		}
+		// In flight; try the other pool or sleep.
+	}
+	return false
+}
+
+// StartCleaning triggers a cleaning run manually; it reports false if one
+// is already active.
+func (s *Server) StartCleaning() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cleaning {
+		return false
+	}
+	s.cleaning = true
+	s.wg.Add(1)
+	go s.cleaner()
+	return true
+}
+
+// cleaner runs the two-stage compress/merge protocol. The lock is taken
+// per step so request handling interleaves.
+func (s *Server) cleaner() {
+	defer s.wg.Done()
+
+	s.mu.Lock()
+	old := s.cur
+	newer := 1 - s.cur
+	s.dev.Zero(s.pools[newer].Base(), s.cfg.PoolSize)
+	s.pools[newer] = kv.NewPool(s.dev, s.pools[newer].Base(), s.cfg.PoolSize)
+	s.pools[newer].SetSeq(s.seq)
+	s.bgPos[newer] = 0
+	compressEnd := s.pools[old].Used()
+	s.mu.Unlock()
+
+	// Stage 1: compress.
+	s.sweep(old, 0, compressEnd)
+
+	// Stage 2: merge the writes that landed during compression.
+	s.mu.Lock()
+	s.merging = true
+	mergeEnd := s.pools[old].Used()
+	s.mu.Unlock()
+	s.sweep(old, compressEnd, mergeEnd)
+
+	// Final sweep: flip staged entries; reclaim dead ones.
+	s.mu.Lock()
+	s.table.RangeAll(func(i int, e kv.Entry) bool {
+		if e.Tombstone() || e.Loc[1-s.mark] == 0 {
+			s.table.Clear(i)
+			return true
+		}
+		s.table.FlipMark(i)
+		return true
+	})
+	s.cur = newer
+	s.mark = 1 - s.mark
+	s.merging = false
+	s.cleaning = false
+	s.stats.Cleanings++
+	s.mu.Unlock()
+}
+
+// sweep reverse-scans pool pi over [lo, hi) and migrates live versions.
+func (s *Server) sweep(pi, lo, hi int) {
+	s.mu.Lock()
+	var offs []uint64
+	s.pools[pi].Scan(hi, func(off uint64, h kv.Header) bool {
+		if int(off) >= lo {
+			offs = append(offs, off)
+		}
+		return true
+	})
+	s.mu.Unlock()
+	for i := len(offs) - 1; i >= 0; i-- {
+		select {
+		case <-s.closing:
+			return
+		default:
+		}
+		s.migrateOne(pi, offs[i])
+	}
+}
+
+// migrateOne migrates or drops the version at off in pool pi, waiting
+// (with the verify timeout) for writes still in flight.
+func (s *Server) migrateOne(pi int, off uint64) {
+	for {
+		if s.tryMigrate(pi, off) {
+			return
+		}
+		// An involved version's value is still in flight: release the
+		// lock and retry shortly (the paper's merge rule: skip the older
+		// version only once the newer "already or can be made durable").
+		select {
+		case <-s.closing:
+			return
+		case <-time.After(s.cfg.BGInterval):
+		}
+	}
+}
+
+// verdicts of ensureDurableLocked.
+const (
+	durYes = iota
+	durDead
+	durInFlight
+)
+
+// tryMigrate performs one migration attempt under the lock; it reports
+// false when it must be retried because a value is still in flight.
+func (s *Server) tryMigrate(pi int, off uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pool := s.pools[pi]
+	h := pool.Header(off)
+	if h.Magic != kv.Magic || !h.Valid() {
+		s.stats.CleanDropped++
+		return true
+	}
+	key := make([]byte, h.KLen)
+	s.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+	idx, e, found := s.table.Lookup(kv.HashKey(key))
+	if !found || e.Tombstone() {
+		s.stats.CleanDropped++
+		return true
+	}
+	newSlot := 1 - s.mark
+	if staged := e.Loc[newSlot]; staged != 0 {
+		stagedOff, _, _ := kv.UnpackLoc(staged)
+		stagedHdr := s.pools[1-pi].Header(stagedOff)
+		if stagedHdr.Seq > h.Seq {
+			switch s.ensureDurableLocked(1-pi, stagedOff) {
+			case durYes:
+				pool.SetFlags(off, h.Flags|kv.FlagTrans)
+				s.stats.CleanDropped++
+				return true
+			case durInFlight:
+				return false // wait for the newer version to settle
+			}
+			// durDead: fall through and migrate this older version.
+		}
+	}
+	switch s.ensureDurableLocked(pi, off) {
+	case durDead:
+		s.stats.CleanDropped++
+		return true
+	case durInFlight:
+		return false
+	}
+	h = pool.Header(off)
+	// Copy into the new pool.
+	dst := s.pools[1-pi]
+	size := kv.ObjectSize(h.KLen, h.VLen)
+	nh := kv.Header{
+		PrePtr:    kv.NilPtr,
+		NextPtr:   kv.NilPtr,
+		Seq:       h.Seq,
+		CreatedAt: h.CreatedAt,
+		CRC:       h.CRC,
+		VLen:      h.VLen,
+		Flags:     kv.FlagValid | kv.FlagDurable,
+	}
+	newOff, ok := dst.AppendObject(&nh, key)
+	if !ok {
+		// Should be impossible: the live set fits by construction. Leave
+		// the old copy authoritative.
+		return true
+	}
+	dst.WriteValue(newOff, h.KLen, pool.ReadValue(off, h.KLen, h.VLen))
+	dst.FlushObject(newOff, h.KLen, h.VLen)
+	pool.SetFlags(off, h.Flags|kv.FlagTrans)
+	s.table.SetLoc(idx, 1-s.mark, kv.PackLoc(newOff, size))
+	s.stats.CleanMoved++
+	return true
+}
+
+// ensureDurableLocked verifies and persists the version at off. Callers
+// hold mu.
+func (s *Server) ensureDurableLocked(pi int, off uint64) int {
+	pool := s.pools[pi]
+	h := pool.Header(off)
+	if !h.Valid() {
+		return durDead
+	}
+	if h.Durable() {
+		return durYes
+	}
+	val := pool.ReadValue(off, h.KLen, h.VLen)
+	if crc.Checksum(val) == h.CRC {
+		pool.FlushObject(off, h.KLen, h.VLen)
+		pool.SetFlags(off, h.Flags|kv.FlagDurable)
+		return durYes
+	}
+	if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
+		pool.SetFlags(off, h.Flags&^kv.FlagValid)
+		s.stats.BGInvalidated++
+		return durDead
+	}
+	return durInFlight
+}

@@ -1,0 +1,464 @@
+package tcpkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"efactory/internal/nvm"
+	"efactory/internal/wire"
+)
+
+// startServer spins a server on a loopback listener.
+func startServer(t *testing.T, dev nvm.Device, cfg Config) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func smallConfig() Config {
+	return Config{
+		Buckets:       1024,
+		PoolSize:      4 << 20,
+		VerifyTimeout: 20 * time.Millisecond,
+		BGInterval:    100 * time.Microsecond,
+	}
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		val := bytes.Repeat([]byte{byte(i + 1)}, 100+i*25)
+		if err := cl.Put(key, val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		got, err := cl.Get(key)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get %d: wrong value", i)
+		}
+	}
+	if err := cl.Delete([]byte("key-0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get([]byte("key-0")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+	if _, err := cl.Get([]byte("never")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+}
+
+func TestHybridReadTurnsPure(t *testing.T) {
+	cfg := smallConfig()
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the background verifier time to persist.
+	time.Sleep(20 * time.Millisecond)
+	before := cl.PureReads
+	if _, err := cl.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PureReads != before+1 {
+		t.Fatalf("read did not take the pure path: pure=%d fallback=%d",
+			cl.PureReads, cl.FallbackReads)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cfg := smallConfig()
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	const clients = 6
+	const perClient = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("c%d-k%d", ci, i))
+				val := bytes.Repeat([]byte{byte(ci*10 + i%10 + 1)}, 64)
+				if err := cl.Put(key, val); err != nil {
+					errs <- fmt.Errorf("put: %w", err)
+					return
+				}
+				got, err := cl.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				}
+				if !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("client %d wrong value for %s", ci, key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartRecoversDurableData(t *testing.T) {
+	cfg := smallConfig()
+	path := filepath.Join(t.TempDir(), "store.nvm")
+	dev, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, dev, cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("persist-%d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 200)
+		values[k] = v
+		if err := cl.Put([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reads force durability even if the verifier has not caught up.
+	for k := range values {
+		if _, err := cl.Get([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	srv.Close()
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same file.
+	dev2, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, addr2 := startServer(t, dev2, cfg)
+	if st := srv2.Stats(); st.Recovered != 20 {
+		t.Fatalf("recovered %d keys, want 20", st.Recovered)
+	}
+	cl2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for k, v := range values {
+		got, err := cl2.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get %s after restart: %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get %s after restart: wrong value", k)
+		}
+	}
+	// New writes work after recovery.
+	if err := cl2.Put([]byte("persist-0"), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl2.Get([]byte("persist-0"))
+	if err != nil || string(got) != "updated" {
+		t.Fatalf("updated Get = %q, %v", got, err)
+	}
+}
+
+func TestTornWriteRollsBackOnRestart(t *testing.T) {
+	cfg := smallConfig()
+	path := filepath.Join(t.TempDir(), "store.nvm")
+	dev, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, dev, cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("k"), []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get([]byte("k")); err != nil { // force durability
+		t.Fatal(err)
+	}
+	// Torn update: allocate but never write the value, then crash (close
+	// without flushing anything further).
+	if _, err := cl.rpc(wire.Msg{Type: wire.TPut, Crc: 0xbad, Len: 64, Key: []byte("k")}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	srv.Close()
+	dev.Close()
+
+	dev2, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, addr2 := startServer(t, dev2, cfg)
+	if st := srv2.Stats(); st.RolledBack != 1 {
+		t.Fatalf("RolledBack = %d, want 1 (stats %+v)", st.RolledBack, st)
+	}
+	cl2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	got, err := cl2.Get([]byte("k"))
+	if err != nil || string(got) != "stable" {
+		t.Fatalf("Get after torn-write restart = %q, %v; want stable", got, err)
+	}
+}
+
+func TestOneSidedBoundsChecked(t *testing.T) {
+	cfg := smallConfig()
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.read(99, 0, 64); err == nil {
+		t.Fatal("read with bogus rkey succeeded")
+	}
+	if _, err := cl.read(rkeyPoolBase, uint64(cfg.PoolSize-10), 64); err == nil {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+}
+
+func TestServerRejectsOversizedValueGracefully(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PoolSize = 1 << 20
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	big := make([]byte, 400<<10)
+	if err := cl.Put([]byte("a"), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("b"), big); err != nil {
+		t.Fatal(err)
+	}
+	// A third 400 KiB object cannot fit a 1 MiB pool.
+	if err := cl.Put([]byte("c"), big); !errors.Is(err, ErrServerFull) {
+		t.Fatalf("err = %v, want ErrServerFull", err)
+	}
+}
+
+func TestLogCleaningOverTCP(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PoolSize = 256 << 10
+	cfg.CleanThreshold = 0.25
+	srv, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Writer: updates to a small key set, enough volume to trigger
+	// cleaning several times. Reader: concurrent hybrid reads.
+	latest := map[string]string{}
+	var mu sync.Mutex
+	stopReader := make(chan struct{})
+	var readerErr error
+	go func() {
+		rcl, err := Dial(addr)
+		if err != nil {
+			readerErr = err
+			return
+		}
+		defer rcl.Close()
+		for {
+			select {
+			case <-stopReader:
+				return
+			default:
+			}
+			for i := 0; i < 8; i++ {
+				k := fmt.Sprintf("k%d", i)
+				got, err := rcl.Get([]byte(k))
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				if err != nil {
+					readerErr = err
+					return
+				}
+				if !bytes.HasPrefix(got, []byte("val-")) {
+					readerErr = fmt.Errorf("garbage read for %s: %.16q", k, got)
+					return
+				}
+			}
+		}
+	}()
+
+	val := bytes.Repeat([]byte{'x'}, 2048)
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("k%d", i%8)
+		v := append([]byte(fmt.Sprintf("val-%d-", i)), val...)
+		if err := cl.Put([]byte(k), v); err != nil {
+			if errors.Is(err, ErrServerFull) {
+				time.Sleep(time.Millisecond) // cleaning catches up
+				continue
+			}
+			t.Fatal(err)
+		}
+		mu.Lock()
+		latest[k] = string(v)
+		mu.Unlock()
+	}
+	close(stopReader)
+	// Wait for any in-flight cleaning to finish.
+	for i := 0; i < 1000 && srv.Cleaning(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if readerErr != nil {
+		t.Fatalf("reader: %v", readerErr)
+	}
+	st := srv.Stats()
+	if st.Cleanings == 0 {
+		t.Fatal("threshold never triggered cleaning")
+	}
+	if st.CleanMoved == 0 || st.CleanDropped == 0 {
+		t.Fatalf("cleaning did no work: %+v", st)
+	}
+	// All keys readable with their latest values after cleaning.
+	for k, want := range latest {
+		got, err := cl.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get %s after cleaning: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Get %s = %.20q..., want %.20q...", k, got, want)
+		}
+	}
+	t.Logf("cleanings: %d, moved: %d, dropped: %d", st.Cleanings, st.CleanMoved, st.CleanDropped)
+}
+
+func TestRestartAfterCleaningRecovers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PoolSize = 256 << 10
+	path := filepath.Join(t.TempDir(), "store.nvm")
+	dev, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, dev, cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{'y'}, 1024)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 6; i++ {
+			k := fmt.Sprintf("p%d", i)
+			v := append([]byte(fmt.Sprintf("r%d-", round)), val...)
+			if err := cl.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !srv.StartCleaning() {
+			t.Fatal("StartCleaning refused")
+		}
+		for srv.Cleaning() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Force durability of the final round, then restart.
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Get([]byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	srv.Close()
+	dev.Close()
+
+	dev2, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, addr2 := startServer(t, dev2, cfg)
+	if st := srv2.Stats(); st.Recovered != 6 {
+		t.Fatalf("recovered %d keys, want 6", st.Recovered)
+	}
+	cl2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for i := 0; i < 6; i++ {
+		got, err := cl2.Get([]byte(fmt.Sprintf("p%d", i)))
+		if err != nil {
+			t.Fatalf("Get p%d: %v", i, err)
+		}
+		if !bytes.HasPrefix(got, []byte("r2-")) {
+			t.Fatalf("p%d = %.8q, want final round value", i, got)
+		}
+	}
+}
+
+func TestServerStatsRPC(t *testing.T) {
+	cfg := smallConfig()
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Put([]byte("k"), []byte("v"))
+	cl.Get([]byte("k"))
+	st, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,28 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures arbitrary bytes never panic the decoder and that
+// anything it accepts re-encodes to an equivalent message.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Msg{Type: TPut, Key: []byte("k"), Value: []byte("v")}).Encode())
+	f.Add((&Msg{Type: TGetResp, Status: StOK, Off: 42, Len: 7}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Type != m.Type || again.Off != m.Off || again.Len != m.Len ||
+			!bytes.Equal(again.Key, m.Key) || !bytes.Equal(again.Value, m.Value) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", m, again)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package wire defines the request/response messages exchanged between
+// clients and the server over SEND/RECV, shared by the simulated RDMA
+// transport and the TCP transport. The encoding is a compact fixed header
+// plus length-prefixed key/value payloads.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message types.
+const (
+	// TPut asks the server to allocate a log region for a value of Aux
+	// bytes whose CRC is Crc, under Key (PUT steps 1-4 of Figure 5).
+	TPut uint8 = iota + 1
+	// TPutResp returns the allocation: RKey + Off of the object, Token
+	// identifying the allocation for later persist/imm messages.
+	TPutResp
+	// TGet asks the server to resolve Key (the RPC+RDMA read path).
+	TGet
+	// TGetResp returns the object location (RKey, Off, Len) and the key
+	// length so the client can address the value.
+	TGetResp
+	// TDel deletes Key.
+	TDel
+	// TDelResp acknowledges a delete.
+	TDelResp
+	// TPersist tells the server to verify/flush allocation Token and then
+	// publish its metadata (the SAW scheme's second round trip).
+	TPersist
+	// TPersistResp acknowledges durability of Token.
+	TPersistResp
+	// TImmAck is the server's durability ack for a write_with_imm whose
+	// immediate value was Token (the IMM scheme).
+	TImmAck
+	// TWrite carries the full value in the message: the classic RPC write
+	// (the server copies it from network buffers into NVMM).
+	TWrite
+	// TWriteResp acknowledges a durable RPC write.
+	TWriteResp
+	// TCleanStart notifies clients that log cleaning began: switch to the
+	// RPC+RDMA read scheme (§4.4).
+	TCleanStart
+	// TCleanEnd notifies clients that log cleaning finished: resume the
+	// hybrid read scheme.
+	TCleanEnd
+	// THello requests the server's memory-region geometry at connection
+	// setup (TCP transport): the reply carries the hash-table rkey
+	// (RKey), the data-pool rkey (Token), and the bucket count (Len).
+	THello
+	// THelloResp answers THello.
+	THelloResp
+	// TStats requests server counters (TCP transport); the reply carries
+	// them JSON-encoded in Value.
+	TStats
+	// TStatsResp answers TStats.
+	TStatsResp
+)
+
+// Status codes.
+const (
+	StOK uint8 = iota
+	StNotFound
+	StFull
+	StError
+)
+
+// Msg is the flat message structure covering every type; unused fields are
+// zero. Using one struct keeps encode/decode trivial and allocation-light.
+type Msg struct {
+	Type   uint8
+	Status uint8
+	Note   uint8  // server state hints piggybacked on responses (NoteCleaning)
+	Token  uint32 // allocation token (PUT/PERSIST/IMM correlation)
+	RKey   uint32 // memory region for the client's one-sided follow-up
+	Crc    uint32 // client-computed value checksum (TPut)
+	Off    uint64 // object offset within the MR
+	Len    uint64 // total object length (TGetResp) or value length (TPut)
+	KLen   uint32 // key length of the located object (TGetResp)
+	Key    []byte
+	Value  []byte
+}
+
+// NoteCleaning in Msg.Note tells the client log cleaning is in progress, so
+// it must use the RPC+RDMA read scheme until TCleanEnd (§4.4).
+const NoteCleaning uint8 = 1 << 0
+
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 4 // fixed fields + key/value lengths
+
+// ErrShort indicates a truncated or corrupt message.
+var ErrShort = errors.New("wire: short message")
+
+// Encode serializes m.
+func (m *Msg) Encode() []byte {
+	b := make([]byte, headerLen+len(m.Key)+len(m.Value))
+	b[0] = m.Type
+	b[1] = m.Status
+	b[2] = m.Note
+	le := binary.LittleEndian
+	le.PutUint32(b[3:], m.Token)
+	le.PutUint32(b[7:], m.RKey)
+	le.PutUint32(b[11:], m.Crc)
+	le.PutUint64(b[15:], m.Off)
+	le.PutUint64(b[23:], m.Len)
+	le.PutUint32(b[31:], m.KLen)
+	le.PutUint32(b[35:], uint32(len(m.Key)))
+	le.PutUint32(b[39:], uint32(len(m.Value)))
+	copy(b[headerLen:], m.Key)
+	copy(b[headerLen+len(m.Key):], m.Value)
+	return b
+}
+
+// Decode parses a message produced by Encode.
+func Decode(b []byte) (Msg, error) {
+	if len(b) < headerLen {
+		return Msg{}, fmt.Errorf("%w: %d bytes", ErrShort, len(b))
+	}
+	le := binary.LittleEndian
+	m := Msg{
+		Type:   b[0],
+		Status: b[1],
+		Note:   b[2],
+		Token:  le.Uint32(b[3:]),
+		RKey:   le.Uint32(b[7:]),
+		Crc:    le.Uint32(b[11:]),
+		Off:    le.Uint64(b[15:]),
+		Len:    le.Uint64(b[23:]),
+		KLen:   le.Uint32(b[31:]),
+	}
+	klen := int(le.Uint32(b[35:]))
+	vlen := int(le.Uint32(b[39:]))
+	if len(b) != headerLen+klen+vlen {
+		return Msg{}, fmt.Errorf("%w: want %d+%d+%d, have %d", ErrShort, headerLen, klen, vlen, len(b))
+	}
+	if klen > 0 {
+		m.Key = b[headerLen : headerLen+klen : headerLen+klen]
+	}
+	if vlen > 0 {
+		m.Value = b[headerLen+klen:]
+	}
+	return m, nil
+}

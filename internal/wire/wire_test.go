@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(typ, status, note uint8, token, rkey, crcv uint32, off, length uint64, klen32 uint32, key, value []byte) bool {
+		m := Msg{
+			Type: typ, Status: status, Note: note, Token: token, RKey: rkey, Crc: crcv,
+			Off: off, Len: length, KLen: klen32, Key: key, Value: value,
+		}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Type == m.Type && got.Status == m.Status && got.Note == m.Note && got.Token == m.Token &&
+			got.RKey == m.RKey && got.Crc == m.Crc && got.Off == m.Off &&
+			got.Len == m.Len && got.KLen == m.KLen &&
+			bytes.Equal(got.Key, m.Key) && bytes.Equal(got.Value, m.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	m := Msg{Type: TPut, Key: []byte("key"), Value: []byte("value")}
+	b := m.Encode()
+	if _, err := Decode(b[:len(b)-2]); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyPayloadsDecodeNil(t *testing.T) {
+	m := Msg{Type: TGetResp, Status: StOK}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != nil || got.Value != nil {
+		t.Fatal("empty payloads should decode as nil")
+	}
+}
