@@ -70,7 +70,14 @@ func main() {
 		if err != nil {
 			fatal("stats: %v", err)
 		}
-		fmt.Printf("%+v\n", st)
+		fmt.Printf("total: %+v\n", st)
+		// Per-shard breakdown; older servers reject the request, which is
+		// not worth failing the whole command over.
+		if per, err := cl.ShardStats(); err == nil && len(per) > 1 {
+			for i, s := range per {
+				fmt.Printf("shard %d: %+v\n", i, s)
+			}
+		}
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 10000, "operations")

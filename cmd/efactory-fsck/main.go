@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	efactory-fsck [-store efactory-store.nvm] [-pool 64] [-buckets 16384]
+//	efactory-fsck [-store efactory-store.nvm] [-pool 64] [-buckets 16384] [-shards 1]
 //
 // The geometry flags must match the ones the server ran with. Exit status
 // is 0 for a consistent store and 1 if any key is unrecoverable.
@@ -24,12 +24,14 @@ import (
 func main() {
 	store := flag.String("store", "efactory-store.nvm", "path of the store file")
 	poolMiB := flag.Int("pool", 64, "data pool size in MiB (must match the server)")
-	buckets := flag.Int("buckets", 16384, "hash table buckets (must match the server)")
+	buckets := flag.Int("buckets", 16384, "hash table buckets per shard (must match the server)")
+	shards := flag.Int("shards", 1, "number of storage engine shards (must match the server)")
 	flag.Parse()
 
 	cfg := tcpkv.DefaultConfig()
 	cfg.Buckets = *buckets
 	cfg.PoolSize = *poolMiB << 20
+	cfg.Shards = *shards
 
 	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
 	if err != nil {

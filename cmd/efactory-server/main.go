@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1]
 package main
 
 import (
@@ -22,12 +22,14 @@ func main() {
 	addr := flag.String("addr", ":7420", "listen address")
 	store := flag.String("store", "efactory-store.nvm", "path of the file-backed NVM device")
 	poolMiB := flag.Int("pool", 64, "data pool size in MiB")
-	buckets := flag.Int("buckets", 16384, "hash table buckets")
+	buckets := flag.Int("buckets", 16384, "hash table buckets per shard")
+	shards := flag.Int("shards", 1, "number of storage engine shards")
 	flag.Parse()
 
 	cfg := tcpkv.DefaultConfig()
 	cfg.Buckets = *buckets
 	cfg.PoolSize = *poolMiB << 20
+	cfg.Shards = *shards
 
 	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
 	if err != nil {
@@ -40,7 +42,8 @@ func main() {
 		log.Fatalf("start server: %v", err)
 	}
 	st := srv.Stats()
-	log.Printf("efactory-server: store %s, pool %d MiB, %d buckets", *store, *poolMiB, *buckets)
+	log.Printf("efactory-server: store %s, pool %d MiB, %d buckets, %d shard(s)",
+		*store, *poolMiB, *buckets, srv.Store().NumShards())
 	if st.Recovered > 0 || st.RolledBack > 0 {
 		log.Printf("recovery: %d keys restored, %d rolled back to a previous intact version",
 			st.Recovered, st.RolledBack)

@@ -74,7 +74,7 @@ func main() {
 	env.Run()
 
 	fmt.Printf("\ncleanings: %d, objects migrated: %d, stale versions reclaimed: %d\n",
-		srv.Stats.Cleanings, srv.Stats.CleanMoved, srv.Stats.CleanDropped)
+		srv.Stats().Cleanings, srv.Stats().CleanMoved, srv.Stats().CleanDropped)
 	fmt.Printf("reader paths: %d pure / %d fallback / %d via RPC during cleaning (notifications: %d)\n",
 		reader.Stats.PureReads, reader.Stats.FallbackReads, reader.Stats.RPCReads, reader.Stats.Notifications)
 }

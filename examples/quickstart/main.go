@@ -65,5 +65,5 @@ func main() {
 	env.Run()
 
 	fmt.Printf("\nserver: %d puts, %d RPC gets, background verified %d objects\n",
-		srv.Stats.Puts, srv.Stats.Gets, srv.Stats.BGVerified)
+		srv.Stats().Puts, srv.Stats().Gets, srv.Stats().BGVerified)
 }

@@ -52,14 +52,14 @@ func TestCleaningReclaimsSpaceAndFlipsPools(t *testing.T) {
 			}
 		}
 	})
-	if c.srv.Stats.Cleanings != 1 {
-		t.Fatalf("Cleanings = %d", c.srv.Stats.Cleanings)
+	if c.srv.Stats().Cleanings != 1 {
+		t.Fatalf("Cleanings = %d", c.srv.Stats().Cleanings)
 	}
-	if c.srv.Stats.CleanMoved != 10 {
-		t.Fatalf("CleanMoved = %d, want 10", c.srv.Stats.CleanMoved)
+	if c.srv.Stats().CleanMoved != 10 {
+		t.Fatalf("CleanMoved = %d, want 10", c.srv.Stats().CleanMoved)
 	}
-	if c.srv.Stats.CleanDropped < 90 {
-		t.Fatalf("CleanDropped = %d, want >= 90", c.srv.Stats.CleanDropped)
+	if c.srv.Stats().CleanDropped < 90 {
+		t.Fatalf("CleanDropped = %d, want >= 90", c.srv.Stats().CleanDropped)
 	}
 }
 
@@ -159,11 +159,11 @@ func TestAutoCleaningTriggersOnThreshold(t *testing.T) {
 			}
 		}
 	})
-	if c.srv.Stats.Cleanings == 0 {
+	if c.srv.Stats().Cleanings == 0 {
 		t.Fatal("threshold never triggered cleaning")
 	}
-	if c.srv.Stats.AllocFailures > 0 {
-		t.Fatalf("allocation failed %d times despite cleaning", c.srv.Stats.AllocFailures)
+	if c.srv.Stats().AllocFailures > 0 {
+		t.Fatalf("allocation failed %d times despite cleaning", c.srv.Stats().AllocFailures)
 	}
 }
 
@@ -188,8 +188,8 @@ func TestCleaningDropsDeletedKeys(t *testing.T) {
 			t.Fatalf("kept key = %q, %v", got, err)
 		}
 	})
-	if c.srv.Stats.CleanMoved != 1 {
-		t.Fatalf("CleanMoved = %d, want 1", c.srv.Stats.CleanMoved)
+	if c.srv.Stats().CleanMoved != 1 {
+		t.Fatalf("CleanMoved = %d, want 1", c.srv.Stats().CleanMoved)
 	}
 }
 
@@ -250,8 +250,8 @@ func TestBackToBackCleanings(t *testing.T) {
 			}
 		}
 	})
-	if c.srv.Stats.Cleanings != 3 {
-		t.Fatalf("Cleanings = %d", c.srv.Stats.Cleanings)
+	if c.srv.Stats().Cleanings != 3 {
+		t.Fatalf("Cleanings = %d", c.srv.Stats().Cleanings)
 	}
 }
 

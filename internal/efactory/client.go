@@ -33,18 +33,25 @@ type ClientStats struct {
 	Notifications int // clean-start/end notifications processed
 }
 
+// shardGeom is one shard's one-sided addressing info: the rkeys of its
+// hash-table region and its two data pools.
+type shardGeom struct {
+	tableRKey uint32
+	poolRKey  [2]uint32
+}
+
 // Client is an eFactory client: it performs PUT with the client-active
 // scheme (RPC allocation + one-sided value write) and GET with the hybrid
-// read scheme.
+// read scheme, routing each key to its owning shard by the same hash
+// split the server uses (kv.ShardOf).
 type Client struct {
-	env       *sim.Env
-	par       *model.Params
-	ep        *rnic.Endpoint
-	tableRKey uint32
-	buckets   int
-	poolRKey  [2]uint32
-	hybrid    bool
-	cleaning  bool
+	env      *sim.Env
+	par      *model.Params
+	ep       *rnic.Endpoint
+	shards   []shardGeom
+	buckets  int // per shard
+	hybrid   bool
+	cleaning bool
 
 	Stats ClientStats
 }
@@ -161,13 +168,14 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 // mismatch from probing).
 func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err error) {
 	keyHash := kv.HashKey(key)
+	g := c.shards[kv.ShardOf(keyHash, len(c.shards))]
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
 	buf := make([]byte, kv.EntrySize)
 	for probe := 0; probe < maxEntryProbes; probe++ {
 		bucket := (idx + probe) % c.buckets
-		if err := c.ep.Read(p, buf, c.tableRKey, bucket*kv.EntrySize); err != nil {
+		if err := c.ep.Read(p, buf, g.tableRKey, bucket*kv.EntrySize); err != nil {
 			return nil, false, err
 		}
 		e := kv.DecodeEntry(buf)
@@ -190,7 +198,8 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 		return nil, false, nil
 	}
 	off, totalLen, _ := kv.UnpackLoc(loc)
-	pool := c.poolForRKeyIndex(entry.Mark())
+	// Entry marks equal the pool index by construction.
+	pool := g.poolRKey[entry.Mark()&1]
 	obj := make([]byte, totalLen)
 	if err := c.ep.Read(p, obj, pool, int(off)); err != nil {
 		return nil, false, err
@@ -208,10 +217,6 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 	}
 	return append([]byte(nil), obj[vo:vo+h.VLen]...), true, nil
 }
-
-// poolForRKeyIndex maps an entry mark bit to the rkey of that pool's MR.
-// Entry marks equal the pool index by construction.
-func (c *Client) poolForRKeyIndex(mark int) uint32 { return c.poolRKey[mark&1] }
 
 // rpcRead is the RPC+RDMA read scheme: the server returns the location of
 // a durable, intact version; the client fetches it one-sidedly.

@@ -3,39 +3,38 @@
 // provides crash consistency with high performance for both reads and
 // writes (§4).
 //
-// The three mechanisms, mapped to code:
-//
-//   - Multi-version log structuring: Server.handlePut appends versions
-//     out-of-place into a kv.Pool and links them with PrePtr into a version
-//     list headed by the hash entry, so any torn head can be rolled back to
-//     an intact predecessor (server.go, recovery.go).
-//   - Background verification and durability: Server.background verifies
-//     CRCs and flushes objects off the critical path, setting the
-//     durability flag embedded in each object (bg.go).
-//   - Hybrid read scheme: Client.Get optimistically uses pure one-sided
-//     reads and checks the durability flag; on a miss it falls back to the
-//     RPC+RDMA path where the server applies the selective durability
-//     guarantee (client.go).
-//
-// Log cleaning (clean.go) implements the two-stage compress/merge protocol
-// of §4.4, and recovery.go restores a consistent state from the persisted
-// image after a crash.
+// The storage logic — multi-version log structuring, the background
+// verification thread (§4.3.2), the selective durability guarantee, the
+// two-stage log cleaner (§4.4), and crash recovery — lives in the shared,
+// shardable engine in internal/store. This package is the
+// simulation-transport adapter over it: it owns the RNIC, the request
+// workers, the per-shard memory regions, and charges every engine op as
+// virtual time through a store.CostSink, so the same engine code that runs
+// on real goroutines over TCP (internal/tcpkv) is here driven by the
+// discrete-event scheduler. Client.Get keeps the hybrid read scheme:
+// optimistic pure one-sided reads with a durability-flag check, falling
+// back to the RPC+RDMA path (client.go).
 package efactory
 
 import (
 	"time"
 
 	"efactory/internal/kv"
-	"efactory/internal/nvm"
+	"efactory/internal/store"
 )
 
 // Config sizes and tunes a Server.
 type Config struct {
-	// Buckets is the hash-table size. Keep the load factor modest so
-	// client-side probing stays short.
+	// Buckets is the hash-table size PER SHARD. Keep the load factor
+	// modest so client-side probing stays short.
 	Buckets int
-	// PoolSize is the byte capacity of EACH of the two data pools.
+	// PoolSize is the byte capacity of EACH of the two data pools (per
+	// shard).
 	PoolSize int
+	// Shards splits the keyspace over independent engine shards, each
+	// with its own table region, pool pair, background cursor, and
+	// cleaner. 0 or 1 gives the classic single-engine behavior.
+	Shards int
 	// Workers is the number of request-processing threads.
 	Workers int
 	// RecvBatching enables the multiple-receive-region optimization
@@ -67,10 +66,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// DeviceSize returns the NVM capacity a server with this config needs:
-// the hash table plus two data pools, line-aligned.
-func (c *Config) DeviceSize() int {
-	t := kv.TableBytes(c.Buckets)
-	t = (t + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	return t + 2*c.PoolSize
+// storeConfig maps the transport config onto the engine config.
+func (c *Config) storeConfig() store.Config {
+	return store.Config{
+		Shards:                     c.Shards,
+		Buckets:                    c.Buckets,
+		PoolSize:                   c.PoolSize,
+		VerifyTimeout:              c.VerifyTimeout,
+		CleanThreshold:             c.CleanThreshold,
+		DisableSelectiveDurability: c.DisableSelectiveDurability,
+	}
 }
+
+// Layout returns the per-shard device layout this config implies.
+func (c *Config) Layout() kv.Layout { return c.storeConfig().Layout() }
+
+// DeviceSize returns the NVM capacity a server with this config needs:
+// per shard, the hash table plus two data pools, line-aligned.
+func (c *Config) DeviceSize() int { return c.Layout().DeviceSize() }

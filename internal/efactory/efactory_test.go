@@ -92,7 +92,7 @@ func TestImmediateReadFallsBackThenTurnsPure(t *testing.T) {
 			t.Errorf("expected a pure one-sided read after background persist; stats = %+v", cl.Stats)
 		}
 	})
-	if c.srv.Stats.BGVerified == 0 && c.srv.Stats.GetVerified == 0 {
+	if c.srv.Stats().BGVerified == 0 && c.srv.Stats().GetVerified == 0 {
 		t.Error("nothing was ever verified server-side")
 	}
 }
@@ -177,8 +177,8 @@ func TestManyKeysManyClients(t *testing.T) {
 			}
 		}
 	})
-	if c.srv.Stats.Puts != 4*perClient {
-		t.Fatalf("server saw %d puts, want %d", c.srv.Stats.Puts, 4*perClient)
+	if c.srv.Stats().Puts != 4*perClient {
+		t.Fatalf("server saw %d puts, want %d", c.srv.Stats().Puts, 4*perClient)
 	}
 }
 
@@ -263,11 +263,11 @@ func TestTornWriteRollsBackToPreviousVersion(t *testing.T) {
 		// dead version.
 		p.Sleep(5 * time.Millisecond)
 	})
-	if c.srv.Stats.GetRolledBack == 0 {
-		t.Errorf("no server-side rollback recorded: %+v", c.srv.Stats)
+	if c.srv.Stats().GetRolledBack == 0 {
+		t.Errorf("no server-side rollback recorded: %+v", c.srv.Stats())
 	}
-	if c.srv.Stats.BGInvalidated == 0 {
-		t.Errorf("torn version never invalidated: %+v", c.srv.Stats)
+	if c.srv.Stats().BGInvalidated == 0 {
+		t.Errorf("torn version never invalidated: %+v", c.srv.Stats())
 	}
 }
 
@@ -319,9 +319,9 @@ func TestServerStatsFastPath(t *testing.T) {
 		cl.Get(p, []byte("k"))
 		cl.Get(p, []byte("k"))
 	})
-	if c.srv.Stats.GetFastPath != 2 {
+	if c.srv.Stats().GetFastPath != 2 {
 		t.Fatalf("fast-path gets = %d, want 2 (selective durability guarantee): %+v",
-			c.srv.Stats.GetFastPath, c.srv.Stats)
+			c.srv.Stats().GetFastPath, c.srv.Stats())
 	}
 }
 

@@ -271,7 +271,7 @@ func TestDurabilityFlagVisibleToClient(t *testing.T) {
 			t.Fatalf("stats = %+v; second read should have been pure", cl.Stats)
 		}
 	})
-	if c.srv.Stats.GetVerified != 1 {
-		t.Fatalf("server stats = %+v; want exactly one on-demand verification", c.srv.Stats)
+	if c.srv.Stats().GetVerified != 1 {
+		t.Fatalf("server stats = %+v; want exactly one on-demand verification", c.srv.Stats())
 	}
 }

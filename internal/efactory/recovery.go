@@ -1,33 +1,21 @@
 package efactory
 
 import (
-	"efactory/internal/crc"
-	"efactory/internal/kv"
 	"efactory/internal/model"
 	"efactory/internal/nvm"
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
+	"efactory/internal/store"
 )
 
 // RecoveryStats summarizes what recovery found in the persisted image.
-type RecoveryStats struct {
-	KeysRecovered     int // entries restored with an intact version
-	KeysLost          int // entries whose every version was torn or missing
-	VersionsDiscarded int // torn versions skipped while walking chains
-	RolledBack        int // keys recovered from a non-head (older) version
-}
+type RecoveryStats = store.RecoveryStats
 
 // Recover rebuilds a consistent server from the persisted contents of dev
-// (the post-crash state). For every hash entry it walks the version list
-// starting from the location the entry's own mark bit designates —
-// handling crashes that interrupt log cleaning at any stage — verifies
-// each candidate's CRC against the persisted bytes, and keeps the newest
-// intact version (§4.1: "a consistent state can be recovered using the
-// previous intact version"). The survivors are then re-materialized into a
-// fresh log in pool 0 with a clean hash table, so the recovered server
-// starts from a canonical, fully-durable state. Keys with no intact
-// version are dropped — they were never durable, so losing them is
-// consistent.
+// (the post-crash state). The walk itself lives in the shared engine
+// (internal/store): every hash entry resolves to its newest intact version
+// via the version list and CRC checks, and the survivors are
+// re-materialized into a canonical, fully-durable state per shard.
 func Recover(env *sim.Env, par *model.Params, cfg Config, dev *nvm.Memory) (*Server, RecoveryStats) {
 	if cfg.VerifyTimeout == 0 {
 		cfg.VerifyTimeout = par.VerifyTimeout
@@ -38,133 +26,7 @@ func Recover(env *sim.Env, par *model.Params, cfg Config, dev *nvm.Memory) (*Ser
 	s := &Server{env: env, par: par, cfg: cfg, dev: dev}
 	s.nic = rnic.NewNIC(env, par, "efactory-server")
 	s.srq = s.nic.EnableSRQ()
-	s.initLayout()
-
-	var st RecoveryStats
-
-	// Pass 1: bound each pool's log extent and find the highest sequence
-	// number in the persisted image.
-	maxSeq := uint64(0)
-	for pi := 0; pi < 2; pi++ {
-		head := 0
-		s.pools[pi].ScanPersisted(func(off uint64, h kv.Header) bool {
-			head = int(off) + kv.ObjectSize(h.KLen, h.VLen)
-			if h.Seq > maxSeq {
-				maxSeq = h.Seq
-			}
-			return true
-		})
-		s.pools[pi].SetHead(head)
-	}
-
-	// Pass 2: resolve every entry to its newest intact version, using the
-	// entry's own persisted mark bit (entries flip individually at the
-	// end of log cleaning, so a crash can leave a mix).
-	type survivor struct {
-		key []byte
-		val []byte
-		h   kv.Header
-	}
-	var live []survivor
-	s.table.RangeAll(func(i int, e kv.Entry) bool {
-		if e.Tombstone() {
-			return true
-		}
-		// Start from the current slot; if it is empty (interrupted
-		// publish), fall back to the staged slot.
-		slot := e.Mark()
-		loc := e.Loc[slot]
-		if loc == 0 {
-			slot = 1 - slot
-			loc = e.Loc[slot]
-		}
-		if loc == 0 {
-			st.KeysLost++
-			return true
-		}
-		// Slot index equals pool index by the server's invariant.
-		pi := slot
-		off, totalLen, _ := kv.UnpackLoc(loc)
-		rolled := false
-		for {
-			if int(off)+totalLen > s.pools[pi].Cap() {
-				st.KeysLost++
-				return true
-			}
-			h := s.readPersistedHeader(pi, off)
-			if h.Magic == kv.Magic && h.Valid() && h.KLen > 0 &&
-				kv.ObjectSize(h.KLen, h.VLen) == totalLen {
-				key := make([]byte, h.KLen)
-				val := make([]byte, h.VLen)
-				base := s.pools[pi].Base() + int(off)
-				s.dev.ReadPersisted(base+kv.KeyOffset(), key)
-				s.dev.ReadPersisted(base+kv.ValueOffset(h.KLen), val)
-				if crc.Checksum(val) == h.CRC {
-					live = append(live, survivor{key: key, val: val, h: h})
-					st.KeysRecovered++
-					if rolled {
-						st.RolledBack++
-					}
-					return true
-				}
-			}
-			st.VersionsDiscarded++
-			rolled = true
-			var ok bool
-			if h.Magic != kv.Magic {
-				st.KeysLost++
-				return true
-			}
-			pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
-			if !ok {
-				st.KeysLost++
-				return true
-			}
-		}
-	})
-
-	// Pass 3: re-materialize the survivors into a canonical state — a
-	// fresh log in pool 0 and a clean table — fully flushed.
-	tb := (kv.TableBytes(cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	dev.Zero(0, tb)
-	for pi := 0; pi < 2; pi++ {
-		dev.Zero(s.pools[pi].Base(), cfg.PoolSize)
-		s.pools[pi] = kv.NewPool(dev, s.pools[pi].Base(), cfg.PoolSize)
-	}
-	for _, sv := range live {
-		h := kv.Header{
-			PrePtr:    kv.NilPtr,
-			NextPtr:   kv.NilPtr,
-			Seq:       sv.h.Seq,
-			CreatedAt: sv.h.CreatedAt,
-			CRC:       sv.h.CRC,
-			VLen:      sv.h.VLen,
-			Flags:     kv.FlagValid | kv.FlagDurable,
-		}
-		off, ok := s.pools[0].AppendObject(&h, sv.key)
-		if !ok {
-			panic("efactory: recovery pool overflow")
-		}
-		s.pools[0].WriteValue(off, len(sv.key), sv.val)
-		s.pools[0].FlushObject(off, len(sv.key), sv.h.VLen)
-		idx, _, ok := s.table.FindSlot(kv.HashKey(sv.key))
-		if !ok {
-			panic("efactory: recovery table overflow")
-		}
-		s.table.Publish(idx, kv.PackLoc(off, kv.ObjectSize(len(sv.key), sv.h.VLen)))
-	}
-	s.bgCursor[0] = s.pools[0].Used()
-	s.nextSeq = maxSeq
-	s.pools[0].SetSeq(maxSeq)
-	s.pools[1].SetSeq(maxSeq)
-
+	st := s.initStore()
 	s.startProcs()
 	return s, st
-}
-
-// readPersistedHeader decodes an object header from the persisted image.
-func (s *Server) readPersistedHeader(pi int, off uint64) kv.Header {
-	b := make([]byte, kv.HeaderSize)
-	s.dev.ReadPersisted(s.pools[pi].Base()+int(off), b)
-	return kv.DecodeHeader(b)
 }

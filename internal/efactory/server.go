@@ -1,64 +1,94 @@
 package efactory
 
 import (
+	"sync"
 	"time"
 
-	"efactory/internal/crc"
 	"efactory/internal/kv"
 	"efactory/internal/model"
 	"efactory/internal/nvm"
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
+	"efactory/internal/store"
 	"efactory/internal/wire"
 )
 
-// ServerStats counts server-side events; read it after Env.Run for
-// assertions and reporting.
+// ServerStats counts server-side events; read it via Server.Stats after
+// Env.Run for assertions and reporting.
 type ServerStats struct {
-	Puts            int // PUT requests handled
-	Gets            int // GET (RPC-path) requests handled
-	Dels            int // DELETE requests handled
-	GetFastPath     int // RPC gets satisfied by the durability check alone
-	GetVerified     int // RPC gets that verified+persisted on demand
-	GetRolledBack   int // RPC gets answered from a previous version
-	BGVerified      int // objects verified+persisted by the background thread
-	BGSkipped       int // objects the background thread skipped (already durable)
-	BGStale         int // superseded versions the background thread skipped
-	BGInvalidated   int // versions invalidated after VerifyTimeout
-	Cleanings       int // completed log-cleaning runs
-	CleanMoved      int // objects migrated during cleaning
-	CleanDropped    int // stale/invalid versions reclaimed
-	AllocFailures   int // PUTs rejected because the pool was full
+	store.Stats
 	ServerBusyNanos int64
 }
 
-// Server is the eFactory server node: NVM device, hash table, two data
-// pools, request workers, the background verification thread, and the log
-// cleaner.
+// nopLocker is the engine lock in simulation mode: the cooperative
+// scheduler runs one process at a time and the engine only yields inside
+// cost charges, so mutual exclusion holds by construction (a real mutex
+// would deadlock the single-threaded event loop).
+type nopLocker struct{}
+
+func (nopLocker) Lock()   {}
+func (nopLocker) Unlock() {}
+
+// simSink charges engine work as virtual time: each op maps to a
+// model.Params duration and sleeps the acting process for it. Foreground
+// ops are additionally accounted as server-busy time.
+type simSink struct {
+	env  *sim.Env
+	par  *model.Params
+	busy int64
+}
+
+func (k *simSink) Now() uint64 { return uint64(k.env.Now()) }
+
+func (k *simSink) Charge(h any, op store.Op, n int) {
+	var d time.Duration
+	switch op {
+	case store.OpLookup, store.OpBGLookup, store.OpCleanEntry:
+		d = k.par.HashLookupCost
+	case store.OpAlloc:
+		d = k.par.AllocCost
+	case store.OpGetScan, store.OpBGScan:
+		d = k.par.BGScanStep
+	case store.OpCRC, store.OpBGCRC:
+		d = k.par.CRCTime(n)
+	case store.OpFlush:
+		d = k.par.FlushTime(n)
+	case store.OpFlushClean:
+		d = k.par.FlushCleanTime(n)
+	case store.OpBGFlush:
+		d = k.par.BGFlushTime(n)
+	case store.OpCleanCopy:
+		d = k.par.CleanMoveCost + k.par.CopyTime(n) + k.par.BGFlushTime(n)
+	}
+	if d == 0 {
+		return
+	}
+	if op.Foreground() {
+		k.busy += int64(d)
+	}
+	h.(*sim.Proc).Sleep(d)
+}
+
+// Server is the eFactory server node: NVM device, the sharded storage
+// engine (internal/store), per-shard memory regions, request workers, and
+// one background verification process per shard. All storage logic lives
+// in the engine; this type is the simulation-transport adapter.
 type Server struct {
 	env *sim.Env
 	par *model.Params
 	cfg Config
 
-	nic     *rnic.NIC
-	dev     *nvm.Memory
-	table   *kv.Table
-	tableMR *rnic.MR
-	pools   [2]*kv.Pool
-	poolMR  [2]*rnic.MR
+	nic  *rnic.NIC
+	dev  *nvm.Memory
+	st   *store.Store
+	sink *simSink
 
-	cur      int  // index of the current working pool
-	mark     int  // mark bit all entries carry outside cleaning (== cur)
-	cleaning bool // log cleaning in progress
-	merging  bool // cleaning is in the merge stage (writes go to new pool)
+	tableMR []*rnic.MR
+	poolMR  [][2]*rnic.MR
 
-	srq      *sim.Queue[rnic.Message]
-	clients  []*rnic.Endpoint
-	nextSeq  uint64
-	bgCursor [2]int
-	stopped  bool
-
-	Stats ServerStats
+	srq     *sim.Queue[rnic.Message]
+	clients []*rnic.Endpoint
+	stopped bool
 }
 
 // NewServer builds a server on a fresh NVM device, registers its memory
@@ -74,21 +104,43 @@ func NewServer(env *sim.Env, par *model.Params, cfg Config) *Server {
 	s := &Server{env: env, par: par, cfg: cfg, dev: dev}
 	s.nic = rnic.NewNIC(env, par, "efactory-server")
 	s.srq = s.nic.EnableSRQ()
-	s.initLayout()
+	s.initStore()
 	s.startProcs()
 	return s
 }
 
-// initLayout carves the device into table + two pools and registers MRs.
-func (s *Server) initLayout() {
-	tb := (kv.TableBytes(s.cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	s.table = kv.NewTable(s.dev, 0, s.cfg.Buckets)
-	s.tableMR = s.nic.RegisterMR(s.dev, 0, tb)
-	for i := 0; i < 2; i++ {
-		base := tb + i*s.cfg.PoolSize
-		s.pools[i] = kv.NewPool(s.dev, base, s.cfg.PoolSize)
-		s.poolMR[i] = s.nic.RegisterMR(s.dev, base, s.cfg.PoolSize)
+// initStore builds the sharded engine over the device (recovering any
+// persisted state) and registers one MR per shard region.
+func (s *Server) initStore() store.RecoveryStats {
+	s.sink = &simSink{env: s.env, par: s.par}
+	deps := store.Deps{
+		Sink:    s.sink,
+		NewLock: func() sync.Locker { return nopLocker{} },
+		Spawn: func(name string, fn func(h any)) {
+			s.env.Go("efactory-cleaner", func(p *sim.Proc) { fn(p) })
+		},
+		CleanerWait: func(h any) bool {
+			h.(*sim.Proc).Sleep(s.par.BGIdlePoll)
+			return true
+		},
+		OnCleanStart: func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanStart) },
+		OnCleanEnd:   func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanEnd) },
 	}
+	st, rst, err := store.New(s.dev, s.cfg.storeConfig(), deps)
+	if err != nil {
+		panic("efactory: " + err.Error())
+	}
+	s.st = st
+	l := st.Layout()
+	s.tableMR = make([]*rnic.MR, l.Shards)
+	s.poolMR = make([][2]*rnic.MR, l.Shards)
+	for sh := 0; sh < l.Shards; sh++ {
+		s.tableMR[sh] = s.nic.RegisterMR(s.dev, l.TableBase(sh), l.TableBytesAligned())
+		for i := 0; i < 2; i++ {
+			s.poolMR[sh][i] = s.nic.RegisterMR(s.dev, l.PoolBase(sh, i), l.PoolSize)
+		}
+	}
+	return rst
 }
 
 func (s *Server) startProcs() {
@@ -96,7 +148,25 @@ func (s *Server) startProcs() {
 		s.env.Go("efactory-worker", s.worker)
 	}
 	if !s.cfg.DisableBackground {
-		s.env.Go("efactory-bg", s.background)
+		for i := 0; i < s.st.NumShards(); i++ {
+			eng := s.st.Shard(i)
+			s.env.Go("efactory-bg", func(p *sim.Proc) { s.bgLoop(eng, p) })
+		}
+	}
+}
+
+// bgLoop drives one shard's background verification thread (§4.3.2).
+func (s *Server) bgLoop(eng *store.Engine, p *sim.Proc) {
+	for !s.stopped {
+		progressed := false
+		for pi := 0; pi < 2; pi++ {
+			for eng.BGStep(p, pi) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			p.Sleep(s.par.BGIdlePoll)
+		}
 	}
 }
 
@@ -106,21 +176,37 @@ func (s *Server) Device() *nvm.Memory { return s.dev }
 // NIC exposes the server NIC (tests crash it).
 func (s *Server) NIC() *rnic.NIC { return s.nic }
 
-// Table exposes the hash index for tests and recovery checks.
-func (s *Server) Table() *kv.Table { return s.table }
+// Store exposes the sharded storage engine.
+func (s *Server) Store() *store.Store { return s.st }
 
-// Pool returns data pool i (0 or 1).
-func (s *Server) Pool(i int) *kv.Pool { return s.pools[i] }
+// Table exposes shard 0's hash index for tests and recovery checks.
+func (s *Server) Table() *kv.Table { return s.st.Shard(0).Table() }
 
-// CurrentPool returns the index of the current working pool.
-func (s *Server) CurrentPool() int { return s.cur }
+// Pool returns shard 0's data pool i (0 or 1).
+func (s *Server) Pool(i int) *kv.Pool { return s.st.Shard(0).Pool(i) }
 
-// Cleaning reports whether log cleaning is in progress.
-func (s *Server) Cleaning() bool { return s.cleaning }
+// CurrentPool returns the index of shard 0's current working pool.
+func (s *Server) CurrentPool() int { return s.st.Shard(0).CurrentPool() }
+
+// Cleaning reports whether log cleaning is in progress on any shard.
+func (s *Server) Cleaning() bool { return s.st.Cleaning() }
+
+// StartCleaning triggers a log-cleaning run on every shard; it reports
+// whether at least one run started.
+func (s *Server) StartCleaning() bool { return s.st.StartCleaning() }
+
+// Stats returns a snapshot of the aggregated server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Stats: s.st.StatsTotal(), ServerBusyNanos: s.sink.busy}
+}
+
+// ShardStats returns per-shard engine counters.
+func (s *Server) ShardStats() []store.Stats { return s.st.ShardStats() }
 
 // Stop shuts down the server's processes (end of an experiment).
 func (s *Server) Stop() {
 	s.stopped = true
+	s.st.Stop()
 	s.srq.Close()
 }
 
@@ -129,25 +215,26 @@ func (s *Server) AttachClient(name string) *Client {
 	cnic := rnic.NewNIC(s.env, s.par, name)
 	ce, se := rnic.Connect(cnic, s.nic)
 	s.clients = append(s.clients, se)
-	return &Client{
-		env:       s.env,
-		par:       s.par,
-		ep:        ce,
-		tableRKey: s.tableMR.RKey(),
-		buckets:   s.cfg.Buckets,
-		poolRKey:  [2]uint32{s.poolMR[0].RKey(), s.poolMR[1].RKey()},
-		hybrid:    true,
+	shards := make([]shardGeom, s.st.NumShards())
+	for i := range shards {
+		shards[i] = shardGeom{
+			tableRKey: s.tableMR[i].RKey(),
+			poolRKey:  [2]uint32{s.poolMR[i][0].RKey(), s.poolMR[i][1].RKey()},
+		}
 	}
-}
-
-func (s *Server) seq() uint64 {
-	s.nextSeq++
-	return s.nextSeq
+	return &Client{
+		env:     s.env,
+		par:     s.par,
+		ep:      ce,
+		shards:  shards,
+		buckets: s.cfg.Buckets,
+		hybrid:  true,
+	}
 }
 
 // busy charges d of CPU time to the worker process p and accounts it.
 func (s *Server) busy(p *sim.Proc, d time.Duration) {
-	s.Stats.ServerBusyNanos += int64(d)
+	s.sink.busy += int64(d)
 	p.Sleep(d)
 }
 
@@ -159,7 +246,7 @@ func (s *Server) recvCost() time.Duration {
 }
 
 // worker is one request-processing thread: it drains the shared receive
-// queue and dispatches requests.
+// queue and dispatches requests to the owning shard's engine.
 func (s *Server) worker(p *sim.Proc) {
 	for {
 		msg, ok := s.srq.Get(p)
@@ -172,244 +259,71 @@ func (s *Server) worker(p *sim.Proc) {
 			continue
 		}
 		s.busy(p, s.par.DispatchCost)
+		shard := kv.ShardOf(kv.HashKey(m.Key), s.st.NumShards())
+		eng := s.st.Shard(shard)
 		switch m.Type {
 		case wire.TPut:
-			s.handlePut(p, msg.From, m)
+			s.handlePut(p, msg.From, shard, eng, m)
 		case wire.TGet:
-			s.handleGet(p, msg.From, m)
+			s.handleGet(p, msg.From, shard, eng, m)
 		case wire.TDel:
-			s.handleDel(p, msg.From, m)
+			s.handleDel(p, msg.From, eng, m)
 		}
 	}
 }
 
-func (s *Server) reply(p *sim.Proc, to *rnic.Endpoint, m wire.Msg) {
-	if s.cleaning {
+func (s *Server) reply(p *sim.Proc, to *rnic.Endpoint, eng *store.Engine, m wire.Msg) {
+	if eng.Cleaning() {
 		m.Note |= wire.NoteCleaning
 	}
 	s.busy(p, s.par.SendCost)
 	_ = to.Send(p, m.Encode())
 }
 
-// writePool returns the pool (and its index) new allocations go to: the
-// current pool normally and during the compress stage, the new pool during
-// the merge stage (§4.4).
-func (s *Server) writePool() (int, *kv.Pool) {
-	if s.merging {
-		return 1 - s.cur, s.pools[1-s.cur]
-	}
-	return s.cur, s.pools[s.cur]
-}
-
-// slotFor returns which entry location slot publishes pool pi.
-// Outside cleaning all entries have mark == s.mark and slot mark == pool
-// cur; the "other" slot is the staging slot for the new pool.
-func (s *Server) slotFor(pi int) int {
-	if pi == s.cur {
-		return s.mark
-	}
-	return 1 - s.mark
-}
-
-// handlePut implements PUT steps 2-4 of Figure 5: allocate in the log,
-// fill+persist metadata (including the version pointer to the previous
-// version), publish the hash entry, and return the allocation. The value
-// arrives later via the client's one-sided write; durability is
-// asynchronous (§4.3.1).
-func (s *Server) handlePut(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
-	s.Stats.Puts++
-	vlen := int(m.Len)
-	pi, pool := s.writePool()
-	size := kv.ObjectSize(len(m.Key), vlen)
-
-	if s.cfg.CleanThreshold > 0 && !s.cleaning &&
-		float64(pool.Free()-size) < s.cfg.CleanThreshold*float64(pool.Cap()) {
-		s.startCleaning()
-		pi, pool = s.writePool()
-	}
-
-	keyHash := kv.HashKey(m.Key)
-	idx, existed, ok := s.table.FindSlot(keyHash)
-	if !ok {
-		s.Stats.AllocFailures++
-		s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
+func (s *Server) handlePut(p *sim.Proc, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
+	res := eng.Put(p, m.Key, int(m.Len), m.Crc)
+	if res.Status != store.StatusOK {
+		s.reply(p, from, eng, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
 		return
 	}
-	if !existed && s.mark == 1 {
-		s.table.SetMark(idx, s.mark)
-	}
-	// Charge the allocation cost BEFORE reading the entry: from here to
-	// the entry publish below there must be no yield point, so concurrent
-	// workers updating the same key cannot interleave between reading the
-	// previous version pointer and publishing the new head (which would
-	// orphan versions from the chain).
-	s.busy(p, s.par.AllocCost)
-	e := s.table.Entry(idx)
-
-	// Chain to the previous version: prefer the location in the pool
-	// being written (same-pool chain), else cross-pool.
-	pre := kv.NilPtr
-	slot := s.slotFor(pi)
-	if loc := e.Loc[slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(pi, off, l)
-	} else if loc := e.Loc[1-slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(poolOfSlot(1-slot, s), off, l)
-	}
-
-	h := kv.Header{
-		PrePtr:    pre,
-		NextPtr:   kv.NilPtr,
-		Seq:       s.seq(),
-		CreatedAt: uint64(s.env.Now()),
-		CRC:       m.Crc,
-		VLen:      vlen,
-		Flags:     kv.FlagValid,
-	}
-	off, allocOK := pool.AppendObject(&h, m.Key)
-	if !allocOK {
-		s.Stats.AllocFailures++
-		s.reply(p, from, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
-		return
-	}
-
-	if e.Tombstone() {
-		s.table.Undelete(idx)
-	}
-	s.table.SetLoc(idx, slot, kv.PackLoc(off, size))
-
-	// Maintain the forward link (Figure 4's NextPTR): the previous
-	// version now knows its successor, which log cleaning uses to locate
-	// the next version of a migrated object.
-	if prePool, preOff, _, ok := kv.UnpackVPtr(pre); ok {
-		s.pools[prePool].SetNextPtr(preOff, kv.PackVPtr(pi, off, size))
-	}
-
-	s.reply(p, from, wire.Msg{
+	s.reply(p, from, eng, wire.Msg{
 		Type:   wire.TPutResp,
 		Status: wire.StOK,
-		RKey:   s.poolMR[pi].RKey(),
-		Off:    off,
-		Len:    uint64(size),
+		RKey:   s.poolMR[shard][res.Pool].RKey(),
+		Off:    res.Off,
+		Len:    uint64(res.Len),
 	})
 }
 
-// poolOfSlot maps an entry location slot back to its pool index.
-func poolOfSlot(slot int, s *Server) int {
-	if slot == s.mark {
-		return s.cur
-	}
-	return 1 - s.cur
-}
-
-// resolveEntry picks the location a GET should start from: the relatively
-// new offset if one is staged (during cleaning), else the current one.
-func (s *Server) resolveEntry(e kv.Entry) (pi int, off uint64, totalLen int, ok bool) {
-	if loc := e.Other(); loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		return poolOfSlot(1-e.Mark(), s), off, l, true
-	}
-	if loc := e.Current(); loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		return poolOfSlot(e.Mark(), s), off, l, true
-	}
-	return 0, 0, 0, false
-}
-
-// handleGet implements the RPC side of the hybrid read scheme (GET steps
-// 6-8 of Figure 6) with the selective durability guarantee: check the
-// durability flag first, verify+persist only when needed, and roll back
-// through the version list to the newest intact version.
-func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
-	s.Stats.Gets++
-	keyHash := kv.HashKey(m.Key)
-	s.busy(p, s.par.HashLookupCost)
-	_, e, found := s.table.Lookup(keyHash)
-	if !found || e.Tombstone() {
-		s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
+func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
+	res := eng.Get(p, m.Key)
+	if res.Status != store.StatusOK {
+		s.reply(p, from, eng, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
 		return
 	}
-	pi, off, totalLen, ok := s.resolveEntry(e)
-	if !ok {
-		s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
-		return
-	}
-	first := true
-	for {
-		pool := s.pools[pi]
-		s.busy(p, s.par.BGScanStep) // header fetch + durability check
-		h := pool.Header(off)
-		if h.Magic != kv.Magic {
-			break
-		}
-		if h.Valid() {
-			if h.Durable() && !s.cfg.DisableSelectiveDurability {
-				if first {
-					s.Stats.GetFastPath++
-				} else {
-					s.Stats.GetRolledBack++
-				}
-				s.replyLoc(p, from, pi, off, totalLen, h.KLen)
-				return
-			}
-			if h.Durable() {
-				// Ablation mode: re-verify despite the flag.
-				s.busy(p, s.par.CRCTime(h.VLen)+s.par.FlushCleanTime(totalLen))
-				s.Stats.GetVerified++
-				s.replyLoc(p, from, pi, off, totalLen, h.KLen)
-				return
-			}
-			// Not yet durable: verify and persist on demand.
-			s.busy(p, s.par.CRCTime(h.VLen))
-			val := pool.ReadValue(off, h.KLen, h.VLen)
-			if crc.Checksum(val) == h.CRC {
-				s.busy(p, s.par.FlushTime(totalLen))
-				pool.FlushObject(off, h.KLen, h.VLen)
-				pool.SetFlags(off, h.Flags|kv.FlagDurable)
-				if first {
-					s.Stats.GetVerified++
-				} else {
-					s.Stats.GetRolledBack++
-				}
-				s.replyLoc(p, from, pi, off, totalLen, h.KLen)
-				return
-			}
-			if uint64(s.env.Now())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
-				pool.SetFlags(off, h.Flags&^kv.FlagValid)
-				s.Stats.BGInvalidated++
-			}
-		}
-		// Walk to the previous version.
-		var okPre bool
-		pi, off, totalLen, okPre = kv.UnpackVPtr(h.PrePtr)
-		if !okPre {
-			break
-		}
-		first = false
-	}
-	s.reply(p, from, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
-}
-
-func (s *Server) replyLoc(p *sim.Proc, from *rnic.Endpoint, pi int, off uint64, totalLen, klen int) {
-	s.reply(p, from, wire.Msg{
+	s.reply(p, from, eng, wire.Msg{
 		Type:   wire.TGetResp,
 		Status: wire.StOK,
-		RKey:   s.poolMR[pi].RKey(),
-		Off:    off,
-		Len:    uint64(totalLen),
-		KLen:   uint32(klen),
+		RKey:   s.poolMR[shard][res.Pool].RKey(),
+		Off:    res.Off,
+		Len:    uint64(res.Len),
+		KLen:   uint32(res.KLen),
 	})
 }
 
-func (s *Server) handleDel(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
-	s.Stats.Dels++
-	s.busy(p, s.par.HashLookupCost)
-	idx, e, found := s.table.Lookup(kv.HashKey(m.Key))
-	if !found || e.Tombstone() {
-		s.reply(p, from, wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound})
+func (s *Server) handleDel(p *sim.Proc, from *rnic.Endpoint, eng *store.Engine, m wire.Msg) {
+	if eng.Del(p, m.Key) != store.StatusOK {
+		s.reply(p, from, eng, wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound})
 		return
 	}
-	s.table.Delete(idx)
-	s.reply(p, from, wire.Msg{Type: wire.TDelResp, Status: wire.StOK})
+	s.reply(p, from, eng, wire.Msg{Type: wire.TDelResp, Status: wire.StOK})
+}
+
+// broadcast notifies every connected client (cleaning start/end).
+func (s *Server) broadcast(p *sim.Proc, typ uint8) {
+	m := wire.Msg{Type: typ}
+	for _, ep := range s.clients {
+		s.busy(p, s.par.SendCost)
+		_ = ep.Send(p, m.Encode())
+	}
 }

@@ -1,0 +1,64 @@
+package kv
+
+import "efactory/internal/nvm"
+
+// Layout describes how a device is carved into per-shard regions. Each
+// shard owns a hash-table region followed by two data pools; shard regions
+// are laid out back to back. With Shards == 1 the layout is byte-identical
+// to the original single-engine layout (table, pool 0, pool 1), so existing
+// stores and fsck reports remain readable.
+type Layout struct {
+	Shards   int // number of shards (>= 1)
+	Buckets  int // hash buckets per shard
+	PoolSize int // bytes per data pool (each shard has two)
+}
+
+// align rounds n up to the next cache-line boundary.
+func align(n int) int {
+	return (n + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+}
+
+// TableBytesAligned returns the line-aligned size of one shard's table.
+func (l Layout) TableBytesAligned() int {
+	return align(TableBytes(l.Buckets))
+}
+
+// ShardStride returns the distance between consecutive shard regions.
+func (l Layout) ShardStride() int {
+	return align(l.TableBytesAligned() + 2*l.PoolSize)
+}
+
+// TableBase returns the device offset of shard s's hash table.
+func (l Layout) TableBase(s int) int {
+	return s * l.ShardStride()
+}
+
+// PoolBase returns the device offset of shard s's pool pi (0 or 1).
+func (l Layout) PoolBase(s, pi int) int {
+	return l.TableBase(s) + l.TableBytesAligned() + pi*l.PoolSize
+}
+
+// DeviceSize returns the total capacity the layout needs.
+func (l Layout) DeviceSize() int {
+	return l.Shards * l.ShardStride()
+}
+
+// ShardOf maps a key hash to its owning shard. The hash is re-mixed with a
+// 64-bit finalizer first: FNV-1a distributes its low bits well but leaves
+// the high bits nearly constant across short, similar keys, and shard
+// routing must not reuse the raw low bits because BucketIndex consumes them
+// (hash % buckets) — that would make every shard's table see only a
+// 1/Shards-dense stripe of bucket indexes. The finalizer gives shard
+// selection a full avalanche that stays decorrelated from bucket choice.
+func ShardOf(hash uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := hash
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}

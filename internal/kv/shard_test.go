@@ -1,0 +1,58 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"efactory/internal/nvm"
+)
+
+func TestLayoutSingleShardMatchesLegacy(t *testing.T) {
+	l := Layout{Shards: 1, Buckets: 4096, PoolSize: 8 << 20}
+	tb := (TableBytes(4096) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	if got := l.TableBase(0); got != 0 {
+		t.Errorf("TableBase(0) = %d, want 0", got)
+	}
+	if got := l.PoolBase(0, 0); got != tb {
+		t.Errorf("PoolBase(0,0) = %d, want %d", got, tb)
+	}
+	if got := l.PoolBase(0, 1); got != tb+8<<20 {
+		t.Errorf("PoolBase(0,1) = %d, want %d", got, tb+8<<20)
+	}
+}
+
+func TestLayoutShardsDoNotOverlap(t *testing.T) {
+	l := Layout{Shards: 4, Buckets: 1024, PoolSize: 1 << 20}
+	for s := 0; s < l.Shards; s++ {
+		if l.TableBase(s)%nvm.LineSize != 0 {
+			t.Errorf("shard %d table base %d not line-aligned", s, l.TableBase(s))
+		}
+		end := l.PoolBase(s, 1) + l.PoolSize
+		if s+1 < l.Shards && end > l.TableBase(s+1) {
+			t.Errorf("shard %d ends at %d, past shard %d base %d", s, end, s+1, l.TableBase(s+1))
+		}
+		if end > l.DeviceSize() {
+			t.Errorf("shard %d ends at %d, past device size %d", s, end, l.DeviceSize())
+		}
+	}
+}
+
+func TestShardOfBoundsAndSpread(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		counts := make([]int, shards)
+		for i := 0; i < 4096; i++ {
+			s := ShardOf(HashKey([]byte(fmt.Sprintf("key-%d", i))), shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf out of range: %d (shards %d)", s, shards)
+			}
+			counts[s]++
+		}
+		// Sequential short keys must spread: no shard may be starved
+		// below half its fair share.
+		for s, n := range counts {
+			if n < 4096/shards/2 {
+				t.Errorf("shards=%d: shard %d got %d of 4096 keys", shards, s, n)
+			}
+		}
+	}
+}

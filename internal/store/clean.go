@@ -1,0 +1,244 @@
+package store
+
+import (
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+)
+
+// Log cleaning (§4.4) reclaims deleted and stale versions in two stages:
+//
+// Stage 1, log compressing: clients are told to switch to the RPC+RDMA
+// read scheme; a fresh data pool is prepared; the cleaner scans the old
+// pool in reverse (newest first) and migrates, for each live key, the
+// newest version that is durable or can be made durable, staging the new
+// location in the hash entry's second offset. Writes keep flowing into the
+// old pool and publish through the "old" offset as usual.
+//
+// Stage 2, log merging: new writes switch to the new pool; the objects
+// written to the old pool during compression are scanned in reverse and
+// merged, skipping any version superseded by a durable newer one (the
+// D1/D2 rule of Figure 7(b)).
+//
+// Finally every entry's mark bit flips to the new pool, old offsets are
+// cleared, clients are told cleaning has finished, and the pools swap
+// roles.
+//
+// The cleaner takes the engine lock per migration attempt so request
+// handling interleaves; when a value it needs is still in flight it backs
+// off through Deps.CleanerWait and retries the whole attempt.
+
+// StartCleaning triggers a log-cleaning run on this shard (also triggered
+// automatically by CleanThreshold). It returns false if one is already in
+// progress or the engine is stopped.
+func (e *Engine) StartCleaning() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cleaning || e.stopped {
+		return false
+	}
+	e.startCleaningLocked()
+	return true
+}
+
+// startCleaningLocked spawns the cleaner; callers hold mu.
+func (e *Engine) startCleaningLocked() {
+	e.cleaning = true
+	e.deps.Spawn("store-cleaner", e.runCleaner)
+}
+
+// runCleaner is the log-cleaning process for one run.
+func (e *Engine) runCleaner(h any) {
+	if e.deps.OnCleanStart != nil {
+		e.deps.OnCleanStart(h)
+	}
+
+	e.mu.Lock()
+	old := e.cur
+	newer := 1 - e.cur
+	// Prepare the new pool: recycle the region and zero it so stale
+	// headers from the run before last cannot be misread.
+	e.dev.Zero(e.pools[newer].Base(), e.cfg.PoolSize)
+	e.pools[newer] = kv.NewPool(e.dev, e.pools[newer].Base(), e.cfg.PoolSize)
+	e.pools[newer].SetSeq(e.nextSeq)
+	e.bgCursor[newer] = 0
+	compressEnd := e.pools[old].Used()
+	e.mu.Unlock()
+
+	// ---- Stage 1: log compressing ----
+	if !e.sweep(h, old, 0, compressEnd) {
+		return // shutdown mid-run: staged state stays; recovery handles it
+	}
+
+	// ---- Stage 2: log merging ----
+	e.mu.Lock()
+	e.merging = true // new writes now target the new pool
+	mergeEnd := e.pools[old].Used()
+	e.mu.Unlock()
+	if !e.sweep(h, old, compressEnd, mergeEnd) {
+		return
+	}
+
+	// Final sweep: flip every staged entry to the new pool; reclaim
+	// entries with no surviving version.
+	e.mu.Lock()
+	e.table.RangeAll(func(i int, en kv.Entry) bool {
+		e.sink.Charge(h, OpCleanEntry, 0)
+		if en.Tombstone() || en.Loc[1-e.mark] == 0 {
+			e.table.Clear(i)
+			return true
+		}
+		e.table.FlipMark(i)
+		return true
+	})
+	e.cur = newer
+	e.mark = 1 - e.mark
+	e.merging = false
+	e.cleaning = false
+	e.stats.Cleanings++
+	e.mu.Unlock()
+
+	if e.deps.OnCleanEnd != nil {
+		e.deps.OnCleanEnd(h)
+	}
+}
+
+// sweep reverse-scans pool pi over [lo, hi) and migrates live versions to
+// the other pool. It returns false if the run was aborted by CleanerWait.
+func (e *Engine) sweep(h any, pi, lo, hi int) bool {
+	e.mu.Lock()
+	// Collect object offsets in the window, then walk newest-first.
+	var offs []uint64
+	e.pools[pi].Scan(hi, func(off uint64, hd kv.Header) bool {
+		if int(off) >= lo {
+			offs = append(offs, off)
+		}
+		return true
+	})
+	e.mu.Unlock()
+	for i := len(offs) - 1; i >= 0; i-- {
+		for !e.tryMigrate(h, pi, offs[i]) {
+			// An involved version's value is still in flight: back off and
+			// retry (the paper's merge rule: skip the older version only
+			// once the newer "already or can be made durable").
+			if !e.deps.CleanerWait(h) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// verdicts of ensureDurableLocked.
+const (
+	durYes = iota
+	durDead
+	durInFlight
+)
+
+// tryMigrate performs one migration attempt for the version at off in pool
+// pi under the lock: migrate it to the new pool, or drop it as
+// stale/dead. It reports false when it must be retried because a value is
+// still in flight.
+func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pool := e.pools[pi]
+	e.sink.Charge(h, OpBGScan, 0)
+	hd := pool.Header(off)
+	if hd.Magic != kv.Magic || !hd.Valid() {
+		e.stats.CleanDropped++
+		return true
+	}
+	key := make([]byte, hd.KLen)
+	e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+	e.sink.Charge(h, OpBGLookup, 0)
+	idx, en, found := e.table.Lookup(kv.HashKey(key))
+	if !found || en.Tombstone() {
+		e.stats.CleanDropped++
+		return true
+	}
+	newSlot := 1 - e.mark
+	if staged := en.Loc[newSlot]; staged != 0 {
+		// A newer version was already migrated (reverse scan visits
+		// newest first) or written directly to the new pool during
+		// merging. Confirm it is durable — or can be made durable —
+		// before discarding this one (Figure 7(b)'s D1/D2 rule).
+		stagedOff, _, _ := kv.UnpackLoc(staged)
+		stagedHdr := e.pools[1-pi].Header(stagedOff)
+		if stagedHdr.Seq > hd.Seq {
+			switch e.ensureDurableLocked(h, 1-pi, stagedOff) {
+			case durYes:
+				pool.SetFlags(off, hd.Flags|kv.FlagTrans)
+				e.stats.CleanDropped++
+				return true
+			case durInFlight:
+				return false // wait for the newer version to settle
+			}
+			// durDead: fall through and migrate this older version.
+		}
+	}
+	// This version is the migration candidate: it must be intact.
+	switch e.ensureDurableLocked(h, pi, off) {
+	case durDead:
+		e.stats.CleanDropped++
+		return true // dead write; an older version may still be migrated later
+	case durInFlight:
+		return false
+	}
+	hd = pool.Header(off) // re-read: ensureDurableLocked set the flag
+	dst := e.pools[1-pi]
+	size := kv.ObjectSize(hd.KLen, hd.VLen)
+	nh := kv.Header{
+		PrePtr:    kv.NilPtr,
+		NextPtr:   kv.NilPtr,
+		Seq:       hd.Seq,
+		CreatedAt: hd.CreatedAt,
+		CRC:       hd.CRC,
+		VLen:      hd.VLen,
+		Flags:     kv.FlagValid | kv.FlagDurable,
+	}
+	e.sink.Charge(h, OpCleanCopy, size)
+	newOff, ok := dst.AppendObject(&nh, key)
+	if !ok {
+		// Should be impossible: the live set fits by construction. Leave
+		// the old copy authoritative.
+		return true
+	}
+	dst.WriteValue(newOff, hd.KLen, pool.ReadValue(off, hd.KLen, hd.VLen))
+	dst.FlushObject(newOff, hd.KLen, hd.VLen)
+	// Mark the old copy as transferred, then stage the entry.
+	pool.SetFlags(off, hd.Flags|kv.FlagTrans)
+	e.table.SetLoc(idx, 1-e.mark, kv.PackLoc(newOff, size))
+	e.stats.CleanMoved++
+	return true
+}
+
+// ensureDurableLocked verifies and persists the version at off if
+// possible: durYes once the durability flag is set, durDead if the version
+// is (or just became) invalid, durInFlight if the CRC mismatches but the
+// verify timeout has not elapsed. Callers hold mu.
+func (e *Engine) ensureDurableLocked(h any, pi int, off uint64) int {
+	pool := e.pools[pi]
+	hd := pool.Header(off)
+	if !hd.Valid() {
+		return durDead
+	}
+	if hd.Durable() {
+		return durYes
+	}
+	e.sink.Charge(h, OpBGCRC, hd.VLen)
+	val := pool.ReadValue(off, hd.KLen, hd.VLen)
+	if crc.Checksum(val) == hd.CRC {
+		size := kv.ObjectSize(hd.KLen, hd.VLen)
+		e.sink.Charge(h, OpBGFlush, size)
+		pool.FlushObject(off, hd.KLen, hd.VLen)
+		pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+		return durYes
+	}
+	if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
+		pool.SetFlags(off, hd.Flags&^kv.FlagValid)
+		e.stats.BGInvalidated++
+		return durDead
+	}
+	return durInFlight
+}

@@ -1,0 +1,431 @@
+// Package store is the eFactory storage engine, extracted from the two
+// transports that used to carry private copies of it. One Engine owns one
+// shard: a hash-table region, a pair of log-structured data pools with
+// version chains and durability flags (§4.2-4.3), the background
+// verification cursor (§4.3.2), the two-stage log cleaner (§4.4), and
+// crash recovery. The engine is parameterized over a CostSink (virtual
+// time in simulation, wall clock over TCP) and a Deps bundle (locking,
+// goroutine spawning, cleaner pacing), so the simulation server and the
+// TCP server are both thin protocol adapters over the same code.
+//
+// Store composes N engines into a sharded keyspace: each shard owns its
+// own device region, background cursor, and cleaner, and clients route
+// requests by the same key-hash split (kv.ShardOf).
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+)
+
+// Config sizes an engine fleet.
+type Config struct {
+	Shards   int // number of shards; 0 or 1 means the classic single engine
+	Buckets  int // hash buckets PER SHARD
+	PoolSize int // bytes per data pool (each shard has two)
+	// VerifyTimeout bounds how long an incomplete write may stay pending
+	// before being invalidated (measured on the sink's clock).
+	VerifyTimeout time.Duration
+	// CleanThreshold triggers log cleaning when the working pool's free
+	// fraction drops below it. Zero disables automatic cleaning.
+	CleanThreshold float64
+	// DisableSelectiveDurability makes GET re-verify objects whose
+	// durability flag is already set (ablation mode, §6.3).
+	DisableSelectiveDurability bool
+}
+
+// Layout returns the device layout this config implies.
+func (c Config) Layout() kv.Layout {
+	shards := c.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return kv.Layout{Shards: shards, Buckets: c.Buckets, PoolSize: c.PoolSize}
+}
+
+// DeviceSize returns the NVM capacity a store with this config needs.
+func (c Config) DeviceSize() int { return c.Layout().DeviceSize() }
+
+// Deps injects the transport-specific runtime: how to lock, how to spawn
+// the cleaner, how the cleaner waits for in-flight writes, and what to do
+// around a cleaning run. Nil fields get real-time defaults (sync.Mutex,
+// plain goroutines), which is what the TCP transport wants; the simulation
+// transport overrides everything with cooperative-scheduler equivalents.
+type Deps struct {
+	// Sink is the engine clock and cost model. Nil means wall clock.
+	Sink CostSink
+	// NewLock returns the lock guarding one engine's metadata. The
+	// simulation supplies a no-op locker: its scheduler runs one process
+	// at a time and the engine only yields inside Charge, so mutual
+	// exclusion holds by construction (a real mutex would deadlock it).
+	NewLock func() sync.Locker
+	// Spawn starts the cleaner. h is passed through to the engine's
+	// callbacks (the simulation passes the spawned *sim.Proc).
+	Spawn func(name string, fn func(h any))
+	// CleanerWait pauses the cleaner while a value it needs is still in
+	// flight. It returns false to abort the cleaning run (shutdown).
+	CleanerWait func(h any) bool
+	// OnCleanStart and OnCleanEnd run outside the engine lock at the
+	// boundaries of a cleaning run (the simulation broadcasts the
+	// client notifications from them). Either may be nil.
+	OnCleanStart func(h any)
+	OnCleanEnd   func(h any)
+}
+
+func (d *Deps) fillDefaults() {
+	if d.Sink == nil {
+		d.Sink = realSink{}
+	}
+	if d.NewLock == nil {
+		d.NewLock = func() sync.Locker { return &sync.Mutex{} }
+	}
+	if d.Spawn == nil {
+		d.Spawn = func(name string, fn func(h any)) { go fn(nil) }
+	}
+	if d.CleanerWait == nil {
+		d.CleanerWait = func(h any) bool { time.Sleep(time.Millisecond); return true }
+	}
+}
+
+// Status is the outcome of an engine operation; transports map it to wire
+// statuses.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusFull
+)
+
+// PutResult tells the transport where the allocation landed so it can hand
+// the client a one-sided write target.
+type PutResult struct {
+	Status Status
+	Pool   int    // data pool index within the shard
+	Off    uint64 // pool-relative object offset
+	Len    int    // total object length
+}
+
+// GetResult tells the transport where the durable version lives.
+type GetResult struct {
+	Status Status
+	Pool   int
+	Off    uint64
+	Len    int // total object length
+	KLen   int
+}
+
+// Engine is one shard of the storage engine.
+type Engine struct {
+	shard int
+	cfg   Config
+	deps  Deps
+	sink  CostSink
+	dev   nvm.Device
+
+	table *kv.Table
+	pools [2]*kv.Pool
+
+	mu       sync.Locker // guards all metadata below
+	cur      int         // index of the current working pool
+	mark     int         // mark bit entries carry outside cleaning (== cur)
+	cleaning bool        // log cleaning in progress
+	merging  bool        // cleaning is in the merge stage (writes go to new pool)
+	nextSeq  uint64
+	bgCursor [2]int
+	stopped  bool
+	stats    Stats
+}
+
+func newEngine(dev nvm.Device, cfg Config, deps Deps, l kv.Layout, shard int) *Engine {
+	e := &Engine{
+		shard: shard,
+		cfg:   cfg,
+		deps:  deps,
+		sink:  deps.Sink,
+		dev:   dev,
+		table: kv.NewTable(dev, l.TableBase(shard), l.Buckets),
+		mu:    deps.NewLock(),
+	}
+	for i := 0; i < 2; i++ {
+		e.pools[i] = kv.NewPool(dev, l.PoolBase(shard, i), l.PoolSize)
+	}
+	return e
+}
+
+// Shard returns this engine's shard index.
+func (e *Engine) Shard() int { return e.shard }
+
+// Table exposes the shard's hash index (tests and fsck).
+func (e *Engine) Table() *kv.Table { return e.table }
+
+// Pool returns data pool i (0 or 1). Pools are recycled by the log
+// cleaner, so callers must not cache the result across cleanings.
+func (e *Engine) Pool(i int) *kv.Pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pools[i]
+}
+
+// CurrentPool returns the index of the current working pool.
+func (e *Engine) CurrentPool() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur
+}
+
+// Cleaning reports whether log cleaning is in progress.
+func (e *Engine) Cleaning() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cleaning
+}
+
+// Stats returns a snapshot of the shard's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Stop marks the engine stopped: no new cleanings start, and an aborted
+// cleaner leaves the staged state in place (recovery handles it).
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+}
+
+func (e *Engine) seq() uint64 {
+	e.nextSeq++
+	return e.nextSeq
+}
+
+// writePool returns the pool (and its index) new allocations go to: the
+// current pool normally and during the compress stage, the new pool during
+// the merge stage (§4.4). Callers hold mu.
+func (e *Engine) writePool() (int, *kv.Pool) {
+	if e.merging {
+		return 1 - e.cur, e.pools[1-e.cur]
+	}
+	return e.cur, e.pools[e.cur]
+}
+
+// slotFor returns which entry location slot publishes pool pi.
+// Outside cleaning all entries have mark == e.mark and slot mark == pool
+// cur; the "other" slot is the staging slot for the new pool. Callers
+// hold mu.
+func (e *Engine) slotFor(pi int) int {
+	if pi == e.cur {
+		return e.mark
+	}
+	return 1 - e.mark
+}
+
+// poolOfSlot maps an entry location slot back to its pool index (the one
+// engine method both transports now share). Callers hold mu.
+func (e *Engine) poolOfSlot(slot int) int {
+	if slot == e.mark {
+		return e.cur
+	}
+	return 1 - e.cur
+}
+
+// resolveEntry picks the location a GET should start from: the relatively
+// new offset if one is staged (during cleaning), else the current one.
+// Callers hold mu.
+func (e *Engine) resolveEntry(en kv.Entry) (pi int, off uint64, totalLen int, ok bool) {
+	if loc := en.Other(); loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		return e.poolOfSlot(1 - en.Mark()), off, l, true
+	}
+	if loc := en.Current(); loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		return e.poolOfSlot(en.Mark()), off, l, true
+	}
+	return 0, 0, 0, false
+}
+
+// Put implements PUT steps 2-4 of Figure 5: allocate in the log,
+// fill+persist metadata (including the version pointer to the previous
+// version), publish the hash entry, and return the allocation. The value
+// arrives later via the client's one-sided write; durability is
+// asynchronous (§4.3.1).
+func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Puts++
+	pi, pool := e.writePool()
+	size := kv.ObjectSize(len(key), vlen)
+
+	if e.cfg.CleanThreshold > 0 && !e.cleaning && !e.stopped &&
+		float64(pool.Free()-size) < e.cfg.CleanThreshold*float64(pool.Cap()) {
+		e.startCleaningLocked()
+		pi, pool = e.writePool()
+	}
+
+	keyHash := kv.HashKey(key)
+	idx, existed, ok := e.table.FindSlot(keyHash)
+	if !ok {
+		e.stats.AllocFailures++
+		return PutResult{Status: StatusFull}
+	}
+	if !existed && e.mark == 1 {
+		e.table.SetMark(idx, e.mark)
+	}
+	// Charge the allocation cost BEFORE reading the entry: from here to
+	// the entry publish below there must be no yield point, so concurrent
+	// workers updating the same key cannot interleave between reading the
+	// previous version pointer and publishing the new head (which would
+	// orphan versions from the chain).
+	e.sink.Charge(h, OpAlloc, size)
+	en := e.table.Entry(idx)
+
+	// Chain to the previous version: prefer the location in the pool
+	// being written (same-pool chain), else cross-pool.
+	pre := kv.NilPtr
+	slot := e.slotFor(pi)
+	if loc := en.Loc[slot]; loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		pre = kv.PackVPtr(pi, off, l)
+	} else if loc := en.Loc[1-slot]; loc != 0 {
+		off, l, _ := kv.UnpackLoc(loc)
+		pre = kv.PackVPtr(e.poolOfSlot(1-slot), off, l)
+	}
+
+	hd := kv.Header{
+		PrePtr:    pre,
+		NextPtr:   kv.NilPtr,
+		Seq:       e.seq(),
+		CreatedAt: e.sink.Now(),
+		CRC:       crcv,
+		VLen:      vlen,
+		Flags:     kv.FlagValid,
+	}
+	off, allocOK := pool.AppendObject(&hd, key)
+	if !allocOK {
+		e.stats.AllocFailures++
+		return PutResult{Status: StatusFull}
+	}
+
+	if en.Tombstone() {
+		e.table.Undelete(idx)
+	}
+	e.table.SetLoc(idx, slot, kv.PackLoc(off, size))
+
+	// Maintain the forward link (Figure 4's NextPTR): the previous
+	// version now knows its successor, which log cleaning uses to locate
+	// the next version of a migrated object.
+	if prePool, preOff, _, ok := kv.UnpackVPtr(pre); ok {
+		e.pools[prePool].SetNextPtr(preOff, kv.PackVPtr(pi, off, size))
+	}
+	return PutResult{Status: StatusOK, Pool: pi, Off: off, Len: size}
+}
+
+// Get implements the RPC side of the hybrid read scheme (GET steps 6-8 of
+// Figure 6) with the selective durability guarantee: check the durability
+// flag first, verify+persist only when needed, and roll back through the
+// version list to the newest intact version.
+func (e *Engine) Get(h any, key []byte) GetResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Gets++
+	keyHash := kv.HashKey(key)
+	e.sink.Charge(h, OpLookup, 0)
+	_, en, found := e.table.Lookup(keyHash)
+	if !found || en.Tombstone() {
+		return GetResult{Status: StatusNotFound}
+	}
+	pi, off, totalLen, ok := e.resolveEntry(en)
+	if !ok {
+		return GetResult{Status: StatusNotFound}
+	}
+	first := true
+	for {
+		pool := e.pools[pi]
+		e.sink.Charge(h, OpGetScan, 0) // header fetch + durability check
+		hd := pool.Header(off)
+		if hd.Magic != kv.Magic {
+			break
+		}
+		if hd.Valid() {
+			if hd.Durable() && !e.cfg.DisableSelectiveDurability {
+				if first {
+					e.stats.GetFastPath++
+				} else {
+					e.stats.GetRolledBack++
+				}
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+			}
+			if hd.Durable() {
+				// Ablation mode: re-verify despite the flag.
+				e.sink.Charge(h, OpCRC, hd.VLen)
+				e.sink.Charge(h, OpFlushClean, totalLen)
+				e.stats.GetVerified++
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+			}
+			// Not yet durable: verify and persist on demand.
+			e.sink.Charge(h, OpCRC, hd.VLen)
+			val := pool.ReadValue(off, hd.KLen, hd.VLen)
+			if crc.Checksum(val) == hd.CRC {
+				e.sink.Charge(h, OpFlush, totalLen)
+				pool.FlushObject(off, hd.KLen, hd.VLen)
+				pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+				if first {
+					e.stats.GetVerified++
+				} else {
+					e.stats.GetRolledBack++
+				}
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+			}
+			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
+				pool.SetFlags(off, hd.Flags&^kv.FlagValid)
+				e.stats.GetInvalidated++
+			}
+		}
+		// Walk to the previous version.
+		var okPre bool
+		pi, off, totalLen, okPre = kv.UnpackVPtr(hd.PrePtr)
+		if !okPre {
+			break
+		}
+		first = false
+	}
+	return GetResult{Status: StatusNotFound}
+}
+
+// Del tombstones a key.
+func (e *Engine) Del(h any, key []byte) Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Dels++
+	e.sink.Charge(h, OpLookup, 0)
+	idx, en, found := e.table.Lookup(kv.HashKey(key))
+	if !found || en.Tombstone() {
+		return StatusNotFound
+	}
+	e.table.Delete(idx)
+	return StatusOK
+}
+
+// readPersisted reads from the post-crash (persisted-only) view when the
+// device distinguishes one, falling back to the coherent view (a freshly
+// reopened file-backed device has no volatile overlay, so the two
+// coincide).
+func readPersisted(dev nvm.Device, off int, dst []byte) {
+	type persistedReader interface {
+		ReadPersisted(off int, dst []byte)
+	}
+	if pr, ok := dev.(persistedReader); ok {
+		pr.ReadPersisted(off, dst)
+		return
+	}
+	dev.Read(off, dst)
+}
+
+var errInvalidConfig = errors.New("store: invalid config (need Buckets, PoolSize, VerifyTimeout > 0)")

@@ -1,0 +1,153 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+	"efactory/internal/store"
+)
+
+// TestShardRoutingProperty checks, for random keys and shard counts 1, 2,
+// and 8, that the routing invariant holds: a key put through its owning
+// engine is found there (at the location Put reported), with the value
+// intact, and is invisible to every other shard.
+func TestShardRoutingProperty(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			cfg := store.Config{
+				Shards:        shards,
+				Buckets:       512,
+				PoolSize:      1 << 20,
+				VerifyTimeout: time.Second,
+			}
+			dev := nvm.New(cfg.DeviceSize())
+			st, _, err := store.New(dev, cfg, store.Deps{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Stop()
+			l := st.Layout()
+
+			check := func(key, val []byte) bool {
+				// Bound the inputs: keys must be non-empty and objects
+				// must fit the pool comfortably across all iterations.
+				if len(key) == 0 {
+					key = []byte{0}
+				}
+				if len(key) > 48 {
+					key = key[:48]
+				}
+				if len(val) == 0 {
+					val = []byte{1}
+				}
+				if len(val) > 256 {
+					val = val[:256]
+				}
+				sh := st.ShardFor(key)
+				if sh != kv.ShardOf(kv.HashKey(key), shards) {
+					return false
+				}
+				eng := st.Shard(sh)
+				res := eng.Put(nil, key, len(val), crc.Checksum(val))
+				if res.Status != store.StatusOK {
+					return false
+				}
+				// The client's one-sided value write.
+				dev.Write(l.PoolBase(sh, res.Pool)+int(res.Off)+kv.ValueOffset(len(key)), val)
+
+				g := eng.Get(nil, key)
+				if g.Status != store.StatusOK || g.Pool != res.Pool || g.Off != res.Off {
+					return false
+				}
+				if !bytes.Equal(eng.Pool(g.Pool).ReadValue(g.Off, len(key), len(val)), val) {
+					return false
+				}
+				// No other shard can see the key.
+				if shards > 1 {
+					other := st.Shard((sh + 1) % shards)
+					if og := other.Get(nil, key); og.Status != store.StatusNotFound {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentShardedEngine hammers a 4-shard store from several
+// goroutines with the default (real-lock) dependencies, the configuration
+// the race detector runs against in CI.
+func TestConcurrentShardedEngine(t *testing.T) {
+	cfg := store.Config{
+		Shards:        4,
+		Buckets:       1024,
+		PoolSize:      4 << 20,
+		VerifyTimeout: 50 * time.Millisecond,
+	}
+	dev := nvm.New(cfg.DeviceSize())
+	st, _, err := store.New(dev, cfg, store.Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	l := st.Layout()
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := []byte(fmt.Sprintf("w%d-k%d", w, i%32))
+				val := bytes.Repeat([]byte{byte(w*16 + i%16 + 1)}, 128)
+				sh := st.ShardFor(key)
+				eng := st.Shard(sh)
+				res := eng.Put(nil, key, len(val), crc.Checksum(val))
+				if res.Status != store.StatusOK {
+					errs <- fmt.Errorf("worker %d put %s: status %v", w, key, res.Status)
+					return
+				}
+				dev.Write(l.PoolBase(sh, res.Pool)+int(res.Off)+kv.ValueOffset(len(key)), val)
+				if g := eng.Get(nil, key); g.Status != store.StatusOK {
+					errs <- fmt.Errorf("worker %d get %s: status %v", w, key, g.Status)
+					return
+				}
+				// Interleave background verification with foreground ops.
+				if i%16 == 0 {
+					eng.BGStep(nil, eng.CurrentPool())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	total := st.StatsTotal()
+	if total.Puts != workers*perWorker {
+		t.Fatalf("Puts = %d, want %d", total.Puts, workers*perWorker)
+	}
+	// All four shards should have seen traffic with this many keys.
+	for i, s := range st.ShardStats() {
+		if s.Puts == 0 {
+			t.Errorf("shard %d saw no puts", i)
+		}
+	}
+}

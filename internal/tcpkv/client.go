@@ -27,9 +27,10 @@ type Client struct {
 	rpcConn net.Conn
 	osConn  net.Conn
 
-	tableRKey    uint32
-	poolRKeyBase uint32 // pool i is addressed as poolRKeyBase + i
-	buckets      int
+	tableRKey    uint32 // shard 0's table rkey; shard s adds rkeysPerShard*s
+	poolRKeyBase uint32 // shard 0's pools; shard s pool i is poolRKeyBase + rkeysPerShard*s + i
+	buckets      int    // per shard
+	shards       int
 
 	// Hybrid disabled => every GET is an RPC (for comparison runs).
 	hybrid bool
@@ -70,11 +71,22 @@ func Dial(addr string) (*Client, error) {
 	c.tableRKey = resp.RKey
 	c.poolRKeyBase = resp.Token
 	c.buckets = int(resp.Len)
+	c.shards = int(resp.Off)
+	if c.shards <= 0 {
+		c.shards = 1 // pre-sharding servers leave Off zero
+	}
 	if c.buckets <= 0 {
 		c.Close()
 		return nil, errors.New("tcpkv: bad handshake geometry")
 	}
 	return c, nil
+}
+
+// shardRKeysFor returns the table rkey and pool rkey base of the shard
+// owning keyHash.
+func (c *Client) shardRKeysFor(keyHash uint64) (table, poolBase uint32) {
+	sh := uint32(kv.ShardOf(keyHash, c.shards))
+	return c.tableRKey + rkeysPerShard*sh, c.poolRKeyBase + rkeysPerShard*sh
 }
 
 // Close tears both connections down.
@@ -186,12 +198,13 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 // pureRead is the optimistic one-sided path; ok is false on fallback.
 func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 	keyHash := kv.HashKey(key)
+	tableRKey, poolBase := c.shardRKeysFor(keyHash)
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
 	for probe := 0; probe < 4; probe++ {
 		bucket := (idx + probe) % c.buckets
-		raw, err := c.read(c.tableRKey, uint64(bucket*kv.EntrySize), kv.EntrySize)
+		raw, err := c.read(tableRKey, uint64(bucket*kv.EntrySize), kv.EntrySize)
 		if err != nil {
 			return nil, false, err
 		}
@@ -211,7 +224,7 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 		return nil, false, nil
 	}
 	off, totalLen, _ := kv.UnpackLoc(entry.Current())
-	obj, err := c.read(c.poolRKeyBase+uint32(entry.Mark()&1), off, totalLen)
+	obj, err := c.read(poolBase+uint32(entry.Mark()&1), off, totalLen)
 	if err != nil {
 		return nil, false, err
 	}
@@ -267,6 +280,26 @@ func (c *Client) ServerStats() (Stats, error) {
 	var st Stats
 	if err := json.Unmarshal(resp.Value, &st); err != nil {
 		return Stats{}, fmt.Errorf("tcpkv: stats decode: %w", err)
+	}
+	return st, nil
+}
+
+// ShardStats fetches per-shard server counters (one element per shard).
+// Pre-sharding servers answer the unknown type with an error status, which
+// surfaces as a normal error here.
+func (c *Client) ShardStats() ([]Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.rpc(wire.Msg{Type: wire.TShardStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("tcpkv: shard stats status %d", resp.Status)
+	}
+	var st []Stats
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		return nil, fmt.Errorf("tcpkv: shard stats decode: %w", err)
 	}
 	return st, nil
 }

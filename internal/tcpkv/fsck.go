@@ -38,29 +38,38 @@ type FsckReport struct {
 func (r FsckReport) Consistent() bool { return r.LostKeys == 0 }
 
 // Fsck performs a read-only consistency check of a store device laid out
-// with cfg: it walks both log pools, verifies every entry's version chain
-// against the stored CRCs, and reports what recovery would find. It never
-// modifies the device.
+// with cfg: it walks the log pools of every shard, verifies every entry's
+// version chain against the stored CRCs, and reports what recovery would
+// find. It never modifies the device.
 func Fsck(dev nvm.Device, cfg Config) (FsckReport, error) {
 	var r FsckReport
 	if dev.Size() < cfg.DeviceSize() {
 		return r, fmt.Errorf("tcpkv: device %d B smaller than config needs (%d B)", dev.Size(), cfg.DeviceSize())
 	}
-	tb := (kv.TableBytes(cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	table := kv.NewTable(dev, 0, cfg.Buckets)
+	l := cfg.Layout()
+	for s := 0; s < l.Shards; s++ {
+		fsckShard(dev, l, s, &r)
+	}
+	if m, ok := dev.(*nvm.Memory); ok {
+		r.UnflushedLines = m.DirtyLines()
+	}
+	return r, nil
+}
+
+// fsckShard checks one shard's table and pools, accumulating into r.
+func fsckShard(dev nvm.Device, l kv.Layout, shard int, r *FsckReport) {
+	table := kv.NewTable(dev, l.TableBase(shard), l.Buckets)
 	var pools [2]*kv.Pool
 	used := 0
 	for i := 0; i < 2; i++ {
-		pools[i] = kv.NewPool(dev, tb+i*cfg.PoolSize, cfg.PoolSize)
+		pools[i] = kv.NewPool(dev, l.PoolBase(shard, i), l.PoolSize)
 		pools[i].ScanPersisted(func(off uint64, h kv.Header) bool {
 			r.Objects++
 			used += kv.ObjectSize(h.KLen, h.VLen)
 			return true
 		})
 	}
-	if m, ok := dev.(*nvm.Memory); ok {
-		r.UnflushedLines = m.DirtyLines()
-	}
+	liveBefore := r.LiveBytes
 
 	table.RangeAll(func(i int, e kv.Entry) bool {
 		if e.Tombstone() {
@@ -111,11 +120,10 @@ func Fsck(dev nvm.Device, cfg Config) (FsckReport, error) {
 			}
 		}
 	})
-	r.StaleBytes = used - r.LiveBytes
-	if r.StaleBytes < 0 {
-		r.StaleBytes = 0
+	stale := used - (r.LiveBytes - liveBefore)
+	if stale > 0 {
+		r.StaleBytes += stale
 	}
-	return r, nil
 }
 
 // WriteReport renders r human-readably.

@@ -1,8 +1,11 @@
 // Package tcpkv runs the eFactory protocol over real TCP, giving the
 // library a deployable network mode (cmd/efactory-server and
-// cmd/efactory-cli). It reuses the storage substrate — the nvm device
-// model, the on-NVM object layout and hash table, the wire protocol and
-// the CRC — and emulates RDMA semantics faithfully:
+// cmd/efactory-cli). The storage logic — hash table, dual log pools,
+// version chains, durability flags, background verification, two-stage
+// log cleaning, and crash recovery — lives in the shared sharded engine
+// (internal/store), driven here on real goroutines with real locks and
+// the wall clock; this package is the TCP protocol adapter. RDMA
+// semantics are emulated faithfully:
 //
 //   - One-sided READ/WRITE frames are served by a dedicated engine
 //     goroutine per connection that touches the device directly, never the
@@ -10,12 +13,19 @@
 //     observe torn objects, exactly as over real RDMA; the durability flag
 //     and CRC machinery handle it.
 //   - PUT acknowledges before durability (client-active scheme with
-//     asynchronous durability); a background goroutine verifies and
-//     persists, setting the durability flag.
+//     asynchronous durability); a background goroutine per shard verifies
+//     and persists, setting the durability flag.
 //   - GET uses the hybrid read scheme: one-sided entry + object reads,
 //     falling back to an RPC when the fetched object is not durable.
 //   - Log cleaning (§4.4) runs the two-stage compress/merge protocol over
-//     two data pools, triggered by a free-space threshold.
+//     two data pools per shard, triggered by a free-space threshold.
+//
+// With Config.Shards > 1 the keyspace splits over independent engine
+// shards — each with its own table region, pool pair, verifier goroutine,
+// and cleaner — giving real multicore parallelism; clients route by the
+// same key-hash split (kv.ShardOf). Shard s's regions are addressed as
+// rkeys 1+3*s (table) and 2+3*s, 3+3*s (pools), so a single-shard server
+// keeps the legacy rkeys 1, 2, 3.
 //
 // Unlike the simulation transport, clients are not push-notified when
 // cleaning starts. They do not need to be for safety: a stale one-sided
@@ -27,7 +37,7 @@
 // path during cleaning.
 //
 // Backed by an nvm.FileBacked device the store survives process restarts:
-// on startup the server recovers by walking version lists and restoring
+// on startup each shard recovers by walking version lists and restoring
 // the newest intact version of every key, as efactory.Recover does in
 // simulation mode.
 package tcpkv
@@ -42,9 +52,9 @@ import (
 	"sync"
 	"time"
 
-	"efactory/internal/crc"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
+	"efactory/internal/store"
 	"efactory/internal/wire"
 )
 
@@ -60,17 +70,24 @@ const (
 	opWrite = 0x02
 )
 
-// Region keys: the hash table plus one rkey per data pool. Clients address
-// pool i as rkeyPoolBase + i, matching the entry mark bit.
+// Region keys for shard 0 (and pre-sharding servers): the hash table plus
+// one rkey per data pool. Shard s adds 3*s to each.
 const (
 	rkeyTable    = 1
 	rkeyPoolBase = 2
 )
 
+// rkeysPerShard is the stride between consecutive shards' rkey blocks
+// (table + two pools).
+const rkeysPerShard = 3
+
 // Config sizes a TCP server.
 type Config struct {
-	Buckets  int
-	PoolSize int // capacity of EACH of the two data pools
+	Buckets  int // hash buckets PER SHARD
+	PoolSize int // capacity of EACH of the two data pools (per shard)
+	// Shards splits the keyspace over independent engine shards. 0 or 1
+	// gives the classic single-engine behavior and device layout.
+	Shards int
 	// VerifyTimeout bounds how long an incomplete write may stay pending
 	// before being invalidated.
 	VerifyTimeout time.Duration
@@ -92,41 +109,32 @@ func DefaultConfig() Config {
 	}
 }
 
-// DeviceSize returns the device capacity cfg requires.
-func (c Config) DeviceSize() int {
-	tb := (kv.TableBytes(c.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	return tb + 2*c.PoolSize
+func (c Config) storeConfig() store.Config {
+	return store.Config{
+		Shards:         c.Shards,
+		Buckets:        c.Buckets,
+		PoolSize:       c.PoolSize,
+		VerifyTimeout:  c.VerifyTimeout,
+		CleanThreshold: c.CleanThreshold,
+	}
 }
 
-// Stats counts server events (updated under mu).
-type Stats struct {
-	Puts          int
-	Gets          int
-	Dels          int
-	BGVerified    int
-	BGInvalidated int
-	Recovered     int
-	RolledBack    int
-	Cleanings     int
-	CleanMoved    int
-	CleanDropped  int
-}
+// Layout returns the device layout cfg implies.
+func (c Config) Layout() kv.Layout { return c.storeConfig().Layout() }
+
+// DeviceSize returns the device capacity cfg requires.
+func (c Config) DeviceSize() int { return c.Layout().DeviceSize() }
+
+// Stats counts server events; it is the shared engine's counter set, so
+// the JSON stats blob keeps its field names from before the extraction.
+type Stats = store.Stats
 
 // Server is a TCP-mode eFactory server.
 type Server struct {
-	cfg   Config
-	dev   nvm.Device
-	table *kv.Table
-	pools [2]*kv.Pool
-
-	mu       sync.Mutex // guards all metadata below
-	cur      int        // current working pool
-	mark     int        // mark bit entries carry outside cleaning (== cur)
-	cleaning bool
-	merging  bool
-	seq      uint64
-	bgPos    [2]int
-	stats    Stats
+	cfg    Config
+	dev    nvm.Device
+	st     *store.Store
+	layout kv.Layout
 
 	closing   chan struct{}
 	closeOnce sync.Once
@@ -151,148 +159,57 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 	if dev.Size() < cfg.DeviceSize() {
 		return nil, fmt.Errorf("tcpkv: device %d B smaller than config needs (%d B)", dev.Size(), cfg.DeviceSize())
 	}
-	tb := (kv.TableBytes(cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
 	s := &Server{
 		cfg:     cfg,
 		dev:     dev,
-		table:   kv.NewTable(dev, 0, cfg.Buckets),
 		closing: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}
-	for i := 0; i < 2; i++ {
-		s.pools[i] = kv.NewPool(dev, tb+i*cfg.PoolSize, cfg.PoolSize)
+	deps := store.Deps{
+		Spawn: func(name string, fn func(h any)) {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				fn(nil)
+			}()
+		},
+		CleanerWait: func(h any) bool {
+			select {
+			case <-s.closing:
+				return false
+			case <-time.After(cfg.BGInterval):
+				return true
+			}
+		},
 	}
-	s.recover()
-	s.wg.Add(1)
-	go s.background()
+	st, _, err := store.New(dev, cfg.storeConfig(), deps)
+	if err != nil {
+		return nil, fmt.Errorf("tcpkv: %w", err)
+	}
+	s.st = st
+	s.layout = st.Layout()
+	for i := 0; i < st.NumShards(); i++ {
+		s.wg.Add(1)
+		go s.background(st.Shard(i))
+	}
 	return s, nil
 }
 
-// Stats returns a snapshot of the server counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+// Store exposes the sharded storage engine (tests and tooling).
+func (s *Server) Store() *store.Store { return s.st }
 
-// Cleaning reports whether log cleaning is in progress.
-func (s *Server) Cleaning() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cleaning
-}
+// Stats returns an aggregate snapshot of the server counters.
+func (s *Server) Stats() Stats { return s.st.StatsTotal() }
 
-// recover rebuilds consistent state from the device (see package comment):
-// resolve each entry to its newest intact version via its own mark bit and
-// version list, then re-materialize everything into a fresh pool 0.
-func (s *Server) recover() {
-	maxSeq := uint64(0)
-	empty := true
-	for pi := 0; pi < 2; pi++ {
-		head := 0
-		s.pools[pi].ScanPersisted(func(off uint64, h kv.Header) bool {
-			head = int(off) + kv.ObjectSize(h.KLen, h.VLen)
-			if h.Seq > maxSeq {
-				maxSeq = h.Seq
-			}
-			return true
-		})
-		s.pools[pi].SetHead(head)
-		if head > 0 {
-			empty = false
-		}
-	}
-	if empty {
-		return // fresh device
-	}
-	type survivor struct {
-		key []byte
-		val []byte
-		h   kv.Header
-	}
-	var live []survivor
-	s.table.RangeAll(func(i int, e kv.Entry) bool {
-		if e.Tombstone() {
-			return true
-		}
-		slot := e.Mark()
-		loc := e.Loc[slot]
-		if loc == 0 {
-			slot = 1 - slot
-			loc = e.Loc[slot]
-		}
-		if loc == 0 {
-			return true
-		}
-		pi := slot
-		off, totalLen, _ := kv.UnpackLoc(loc)
-		rolled := false
-		for {
-			if int(off)+totalLen > s.pools[pi].Cap() {
-				return true
-			}
-			h := s.pools[pi].Header(off)
-			if h.Magic == kv.Magic && h.Valid() && h.KLen > 0 &&
-				kv.ObjectSize(h.KLen, h.VLen) == totalLen {
-				key := make([]byte, h.KLen)
-				base := s.pools[pi].Base() + int(off)
-				s.dev.Read(base+kv.KeyOffset(), key)
-				val := s.pools[pi].ReadValue(off, h.KLen, h.VLen)
-				if crc.Checksum(val) == h.CRC {
-					live = append(live, survivor{key: key, val: val, h: h})
-					s.stats.Recovered++
-					if rolled {
-						s.stats.RolledBack++
-					}
-					return true
-				}
-			}
-			rolled = true
-			if h.Magic != kv.Magic {
-				return true
-			}
-			var ok bool
-			pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
-			if !ok {
-				return true
-			}
-		}
-	})
-	// Re-materialize into a canonical state.
-	tb := (kv.TableBytes(s.cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	s.dev.Zero(0, tb)
-	for pi := 0; pi < 2; pi++ {
-		s.dev.Zero(s.pools[pi].Base(), s.cfg.PoolSize)
-		s.pools[pi] = kv.NewPool(s.dev, s.pools[pi].Base(), s.cfg.PoolSize)
-	}
-	for _, sv := range live {
-		h := kv.Header{
-			PrePtr:    kv.NilPtr,
-			NextPtr:   kv.NilPtr,
-			Seq:       sv.h.Seq,
-			CreatedAt: sv.h.CreatedAt,
-			CRC:       sv.h.CRC,
-			VLen:      sv.h.VLen,
-			Flags:     kv.FlagValid | kv.FlagDurable,
-		}
-		off, ok := s.pools[0].AppendObject(&h, sv.key)
-		if !ok {
-			panic("tcpkv: recovery pool overflow")
-		}
-		s.pools[0].WriteValue(off, len(sv.key), sv.val)
-		s.pools[0].FlushObject(off, len(sv.key), sv.h.VLen)
-		idx, _, ok := s.table.FindSlot(kv.HashKey(sv.key))
-		if !ok {
-			panic("tcpkv: recovery table overflow")
-		}
-		s.table.Publish(idx, kv.PackLoc(off, kv.ObjectSize(len(sv.key), sv.h.VLen)))
-	}
-	s.bgPos[0] = s.pools[0].Used()
-	s.seq = maxSeq
-	s.pools[0].SetSeq(maxSeq)
-	s.pools[1].SetSeq(maxSeq)
-	s.dev.Drain()
-}
+// ShardStats returns per-shard counters.
+func (s *Server) ShardStats() []Stats { return s.st.ShardStats() }
+
+// Cleaning reports whether log cleaning is in progress on any shard.
+func (s *Server) Cleaning() bool { return s.st.Cleaning() }
+
+// StartCleaning triggers a cleaning run on every shard not already
+// cleaning; it reports whether at least one run started.
+func (s *Server) StartCleaning() bool { return s.st.StartCleaning() }
 
 // Serve accepts and serves connections until Close.
 func (s *Server) Serve(ln net.Listener) error {
@@ -326,6 +243,7 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closing)
+		s.st.Stop()
 		if s.ln != nil {
 			s.ln.Close()
 		}
@@ -454,18 +372,27 @@ func (s *Server) serveOneSided(conn net.Conn) {
 	}
 }
 
-// region resolves an rkey to a device window.
+// region resolves an rkey to a device window. Shard s's table is rkey
+// 1+3*s; its pools are 2+3*s and 3+3*s.
 func (s *Server) region(rkey uint32) (base, size int, ok bool) {
-	tb := (kv.TableBytes(s.cfg.Buckets) + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
-	switch rkey {
-	case rkeyTable:
-		return 0, tb, true
-	case rkeyPoolBase:
-		return tb, s.cfg.PoolSize, true
-	case rkeyPoolBase + 1:
-		return tb + s.cfg.PoolSize, s.cfg.PoolSize, true
+	if rkey < rkeyTable {
+		return 0, 0, false
 	}
-	return 0, 0, false
+	id := int(rkey - rkeyTable)
+	shard := id / rkeysPerShard
+	r := id % rkeysPerShard
+	if shard >= s.layout.Shards {
+		return 0, 0, false
+	}
+	if r == 0 {
+		return s.layout.TableBase(shard), s.layout.TableBytesAligned(), true
+	}
+	return s.layout.PoolBase(shard, r-1), s.layout.PoolSize, true
+}
+
+// shardRKeys returns the table rkey and pool rkey base for shard sh.
+func shardRKeys(sh int) (table, poolBase uint32) {
+	return uint32(rkeyTable + rkeysPerShard*sh), uint32(rkeyPoolBase + rkeysPerShard*sh)
 }
 
 // handle processes one RPC.
@@ -474,7 +401,8 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 	case wire.THello:
 		return wire.Msg{
 			Type: wire.THelloResp, Status: wire.StOK,
-			RKey: rkeyTable, Token: rkeyPoolBase, Len: uint64(s.cfg.Buckets),
+			RKey: rkeyTable, Token: rkeyPoolBase,
+			Len: uint64(s.cfg.Buckets), Off: uint64(s.layout.Shards),
 		}
 	case wire.TPut:
 		return s.handlePut(m)
@@ -488,170 +416,60 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 			return wire.Msg{Type: wire.TStatsResp, Status: wire.StError}
 		}
 		return wire.Msg{Type: wire.TStatsResp, Status: wire.StOK, Value: blob}
+	case wire.TShardStats:
+		blob, err := json.Marshal(s.ShardStats())
+		if err != nil {
+			return wire.Msg{Type: wire.TShardStatsResp, Status: wire.StError}
+		}
+		return wire.Msg{Type: wire.TShardStatsResp, Status: wire.StOK, Value: blob}
 	}
 	return wire.Msg{Type: m.Type + 1, Status: wire.StError}
 }
 
-// writePool returns the index and pool new allocations target (callers
-// hold mu).
-func (s *Server) writePool() (int, *kv.Pool) {
-	if s.merging {
-		return 1 - s.cur, s.pools[1-s.cur]
-	}
-	return s.cur, s.pools[s.cur]
-}
-
-// slotFor maps a pool index to the entry location slot publishing it
-// (callers hold mu).
-func (s *Server) slotFor(pi int) int {
-	if pi == s.cur {
-		return s.mark
-	}
-	return 1 - s.mark
+func (s *Server) shardFor(key []byte) (int, *store.Engine) {
+	sh := kv.ShardOf(kv.HashKey(key), s.st.NumShards())
+	return sh, s.st.Shard(sh)
 }
 
 func (s *Server) handlePut(m wire.Msg) wire.Msg {
-	s.mu.Lock()
-	s.stats.Puts++
-	pi, pool := s.writePool()
-	size := kv.ObjectSize(len(m.Key), int(m.Len))
-
-	if s.cfg.CleanThreshold > 0 && !s.cleaning &&
-		float64(pool.Free()-size) < s.cfg.CleanThreshold*float64(pool.Cap()) {
-		s.cleaning = true
-		s.wg.Add(1)
-		go s.cleaner()
-	}
-
-	keyHash := kv.HashKey(m.Key)
-	idx, existed, ok := s.table.FindSlot(keyHash)
-	if !ok {
-		s.mu.Unlock()
+	sh, eng := s.shardFor(m.Key)
+	res := eng.Put(nil, m.Key, int(m.Len), m.Crc)
+	if res.Status != store.StatusOK {
 		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
 	}
-	if !existed && s.mark == 1 {
-		s.table.SetMark(idx, s.mark)
-	}
-	e := s.table.Entry(idx)
-	pre := kv.NilPtr
-	slot := s.slotFor(pi)
-	if loc := e.Loc[slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(pi, off, l)
-	} else if loc := e.Loc[1-slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(s.poolOfSlot(1-slot), off, l)
-	}
-	s.seq++
-	h := kv.Header{
-		PrePtr:    pre,
-		NextPtr:   kv.NilPtr,
-		Seq:       s.seq,
-		CreatedAt: uint64(time.Now().UnixNano()),
-		CRC:       m.Crc,
-		VLen:      int(m.Len),
-		Flags:     kv.FlagValid,
-	}
-	off, allocOK := pool.AppendObject(&h, m.Key)
-	if !allocOK {
-		s.mu.Unlock()
-		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
-	}
-	if e.Tombstone() {
-		s.table.Undelete(idx)
-	}
-	s.table.SetLoc(idx, slot, kv.PackLoc(off, size))
-	if prePool, preOff, _, ok := kv.UnpackVPtr(pre); ok {
-		s.pools[prePool].SetNextPtr(preOff, kv.PackVPtr(pi, off, size))
-	}
-	s.mu.Unlock()
+	_, poolBase := shardRKeys(sh)
 	return wire.Msg{
 		Type: wire.TPutResp, Status: wire.StOK,
-		RKey: rkeyPoolBase + uint32(pi), Off: off, Len: uint64(size),
+		RKey: poolBase + uint32(res.Pool), Off: res.Off, Len: uint64(res.Len),
 	}
-}
-
-// poolOfSlot maps an entry location slot back to its pool (callers hold mu).
-func (s *Server) poolOfSlot(slot int) int {
-	if slot == s.mark {
-		return s.cur
-	}
-	return 1 - s.cur
 }
 
 func (s *Server) handleGet(m wire.Msg) wire.Msg {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Gets++
-	_, e, found := s.table.Lookup(kv.HashKey(m.Key))
-	if !found || e.Tombstone() {
+	sh, eng := s.shardFor(m.Key)
+	res := eng.Get(nil, m.Key)
+	if res.Status != store.StatusOK {
 		return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
 	}
-	// Prefer the staged (new-pool) location during cleaning.
-	var pi int
-	var off uint64
-	var totalLen int
-	if loc := e.Other(); loc != 0 {
-		off, totalLen, _ = kv.UnpackLoc(loc)
-		pi = s.poolOfSlot(1 - e.Mark())
-	} else if loc := e.Current(); loc != 0 {
-		off, totalLen, _ = kv.UnpackLoc(loc)
-		pi = s.poolOfSlot(e.Mark())
-	} else {
-		return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
-	}
-	for {
-		pool := s.pools[pi]
-		h := pool.Header(off)
-		if h.Magic != kv.Magic {
-			break
-		}
-		if h.Valid() {
-			if h.Durable() {
-				return s.locResp(pi, off, totalLen, h.KLen)
-			}
-			val := pool.ReadValue(off, h.KLen, h.VLen)
-			if crc.Checksum(val) == h.CRC {
-				pool.FlushObject(off, h.KLen, h.VLen)
-				pool.SetFlags(off, h.Flags|kv.FlagDurable)
-				return s.locResp(pi, off, totalLen, h.KLen)
-			}
-			if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
-				pool.SetFlags(off, h.Flags&^kv.FlagValid)
-				s.stats.BGInvalidated++
-			}
-		}
-		var ok bool
-		pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
-		if !ok {
-			break
-		}
-	}
-	return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
-}
-
-func (s *Server) locResp(pi int, off uint64, totalLen, klen int) wire.Msg {
+	_, poolBase := shardRKeys(sh)
 	return wire.Msg{
 		Type: wire.TGetResp, Status: wire.StOK,
-		RKey: rkeyPoolBase + uint32(pi), Off: off, Len: uint64(totalLen), KLen: uint32(klen),
+		RKey: poolBase + uint32(res.Pool), Off: res.Off, Len: uint64(res.Len), KLen: uint32(res.KLen),
 	}
 }
 
 func (s *Server) handleDel(m wire.Msg) wire.Msg {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Dels++
-	idx, e, found := s.table.Lookup(kv.HashKey(m.Key))
-	if !found || e.Tombstone() {
+	_, eng := s.shardFor(m.Key)
+	if eng.Del(nil, m.Key) != store.StatusOK {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound}
 	}
-	s.table.Delete(idx)
 	return wire.Msg{Type: wire.TDelResp, Status: wire.StOK}
 }
 
-// background is the verification-and-persisting thread (§4.3.2) in real
-// time: scan the active log(s), verify CRCs, flush, set durability flags.
-func (s *Server) background() {
+// background drives one shard's verification-and-persisting thread
+// (§4.3.2) in real time: scan the logs, verify CRCs, flush, set
+// durability flags. Each BGStep takes the engine lock for one object so
+// request handling interleaves.
+func (s *Server) background(eng *store.Engine) {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.BGInterval)
 	defer ticker.Stop()
@@ -661,246 +479,14 @@ func (s *Server) background() {
 			return
 		case <-ticker.C:
 		}
-		for s.bgStep() {
-		}
-	}
-}
-
-// bgStep processes one object in one pool under the lock; returns false
-// when the verifier should go back to sleep.
-func (s *Server) bgStep() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pis := []int{s.cur}
-	if s.cleaning {
-		pis = append(pis, 1-s.cur)
-	}
-	for _, pi := range pis {
-		pool := s.pools[pi]
-		if s.bgPos[pi]+kv.HeaderSize > pool.Used() {
-			continue
-		}
-		off := uint64(s.bgPos[pi])
-		h := pool.Header(off)
-		if h.Magic != kv.Magic || h.KLen <= 0 {
-			continue
-		}
-		size := kv.ObjectSize(h.KLen, h.VLen)
-		if !h.Valid() || h.Durable() {
-			s.bgPos[pi] += size
-			return true
-		}
-		val := pool.ReadValue(off, h.KLen, h.VLen)
-		if crc.Checksum(val) == h.CRC {
-			pool.FlushObject(off, h.KLen, h.VLen)
-			pool.SetFlags(off, h.Flags|kv.FlagDurable)
-			s.stats.BGVerified++
-			s.bgPos[pi] += size
-			return true
-		}
-		if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
-			pool.SetFlags(off, h.Flags&^kv.FlagValid)
-			s.stats.BGInvalidated++
-			s.bgPos[pi] += size
-			return true
-		}
-		// In flight; try the other pool or sleep.
-	}
-	return false
-}
-
-// StartCleaning triggers a cleaning run manually; it reports false if one
-// is already active.
-func (s *Server) StartCleaning() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cleaning {
-		return false
-	}
-	s.cleaning = true
-	s.wg.Add(1)
-	go s.cleaner()
-	return true
-}
-
-// cleaner runs the two-stage compress/merge protocol. The lock is taken
-// per step so request handling interleaves.
-func (s *Server) cleaner() {
-	defer s.wg.Done()
-
-	s.mu.Lock()
-	old := s.cur
-	newer := 1 - s.cur
-	s.dev.Zero(s.pools[newer].Base(), s.cfg.PoolSize)
-	s.pools[newer] = kv.NewPool(s.dev, s.pools[newer].Base(), s.cfg.PoolSize)
-	s.pools[newer].SetSeq(s.seq)
-	s.bgPos[newer] = 0
-	compressEnd := s.pools[old].Used()
-	s.mu.Unlock()
-
-	// Stage 1: compress.
-	s.sweep(old, 0, compressEnd)
-
-	// Stage 2: merge the writes that landed during compression.
-	s.mu.Lock()
-	s.merging = true
-	mergeEnd := s.pools[old].Used()
-	s.mu.Unlock()
-	s.sweep(old, compressEnd, mergeEnd)
-
-	// Final sweep: flip staged entries; reclaim dead ones.
-	s.mu.Lock()
-	s.table.RangeAll(func(i int, e kv.Entry) bool {
-		if e.Tombstone() || e.Loc[1-s.mark] == 0 {
-			s.table.Clear(i)
-			return true
-		}
-		s.table.FlipMark(i)
-		return true
-	})
-	s.cur = newer
-	s.mark = 1 - s.mark
-	s.merging = false
-	s.cleaning = false
-	s.stats.Cleanings++
-	s.mu.Unlock()
-}
-
-// sweep reverse-scans pool pi over [lo, hi) and migrates live versions.
-func (s *Server) sweep(pi, lo, hi int) {
-	s.mu.Lock()
-	var offs []uint64
-	s.pools[pi].Scan(hi, func(off uint64, h kv.Header) bool {
-		if int(off) >= lo {
-			offs = append(offs, off)
-		}
-		return true
-	})
-	s.mu.Unlock()
-	for i := len(offs) - 1; i >= 0; i-- {
-		select {
-		case <-s.closing:
-			return
-		default:
-		}
-		s.migrateOne(pi, offs[i])
-	}
-}
-
-// migrateOne migrates or drops the version at off in pool pi, waiting
-// (with the verify timeout) for writes still in flight.
-func (s *Server) migrateOne(pi int, off uint64) {
-	for {
-		if s.tryMigrate(pi, off) {
-			return
-		}
-		// An involved version's value is still in flight: release the
-		// lock and retry shortly (the paper's merge rule: skip the older
-		// version only once the newer "already or can be made durable").
-		select {
-		case <-s.closing:
-			return
-		case <-time.After(s.cfg.BGInterval):
-		}
-	}
-}
-
-// verdicts of ensureDurableLocked.
-const (
-	durYes = iota
-	durDead
-	durInFlight
-)
-
-// tryMigrate performs one migration attempt under the lock; it reports
-// false when it must be retried because a value is still in flight.
-func (s *Server) tryMigrate(pi int, off uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pool := s.pools[pi]
-	h := pool.Header(off)
-	if h.Magic != kv.Magic || !h.Valid() {
-		s.stats.CleanDropped++
-		return true
-	}
-	key := make([]byte, h.KLen)
-	s.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
-	idx, e, found := s.table.Lookup(kv.HashKey(key))
-	if !found || e.Tombstone() {
-		s.stats.CleanDropped++
-		return true
-	}
-	newSlot := 1 - s.mark
-	if staged := e.Loc[newSlot]; staged != 0 {
-		stagedOff, _, _ := kv.UnpackLoc(staged)
-		stagedHdr := s.pools[1-pi].Header(stagedOff)
-		if stagedHdr.Seq > h.Seq {
-			switch s.ensureDurableLocked(1-pi, stagedOff) {
-			case durYes:
-				pool.SetFlags(off, h.Flags|kv.FlagTrans)
-				s.stats.CleanDropped++
-				return true
-			case durInFlight:
-				return false // wait for the newer version to settle
+		progressed := true
+		for progressed {
+			progressed = false
+			for pi := 0; pi < 2; pi++ {
+				for eng.BGStep(nil, pi) {
+					progressed = true
+				}
 			}
-			// durDead: fall through and migrate this older version.
 		}
 	}
-	switch s.ensureDurableLocked(pi, off) {
-	case durDead:
-		s.stats.CleanDropped++
-		return true
-	case durInFlight:
-		return false
-	}
-	h = pool.Header(off)
-	// Copy into the new pool.
-	dst := s.pools[1-pi]
-	size := kv.ObjectSize(h.KLen, h.VLen)
-	nh := kv.Header{
-		PrePtr:    kv.NilPtr,
-		NextPtr:   kv.NilPtr,
-		Seq:       h.Seq,
-		CreatedAt: h.CreatedAt,
-		CRC:       h.CRC,
-		VLen:      h.VLen,
-		Flags:     kv.FlagValid | kv.FlagDurable,
-	}
-	newOff, ok := dst.AppendObject(&nh, key)
-	if !ok {
-		// Should be impossible: the live set fits by construction. Leave
-		// the old copy authoritative.
-		return true
-	}
-	dst.WriteValue(newOff, h.KLen, pool.ReadValue(off, h.KLen, h.VLen))
-	dst.FlushObject(newOff, h.KLen, h.VLen)
-	pool.SetFlags(off, h.Flags|kv.FlagTrans)
-	s.table.SetLoc(idx, 1-s.mark, kv.PackLoc(newOff, size))
-	s.stats.CleanMoved++
-	return true
-}
-
-// ensureDurableLocked verifies and persists the version at off. Callers
-// hold mu.
-func (s *Server) ensureDurableLocked(pi int, off uint64) int {
-	pool := s.pools[pi]
-	h := pool.Header(off)
-	if !h.Valid() {
-		return durDead
-	}
-	if h.Durable() {
-		return durYes
-	}
-	val := pool.ReadValue(off, h.KLen, h.VLen)
-	if crc.Checksum(val) == h.CRC {
-		pool.FlushObject(off, h.KLen, h.VLen)
-		pool.SetFlags(off, h.Flags|kv.FlagDurable)
-		return durYes
-	}
-	if uint64(time.Now().UnixNano())-h.CreatedAt > uint64(s.cfg.VerifyTimeout) {
-		pool.SetFlags(off, h.Flags&^kv.FlagValid)
-		s.stats.BGInvalidated++
-		return durDead
-	}
-	return durInFlight
 }

@@ -462,3 +462,101 @@ func TestServerStatsRPC(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+func TestShardedPutGetRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 4
+	srv, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("shard-key-%d", i))
+		val := bytes.Repeat([]byte{byte(i%250 + 1)}, 80+i*3)
+		if err := cl.Put(key, val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		got, err := cl.Get(key)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get %d: wrong value", i)
+		}
+	}
+	// With 100 keys over 4 shards, every shard should have seen traffic.
+	per, err := cl.ShardStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(per))
+	}
+	for i, s := range per {
+		if s.Puts == 0 {
+			t.Errorf("shard %d saw no puts", i)
+		}
+	}
+	if st := srv.Stats(); st.Puts != 100 {
+		t.Fatalf("aggregate Puts = %d, want 100", st.Puts)
+	}
+	// Hybrid reads go pure once the per-shard verifiers catch up.
+	time.Sleep(30 * time.Millisecond)
+	before := cl.PureReads
+	for i := 0; i < 100; i++ {
+		if _, err := cl.Get([]byte(fmt.Sprintf("shard-key-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.PureReads == before {
+		t.Error("no sharded read ever took the pure one-sided path")
+	}
+}
+
+func TestShardedConcurrentClients(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 4
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	const clients = 6
+	const perClient = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("sc%d-k%d", ci, i))
+				val := bytes.Repeat([]byte{byte(ci*10 + i%10 + 1)}, 96)
+				if err := cl.Put(key, val); err != nil {
+					errs <- fmt.Errorf("put: %w", err)
+					return
+				}
+				got, err := cl.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				}
+				if !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("client %d wrong value for %s", ci, key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -47,16 +47,25 @@ const (
 	// hybrid read scheme.
 	TCleanEnd
 	// THello requests the server's memory-region geometry at connection
-	// setup (TCP transport): the reply carries the hash-table rkey
-	// (RKey), the data-pool rkey (Token), and the bucket count (Len).
+	// setup (TCP transport): the reply carries shard 0's hash-table rkey
+	// (RKey), shard 0's data-pool rkey base (Token), the per-shard bucket
+	// count (Len), and the shard count (Off; 0 from pre-sharding servers
+	// means 1). Shard s's regions are at rkey RKey+3*s, Token+3*s, and
+	// Token+3*s+1.
 	THello
 	// THelloResp answers THello.
 	THelloResp
-	// TStats requests server counters (TCP transport); the reply carries
-	// them JSON-encoded in Value.
+	// TStats requests aggregate server counters (TCP transport); the
+	// reply carries them JSON-encoded in Value.
 	TStats
 	// TStatsResp answers TStats.
 	TStatsResp
+	// TShardStats requests per-shard server counters; the reply carries a
+	// JSON array (one element per shard) in Value. New types append here
+	// so earlier wire values stay stable.
+	TShardStats
+	// TShardStatsResp answers TShardStats.
+	TShardStatsResp
 )
 
 // Status codes.
