@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	efactory-bench [-fig 1|2|9a|9b|9c|9d|9|10|11|all] [-scale quick|full] [-seedinfo]
+//	efactory-bench [-fig 1|2|9a|9b|9c|9d|9|10|11|all] [-scale quick|full] [-jsondir dir]
 //
 // Full scale matches the experiment sizes used for EXPERIMENTS.md; quick
-// scale is the same harness at smoke-test sizes.
+// scale is the same harness at smoke-test sizes. With -jsondir set, each
+// figure's raw results — including the full log-spaced latency histogram
+// per configuration and the engine telemetry snapshot for eFactory runs —
+// are written to <dir>/BENCH_<fig>.json alongside the printed tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"efactory/internal/bench"
@@ -23,6 +28,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, ablate, sensitivity, rcommit, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	jsondir := flag.String("jsondir", "", "write each figure's raw results as BENCH_<fig>.json in this directory")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -42,6 +48,26 @@ func main() {
 		fn()
 		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, time.Since(t0).Seconds())
 	}
+	save := func(key string, rs []bench.Result) {
+		if *jsondir == "" {
+			return
+		}
+		if err := os.MkdirAll(*jsondir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "jsondir: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*jsondir, "BENCH_"+key+".json")
+		blob, err := json.MarshalIndent(rs, "", " ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(results saved to %s)\n", path)
+	}
 
 	any := false
 	want := func(names ...string) bool {
@@ -59,22 +85,22 @@ func main() {
 	}
 
 	if want("1") {
-		run("figure 1", func() { bench.Fig1(os.Stdout, &par, sc) })
+		run("figure 1", func() { save("fig1", bench.Fig1(os.Stdout, &par, sc)) })
 	}
 	if want("2") {
-		run("figure 2", func() { bench.Fig2(os.Stdout, &par, sc) })
+		run("figure 2", func() { save("fig2", bench.Fig2(os.Stdout, &par, sc)) })
 	}
 	for i, sub := range []string{"9a", "9b", "9c", "9d"} {
-		i := i
+		i, sub := i, sub
 		if want(sub, "9") {
-			run("figure "+sub, func() { bench.Fig9(os.Stdout, &par, sc, i) })
+			run("figure "+sub, func() { save("fig"+sub, bench.Fig9(os.Stdout, &par, sc, i)) })
 		}
 	}
 	if want("10") {
-		run("figure 10", func() { bench.Fig10(os.Stdout, &par, sc) })
+		run("figure 10", func() { save("fig10", bench.Fig10(os.Stdout, &par, sc)) })
 	}
 	if want("11") {
-		run("figure 11", func() { bench.Fig11(os.Stdout, &par, sc) })
+		run("figure 11", func() { save("fig11", bench.Fig11(os.Stdout, &par, sc)) })
 	}
 	if want("ablate") {
 		run("ablations", func() { bench.Ablations(os.Stdout, &par, sc) })

@@ -5,20 +5,31 @@
 //	efactory-cli [-addr host:7420] put <key> <value>
 //	efactory-cli [-addr host:7420] get <key>
 //	efactory-cli [-addr host:7420] del <key>
-//	efactory-cli [-addr host:7420] stats
+//	efactory-cli [-addr host:7420] stats [-json]
+//	efactory-cli [-addr host:7420] metrics [-json]
+//	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0]
 //	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256]
 //
-// bench drives a small closed-loop PUT/GET workload and prints achieved
-// throughput — wall-clock numbers over real TCP, not the simulation.
+// metrics prints the server's per-op latency histograms (merged across
+// shards) and key gauges; -json dumps the raw telemetry snapshot. top
+// refreshes a compact live view every interval (throughput from counter
+// deltas, latency quantiles, durability lag); -n caps the number of
+// refreshes (0 = until interrupted). bench drives a small closed-loop
+// PUT/GET workload and prints achieved throughput and latency
+// percentiles — wall-clock numbers over real TCP, not the simulation.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"efactory/internal/obs"
+	"efactory/internal/stats"
 	"efactory/internal/tcpkv"
 )
 
@@ -66,18 +77,21 @@ func main() {
 		}
 		fmt.Println("OK")
 	case "stats":
-		st, err := cl.ServerStats()
-		if err != nil {
-			fatal("stats: %v", err)
-		}
-		fmt.Printf("total: %+v\n", st)
-		// Per-shard breakdown; older servers reject the request, which is
-		// not worth failing the whole command over.
-		if per, err := cl.ShardStats(); err == nil && len(per) > 1 {
-			for i, s := range per {
-				fmt.Printf("shard %d: %+v\n", i, s)
-			}
-		}
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit JSON")
+		fs.Parse(args[1:])
+		runStats(cl, *asJSON)
+	case "metrics":
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "dump the raw telemetry snapshot as JSON")
+		fs.Parse(args[1:])
+		runMetrics(cl, *asJSON)
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		interval := fs.Duration("interval", time.Second, "refresh period")
+		iters := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+		fs.Parse(args[1:])
+		runTop(cl, *interval, *iters)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 10000, "operations")
@@ -89,34 +103,188 @@ func main() {
 	}
 }
 
+func runStats(cl *tcpkv.Client, asJSON bool) {
+	st, err := cl.ServerStats()
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	// Per-shard breakdown; older servers reject the request, which is
+	// not worth failing the whole command over.
+	per, perErr := cl.ShardStats()
+	if asJSON {
+		out := struct {
+			Total  tcpkv.Stats   `json:"total"`
+			Shards []tcpkv.Stats `json:"shards,omitempty"`
+		}{Total: st}
+		if perErr == nil {
+			out.Shards = per
+		}
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	fmt.Printf("total: %+v\n", st)
+	if perErr == nil && len(per) > 1 {
+		for i, s := range per {
+			fmt.Printf("shard %d: %+v\n", i, s)
+		}
+	}
+}
+
+func runMetrics(cl *tcpkv.Client, asJSON bool) {
+	snap, err := cl.Metrics()
+	if err != nil {
+		fatal("metrics: %v", err)
+	}
+	if asJSON {
+		blob, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	printMetrics(os.Stdout, snap)
+}
+
+// printMetrics renders the cross-shard latency table and key gauges.
+func printMetrics(w *os.File, snap obs.Snapshot) {
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s\n", "op", "count", "p50", "p99", "p99.9", "mean")
+	for _, op := range snap.Ops {
+		h := snap.MergedOp(op)
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10d %10s %10s %10s %10s\n", op, h.Count,
+			fmtNS(h.Quantile(0.5)), fmtNS(h.Quantile(0.99)), fmtNS(h.Quantile(0.999)), fmtNS(h.Mean()))
+	}
+	fmt.Fprintln(w)
+	for _, name := range []string{
+		"efactory_pool_occupancy", "efactory_table_load",
+		"efactory_durability_lag_bytes", "efactory_durability_lag_oldest_ns",
+		"efactory_cleaning",
+	} {
+		if v, ok := snap.GaugeValue(name); ok {
+			fmt.Fprintf(w, "%-34s %g\n", name, v)
+		}
+	}
+	fmt.Fprintf(w, "%-34s %d\n", "trace_events_total", snap.TraceTotal)
+}
+
+// counterSum sums every counter named name whose labels include want.
+func counterSum(snap obs.Snapshot, name string, want map[string]string) float64 {
+	var total float64
+	for _, c := range snap.Counters {
+		if c.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if c.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+func runTop(cl *tcpkv.Client, interval time.Duration, iters int) {
+	prev, err := cl.Metrics()
+	if err != nil {
+		fatal("top: %v", err)
+	}
+	prevT := time.Now()
+	for i := 0; iters == 0 || i < iters; i++ {
+		time.Sleep(interval)
+		snap, err := cl.Metrics()
+		if err != nil {
+			fatal("top: %v", err)
+		}
+		now := time.Now()
+		dt := now.Sub(prevT).Seconds()
+		var b strings.Builder
+		fmt.Fprintf(&b, "efactory top — %s  (refresh %v)\n\n", now.Format("15:04:05"), interval)
+		fmt.Fprintf(&b, "%-6s %12s %12s %12s\n", "op", "ops/s", "p50", "p99")
+		for _, op := range []string{"put", "get", "del"} {
+			rate := (counterSum(snap, "efactory_ops_total", map[string]string{"op": op}) -
+				counterSum(prev, "efactory_ops_total", map[string]string{"op": op})) / dt
+			h := snap.MergedOp(op)
+			fmt.Fprintf(&b, "%-6s %12.0f %12s %12s\n", op, rate,
+				fmtNS(h.Quantile(0.5)), fmtNS(h.Quantile(0.99)))
+		}
+		fmt.Fprintln(&b)
+		occ, _ := snap.GaugeValue("efactory_pool_occupancy")
+		load, _ := snap.GaugeValue("efactory_table_load")
+		shards := len(snap.Shards)
+		if shards > 0 {
+			occ /= float64(shards)
+			load /= float64(shards)
+		}
+		lagB, _ := snap.GaugeValue("efactory_durability_lag_bytes")
+		lagNS, _ := snap.GaugeValue("efactory_durability_lag_oldest_ns")
+		cleaning, _ := snap.GaugeValue("efactory_cleaning")
+		fmt.Fprintf(&b, "shards %d   pool occupancy %.1f%%   table load %.1f%%   cleaning %g\n",
+			shards, occ*100, load*100, cleaning)
+		fmt.Fprintf(&b, "durability lag: %.0f B backlog, oldest %s\n",
+			lagB, fmtNS(lagNS))
+		bgRate := (counterSum(snap, "efactory_bg_objects_total", map[string]string{"outcome": "verified"}) -
+			counterSum(prev, "efactory_bg_objects_total", map[string]string{"outcome": "verified"})) / dt
+		fmt.Fprintf(&b, "bg verified: %.0f obj/s   trace events: %d\n", bgRate, snap.TraceTotal)
+		// Clear screen + home, then one frame.
+		fmt.Print("\x1b[2J\x1b[H" + b.String())
+		prev, prevT = snap, now
+	}
+}
+
+// fmtNS renders nanoseconds with time.Duration's adaptive unit.
+func fmtNS(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Nanosecond).String()
+}
+
 func runBench(cl *tcpkv.Client, n, vlen int) {
 	val := make([]byte, vlen)
 	for i := range val {
 		val[i] = byte(i)
 	}
+	var putLat, getLat stats.Recorder
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("bench-%d", i%1024)
+		s := time.Now()
 		if err := cl.Put([]byte(key), val); err != nil {
 			fatal("bench put: %v", err)
 		}
+		putLat.Record(time.Since(s))
 	}
 	putDur := time.Since(t0)
 	t0 = time.Now()
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("bench-%d", i%1024)
+		s := time.Now()
 		if _, err := cl.Get([]byte(key)); err != nil {
 			fatal("bench get: %v", err)
 		}
+		getLat.Record(time.Since(s))
 	}
 	getDur := time.Since(t0)
-	fmt.Printf("PUT: %d ops in %v (%.0f ops/s)\n", n, putDur, float64(n)/putDur.Seconds())
-	fmt.Printf("GET: %d ops in %v (%.0f ops/s, %d pure / %d fallback)\n",
-		n, getDur, float64(n)/getDur.Seconds(), cl.PureReads, cl.FallbackReads)
+	fmt.Printf("PUT: %d ops in %v (%.0f ops/s, p50/p99/p99.9 %v/%v/%v)\n",
+		n, putDur, float64(n)/putDur.Seconds(),
+		putLat.Median(), putLat.P99(), putLat.P999())
+	fmt.Printf("GET: %d ops in %v (%.0f ops/s, p50/p99/p99.9 %v/%v/%v, %d pure / %d fallback)\n",
+		n, getDur, float64(n)/getDur.Seconds(),
+		getLat.Median(), getLat.P99(), getLat.P999(),
+		cl.PureReads, cl.FallbackReads)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|bench ...")
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|bench ...")
 	os.Exit(2)
 }
 

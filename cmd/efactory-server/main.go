@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-metrics-addr :9420]
+//
+// With -metrics-addr set, the server also serves HTTP telemetry:
+// Prometheus text on /metrics, the full JSON snapshot on /debug/vars, and
+// the structured trace ring on /debug/trace.
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"efactory/internal/nvm"
+	"efactory/internal/obs"
 	"efactory/internal/tcpkv"
 )
 
@@ -24,6 +30,7 @@ func main() {
 	poolMiB := flag.Int("pool", 64, "data pool size in MiB")
 	buckets := flag.Int("buckets", 16384, "hash table buckets per shard")
 	shards := flag.Int("shards", 1, "number of storage engine shards")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address; empty disables")
 	flag.Parse()
 
 	cfg := tcpkv.DefaultConfig()
@@ -47,6 +54,17 @@ func main() {
 	if st.Recovered > 0 || st.RolledBack > 0 {
 		log.Printf("recovery: %d keys restored, %d rolled back to a previous intact version",
 			st.Recovered, st.RolledBack)
+	}
+
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(srv.Metrics())}
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
 	}
 
 	go func() {

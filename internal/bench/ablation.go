@@ -196,12 +196,11 @@ func driveWorkload(env *sim.Env, stop func(), kvs []interface {
 	})
 	env.Run()
 	elapsed := end - start
-	return Result{
+	r := Result{
 		Mix: mix, ValLen: valLen, Clients: nClients,
 		Ops: totalOps, Elapsed: elapsed,
-		Mops:   stats.Mops(totalOps, elapsed),
-		Mean:   rec.Mean(),
-		Median: rec.Median(),
-		P99:    rec.P99(),
+		Mops: stats.Mops(totalOps, elapsed),
 	}
+	r.fillLatency(&rec)
+	return r
 }

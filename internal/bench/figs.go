@@ -228,12 +228,12 @@ func runMixedCleaning(par *model.Params, mix ycsb.Mix, nClients, valLen int, sc 
 	env.Run()
 
 	elapsed := end - start
-	return Result{
+	r := Result{
 		System: SysEFactory, Mix: mix, ValLen: valLen, Clients: nClients,
 		Ops: totalOps, Elapsed: elapsed,
-		Mops:   stats.Mops(totalOps, elapsed),
-		Mean:   rec.Mean(),
-		Median: rec.Median(),
-		P99:    rec.P99(),
+		Mops: stats.Mops(totalOps, elapsed),
 	}
+	r.fillLatency(&rec)
+	r.captureEngine(c)
+	return r
 }

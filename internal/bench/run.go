@@ -8,6 +8,7 @@ import (
 	"efactory/internal/baseline"
 	"efactory/internal/efactory"
 	"efactory/internal/model"
+	"efactory/internal/obs"
 	"efactory/internal/sim"
 	"efactory/internal/stats"
 	"efactory/internal/ycsb"
@@ -52,6 +53,33 @@ type Result struct {
 	Mean    time.Duration
 	Median  time.Duration
 	P99     time.Duration
+	P999    time.Duration
+	// Hist is the full log-spaced latency histogram of the measured
+	// operations (virtual time), exported to BENCH_*.json.
+	Hist obs.HistSnapshot
+	// Engine is the server-side telemetry snapshot, captured after the
+	// run for eFactory systems only.
+	Engine *obs.Snapshot `json:",omitempty"`
+}
+
+// fillLatency populates r's latency summary and histogram from rec.
+func (r *Result) fillLatency(rec *stats.Recorder) {
+	r.Mean = rec.Mean()
+	r.Median = rec.Median()
+	r.P99 = rec.P99()
+	r.P999 = rec.P999()
+	var h obs.Histogram
+	rec.Each(func(d time.Duration) { h.Observe(uint64(d)) })
+	r.Hist = h.Snapshot()
+}
+
+// captureEngine attaches the server's telemetry snapshot for eFactory
+// clusters; a no-op for the baseline systems.
+func (r *Result) captureEngine(c *Cluster) {
+	if c.EF != nil {
+		snap := c.EF.Metrics().Snapshot()
+		r.Engine = &snap
+	}
 }
 
 // RunMixed loads NKeys keys of valLen bytes, then drives nClients
@@ -118,14 +146,14 @@ func RunMixed(par *model.Params, sys System, mix ycsb.Mix, nClients, valLen int,
 	env.Run()
 
 	elapsed := end - start
-	return Result{
+	r := Result{
 		System: sys, Mix: mix, ValLen: valLen, Clients: nClients,
 		Ops: totalOps, Elapsed: elapsed,
-		Mops:   stats.Mops(totalOps, elapsed),
-		Mean:   rec.Mean(),
-		Median: rec.Median(),
-		P99:    rec.P99(),
+		Mops: stats.Mops(totalOps, elapsed),
 	}
+	r.fillLatency(&rec)
+	r.captureEngine(c)
+	return r
 }
 
 // RunPutLatency measures durable (or scheme-native) PUT latency with a
@@ -156,10 +184,10 @@ func RunPutLatency(par *model.Params, sys System, valLen, ops int, sc Scale, see
 		c.Stop()
 	})
 	env.Run()
-	return Result{
-		System: sys, ValLen: valLen, Clients: 1, Ops: ops,
-		Mean: rec.Mean(), Median: rec.Median(), P99: rec.P99(),
-	}
+	r := Result{System: sys, ValLen: valLen, Clients: 1, Ops: ops}
+	r.fillLatency(&rec)
+	r.captureEngine(c)
+	return r
 }
 
 // RunGetLatency measures GET latency with a single client against a
@@ -199,8 +227,8 @@ func RunGetLatency(par *model.Params, sys System, valLen, ops int, sc Scale, see
 		c.Stop()
 	})
 	env.Run()
-	return Result{
-		System: sys, ValLen: valLen, Clients: 1, Ops: ops,
-		Mean: rec.Mean(), Median: rec.Median(), P99: rec.P99(),
-	}
+	r := Result{System: sys, ValLen: valLen, Clients: 1, Ops: ops}
+	r.fillLatency(&rec)
+	r.captureEngine(c)
+	return r
 }

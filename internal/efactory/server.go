@@ -7,6 +7,7 @@ import (
 	"efactory/internal/kv"
 	"efactory/internal/model"
 	"efactory/internal/nvm"
+	"efactory/internal/obs"
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
 	"efactory/internal/store"
@@ -202,6 +203,12 @@ func (s *Server) Stats() ServerStats {
 
 // ShardStats returns per-shard engine counters.
 func (s *Server) ShardStats() []store.Stats { return s.st.ShardStats() }
+
+// Metrics returns the engine's telemetry registry. Under the simulator
+// the histograms record virtual time: each section's span is the cost the
+// CostSink charged, so the same instrumentation describes modeled
+// latency here and wall-clock latency on the TCP server.
+func (s *Server) Metrics() *obs.Registry { return s.st.Metrics() }
 
 // Stop shuts down the server's processes (end of an experiment).
 func (s *Server) Stop() {

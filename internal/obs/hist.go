@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: two log-spaced buckets per power of two
+// (bounds 2^k and 3·2^(k-1)), covering minBound ns up to ~275 s, plus one
+// overflow bucket. The layout is fixed so histograms from different shards,
+// transports, or processes merge by plain element-wise addition, and so the
+// hot-path index computation is two integer ops — no search, no floats.
+const (
+	minOctave  = 6  // 2^6 = 64 ns: below the cheapest engine op on either clock
+	maxOctave  = 37 // 2^37 ns ≈ 137 s
+	numFinite  = 2 * (maxOctave - minOctave + 1)
+	NumBuckets = numFinite + 1 // + overflow
+)
+
+// bucketBounds[i] is the inclusive upper bound (ns) of bucket i; the
+// overflow bucket has no bound.
+var bucketBounds = func() [numFinite]uint64 {
+	var b [numFinite]uint64
+	for o := minOctave; o <= maxOctave; o++ {
+		b[2*(o-minOctave)] = 1 << o
+		b[2*(o-minOctave)+1] = 3 << (o - 1)
+	}
+	return b
+}()
+
+// Bounds returns the finite bucket upper bounds in nanoseconds (shared by
+// every Histogram; the last bucket is the +Inf overflow).
+func Bounds() []uint64 {
+	out := make([]uint64, numFinite)
+	copy(out[:], bucketBounds[:])
+	return out
+}
+
+// bucketIndex maps a duration in ns to its bucket.
+func bucketIndex(ns uint64) int {
+	if ns <= 1<<minOctave {
+		return 0
+	}
+	o := bits.Len64(ns-1) - 1 // octave of the smallest power of two >= ns, minus 1
+	if o > maxOctave {
+		return NumBuckets - 1
+	}
+	idx := 2 * (o - minOctave)
+	if ns > 3<<(o-1) {
+		idx++
+	}
+	return idx + 1
+}
+
+// Histogram is a fixed-geometry, log-spaced latency histogram. Observe is
+// lock-free — one atomic add per counter touched — so it is safe on the
+// TCP transport's hot path and free of scheduling side effects under the
+// deterministic simulator. The zero value is ready to use. Histograms must
+// not be copied after first use.
+type Histogram struct {
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	counts [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns uint64) {
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may land
+// between field loads; the drift is at most a few in-flight samples.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:  h.count.Load(),
+		SumNS:  h.sum.Load(),
+		Counts: make([]uint64, NumBuckets),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes every counter (between benchmark phases).
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+}
+
+// HistSnapshot is an immutable, JSON-encodable copy of a Histogram. Counts
+// always has NumBuckets elements, aligned with Bounds() plus the overflow
+// bucket, so snapshots from any source merge element-wise.
+type HistSnapshot struct {
+	Count  uint64   `json:"count"`
+	SumNS  uint64   `json:"sum_ns"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// Merge folds o into s (e.g. aggregating shards).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if len(o.Counts) == 0 {
+		return
+	}
+	if len(s.Counts) == 0 {
+		s.Counts = make([]uint64, NumBuckets)
+	}
+	for i := range s.Counts {
+		if i < len(o.Counts) {
+			s.Counts[i] += o.Counts[i]
+		}
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation within the owning bucket. q <= 0 returns the lower
+// edge of the first occupied bucket, q >= 1 the upper bound of the last.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketEdges(i)
+		// Interpolate position within this bucket's count.
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	// Unreachable unless counts drifted from Count; fall back to the top.
+	_, hi := bucketEdges(len(s.Counts) - 1)
+	return hi
+}
+
+// Mean returns the arithmetic mean in nanoseconds.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+// bucketEdges returns bucket i's [lower, upper] bounds in ns. The overflow
+// bucket is treated as one octave wide past the last finite bound.
+func bucketEdges(i int) (lo, hi float64) {
+	if i >= numFinite {
+		last := float64(bucketBounds[numFinite-1])
+		return last, 2 * last
+	}
+	hi = float64(bucketBounds[i])
+	if i == 0 {
+		return 0, hi
+	}
+	return float64(bucketBounds[i-1]), hi
+}

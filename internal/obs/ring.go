@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// Event is one structured trace record. Events are reserved for the rare,
+// debugging-relevant transitions (invalidations, rollbacks, allocation
+// failures, cleaning boundaries), not the per-op hot path, so a mutex-
+// guarded ring is cheap enough and dumps are exact.
+type Event struct {
+	TimeNS  uint64 `json:"t_ns"`          // sink clock (virtual or wall)
+	Shard   int    `json:"shard"`         // owning shard
+	Op      string `json:"op"`            // operation that produced the event
+	Outcome string `json:"outcome"`       // what happened
+	KeyHash uint64 `json:"key_hash"`      // hash of the key involved (0 if none)
+	Seq     uint64 `json:"seq,omitempty"` // version sequence number (0 if none)
+}
+
+// Ring is a bounded ring buffer of trace events: the newest capacity events
+// are retained, older ones are overwritten.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // slot the next append goes to
+	total uint64 // events ever appended
+}
+
+// NewRing returns a ring retaining the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever appended (dropped ones included).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump returns the retained events, oldest first.
+func (r *Ring) Dump() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}

@@ -23,6 +23,19 @@ func (r *Recorder) Record(d time.Duration) {
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 
+// Reset discards every sample, keeping the backing array for reuse.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+}
+
+// Each calls fn for every recorded sample.
+func (r *Recorder) Each(fn func(time.Duration)) {
+	for _, s := range r.samples {
+		fn(s)
+	}
+}
+
 // Merge folds other's samples into r.
 func (r *Recorder) Merge(other *Recorder) {
 	r.samples = append(r.samples, other.samples...)
@@ -36,12 +49,19 @@ func (r *Recorder) sortSamples() {
 	}
 }
 
-// Percentile returns the q-th percentile (0 < q <= 100).
+// Percentile returns the q-th percentile. q is clamped to (0, 100]:
+// q <= 0 returns the minimum sample, q > 100 the maximum.
 func (r *Recorder) Percentile(q float64) time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
 	r.sortSamples()
+	if q <= 0 {
+		return r.samples[0]
+	}
+	if q > 100 {
+		q = 100
+	}
 	idx := int(q / 100 * float64(len(r.samples)-1))
 	if idx < 0 {
 		idx = 0
@@ -57,6 +77,9 @@ func (r *Recorder) Median() time.Duration { return r.Percentile(50) }
 
 // P99 returns the 99th percentile.
 func (r *Recorder) P99() time.Duration { return r.Percentile(99) }
+
+// P999 returns the 99.9th percentile.
+func (r *Recorder) P999() time.Duration { return r.Percentile(99.9) }
 
 // Mean returns the arithmetic mean.
 func (r *Recorder) Mean() time.Duration {

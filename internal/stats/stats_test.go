@@ -26,6 +26,68 @@ func TestEmptyRecorder(t *testing.T) {
 	if r.Median() != 0 || r.Mean() != 0 || r.Count() != 0 {
 		t.Fatal("empty recorder not zero-valued")
 	}
+	if r.Percentile(0) != 0 || r.Percentile(-5) != 0 || r.Percentile(200) != 0 {
+		t.Fatal("empty recorder percentiles not zero")
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if p := r.Percentile(0); p != time.Microsecond {
+		t.Fatalf("q=0 should return the minimum, got %v", p)
+	}
+	if p := r.Percentile(-17); p != time.Microsecond {
+		t.Fatalf("q<0 should return the minimum, got %v", p)
+	}
+	if p := r.Percentile(250); p != 10*time.Microsecond {
+		t.Fatalf("q>100 should return the maximum, got %v", p)
+	}
+}
+
+func TestP999(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 10000; i++ {
+		r.Record(time.Duration(i) * time.Nanosecond)
+	}
+	p := r.P999()
+	if p < 9980*time.Nanosecond || p > 10000*time.Nanosecond {
+		t.Fatalf("p99.9 = %v", p)
+	}
+	if r.P99() > p {
+		t.Fatalf("p99 %v above p99.9 %v", r.P99(), p)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.Record(5 * time.Microsecond)
+	_ = r.Median() // force the sorted flag on
+	r.Reset()
+	if r.Count() != 0 || r.Median() != 0 {
+		t.Fatal("reset recorder not empty")
+	}
+	r.Record(30 * time.Microsecond)
+	r.Record(10 * time.Microsecond)
+	if r.Median() != 10*time.Microsecond && r.Median() != 30*time.Microsecond {
+		t.Fatalf("median after reset = %v", r.Median())
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count after reset = %d", r.Count())
+	}
+}
+
+func TestEach(t *testing.T) {
+	var r Recorder
+	r.Record(1 * time.Microsecond)
+	r.Record(2 * time.Microsecond)
+	var sum time.Duration
+	r.Each(func(d time.Duration) { sum += d })
+	if sum != 3*time.Microsecond {
+		t.Fatalf("Each sum = %v", sum)
+	}
 }
 
 func TestMeanAndMerge(t *testing.T) {

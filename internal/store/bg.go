@@ -23,12 +23,14 @@ func (e *Engine) BGStep(h any, pi int) bool {
 		return false
 	}
 	off := uint64(e.bgCursor[pi])
+	tScan := e.sink.Now()
 	e.sink.Charge(h, OpBGScan, 0)
 	if pool != e.pools[pi] {
 		// The log cleaner recycled this pool while we yielded.
 		return false
 	}
 	hd := pool.Header(off)
+	e.observe(int(OpBGScan), tScan)
 	if hd.Magic != kv.Magic || hd.KLen <= 0 {
 		// Allocation raced us; retry this position later.
 		return false
@@ -49,18 +51,23 @@ func (e *Engine) BGStep(h any, pi int) bool {
 		e.bgCursor[pi] += size
 		return true
 	}
+	tCRC := e.sink.Now()
 	e.sink.Charge(h, OpBGCRC, hd.VLen)
 	if pool != e.pools[pi] {
 		return false
 	}
 	val := pool.ReadValue(off, hd.KLen, hd.VLen)
-	if crc.Checksum(val) == hd.CRC {
+	match := crc.Checksum(val) == hd.CRC
+	e.observe(int(OpBGCRC), tCRC)
+	if match {
+		tFlush := e.sink.Now()
 		e.sink.Charge(h, OpBGFlush, size)
 		if pool != e.pools[pi] {
 			return false
 		}
 		pool.FlushObject(off, hd.KLen, hd.VLen)
 		pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+		e.observe(int(OpBGFlush), tFlush)
 		e.stats.BGVerified++
 		e.bgCursor[pi] += size
 		return true
@@ -68,6 +75,9 @@ func (e *Engine) BGStep(h any, pi int) bool {
 	if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 		pool.SetFlags(off, hd.Flags&^kv.FlagValid)
 		e.stats.BGInvalidated++
+		key := make([]byte, hd.KLen)
+		e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+		e.trace("bg_verify", "invalidated", kv.HashKey(key), hd.Seq)
 		e.bgCursor[pi] += size
 		return true
 	}
@@ -80,9 +90,11 @@ func (e *Engine) BGStep(h any, pi int) bool {
 func (e *Engine) bgSuperseded(h any, pi int, off uint64, klen int) bool {
 	pool := e.pools[pi]
 	key := make([]byte, klen)
+	tLookup := e.sink.Now()
 	e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
 	e.sink.Charge(h, OpBGLookup, 0)
 	_, en, found := e.table.Lookup(kv.HashKey(key))
+	e.observe(int(OpBGLookup), tLookup)
 	if !found {
 		return true // entry reclaimed: version unreachable
 	}

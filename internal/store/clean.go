@@ -48,6 +48,7 @@ func (e *Engine) startCleaningLocked() {
 
 // runCleaner is the log-cleaning process for one run.
 func (e *Engine) runCleaner(h any) {
+	e.trace("clean", "start", 0, 0)
 	if e.deps.OnCleanStart != nil {
 		e.deps.OnCleanStart(h)
 	}
@@ -82,12 +83,14 @@ func (e *Engine) runCleaner(h any) {
 	// entries with no surviving version.
 	e.mu.Lock()
 	e.table.RangeAll(func(i int, en kv.Entry) bool {
+		tEntry := e.sink.Now()
 		e.sink.Charge(h, OpCleanEntry, 0)
 		if en.Tombstone() || en.Loc[1-e.mark] == 0 {
 			e.table.Clear(i)
-			return true
+		} else {
+			e.table.FlipMark(i)
 		}
-		e.table.FlipMark(i)
+		e.observe(int(OpCleanEntry), tEntry)
 		return true
 	})
 	e.cur = newer
@@ -96,6 +99,7 @@ func (e *Engine) runCleaner(h any) {
 	e.cleaning = false
 	e.stats.Cleanings++
 	e.mu.Unlock()
+	e.trace("clean", "end", 0, 0)
 
 	if e.deps.OnCleanEnd != nil {
 		e.deps.OnCleanEnd(h)
@@ -143,16 +147,20 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pool := e.pools[pi]
+	tScan := e.sink.Now()
 	e.sink.Charge(h, OpBGScan, 0)
 	hd := pool.Header(off)
+	e.observe(int(OpBGScan), tScan)
 	if hd.Magic != kv.Magic || !hd.Valid() {
 		e.stats.CleanDropped++
 		return true
 	}
 	key := make([]byte, hd.KLen)
+	tLookup := e.sink.Now()
 	e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
 	e.sink.Charge(h, OpBGLookup, 0)
 	idx, en, found := e.table.Lookup(kv.HashKey(key))
+	e.observe(int(OpBGLookup), tLookup)
 	if !found || en.Tombstone() {
 		e.stats.CleanDropped++
 		return true
@@ -197,6 +205,7 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 		VLen:      hd.VLen,
 		Flags:     kv.FlagValid | kv.FlagDurable,
 	}
+	tCopy := e.sink.Now()
 	e.sink.Charge(h, OpCleanCopy, size)
 	newOff, ok := dst.AppendObject(&nh, key)
 	if !ok {
@@ -206,6 +215,7 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 	}
 	dst.WriteValue(newOff, hd.KLen, pool.ReadValue(off, hd.KLen, hd.VLen))
 	dst.FlushObject(newOff, hd.KLen, hd.VLen)
+	e.observe(int(OpCleanCopy), tCopy)
 	// Mark the old copy as transferred, then stage the entry.
 	pool.SetFlags(off, hd.Flags|kv.FlagTrans)
 	e.table.SetLoc(idx, 1-e.mark, kv.PackLoc(newOff, size))
@@ -226,18 +236,24 @@ func (e *Engine) ensureDurableLocked(h any, pi int, off uint64) int {
 	if hd.Durable() {
 		return durYes
 	}
+	tCRC := e.sink.Now()
 	e.sink.Charge(h, OpBGCRC, hd.VLen)
 	val := pool.ReadValue(off, hd.KLen, hd.VLen)
-	if crc.Checksum(val) == hd.CRC {
+	match := crc.Checksum(val) == hd.CRC
+	e.observe(int(OpBGCRC), tCRC)
+	if match {
 		size := kv.ObjectSize(hd.KLen, hd.VLen)
+		tFlush := e.sink.Now()
 		e.sink.Charge(h, OpBGFlush, size)
 		pool.FlushObject(off, hd.KLen, hd.VLen)
 		pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+		e.observe(int(OpBGFlush), tFlush)
 		return durYes
 	}
 	if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 		pool.SetFlags(off, hd.Flags&^kv.FlagValid)
 		e.stats.BGInvalidated++
+		e.trace("clean", "invalidated", 0, hd.Seq)
 		return durDead
 	}
 	return durInFlight

@@ -21,6 +21,7 @@ import (
 	"efactory/internal/crc"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
+	"efactory/internal/obs"
 )
 
 // Config sizes an engine fleet.
@@ -127,6 +128,7 @@ type Engine struct {
 	deps  Deps
 	sink  CostSink
 	dev   nvm.Device
+	obs   *obs.Registry
 
 	table *kv.Table
 	pools [2]*kv.Pool
@@ -142,13 +144,14 @@ type Engine struct {
 	stats    Stats
 }
 
-func newEngine(dev nvm.Device, cfg Config, deps Deps, l kv.Layout, shard int) *Engine {
+func newEngine(dev nvm.Device, cfg Config, deps Deps, l kv.Layout, shard int, reg *obs.Registry) *Engine {
 	e := &Engine{
 		shard: shard,
 		cfg:   cfg,
 		deps:  deps,
 		sink:  deps.Sink,
 		dev:   dev,
+		obs:   reg,
 		table: kv.NewTable(dev, l.TableBase(shard), l.Buckets),
 		mu:    deps.NewLock(),
 	}
@@ -259,6 +262,8 @@ func (e *Engine) resolveEntry(en kv.Entry) (pi int, off uint64, totalLen int, ok
 func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	t0 := e.sink.Now()
+	defer func() { e.observe(mopPut, t0) }()
 	e.stats.Puts++
 	pi, pool := e.writePool()
 	size := kv.ObjectSize(len(key), vlen)
@@ -273,6 +278,7 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	idx, existed, ok := e.table.FindSlot(keyHash)
 	if !ok {
 		e.stats.AllocFailures++
+		e.trace("put", "table_full", keyHash, 0)
 		return PutResult{Status: StatusFull}
 	}
 	if !existed && e.mark == 1 {
@@ -283,6 +289,7 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	// workers updating the same key cannot interleave between reading the
 	// previous version pointer and publishing the new head (which would
 	// orphan versions from the chain).
+	tAlloc := e.sink.Now()
 	e.sink.Charge(h, OpAlloc, size)
 	en := e.table.Entry(idx)
 
@@ -310,8 +317,10 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	off, allocOK := pool.AppendObject(&hd, key)
 	if !allocOK {
 		e.stats.AllocFailures++
+		e.trace("put", "pool_full", keyHash, hd.Seq)
 		return PutResult{Status: StatusFull}
 	}
+	e.observe(int(OpAlloc), tAlloc)
 
 	if en.Tombstone() {
 		e.table.Undelete(idx)
@@ -334,10 +343,13 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 func (e *Engine) Get(h any, key []byte) GetResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	t0 := e.sink.Now()
+	defer func() { e.observe(mopGet, t0) }()
 	e.stats.Gets++
 	keyHash := kv.HashKey(key)
 	e.sink.Charge(h, OpLookup, 0)
 	_, en, found := e.table.Lookup(keyHash)
+	e.observe(int(OpLookup), t0)
 	if !found || en.Tombstone() {
 		return GetResult{Status: StatusNotFound}
 	}
@@ -348,8 +360,10 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 	first := true
 	for {
 		pool := e.pools[pi]
+		tScan := e.sink.Now()
 		e.sink.Charge(h, OpGetScan, 0) // header fetch + durability check
 		hd := pool.Header(off)
+		e.observe(int(OpGetScan), tScan)
 		if hd.Magic != kv.Magic {
 			break
 		}
@@ -359,33 +373,45 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 					e.stats.GetFastPath++
 				} else {
 					e.stats.GetRolledBack++
+					e.trace("get", "rolled_back", keyHash, hd.Seq)
 				}
 				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
 			}
 			if hd.Durable() {
 				// Ablation mode: re-verify despite the flag.
+				tCRC := e.sink.Now()
 				e.sink.Charge(h, OpCRC, hd.VLen)
+				e.observe(int(OpCRC), tCRC)
+				tFlush := e.sink.Now()
 				e.sink.Charge(h, OpFlushClean, totalLen)
+				e.observe(int(OpFlushClean), tFlush)
 				e.stats.GetVerified++
 				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
 			}
 			// Not yet durable: verify and persist on demand.
+			tCRC := e.sink.Now()
 			e.sink.Charge(h, OpCRC, hd.VLen)
 			val := pool.ReadValue(off, hd.KLen, hd.VLen)
-			if crc.Checksum(val) == hd.CRC {
+			match := crc.Checksum(val) == hd.CRC
+			e.observe(int(OpCRC), tCRC)
+			if match {
+				tFlush := e.sink.Now()
 				e.sink.Charge(h, OpFlush, totalLen)
 				pool.FlushObject(off, hd.KLen, hd.VLen)
 				pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+				e.observe(int(OpFlush), tFlush)
 				if first {
 					e.stats.GetVerified++
 				} else {
 					e.stats.GetRolledBack++
+					e.trace("get", "rolled_back", keyHash, hd.Seq)
 				}
 				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
 			}
 			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 				pool.SetFlags(off, hd.Flags&^kv.FlagValid)
 				e.stats.GetInvalidated++
+				e.trace("get", "invalidated", keyHash, hd.Seq)
 			}
 		}
 		// Walk to the previous version.
@@ -403,9 +429,12 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 func (e *Engine) Del(h any, key []byte) Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	t0 := e.sink.Now()
+	defer func() { e.observe(mopDel, t0) }()
 	e.stats.Dels++
 	e.sink.Charge(h, OpLookup, 0)
 	idx, en, found := e.table.Lookup(kv.HashKey(key))
+	e.observe(int(OpLookup), t0)
 	if !found || en.Tombstone() {
 		return StatusNotFound
 	}

@@ -1,0 +1,133 @@
+package store_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+	"efactory/internal/store"
+)
+
+// TestConcurrentStatsAndTraffic hammers the observability surface —
+// StatsTotal, ShardStats, gauge evaluation, telemetry snapshots, and the
+// Prometheus renderer — while PUT/GET/DEL traffic, background
+// verification, and log cleaning run on all shards. Its job is to fail
+// under `go test -race` (the CI race job covers this package) if any
+// metric read races engine mutation.
+func TestConcurrentStatsAndTraffic(t *testing.T) {
+	cfg := store.Config{
+		Shards:        8,
+		Buckets:       1024,
+		PoolSize:      1 << 20,
+		VerifyTimeout: 20 * time.Millisecond,
+	}
+	layout := cfg.Layout()
+	dev := nvm.New(layout.DeviceSize())
+	st, _, err := store.New(dev, cfg, store.Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Per-shard background verifier, as the TCP server runs it.
+	for i := 0; i < st.NumShards(); i++ {
+		eng := st.Shard(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				progressed := false
+				for pi := 0; pi < 2; pi++ {
+					for eng.BGStep(nil, pi) {
+						progressed = true
+					}
+				}
+				if !progressed {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	// Writers/readers: emulate the client-active scheme — allocation RPC,
+	// then a one-sided value write straight to the device.
+	val := make([]byte, 128)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	sum := crc.Checksum(val)
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				key := []byte(fmt.Sprintf("race-%d-%d", w, n%256))
+				sh := st.ShardFor(key)
+				eng := st.Shard(sh)
+				res := eng.Put(nil, key, len(val), sum)
+				if res.Status == store.StatusOK {
+					base := layout.PoolBase(sh, res.Pool)
+					dev.Write(base+int(res.Off)+kv.ValueOffset(len(key)), val)
+				}
+				eng.Get(nil, key)
+				if n%64 == 63 {
+					eng.Del(nil, key)
+				}
+			}
+		}()
+	}
+
+	// Metric scrapers: every read path the transports expose.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_ = st.StatsTotal()
+				_ = st.ShardStats()
+				snap := st.Metrics().Snapshot()
+				_ = snap.MergedOp("put")
+				st.Metrics().WritePrometheus(io.Discard)
+				_ = st.Metrics().Ring().Dump()
+				for i := 0; i < st.NumShards(); i++ {
+					eng := st.Shard(i)
+					eng.Occupancy()
+					eng.TableLoad()
+					eng.DurabilityLag()
+				}
+			}
+		}()
+	}
+
+	// Cleaner trigger.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			st.StartCleaning()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	st.Stop()
+
+	if st.StatsTotal().Puts == 0 {
+		t.Fatal("no traffic reached the engines")
+	}
+	if snap := st.Metrics().Snapshot(); snap.MergedOp("put").Count == 0 {
+		t.Fatal("no put latency samples recorded")
+	}
+}

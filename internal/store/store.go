@@ -5,6 +5,7 @@ import (
 
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
+	"efactory/internal/obs"
 )
 
 // Store composes Config.Shards engines over one device. Shard 0 of a
@@ -15,6 +16,7 @@ type Store struct {
 	layout  kv.Layout
 	dev     nvm.Device
 	engines []*Engine
+	reg     *obs.Registry
 }
 
 // New carves dev into per-shard regions, builds one engine per shard, and
@@ -31,14 +33,24 @@ func New(dev nvm.Device, cfg Config, deps Deps) (*Store, RecoveryStats, error) {
 	if dev.Size() < l.DeviceSize() {
 		return nil, RecoveryStats{}, fmt.Errorf("store: device %d B smaller than config needs (%d B)", dev.Size(), l.DeviceSize())
 	}
-	s := &Store{cfg: cfg, layout: l, dev: dev, engines: make([]*Engine, l.Shards)}
+	s := &Store{
+		cfg: cfg, layout: l, dev: dev,
+		engines: make([]*Engine, l.Shards),
+		reg:     obs.New("efactory", l.Shards, MetricOpNames(), traceRingCap),
+	}
 	var rst RecoveryStats
 	for i := range s.engines {
-		s.engines[i] = newEngine(dev, cfg, deps, l, i)
+		s.engines[i] = newEngine(dev, cfg, deps, l, i, s.reg)
 		rst.Add(s.engines[i].recover(l))
 	}
+	s.registerMetrics()
 	return s, rst, nil
 }
+
+// Metrics returns the store's telemetry registry: per-shard, per-op
+// latency histograms, gauges (pool occupancy, table load, durability lag),
+// counters, and the trace ring. Transports surface it over HTTP and RPC.
+func (s *Store) Metrics() *obs.Registry { return s.reg }
 
 // Layout returns the device layout.
 func (s *Store) Layout() kv.Layout { return s.layout }

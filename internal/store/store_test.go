@@ -94,9 +94,9 @@ type simOps struct {
 	p *sim.Proc
 }
 
-func (o simOps) Put(k, v []byte) error      { return o.h.cl.Put(o.p, k, v) }
+func (o simOps) Put(k, v []byte) error        { return o.h.cl.Put(o.p, k, v) }
 func (o simOps) Get(k []byte) ([]byte, error) { return o.h.cl.Get(o.p, k) }
-func (o simOps) Settle()                    { o.p.Sleep(2 * time.Millisecond) }
+func (o simOps) Settle()                      { o.p.Sleep(2 * time.Millisecond) }
 
 func (h *simHarness) Run(fn func(c kvops)) {
 	done := false

@@ -10,6 +10,7 @@ import (
 
 	"efactory/internal/crc"
 	"efactory/internal/kv"
+	"efactory/internal/obs"
 	"efactory/internal/wire"
 )
 
@@ -302,6 +303,26 @@ func (c *Client) ShardStats() ([]Stats, error) {
 		return nil, fmt.Errorf("tcpkv: shard stats decode: %w", err)
 	}
 	return st, nil
+}
+
+// Metrics fetches the server's telemetry snapshot (per-shard per-op
+// latency histograms, gauges, counters). Servers predating the TMetrics
+// type answer with an error status, which surfaces as a normal error.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.rpc(wire.Msg{Type: wire.TMetrics})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Status != wire.StOK {
+		return obs.Snapshot{}, fmt.Errorf("tcpkv: metrics status %d", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(resp.Value, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("tcpkv: metrics decode: %w", err)
+	}
+	return snap, nil
 }
 
 // Delete removes key.

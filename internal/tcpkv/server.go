@@ -54,6 +54,7 @@ import (
 
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
+	"efactory/internal/obs"
 	"efactory/internal/store"
 	"efactory/internal/wire"
 )
@@ -203,6 +204,10 @@ func (s *Server) Stats() Stats { return s.st.StatsTotal() }
 
 // ShardStats returns per-shard counters.
 func (s *Server) ShardStats() []Stats { return s.st.ShardStats() }
+
+// Metrics returns the engine's telemetry registry (histograms, gauges,
+// counters, trace ring). Serve it over HTTP with obs.Handler.
+func (s *Server) Metrics() *obs.Registry { return s.st.Metrics() }
 
 // Cleaning reports whether log cleaning is in progress on any shard.
 func (s *Server) Cleaning() bool { return s.st.Cleaning() }
@@ -422,6 +427,12 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 			return wire.Msg{Type: wire.TShardStatsResp, Status: wire.StError}
 		}
 		return wire.Msg{Type: wire.TShardStatsResp, Status: wire.StOK, Value: blob}
+	case wire.TMetrics:
+		blob, err := json.Marshal(s.Metrics().Snapshot())
+		if err != nil {
+			return wire.Msg{Type: wire.TMetricsResp, Status: wire.StError}
+		}
+		return wire.Msg{Type: wire.TMetricsResp, Status: wire.StOK, Value: blob}
 	}
 	return wire.Msg{Type: m.Type + 1, Status: wire.StError}
 }

@@ -66,6 +66,12 @@ const (
 	TShardStats
 	// TShardStatsResp answers TShardStats.
 	TShardStatsResp
+	// TMetrics requests the server's telemetry snapshot (per-shard per-op
+	// latency histograms, gauges, counters); the reply carries an
+	// obs.Snapshot JSON-encoded in Value.
+	TMetrics
+	// TMetricsResp answers TMetrics.
+	TMetricsResp
 )
 
 // Status codes.

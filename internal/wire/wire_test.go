@@ -41,6 +41,46 @@ func TestDecodeTruncatedPayload(t *testing.T) {
 	}
 }
 
+func TestStatsAndMetricsRoundTrip(t *testing.T) {
+	// The stats/metrics RPCs carry JSON blobs in Value; the pairs must
+	// survive encoding and keep their appended-only type values stable.
+	cases := []struct {
+		req, resp uint8
+		blob      string
+	}{
+		{TStats, TStatsResp, `{"Puts":12,"Gets":34}`},
+		{TShardStats, TShardStatsResp, `[{"Puts":1},{"Puts":2}]`},
+		{TMetrics, TMetricsResp, `{"ops":["put","get"],"shards":[{}]}`},
+	}
+	for _, c := range cases {
+		req := Msg{Type: c.req}
+		got, err := Decode(req.Encode())
+		if err != nil {
+			t.Fatalf("type %d: %v", c.req, err)
+		}
+		if got.Type != c.req || got.Value != nil {
+			t.Fatalf("type %d: request round trip mangled: %+v", c.req, got)
+		}
+		resp := Msg{Type: c.resp, Status: StOK, Value: []byte(c.blob)}
+		got, err = Decode(resp.Encode())
+		if err != nil {
+			t.Fatalf("type %d: %v", c.resp, err)
+		}
+		if got.Type != c.resp || got.Status != StOK || string(got.Value) != c.blob {
+			t.Fatalf("type %d: response round trip mangled: %+v", c.resp, got)
+		}
+	}
+}
+
+func TestAppendedTypeValuesStable(t *testing.T) {
+	// The wire protocol evolves by appending types; these values are
+	// load-bearing for cross-version compatibility.
+	if TShardStats != 18 || TShardStatsResp != 19 || TMetrics != 20 || TMetricsResp != 21 {
+		t.Fatalf("wire type values shifted: TShardStats=%d TShardStatsResp=%d TMetrics=%d TMetricsResp=%d",
+			TShardStats, TShardStatsResp, TMetrics, TMetricsResp)
+	}
+}
+
 func TestEmptyPayloadsDecodeNil(t *testing.T) {
 	m := Msg{Type: TGetResp, Status: StOK}
 	got, err := Decode(m.Encode())
