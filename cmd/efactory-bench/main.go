@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, ablate, sensitivity, rcommit, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, ablate, sensitivity, rcommit, torture, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	jsondir := flag.String("jsondir", "", "write each figure's raw results as BENCH_<fig>.json in this directory")
 	flag.Parse()
@@ -112,6 +112,14 @@ func main() {
 	if *fig == "rcommit" {
 		any = true
 		run("rcommit extension", func() { bench.ExtensionRCommit(os.Stdout, &par, sc) })
+	}
+	if *fig == "torture" {
+		any = true
+		violations := 0
+		run("torture sweep", func() { violations = bench.Torture(os.Stdout, bench.DefaultTortureSpec(*scale == "quick")) })
+		if violations > 0 {
+			os.Exit(1)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)

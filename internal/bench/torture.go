@@ -1,0 +1,108 @@
+package bench
+
+// Crash-point torture as a bench "figure": not a performance number but
+// a correctness matrix — every transport's harness swept over seeds and
+// crash boundaries, each run recovered and checked against the
+// durability oracle. Wired into cmd/efactory-bench (-fig torture) and
+// cmd/efactory-torture so CI and operators share one entry point.
+
+import (
+	"fmt"
+	"io"
+
+	"efactory/internal/efactory"
+	"efactory/internal/fault"
+	"efactory/internal/tcpkv"
+)
+
+// tcpPointsCap bounds a "sweep everything" request on the TCP transport:
+// each of its runs costs real sockets, file I/O, and a server restart, so
+// an every-boundary sweep (thousands of runs) is not viable there.
+const tcpPointsCap = 12
+
+// TortureSpec parameterizes a torture sweep across transports.
+type TortureSpec struct {
+	Transports []string // any of "store", "sim", "tcp"
+	Seeds      []uint64
+	Points     int // crash points per seed; <= 0 sweeps every boundary (capped for tcp)
+	Ops        int // workload length per run
+	Keys       int // hot keyset size (0 = harness default)
+	Survival   float64
+}
+
+// DefaultTortureSpec returns the sweep shape used by -fig torture: quick
+// is the CI smoke matrix, full sweeps every boundary on the deterministic
+// transports.
+func DefaultTortureSpec(quick bool) TortureSpec {
+	if quick {
+		return TortureSpec{
+			Transports: []string{"store", "sim", "tcp"},
+			Seeds:      []uint64{1, 2},
+			Points:     25,
+			Ops:        40,
+		}
+	}
+	return TortureSpec{
+		Transports: []string{"store", "sim", "tcp"},
+		Seeds:      []uint64{1, 2, 3},
+		Points:     0, // every boundary (store, sim); tcp capped
+		Ops:        60,
+	}
+}
+
+// tortureRunner resolves a transport name to its Runner.
+func tortureRunner(transport string) (fault.Runner, bool) {
+	switch transport {
+	case "store":
+		return fault.RunStore, true
+	case "sim":
+		return efactory.RunSimTorture, true
+	case "tcp":
+		return tcpkv.RunTCPTorture, true
+	}
+	return nil, false
+}
+
+// Torture runs the sweep matrix and prints one row per transport. It
+// returns the total number of oracle violations (0 = every crash point on
+// every transport recovered to a state consistent with the acked
+// history); an unknown transport or a harness error counts as a
+// violation so callers can exit nonzero on it.
+func Torture(w io.Writer, spec TortureSpec) int {
+	cfg := fault.Config{Ops: spec.Ops, Keys: spec.Keys, Survival: spec.Survival}
+	if spec.Ops > 0 {
+		// Trigger cleaning a couple of times inside the shortened workload.
+		cfg.CleanEvery = spec.Ops/3 + 1
+	}
+	fmt.Fprintf(w, "Crash-point torture: seeds=%v ops=%d survival=%.2f\n", spec.Seeds, spec.Ops, spec.Survival)
+	fmt.Fprintf(w, "%-8s %8s %14s %12s\n", "transport", "runs", "boundaries", "violations")
+	total := 0
+	for _, tr := range spec.Transports {
+		run, ok := tortureRunner(tr)
+		if !ok {
+			fmt.Fprintf(w, "%-8s unknown transport\n", tr)
+			total++
+			continue
+		}
+		points := spec.Points
+		if tr == "tcp" && (points <= 0 || points > tcpPointsCap) {
+			fmt.Fprintf(w, "(tcp: capping sweep at %d points per seed — wall-clock runs)\n", tcpPointsCap)
+			points = tcpPointsCap
+		}
+		sr, err := fault.Sweep(run, cfg, spec.Seeds, points)
+		if err != nil {
+			fmt.Fprintf(w, "%-8s harness error after %d runs: %v\n", tr, sr.Runs, err)
+			total++
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %8d %14v %12d\n", tr, sr.Runs, sr.Boundaries, len(sr.Violations))
+		for _, v := range sr.Violations {
+			fmt.Fprintf(w, "  VIOLATION [%s] %s\n", tr, v)
+		}
+		total += len(sr.Violations)
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "all crash points recovered consistently")
+	}
+	return total
+}

@@ -47,6 +47,7 @@ type shardGeom struct {
 type Client struct {
 	env      *sim.Env
 	par      *model.Params
+	nic      *rnic.NIC
 	ep       *rnic.Endpoint
 	shards   []shardGeom
 	buckets  int // per shard

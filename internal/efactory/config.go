@@ -19,6 +19,7 @@ package efactory
 import (
 	"time"
 
+	"efactory/internal/fault"
 	"efactory/internal/kv"
 	"efactory/internal/store"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// every request instead of trusting the durability flag — the Forca
 	// behaviour eFactory improves on (§5.3.4). Used by ablation benches.
 	DisableSelectiveDurability bool
+	// FaultPlan, when non-nil, wires the crash-point injection subsystem
+	// (internal/fault) into the server: the engine's device and cost sink
+	// are wrapped so every flush/drain and charge counts a boundary, and
+	// the device freezes when the plan trips. Nil bypasses the wrappers
+	// entirely, leaving the injection-free paths bit-identical.
+	FaultPlan *fault.Plan
 }
 
 // DefaultConfig returns a server sized for tests and small experiments.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"efactory/internal/fault"
 	"efactory/internal/kv"
 	"efactory/internal/model"
 	"efactory/internal/nvm"
@@ -114,8 +115,19 @@ func NewServer(env *sim.Env, par *model.Params, cfg Config) *Server {
 // persisted state) and registers one MR per shard region.
 func (s *Server) initStore() store.RecoveryStats {
 	s.sink = &simSink{env: s.env, par: s.par}
+	// With a fault plan, the engine sees the wrapped device and sink so
+	// every flush/drain and cost charge counts a crash-point boundary; the
+	// RDMA memory regions stay on the raw device (one-sided DMA lands in
+	// the volatile domain until the NIC itself is crashed by the plan's
+	// trip callback).
+	var dev nvm.Device = s.dev
+	var sink store.CostSink = s.sink
+	if s.cfg.FaultPlan != nil {
+		dev = fault.WrapDevice(s.dev, s.cfg.FaultPlan)
+		sink = fault.WrapSink(s.cfg.FaultPlan, s.sink)
+	}
 	deps := store.Deps{
-		Sink:    s.sink,
+		Sink:    sink,
 		NewLock: func() sync.Locker { return nopLocker{} },
 		Spawn: func(name string, fn func(h any)) {
 			s.env.Go("efactory-cleaner", func(p *sim.Proc) { fn(p) })
@@ -127,7 +139,7 @@ func (s *Server) initStore() store.RecoveryStats {
 		OnCleanStart: func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanStart) },
 		OnCleanEnd:   func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanEnd) },
 	}
-	st, rst, err := store.New(s.dev, s.cfg.storeConfig(), deps)
+	st, rst, err := store.New(dev, s.cfg.storeConfig(), deps)
 	if err != nil {
 		panic("efactory: " + err.Error())
 	}
@@ -232,6 +244,7 @@ func (s *Server) AttachClient(name string) *Client {
 	return &Client{
 		env:     s.env,
 		par:     s.par,
+		nic:     cnic,
 		ep:      ce,
 		shards:  shards,
 		buckets: s.cfg.Buckets,

@@ -1,0 +1,161 @@
+package efactory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"efactory/internal/crc"
+	"efactory/internal/fault"
+	"efactory/internal/model"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// RunSimTorture executes one seeded crash-point torture run over the full
+// simulation transport: a real Server with RNIC, workers, and background
+// processes, driven by a Client issuing PUT/torn-PUT/GET/DEL over the
+// wire. The server's device and cost sink are wrapped under a fault.Plan;
+// when the plan trips, the server NIC crashes (truncating in-flight DMA
+// at a line boundary) and the device freezes, so the image is exactly
+// what a power failure at that boundary would leave. The image is then
+// put through the NVM eviction lottery, recovered injection-free, and
+// checked against the durability Oracle through post-crash client Gets.
+//
+// Compared to fault.RunStore this exercises the transport layers too:
+// wire encode/decode, worker dispatch, one-sided value writes and reads,
+// and the client's hybrid read scheme — all racing the cleaner and the
+// background verifier under the discrete-event scheduler, which keeps
+// every run a pure function of the Config.
+func RunSimTorture(tc fault.Config) (fault.Result, error) {
+	tc = tc.WithDefaults()
+	plan := fault.NewPlan(tc.CrashAt)
+	env := sim.NewEnv(tc.Seed + 1)
+	par := model.Default()
+	cfg := Config{
+		Buckets:       tc.Buckets,
+		PoolSize:      tc.PoolSize,
+		Shards:        tc.Shards,
+		Workers:       2,
+		RecvBatching:  true,
+		VerifyTimeout: tc.VerifyTimeout,
+		FaultPlan:     plan,
+	}
+	// The trip callback runs BEFORE the device freezes: the server NIC
+	// crash materializes any in-flight one-sided write as a torn,
+	// line-aligned prefix — the bytes a dying RNIC would have DMA'd. The
+	// client NIC is crashed too (late in-flight responses vanish) and its
+	// receive queue closed, so an RPC that lost its response fails with
+	// ErrCrashed instead of blocking forever; the driver then records the
+	// straddling op as pending and shuts the simulation down.
+	var srv *Server
+	var cl *Client
+	plan.OnTrip(func() {
+		if srv != nil {
+			srv.NIC().Crash()
+		}
+		if cl != nil {
+			cl.nic.Crash()
+			cl.ep.RecvQueue().Close()
+		}
+	})
+	srv = NewServer(env, &par, cfg)
+	if plan.Tripped() && !srv.NIC().Crashed() {
+		// The plan tripped during server construction, before the
+		// callback had a server to crash.
+		srv.NIC().Crash()
+	}
+	cl = srv.AttachClient("torture")
+
+	oracle := fault.NewOracle()
+	rng := rand.New(rand.NewPCG(tc.Seed, 0xfa17_707e))
+	var violations []string
+
+	env.Go("torture-driver", func(p *sim.Proc) {
+		defer srv.Stop()
+		for op := 0; op < tc.Ops && !plan.Tripped(); op++ {
+			if tc.CleanEvery > 0 && op > 0 && op%tc.CleanEvery == 0 {
+				srv.StartCleaning() // races the driver, like production
+			}
+			// Fixed number of draws per op keeps the workload identical
+			// across crash points.
+			kind := rng.IntN(100)
+			keyIdx := rng.IntN(tc.Keys)
+			fresh := rng.IntN(5) == 0
+			key := []byte(fmt.Sprintf("key-%02d", keyIdx))
+			if kind < 60 && fresh {
+				key = []byte(fmt.Sprintf("uniq-%04d", op))
+			}
+			switch {
+			case kind < 50: // PUT via the client-active scheme
+				val := fault.WorkloadValue(tc.Seed, string(key), op, tc.ValueLen)
+				err := cl.Put(p, key, val)
+				switch {
+				case err == nil && !plan.Tripped():
+					oracle.PutAcked(key, val, true)
+				case plan.Tripped():
+					// The crash landed inside the op: the server may or
+					// may not have processed it. Either outcome is legal.
+					oracle.PutPending(key, val)
+				}
+			case kind < 60: // torn PUT: allocation RPC, value never sent
+				val := fault.WorkloadValue(tc.Seed, string(key), op, tc.ValueLen)
+				resp, err := cl.rpc(p, wire.Msg{
+					Type: wire.TPut, Crc: crc.Checksum(val),
+					Len: uint64(len(val)), Key: key,
+				})
+				if plan.Tripped() {
+					oracle.PutPending(key, val)
+				} else if err == nil && resp.Status == wire.StOK {
+					oracle.PutAcked(key, val, false)
+				}
+			case kind < 85: // GET: hybrid read, observes durability
+				got, err := cl.Get(p, key)
+				if !plan.Tripped() && err == nil {
+					if v := oracle.ObserveGet(key, got, true); v != "" {
+						violations = append(violations, "live: "+v)
+					}
+				}
+			default: // DEL
+				err := cl.Delete(p, key)
+				switch {
+				case err == nil && !plan.Tripped():
+					oracle.DelAcked(key)
+				case plan.Tripped() && !errors.Is(err, ErrNotFound):
+					oracle.DelPending(key)
+				}
+			}
+		}
+	})
+	env.Run()
+
+	res := fault.Result{
+		Boundaries: plan.Boundaries(),
+		Tripped:    plan.Tripped(),
+		Stats:      srv.Stats().Stats,
+	}
+
+	// Power failure: resolve the volatile overlay (Survival 0 keeps only
+	// explicitly flushed lines), then recover injection-free and check the
+	// oracle through a post-crash client.
+	dev := srv.Device()
+	dev.Crash(tc.Seed^0xc4a5_4ed, tc.Survival)
+	env2 := sim.NewEnv(tc.Seed + 99)
+	rcfg := cfg
+	rcfg.FaultPlan = nil
+	srv2, _ := Recover(env2, &par, rcfg, dev)
+	cl2 := srv2.AttachClient("post-crash")
+	env2.Go("torture-verify", func(p *sim.Proc) {
+		defer srv2.Stop()
+		violations = append(violations, oracle.Check(func(k string) ([]byte, bool) {
+			got, err := cl2.Get(p, []byte(k))
+			if err != nil {
+				return nil, false
+			}
+			return got, true
+		})...)
+	})
+	env2.Run()
+	res.Violations = violations
+	return res, nil
+}

@@ -1,0 +1,98 @@
+// Package fault is the seeded, deterministic fault-injection and
+// consistency-checking subsystem. It answers the question the paper's
+// whole design hangs on — "is there ANY instant at which a crash loses an
+// acknowledged-durable value, resurrects a deleted key, or exposes a torn
+// object?" — mechanically instead of by hand-picked injection points.
+//
+// The core abstraction is the Plan: a countdown over *boundaries*, the
+// instants at which engine state transitions — every CostSink.Charge and
+// every nvm Flush/Drain. Wrapping the engine's cost sink (Sink) and its
+// device (Device) makes each such instant call Plan.Boundary; at the K-th
+// boundary the plan trips: registered callbacks run first (the simulation
+// truncates in-flight RNIC DMA here), then the device freezes — every
+// subsequent write, flush, or drain is dropped, so the device holds the
+// exact image a power failure at that instant would leave in the cache
+// and persistence domains. Sweeping K from 1 to the boundary count of a
+// workload therefore visits every interleaving point of
+// PUT/GET/DEL/BGStep/cleaning.
+//
+// The Oracle records acknowledged operations during the workload and,
+// after the crash image is recovered, checks the recovered state against
+// them: observed-durable values survive bit-exact, deleted keys do not
+// resurrect, no torn values, and no key regresses past its last observed
+// durable version.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Plan is one crash point: trip at the K-th boundary. A Plan with
+// CrashAt <= 0 never trips but still counts boundaries, which is how a
+// sweep sizes itself (run once disabled, read Boundaries, then sweep K
+// over [1, Boundaries]). All methods are safe for concurrent use and on a
+// nil receiver (a nil plan counts nothing and never trips).
+type Plan struct {
+	mu      sync.Mutex
+	crashAt int64
+	count   int64
+	fired   bool
+	onTrip  []func()
+	tripped atomic.Bool
+}
+
+// NewPlan returns a plan that trips at boundary number crashAt (1-based);
+// crashAt <= 0 disables tripping.
+func NewPlan(crashAt int64) *Plan {
+	return &Plan{crashAt: crashAt}
+}
+
+// OnTrip registers fn to run at the moment the plan trips, BEFORE the
+// device freezes — so a callback that materializes in-flight RNIC DMA as
+// a torn prefix (rnic.NIC.Crash) still reaches the volatile domain.
+func (p *Plan) OnTrip(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onTrip = append(p.onTrip, fn)
+}
+
+// Boundary counts one charge/flush boundary and trips the plan when the
+// count reaches CrashAt.
+func (p *Plan) Boundary() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.count++
+	fire := p.crashAt > 0 && p.count == p.crashAt && !p.fired
+	if fire {
+		p.fired = true
+	}
+	cbs := p.onTrip
+	p.mu.Unlock()
+	if fire {
+		// Callbacks run outside the lock: they may write to the device,
+		// whose wrapper consults Tripped.
+		for _, fn := range cbs {
+			fn()
+		}
+		p.tripped.Store(true)
+	}
+}
+
+// Boundaries returns how many boundaries have been counted so far.
+func (p *Plan) Boundaries() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Tripped reports whether the crash point has been reached. Once true,
+// the wrapped device is frozen.
+func (p *Plan) Tripped() bool {
+	return p != nil && p.tripped.Load()
+}

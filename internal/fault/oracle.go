@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Oracle records the operations a torture workload saw acknowledged and
+// checks a recovered (or live) state against them. Its invariants, per
+// key, over the events after the last acknowledged DELETE:
+//
+//   - Observed-durable survives: once a GET returned a value (the engine
+//     only serves durable versions), recovery must produce that value or
+//     the value of a later acknowledged PUT — never "not found", never
+//     anything older (version monotonicity).
+//   - No resurrection: after an acknowledged DELETE with no later PUT,
+//     the key must be absent.
+//   - No torn values: whatever is recovered must be bit-exact the value
+//     of some acknowledged PUT whose bytes fully reached the device.
+//
+// One operation may straddle the crash point (the driver discovers the
+// trip only after the op returns); it is recorded as pending and widens
+// the acceptable outcomes by its effect — a pending PUT's value becomes
+// acceptable, a pending DELETE makes absence acceptable — since the
+// crash may have landed before, inside, or after it.
+type Oracle struct {
+	mu   sync.Mutex
+	keys map[string]*keyHist
+}
+
+type evKind uint8
+
+const (
+	evPut evKind = iota
+	evDurable
+	evDel
+)
+
+type event struct {
+	kind     evKind
+	value    []byte
+	complete bool // put only: value bytes fully written to the device
+}
+
+type keyHist struct {
+	events     []event
+	pendingPut [][]byte
+	pendingDel bool
+}
+
+// NewOracle returns an empty history.
+func NewOracle() *Oracle {
+	return &Oracle{keys: make(map[string]*keyHist)}
+}
+
+func (o *Oracle) hist(key []byte) *keyHist {
+	h, ok := o.keys[string(key)]
+	if !ok {
+		h = &keyHist{}
+		o.keys[string(key)] = h
+	}
+	return h
+}
+
+// PutAcked records an acknowledged PUT. complete says the value bytes
+// fully reached the device's cache domain (false for deliberately torn
+// writes, whose value can never be recovered intact).
+func (o *Oracle) PutAcked(key, value []byte, complete bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hist(key).events = append(o.hist(key).events,
+		event{kind: evPut, value: append([]byte(nil), value...), complete: complete})
+}
+
+// DelAcked records an acknowledged DELETE.
+func (o *Oracle) DelAcked(key []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hist(key).events = append(o.hist(key).events, event{kind: evDel})
+}
+
+// PutPending records a PUT that straddled the crash point.
+func (o *Oracle) PutPending(key, value []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.hist(key)
+	h.pendingPut = append(h.pendingPut, append([]byte(nil), value...))
+}
+
+// DelPending records a DELETE that straddled the crash point.
+func (o *Oracle) DelPending(key []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hist(key).pendingDel = true
+}
+
+// ObserveGet records and checks a live GET against the history so far:
+// a returned value must be the value of some acknowledged complete PUT
+// since the last DELETE (catching live resurrection of deleted data and
+// live torn reads); "not found" is always legal live, because unverified
+// writes may time out and be invalidated. It returns "" when consistent,
+// else a description of the violation. The returned value is also
+// recorded as observed-durable: the engine only serves durable versions,
+// so recovery afterwards must honour it.
+func (o *Oracle) ObserveGet(key, value []byte, found bool) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !found {
+		return ""
+	}
+	h := o.hist(key)
+	acceptable := make(map[string]bool)
+	for _, ev := range h.events {
+		switch ev.kind {
+		case evDel:
+			acceptable = make(map[string]bool)
+		case evPut:
+			if ev.complete {
+				acceptable[string(ev.value)] = true
+			}
+		}
+	}
+	h.events = append(h.events,
+		event{kind: evDurable, value: append([]byte(nil), value...)})
+	if !acceptable[string(value)] {
+		return fmt.Sprintf("key %q: live GET returned %.40q, not an acknowledged value since the last DELETE", key, value)
+	}
+	return ""
+}
+
+// Keys returns every key the history touched, sorted.
+func (o *Oracle) Keys() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ks := make([]string, 0, len(o.keys))
+	for k := range o.keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Check verifies the recovered state, fetched through get, against the
+// history and returns one message per violated invariant (empty when
+// consistent).
+func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var violations []string
+	ks := make([]string, 0, len(o.keys))
+	for k := range o.keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		h := o.keys[k]
+		// Window: events after the last acknowledged DELETE.
+		window := h.events
+		deleted := false
+		for i := len(h.events) - 1; i >= 0; i-- {
+			if h.events[i].kind == evDel {
+				window = h.events[i+1:]
+				deleted = true
+				break
+			}
+		}
+		// Acceptable values: with an observed-durable version in the
+		// window, that value and any later complete PUT (absence would be
+		// a regression); without one, any complete PUT or absence.
+		durIdx := -1
+		for i, ev := range window {
+			if ev.kind == evDurable {
+				durIdx = i
+			}
+		}
+		acceptable := make(map[string]bool)
+		allowAbsent := durIdx < 0
+		if durIdx >= 0 {
+			acceptable[string(window[durIdx].value)] = true
+		}
+		for i, ev := range window {
+			if ev.kind == evPut && ev.complete && i > durIdx {
+				acceptable[string(ev.value)] = true
+			}
+		}
+		for _, v := range h.pendingPut {
+			acceptable[string(v)] = true
+		}
+		if h.pendingDel {
+			allowAbsent = true
+		}
+		got, found := get(k)
+		switch {
+		case !found && !allowAbsent:
+			violations = append(violations, fmt.Sprintf(
+				"key %q: observed-durable value lost (recovered absent, want %s)", k, valueSet(acceptable)))
+		case found && !acceptable[string(got)]:
+			kind := "torn or unknown value"
+			if deleted && o.valueBeforeLastDel(h, got) {
+				kind = "deleted key resurrected"
+			} else if durIdx >= 0 && o.valueInWindowBefore(window, durIdx, got) {
+				kind = "version regressed past an observed-durable version"
+			}
+			violations = append(violations, fmt.Sprintf(
+				"key %q: %s: recovered %.40q, want %s", k, kind, got, valueSet(acceptable)))
+		}
+	}
+	return violations
+}
+
+// valueBeforeLastDel reports whether v was put before the last DELETE.
+func (o *Oracle) valueBeforeLastDel(h *keyHist, v []byte) bool {
+	last := -1
+	for i, ev := range h.events {
+		if ev.kind == evDel {
+			last = i
+		}
+	}
+	for _, ev := range h.events[:last+1] {
+		if ev.kind == evPut && string(ev.value) == string(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// valueInWindowBefore reports whether v was put in window before idx.
+func (o *Oracle) valueInWindowBefore(window []event, idx int, v []byte) bool {
+	for _, ev := range window[:idx] {
+		if ev.kind == evPut && string(ev.value) == string(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func valueSet(m map[string]bool) string {
+	if len(m) == 0 {
+		return "absent"
+	}
+	vs := make([]string, 0, len(m))
+	for v := range m {
+		vs = append(vs, fmt.Sprintf("%.40q", v))
+	}
+	sort.Strings(vs)
+	return fmt.Sprintf("one of %v", vs)
+}

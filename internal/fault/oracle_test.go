@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func getReturning(val string, found bool) func(string) ([]byte, bool) {
+	return func(string) ([]byte, bool) { return []byte(val), found }
+}
+
+func TestOracleDurableValueMustSurvive(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	if v := o.ObserveGet([]byte("k"), []byte("v1"), true); v != "" {
+		t.Fatalf("live get of acked value flagged: %s", v)
+	}
+	if vs := o.Check(getReturning("v1", true)); len(vs) != 0 {
+		t.Fatalf("durable value recovered, got violations %v", vs)
+	}
+	if vs := o.Check(getReturning("", false)); len(vs) != 1 || !strings.Contains(vs[0], "lost") {
+		t.Fatalf("want one 'lost' violation, got %v", vs)
+	}
+}
+
+func TestOracleAbsenceAllowedWithoutDurableObservation(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	if vs := o.Check(getReturning("", false)); len(vs) != 0 {
+		t.Fatalf("unobserved put may be lost, got %v", vs)
+	}
+	if vs := o.Check(getReturning("v1", true)); len(vs) != 0 {
+		t.Fatalf("unobserved put may survive, got %v", vs)
+	}
+}
+
+func TestOracleNoResurrection(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.ObserveGet([]byte("k"), []byte("v1"), true)
+	o.DelAcked([]byte("k"))
+	if vs := o.Check(getReturning("", false)); len(vs) != 0 {
+		t.Fatalf("deleted key absent is correct, got %v", vs)
+	}
+	vs := o.Check(getReturning("v1", true))
+	if len(vs) != 1 || !strings.Contains(vs[0], "resurrected") {
+		t.Fatalf("want one resurrection violation, got %v", vs)
+	}
+}
+
+func TestOracleTornValueRejected(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), false)
+	if vs := o.Check(getReturning("v1", true)); len(vs) != 1 {
+		t.Fatalf("torn value must not be recovered, got %v", vs)
+	}
+	if vs := o.Check(getReturning("", false)); len(vs) != 0 {
+		t.Fatalf("torn value absent is correct, got %v", vs)
+	}
+}
+
+func TestOracleVersionMonotonicity(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.ObserveGet([]byte("k"), []byte("v1"), true)
+	o.PutAcked([]byte("k"), []byte("v2"), true)
+	o.ObserveGet([]byte("k"), []byte("v2"), true)
+	vs := o.Check(getReturning("v1", true))
+	if len(vs) != 1 || !strings.Contains(vs[0], "regressed") {
+		t.Fatalf("want one regression violation, got %v", vs)
+	}
+	if vs := o.Check(getReturning("v2", true)); len(vs) != 0 {
+		t.Fatalf("latest durable version is correct, got %v", vs)
+	}
+}
+
+func TestOraclePendingOpsWidenAcceptance(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.ObserveGet([]byte("k"), []byte("v1"), true)
+	o.PutPending([]byte("k"), []byte("v2"))
+	for _, tc := range []struct {
+		val   string
+		found bool
+	}{{"v1", true}, {"v2", true}} {
+		if vs := o.Check(getReturning(tc.val, tc.found)); len(vs) != 0 {
+			t.Fatalf("pending put: %q/%v should be acceptable, got %v", tc.val, tc.found, vs)
+		}
+	}
+	if vs := o.Check(getReturning("", false)); len(vs) != 1 {
+		t.Fatalf("pending put does not excuse losing the durable v1, got %v", vs)
+	}
+	o.DelPending([]byte("k"))
+	if vs := o.Check(getReturning("", false)); len(vs) != 0 {
+		t.Fatalf("pending del makes absence acceptable, got %v", vs)
+	}
+}
+
+func TestOracleLiveResurrectionCaught(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.DelAcked([]byte("k"))
+	if v := o.ObserveGet([]byte("k"), []byte("v1"), true); v == "" {
+		t.Fatal("live get returning deleted data must be flagged")
+	}
+	if v := o.ObserveGet([]byte("k"), nil, false); v != "" {
+		t.Fatalf("live not-found is always legal, got %s", v)
+	}
+}

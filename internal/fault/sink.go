@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"time"
+
+	"efactory/internal/store"
+)
+
+// Sink wraps a store.CostSink so every Charge is a crash boundary. The
+// engine charges a cost at each unit of work on the request and
+// background paths (alloc, lookup, CRC, flush, cleaner steps), so
+// together with the Device wrapper's flush/drain boundaries a sweep
+// visits every interleaving point the engine can be interrupted at.
+type Sink struct {
+	inner store.CostSink
+	plan  *Plan
+}
+
+var _ store.CostSink = (*Sink)(nil)
+
+// WrapSink wraps inner under plan. A nil inner sink charges nothing and
+// reads the wall clock (the TCP transport's behaviour).
+func WrapSink(plan *Plan, inner store.CostSink) *Sink {
+	return &Sink{inner: inner, plan: plan}
+}
+
+// Now returns the wrapped sink's clock.
+func (s *Sink) Now() uint64 {
+	if s.inner == nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return s.inner.Now()
+}
+
+// Charge counts a boundary, then forwards to the wrapped sink.
+func (s *Sink) Charge(h any, op store.Op, n int) {
+	s.plan.Boundary()
+	if s.inner != nil {
+		s.inner.Charge(h, op, n)
+	}
+}

@@ -1,0 +1,343 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+	"efactory/internal/store"
+)
+
+// Config parameterizes one store-level torture run: a seeded mixed
+// workload (PUT / torn PUT / GET / DEL plus periodic background
+// verification and log cleaning) driven directly against a store.Store
+// whose device and cost sink are wrapped under a Plan, crashed at the
+// CrashAt-th boundary (or at the end when CrashAt <= 0), recovered on
+// the raw device, and checked against the durability Oracle.
+type Config struct {
+	Seed     uint64
+	Ops      int     // workload length (default 200)
+	Keys     int     // hot keyset size (default 8)
+	Shards   int     // store shards (default 1)
+	Buckets  int     // hash buckets per shard (default 128)
+	PoolSize int     // bytes per data pool (default 8 KiB — small, so the
+	// workload exercises pool-full PUTs and log cleaning)
+	ValueLen   int           // value size (default 48)
+	CleanEvery int           // StartCleaning every N ops (default 80; <0 never)
+	BGEvery    int           // one BGStep per shard every N ops (default 7; <0 never)
+	VerifyTimeout time.Duration // in-flight write invalidation bound (default 2µs virtual)
+	Survival   float64       // fraction of unflushed dirty lines surviving the crash (default 0: strict power failure)
+	CrashAt    int64         // trip at this boundary; <= 0 = run to completion, crash at end
+}
+
+// WithDefaults fills zero fields with the default workload shape shared
+// by every transport's torture runner.
+func (c Config) WithDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 200
+	}
+	if c.Keys == 0 {
+		c.Keys = 8
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 128
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 6 << 10
+	}
+	if c.ValueLen == 0 {
+		c.ValueLen = 48
+	}
+	if c.CleanEvery == 0 {
+		c.CleanEvery = 70
+	}
+	if c.BGEvery == 0 {
+		c.BGEvery = 7
+	}
+	if c.VerifyTimeout == 0 {
+		c.VerifyTimeout = 2 * time.Microsecond
+	}
+	return c
+}
+
+// Result is the outcome of one torture run.
+type Result struct {
+	Boundaries int64 // boundaries counted (a CrashAt<=0 run measures the workload's total)
+	Tripped    bool
+	Stats      store.Stats // pre-crash engine counters (workload coverage)
+	Violations []string
+}
+
+// tickSink is a deterministic virtual clock: every charge advances time
+// by a fixed tick, so VerifyTimeout-based invalidation fires at
+// reproducible boundaries and the whole run is a pure function of the
+// seed and crash point.
+type tickSink struct{ now uint64 }
+
+func (s *tickSink) Now() uint64                        { return s.now }
+func (s *tickSink) Charge(h any, op store.Op, n int)   { s.now += 100 }
+
+// nopLocker matches the simulation's locking model: the harness drives
+// the engine from a single goroutine (the cleaner is spawned inline), so
+// mutual exclusion holds by construction.
+type nopLocker struct{}
+
+func (nopLocker) Lock()   {}
+func (nopLocker) Unlock() {}
+
+// WorkloadValue builds a value unique per (seed, key, op index), so the
+// oracle can tell versions apart bit-exactly. Every transport's torture
+// runner uses it, which keeps workloads comparable across transports.
+func WorkloadValue(seed uint64, key string, op, vlen int) []byte {
+	base := fmt.Sprintf("s%x:%s:o%d:", seed, key, op)
+	if vlen < len(base)+1 {
+		vlen = len(base) + 1
+	}
+	v := make([]byte, vlen)
+	for i := range v {
+		v[i] = '.'
+	}
+	copy(v, base)
+	return v
+}
+
+// RunStore executes one seeded torture run against a freshly built store
+// and returns the boundary count and every oracle violation found. The
+// run is deterministic: the same Config always yields the same Result.
+func RunStore(cfg Config) (Result, error) {
+	cfg = cfg.WithDefaults()
+	plan := NewPlan(cfg.CrashAt)
+	scfg := store.Config{
+		Shards:        cfg.Shards,
+		Buckets:       cfg.Buckets,
+		PoolSize:      cfg.PoolSize,
+		VerifyTimeout: cfg.VerifyTimeout,
+	}
+	dev := nvm.New(scfg.DeviceSize())
+	fdev := WrapDevice(dev, plan)
+	tick := &tickSink{}
+	deps := store.Deps{
+		Sink:    WrapSink(plan, tick),
+		NewLock: func() sync.Locker { return nopLocker{} },
+		Spawn:   func(name string, fn func(h any)) { fn(nil) },
+		// The cleaner's wait for in-flight values just advances the clock,
+		// so VerifyTimeout eventually declares them dead and the run
+		// terminates even against a frozen device.
+		CleanerWait: func(h any) bool { tick.now += 500; return true },
+	}
+	st, _, err := store.New(fdev, scfg, deps)
+	if err != nil {
+		return Result{}, err
+	}
+
+	oracle := NewOracle()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xfa17_707e))
+	var violations []string
+	claimed := make(map[string]bool) // keys ever successfully allocated
+
+	for op := 0; op < cfg.Ops && !plan.Tripped(); op++ {
+		if cfg.CleanEvery > 0 && op > 0 && op%cfg.CleanEvery == 0 {
+			st.StartCleaning()
+			if plan.Tripped() {
+				break
+			}
+		}
+		if cfg.BGEvery > 0 && op%cfg.BGEvery == 0 {
+			for i := 0; i < st.NumShards(); i++ {
+				eng := st.Shard(i)
+				eng.BGStep(nil, eng.CurrentPool())
+			}
+			if plan.Tripped() {
+				break
+			}
+		}
+		// Fixed number of draws per op keeps the workload identical across
+		// crash points.
+		kind := rng.IntN(100)
+		keyIdx := rng.IntN(cfg.Keys)
+		fresh := rng.IntN(5) == 0
+		key := []byte(fmt.Sprintf("key-%02d", keyIdx))
+		if kind < 60 && fresh {
+			// A slice of PUTs use never-seen keys: when the pool is full
+			// these exercise the claim-then-fail path on fresh table slots.
+			key = []byte(fmt.Sprintf("uniq-%04d", op))
+		}
+		eng := st.Shard(st.ShardFor(key))
+		switch {
+		case kind < 50: // PUT: allocate, then write the value one-sided
+			val := WorkloadValue(cfg.Seed, string(key), op, cfg.ValueLen)
+			pr := eng.Put(nil, key, len(val), crc.Checksum(val))
+			if pr.Status == store.StatusOK {
+				claimed[string(key)] = true
+				pool := eng.Pool(pr.Pool)
+				fdev.Write(pool.Base()+int(pr.Off)+kv.ValueOffset(len(key)), val)
+				if plan.Tripped() {
+					oracle.PutPending(key, val)
+				} else {
+					oracle.PutAcked(key, val, true)
+				}
+			}
+		case kind < 60: // torn PUT: the client dies before writing the value
+			val := WorkloadValue(cfg.Seed, string(key), op, cfg.ValueLen)
+			pr := eng.Put(nil, key, len(val), crc.Checksum(val))
+			if pr.Status == store.StatusOK {
+				claimed[string(key)] = true
+				oracle.PutAcked(key, val, false)
+			}
+		case kind < 85: // GET: observe durability
+			gr := eng.Get(nil, key)
+			if !plan.Tripped() && gr.Status == store.StatusOK {
+				pool := eng.Pool(gr.Pool)
+				hd := pool.Header(gr.Off)
+				val := pool.ReadValue(gr.Off, hd.KLen, hd.VLen)
+				if v := oracle.ObserveGet(key, val, true); v != "" {
+					violations = append(violations, "live: "+v)
+				}
+			}
+		default: // DEL
+			stDel := eng.Del(nil, key)
+			if stDel == store.StatusOK {
+				if plan.Tripped() {
+					oracle.DelPending(key)
+				} else {
+					oracle.DelAcked(key)
+				}
+			}
+		}
+	}
+	st.Stop()
+
+	res := Result{Boundaries: plan.Boundaries(), Tripped: plan.Tripped(), Stats: st.StatsTotal()}
+
+	// Capacity invariant: every occupied table slot must belong to a key
+	// that was successfully allocated at least once — a PUT that failed on
+	// pool-full must not permanently consume the slot it claimed. One slot
+	// of slack covers an op that straddled the crash point.
+	occ := 0
+	for i := 0; i < st.NumShards(); i++ {
+		occ += st.Shard(i).Table().Occupied()
+	}
+	slack := 0
+	if res.Tripped {
+		slack = 1
+	}
+	if occ > len(claimed)+slack {
+		violations = append(violations, fmt.Sprintf(
+			"table leak: %d slots occupied but only %d distinct keys ever allocated", occ, len(claimed)))
+	}
+
+	// Power failure: the volatile overlay is resolved by the survival
+	// lottery (Survival 0 = only explicitly flushed lines persist), then
+	// the store is rebuilt, injection-free, on the raw device.
+	dev.Crash(cfg.Seed^0xc4a5_4ed, cfg.Survival)
+	tick2 := &tickSink{now: tick.now}
+	deps2 := store.Deps{
+		Sink:        tick2,
+		NewLock:     func() sync.Locker { return nopLocker{} },
+		Spawn:       func(name string, fn func(h any)) { fn(nil) },
+		CleanerWait: func(h any) bool { tick2.now += 500; return true },
+	}
+	st2, _, err := store.New(dev, scfg, deps2)
+	if err != nil {
+		return res, fmt.Errorf("recovery failed: %w", err)
+	}
+	get := func(key string) ([]byte, bool) {
+		eng := st2.Shard(st2.ShardFor([]byte(key)))
+		gr := eng.Get(nil, []byte(key))
+		if gr.Status != store.StatusOK {
+			return nil, false
+		}
+		pool := eng.Pool(gr.Pool)
+		hd := pool.Header(gr.Off)
+		return pool.ReadValue(gr.Off, hd.KLen, hd.VLen), true
+	}
+	violations = append(violations, oracle.Check(get)...)
+	st2.Stop()
+	res.Violations = violations
+	return res, nil
+}
+
+// SweepResult aggregates a seed × crash-point matrix.
+type SweepResult struct {
+	Runs       int
+	Boundaries []int64 // per seed: total boundaries of the full workload
+	Violations []string
+}
+
+// Runner executes one torture run for some transport (store, sim, tcp).
+type Runner func(Config) (Result, error)
+
+// SweepStore sweeps the direct store-level runner.
+func SweepStore(cfg Config, seeds []uint64, maxPoints int) (SweepResult, error) {
+	return Sweep(RunStore, cfg, seeds, maxPoints)
+}
+
+// Sweep runs, for each seed, one full-length measuring run (crash at
+// the end) plus one run per crash point K. maxPoints <= 0 sweeps every
+// boundary; otherwise K values are evenly subsampled.
+func Sweep(run Runner, cfg Config, seeds []uint64, maxPoints int) (SweepResult, error) {
+	var sr SweepResult
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		c.CrashAt = 0
+		base, err := run(c)
+		if err != nil {
+			return sr, err
+		}
+		sr.Runs++
+		sr.Boundaries = append(sr.Boundaries, base.Boundaries)
+		for _, v := range base.Violations {
+			sr.Violations = append(sr.Violations, fmt.Sprintf("seed=%d K=end: %s", seed, v))
+		}
+		for _, k := range SweepPoints(base.Boundaries, maxPoints) {
+			c.CrashAt = k
+			r, err := run(c)
+			if err != nil {
+				return sr, fmt.Errorf("seed=%d K=%d: %w", seed, k, err)
+			}
+			sr.Runs++
+			for _, v := range r.Violations {
+				sr.Violations = append(sr.Violations, fmt.Sprintf("seed=%d K=%d: %s", seed, k, v))
+			}
+		}
+	}
+	return sr, nil
+}
+
+// SweepPoints returns the crash points to visit for a workload of b
+// boundaries: all of them, or max evenly spaced ones.
+func SweepPoints(b int64, max int) []int64 {
+	if b <= 0 {
+		return nil
+	}
+	if max <= 0 || int64(max) >= b {
+		pts := make([]int64, b)
+		for i := range pts {
+			pts[i] = int64(i) + 1
+		}
+		return pts
+	}
+	pts := make([]int64, 0, max)
+	var last int64
+	for i := 0; i < max; i++ {
+		k := int64(1)
+		if max > 1 {
+			k = 1 + int64(i)*(b-1)/int64(max-1)
+		} else {
+			k = (b + 1) / 2
+		}
+		if k != last {
+			pts = append(pts, k)
+			last = k
+		}
+	}
+	return pts
+}

@@ -1,0 +1,295 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/nvm"
+	"efactory/internal/store"
+)
+
+// scriptOp is one step of a hand-written workload for surgical
+// crash-point sweeps (the regression tests pinning specific engine bugs).
+type scriptOp struct {
+	kind string // put | torn | get | del
+	key  string
+	val  string
+}
+
+// runScript executes a scripted workload under a Plan tripping at
+// crashAt, crashes (survival 0: only flushed lines persist), recovers on
+// the raw device, and returns the boundary count and oracle violations.
+func runScript(t *testing.T, ops []scriptOp, crashAt int64) (int64, []string) {
+	t.Helper()
+	scfg := store.Config{Shards: 1, Buckets: 32, PoolSize: 4096, VerifyTimeout: 2 * time.Microsecond}
+	plan := NewPlan(crashAt)
+	dev := nvm.New(scfg.DeviceSize())
+	fdev := WrapDevice(dev, plan)
+	tick := &tickSink{}
+	deps := store.Deps{
+		Sink:        WrapSink(plan, tick),
+		NewLock:     func() sync.Locker { return nopLocker{} },
+		Spawn:       func(name string, fn func(h any)) { fn(nil) },
+		CleanerWait: func(h any) bool { tick.now += 500; return true },
+	}
+	st, _, err := store.New(fdev, scfg, deps)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	oracle := NewOracle()
+	var violations []string
+	for _, op := range ops {
+		if plan.Tripped() {
+			break
+		}
+		key := []byte(op.key)
+		val := []byte(op.val)
+		eng := st.Shard(st.ShardFor(key))
+		switch op.kind {
+		case "put":
+			pr := eng.Put(nil, key, len(val), crc.Checksum(val))
+			if pr.Status == store.StatusOK {
+				pool := eng.Pool(pr.Pool)
+				fdev.Write(pool.Base()+int(pr.Off)+kv.ValueOffset(len(key)), val)
+				if plan.Tripped() {
+					oracle.PutPending(key, val)
+				} else {
+					oracle.PutAcked(key, val, true)
+				}
+			}
+		case "torn":
+			pr := eng.Put(nil, key, len(val), crc.Checksum(val))
+			if pr.Status == store.StatusOK {
+				oracle.PutAcked(key, val, false)
+			}
+		case "get":
+			gr := eng.Get(nil, key)
+			if !plan.Tripped() && gr.Status == store.StatusOK {
+				pool := eng.Pool(gr.Pool)
+				hd := pool.Header(gr.Off)
+				got := pool.ReadValue(gr.Off, hd.KLen, hd.VLen)
+				if v := oracle.ObserveGet(key, got, true); v != "" {
+					violations = append(violations, "live: "+v)
+				}
+			}
+		case "del":
+			stDel := eng.Del(nil, key)
+			if stDel == store.StatusOK {
+				if plan.Tripped() {
+					oracle.DelPending(key)
+				} else {
+					oracle.DelAcked(key)
+				}
+			}
+		default:
+			t.Fatalf("unknown script op %q", op.kind)
+		}
+	}
+	st.Stop()
+	boundaries := plan.Boundaries()
+	dev.Crash(0x5c21f7, 0)
+	tick2 := &tickSink{now: tick.now}
+	deps2 := store.Deps{
+		Sink:        tick2,
+		NewLock:     func() sync.Locker { return nopLocker{} },
+		Spawn:       func(name string, fn func(h any)) { fn(nil) },
+		CleanerWait: func(h any) bool { tick2.now += 500; return true },
+	}
+	st2, _, err := store.New(dev, scfg, deps2)
+	if err != nil {
+		t.Fatalf("recovery store.New: %v", err)
+	}
+	violations = append(violations, oracle.Check(func(k string) ([]byte, bool) {
+		eng := st2.Shard(st2.ShardFor([]byte(k)))
+		gr := eng.Get(nil, []byte(k))
+		if gr.Status != store.StatusOK {
+			return nil, false
+		}
+		pool := eng.Pool(gr.Pool)
+		hd := pool.Header(gr.Off)
+		return pool.ReadValue(gr.Off, hd.KLen, hd.VLen), true
+	})...)
+	st2.Stop()
+	return boundaries, violations
+}
+
+// sweepScript sweeps the crash point over every boundary of the scripted
+// workload and fails the test on any oracle violation.
+func sweepScript(t *testing.T, ops []scriptOp) {
+	t.Helper()
+	total, violations := runScript(t, ops, 0)
+	if len(violations) != 0 {
+		t.Fatalf("no-crash run violated the oracle: %v", violations)
+	}
+	if total <= 0 {
+		t.Fatal("script produced no boundaries")
+	}
+	for k := int64(1); k <= total; k++ {
+		if _, vs := runScript(t, ops, k); len(vs) != 0 {
+			t.Errorf("crash at boundary %d/%d: %v", k, total, vs)
+		}
+	}
+}
+
+// TestSweepReputAfterDelete pins the delete-durability ordering bug: the
+// re-PUT of a tombstoned key must publish the new location before
+// clearing the tombstone, or a crash between the two persisted words
+// resurrects the pre-delete version after an acknowledged DELETE.
+func TestSweepReputAfterDelete(t *testing.T) {
+	sweepScript(t, []scriptOp{
+		{"put", "k", "v1-aaaaaaaaaaaaaaaa"},
+		{"get", "k", ""},
+		{"del", "k", ""},
+		{"put", "k", "v2-bbbbbbbbbbbbbbbb"},
+		{"get", "k", ""},
+	})
+}
+
+// TestSweepTornReputAfterDelete pins the version-chain bug: a re-PUT of a
+// tombstoned key must cut PrePtr at the tombstone. If it chains to the
+// pre-delete version and its own value never lands, both live GET
+// rollback and crash recovery serve the deleted data.
+func TestSweepTornReputAfterDelete(t *testing.T) {
+	sweepScript(t, []scriptOp{
+		{"put", "k", "v1-aaaaaaaaaaaaaaaa"},
+		{"get", "k", ""},
+		{"del", "k", ""},
+		{"torn", "k", "v2-bbbbbbbbbbbbbbbb"},
+		{"get", "k", ""},
+	})
+}
+
+// newTinyStore builds a deterministic single-shard store whose pool holds
+// exactly two of the test's objects, so a third PUT fails pool-full.
+func newTinyStore(t *testing.T) *store.Store {
+	t.Helper()
+	scfg := store.Config{Shards: 1, Buckets: 8, PoolSize: 256, VerifyTimeout: 2 * time.Microsecond}
+	tick := &tickSink{}
+	deps := store.Deps{
+		Sink:        tick,
+		NewLock:     func() sync.Locker { return nopLocker{} },
+		Spawn:       func(name string, fn func(h any)) { fn(nil) },
+		CleanerWait: func(h any) bool { tick.now += 500; return true },
+	}
+	st, _, err := store.New(nvm.New(scfg.DeviceSize()), scfg, deps)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	return st
+}
+
+// TestPoolFullReleasesSlot pins the slot-leak bug: a PUT whose log
+// allocation fails must give back the hash-table slot FindSlot claimed,
+// or distinct failing PUTs consume buckets until the table is full.
+func TestPoolFullReleasesSlot(t *testing.T) {
+	st := newTinyStore(t)
+	eng := st.Shard(0)
+	val := make([]byte, 40)
+	for i := 0; i < 2; i++ {
+		key := []byte(fmt.Sprintf("fill-%d", i))
+		if pr := eng.Put(nil, key, len(val), crc.Checksum(val)); pr.Status != store.StatusOK {
+			t.Fatalf("fill put %d: status %v", i, pr.Status)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("fail-%d", i))
+		if pr := eng.Put(nil, key, len(val), crc.Checksum(val)); pr.Status != store.StatusFull {
+			t.Fatalf("put %d on a full pool: status %v, want StatusFull", i, pr.Status)
+		}
+	}
+	if got := eng.Table().Occupied(); got != 2 {
+		t.Errorf("table slots occupied = %d, want 2 (failing PUTs leaked slots)", got)
+	}
+	if got := eng.Stats().SlotsReleased; got != 10 {
+		t.Errorf("SlotsReleased = %d, want 10", got)
+	}
+	// A failing re-PUT of an existing key must NOT release its live slot.
+	if pr := eng.Put(nil, []byte("fill-0"), len(val), crc.Checksum(val)); pr.Status != store.StatusFull {
+		t.Fatalf("re-put on full pool: %v", pr.Status)
+	}
+	if got := eng.Table().Occupied(); got != 2 {
+		t.Errorf("occupied after failing re-put = %d, want 2", got)
+	}
+	if got := eng.Stats().SlotsReleased; got != 10 {
+		t.Errorf("SlotsReleased after failing re-put = %d, want 10 (existing slot must stay)", got)
+	}
+}
+
+// TestOpAllocObservedOnPoolFull pins the metrics bug: the OpAlloc section
+// latency must be observed on the pool-full failure path too.
+func TestOpAllocObservedOnPoolFull(t *testing.T) {
+	st := newTinyStore(t)
+	eng := st.Shard(0)
+	val := make([]byte, 40)
+	for i := 0; i < 2; i++ {
+		eng.Put(nil, []byte(fmt.Sprintf("fill-%d", i)), len(val), crc.Checksum(val))
+	}
+	h := st.Metrics().Hist(0, int(store.OpAlloc))
+	before := h.Count()
+	if pr := eng.Put(nil, []byte("overflow"), len(val), crc.Checksum(val)); pr.Status != store.StatusFull {
+		t.Fatalf("overflow put: %v", pr.Status)
+	}
+	if got := h.Count(); got != before+1 {
+		t.Errorf("OpAlloc observations %d -> %d, want +1 on the pool-full path", before, got)
+	}
+}
+
+// TestTortureSweepStore is the store-level acceptance sweep: three seeds,
+// a crash at every charge/flush boundary of a mixed
+// PUT/GET/DEL/torn-PUT/BG/clean workload, durability oracle on each run.
+func TestTortureSweepStore(t *testing.T) {
+	cfg := Config{Ops: 80}
+	maxPoints := 0 // every boundary
+	if testing.Short() {
+		maxPoints = 40
+	}
+	sr, err := SweepStore(cfg, []uint64{1, 2, 3}, maxPoints)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
+
+// TestTortureWorkloadCoverage checks the default workload actually
+// exercises the paths the sweep claims to cover: deletes, pool-full
+// allocation failures (slot release), and log cleaning.
+func TestTortureWorkloadCoverage(t *testing.T) {
+	res, err := RunStore(Config{Seed: 1, Ops: 200})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Stats.Dels == 0 || res.Stats.AllocFailures == 0 || res.Stats.SlotsReleased == 0 || res.Stats.Cleanings == 0 {
+		t.Errorf("workload coverage too thin: %+v", res.Stats)
+	}
+	if res.Boundaries == 0 || res.Tripped {
+		t.Errorf("counting run: boundaries=%d tripped=%v", res.Boundaries, res.Tripped)
+	}
+}
+
+// TestTortureDeterminism: identical configs must produce identical runs.
+func TestTortureDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 120, CrashAt: 300}
+	a, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Boundaries != b.Boundaries || a.Tripped != b.Tripped || len(a.Violations) != len(b.Violations) {
+		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
+	}
+}

@@ -271,9 +271,13 @@ func TestTableTombstone(t *testing.T) {
 	if e := tab.Entry(idx); !e.Tombstone() {
 		t.Fatal("tombstone not set")
 	}
-	tab.Undelete(idx)
+	tab.Undelete(idx, 7)
 	if e := tab.Entry(idx); e.Tombstone() {
 		t.Fatal("tombstone not cleared")
+	} else if e.CutSeq() != 7 {
+		t.Fatalf("cut seq = %d after undelete, want 7", e.CutSeq())
+	} else if e.Mark() != 0 {
+		t.Fatalf("mark = %d clobbered by undelete", e.Mark())
 	}
 }
 

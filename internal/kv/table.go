@@ -17,7 +17,8 @@ import (
 //	word 0: KeyHash (0 = empty slot)
 //	word 1: Loc[0]  packed offset|len, pool A
 //	word 2: Loc[1]  packed offset|len, pool B
-//	word 3: flags   bit0 = mark (current pool index), bit1 = tombstone
+//	word 3: flags   bit0 = mark (current pool index), bit1 = tombstone,
+//	        bit2 = free; bits 8+ carry the cut sequence (see CutSeq)
 //
 // Every word is updated with an 8-byte atomic store and flushed, so a crash
 // can never expose a half-written location.
@@ -39,6 +40,10 @@ const (
 	// a slot without breaking probe chains)
 )
 
+// entryFlagBits reserves the low byte of the flags word for flag bits; the
+// remaining 56 bits carry the entry's cut sequence.
+const entryFlagBits = 8
+
 // Entry is a decoded hash-table entry.
 type Entry struct {
 	KeyHash uint64
@@ -54,6 +59,14 @@ func (e *Entry) Tombstone() bool { return e.Flags&entryTombstone != 0 }
 
 // Free reports whether the slot was reclaimed and holds no live key.
 func (e *Entry) Free() bool { return e.Flags&entryFree != 0 }
+
+// CutSeq returns the entry's cut sequence: every version of this key with
+// a smaller sequence number predates an acknowledged DELETE and is dead,
+// no matter what its own flags say. It is recorded when a re-PUT clears a
+// tombstone — the version chain is cut at that moment, but pre-delete
+// versions still sit in the log looking valid and durable, and the log
+// cleaner and recovery scan the log, not the chain. Zero means no cut.
+func (e *Entry) CutSeq() uint64 { return e.Flags >> entryFlagBits }
 
 // Current returns the packed location in the current working pool.
 func (e *Entry) Current() uint64 { return e.Loc[e.Mark()] }
@@ -185,6 +198,27 @@ func (t *Table) Clear(i int) {
 	t.SetFlags(i, e.Flags|entryFree)
 }
 
+// Release gives back a slot FindSlot just claimed for a PUT whose log
+// allocation then failed. The key-hash word must stay in place — another
+// key claimed later in this probe chain would become unreachable if the
+// slot went back to empty — so release is the same persisted state as a
+// cleaner reclaim: locations zeroed, slot flagged free for reuse.
+func (t *Table) Release(i int) { t.Clear(i) }
+
+// Occupied returns the number of slots holding a live (claimed, not
+// reclaimed) key, tombstoned ones included. Torture harnesses use it to
+// detect slot leaks; it is not meant for hot paths.
+func (t *Table) Occupied() int {
+	c := 0
+	for i := 0; i < t.n; i++ {
+		e := t.Entry(i)
+		if e.KeyHash != 0 && !e.Free() {
+			c++
+		}
+	}
+	return c
+}
+
 // setWord atomically stores v into word w of bucket i and persists it.
 func (t *Table) setWord(i, w int, v uint64) {
 	addr := t.base + t.BucketOffset(i) + 8*w
@@ -212,10 +246,13 @@ func (t *Table) Delete(i int) {
 	t.SetFlags(i, e.Flags|entryTombstone)
 }
 
-// Undelete clears the tombstone (a re-PUT of a deleted key).
-func (t *Table) Undelete(i int) {
+// Undelete clears the tombstone (a re-PUT of a deleted key) and records
+// cutSeq, the sequence number of the version being published: everything
+// older is pre-delete history and must stay dead. Both land in one
+// persisted 8-byte word, so there is no crash window between them.
+func (t *Table) Undelete(i int, cutSeq uint64) {
 	e := t.Entry(i)
-	t.SetFlags(i, e.Flags&^entryTombstone)
+	t.SetFlags(i, cutSeq<<entryFlagBits|e.Flags&uint64(entryMark|entryFree))
 }
 
 // SetMark forces bucket i's mark bit (used when creating an entry while the

@@ -46,7 +46,7 @@ func TestTableModelBased(t *testing.T) {
 			}
 			loc := PackLoc(nextOff, 64)
 			nextOff += 64
-			tab.Undelete(idx)
+			tab.Undelete(idx, uint64(step+1))
 			tab.Publish(idx, loc)
 			model[kh] = loc
 		case 6, 7: // delete (tombstone)

@@ -85,6 +85,17 @@ func (e *Engine) runCleaner(h any) {
 	e.table.RangeAll(func(i int, en kv.Entry) bool {
 		tEntry := e.sink.Now()
 		e.sink.Charge(h, OpCleanEntry, 0)
+		if staged := en.Loc[1-e.mark]; staged != 0 && !en.Tombstone() {
+			// A staged copy older than the entry's cut sequence was
+			// migrated before the key was deleted and re-put mid-run; if
+			// the re-put version itself died, flipping to the stale copy
+			// would resurrect deleted data. Drop it and reclaim the slot.
+			stagedOff, _, _ := kv.UnpackLoc(staged)
+			if cut := en.CutSeq(); cut != 0 && e.pools[newer].Header(stagedOff).Seq < cut {
+				e.table.SetLoc(i, 1-e.mark, 0)
+				en = e.table.Entry(i)
+			}
+		}
 		if en.Tombstone() || en.Loc[1-e.mark] == 0 {
 			e.table.Clear(i)
 		} else {
@@ -162,6 +173,14 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 	idx, en, found := e.table.Lookup(kv.HashKey(key))
 	e.observe(int(OpBGLookup), tLookup)
 	if !found || en.Tombstone() {
+		e.stats.CleanDropped++
+		return true
+	}
+	if cut := en.CutSeq(); cut != 0 && hd.Seq < cut {
+		// The version predates an acknowledged DELETE of this key (the
+		// entry's tombstone was since cleared by a re-PUT, which cut the
+		// version chain). The log still holds the pre-delete bytes looking
+		// valid and durable; migrating them would resurrect deleted data.
 		e.stats.CleanDropped++
 		return true
 	}

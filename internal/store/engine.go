@@ -240,12 +240,18 @@ func (e *Engine) poolOfSlot(slot int) int {
 }
 
 // resolveEntry picks the location a GET should start from: the relatively
-// new offset if one is staged (during cleaning), else the current one.
+// new offset if one is staged (during cleaning), else the current one. A
+// staged location whose version predates the entry's cut sequence is a
+// pre-delete copy left over from an interrupted cleaning run — serving it
+// would resurrect deleted data, so fall through to the current location.
 // Callers hold mu.
 func (e *Engine) resolveEntry(en kv.Entry) (pi int, off uint64, totalLen int, ok bool) {
 	if loc := en.Other(); loc != 0 {
 		off, l, _ := kv.UnpackLoc(loc)
-		return e.poolOfSlot(1 - en.Mark()), off, l, true
+		pi := e.poolOfSlot(1 - en.Mark())
+		if cut := en.CutSeq(); cut == 0 || e.pools[pi].Header(off).Seq >= cut {
+			return pi, off, l, true
+		}
 	}
 	if loc := en.Current(); loc != 0 {
 		off, l, _ := kv.UnpackLoc(loc)
@@ -294,15 +300,20 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	en := e.table.Entry(idx)
 
 	// Chain to the previous version: prefer the location in the pool
-	// being written (same-pool chain), else cross-pool.
+	// being written (same-pool chain), else cross-pool. A tombstone cuts
+	// the chain: the locations still name the pre-delete version (cleaning
+	// reclaims it), but chaining to it would let GET rollback and recovery
+	// serve deleted data if this new value never lands intact.
 	pre := kv.NilPtr
 	slot := e.slotFor(pi)
-	if loc := en.Loc[slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(pi, off, l)
-	} else if loc := en.Loc[1-slot]; loc != 0 {
-		off, l, _ := kv.UnpackLoc(loc)
-		pre = kv.PackVPtr(e.poolOfSlot(1-slot), off, l)
+	if !en.Tombstone() {
+		if loc := en.Loc[slot]; loc != 0 {
+			off, l, _ := kv.UnpackLoc(loc)
+			pre = kv.PackVPtr(pi, off, l)
+		} else if loc := en.Loc[1-slot]; loc != 0 {
+			off, l, _ := kv.UnpackLoc(loc)
+			pre = kv.PackVPtr(e.poolOfSlot(1-slot), off, l)
+		}
 	}
 
 	hd := kv.Header{
@@ -316,16 +327,31 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	}
 	off, allocOK := pool.AppendObject(&hd, key)
 	if !allocOK {
+		if !existed {
+			// Give back the slot FindSlot claimed above, or repeated
+			// failing PUTs of distinct keys would consume buckets until
+			// the table reports full.
+			e.table.Release(idx)
+			e.stats.SlotsReleased++
+		}
 		e.stats.AllocFailures++
+		e.observe(int(OpAlloc), tAlloc)
 		e.trace("put", "pool_full", keyHash, hd.Seq)
 		return PutResult{Status: StatusFull}
 	}
 	e.observe(int(OpAlloc), tAlloc)
 
-	if en.Tombstone() {
-		e.table.Undelete(idx)
-	}
 	e.table.SetLoc(idx, slot, kv.PackLoc(off, size))
+	if en.Tombstone() {
+		// Publish the new location BEFORE clearing the tombstone: each
+		// table word persists individually, so the other order leaves a
+		// crash window where the entry is un-tombstoned but still points
+		// at the pre-delete version — an acknowledged DELETE would
+		// resurrect on recovery. The new version's sequence number becomes
+		// the entry's cut: pre-delete versions in the log stay dead for
+		// the cleaner, staged-slot reads, and recovery.
+		e.table.Undelete(idx, hd.Seq)
+	}
 
 	// Maintain the forward link (Figure 4's NextPTR): the previous
 	// version now knows its successor, which log cleaning uses to locate

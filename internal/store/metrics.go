@@ -171,5 +171,6 @@ func (s *Store) registerMetrics() {
 		counter("efactory_clean_objects_total", "Cleaner per-object outcomes.", outLbl("moved"), func(st Stats) int { return st.CleanMoved })
 		counter("efactory_clean_objects_total", "Cleaner per-object outcomes.", outLbl("dropped"), func(st Stats) int { return st.CleanDropped })
 		counter("efactory_alloc_failures_total", "PUTs rejected because the pool or table was full.", lbl, func(st Stats) int { return st.AllocFailures })
+		counter("efactory_slots_released_total", "Freshly claimed table slots given back after a pool-full PUT.", lbl, func(st Stats) int { return st.SlotsReleased })
 	}
 }

@@ -42,9 +42,14 @@ func (e *Engine) recover(l kv.Layout) RecoveryStats {
 		return st
 	}
 
-	// Pass 2: resolve every entry to its newest intact version, using the
-	// entry's own persisted mark bit (entries flip individually at the
-	// end of log cleaning, so a crash can leave a mix).
+	// Pass 2: resolve every entry to its newest intact version. Both
+	// location slots are candidates: a crash can interrupt log cleaning at
+	// any stage, so the current (mark) slot and the staged slot may point
+	// at disjoint chains — and after a DELETE plus merge-stage re-PUT the
+	// staged chain holds the only live version while the current slot
+	// still names the dead pre-delete one. Walk each slot's chain to its
+	// newest intact, cut-respecting version and keep the newest survivor
+	// overall (mirroring resolveEntry's live-read preference).
 	type survivor struct {
 		key []byte
 		val []byte
@@ -55,57 +60,64 @@ func (e *Engine) recover(l kv.Layout) RecoveryStats {
 		if en.Tombstone() {
 			return true
 		}
-		// Start from the current slot; if it is empty (interrupted
-		// publish), fall back to the staged slot.
-		slot := en.Mark()
-		loc := en.Loc[slot]
-		if loc == 0 {
-			slot = 1 - slot
-			loc = en.Loc[slot]
+		// Versions older than the entry's cut sequence predate an
+		// acknowledged DELETE (the tombstone was cleared by a later
+		// re-PUT); restoring one would resurrect deleted data.
+		cut := en.CutSeq()
+		var best *survivor
+		bestRolled := false
+		for _, slot := range [2]int{en.Mark(), 1 - en.Mark()} {
+			loc := en.Loc[slot]
+			if loc == 0 {
+				continue
+			}
+			// Slot index equals pool index by the engine's invariant.
+			pi := slot
+			off, totalLen, _ := kv.UnpackLoc(loc)
+			rolled := false
+			for {
+				if int(off)+totalLen > e.pools[pi].Cap() {
+					break
+				}
+				h := e.readPersistedHeader(pi, off)
+				if h.Magic == kv.Magic && h.Valid() && h.KLen > 0 &&
+					(cut == 0 || h.Seq >= cut) &&
+					kv.ObjectSize(h.KLen, h.VLen) == totalLen {
+					key := make([]byte, h.KLen)
+					val := make([]byte, h.VLen)
+					base := e.pools[pi].Base() + int(off)
+					readPersisted(e.dev, base+kv.KeyOffset(), key)
+					readPersisted(e.dev, base+kv.ValueOffset(h.KLen), val)
+					if crc.Checksum(val) == h.CRC {
+						if best == nil || h.Seq > best.h.Seq {
+							best = &survivor{key: key, val: val, h: h}
+							bestRolled = rolled
+						}
+						break // newest intact version on this chain
+					}
+				}
+				st.VersionsDiscarded++
+				rolled = true
+				if h.Magic != kv.Magic {
+					break
+				}
+				var ok bool
+				pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
+				if !ok {
+					break
+				}
+			}
 		}
-		if loc == 0 {
+		if best == nil {
 			st.KeysLost++
 			return true
 		}
-		// Slot index equals pool index by the engine's invariant.
-		pi := slot
-		off, totalLen, _ := kv.UnpackLoc(loc)
-		rolled := false
-		for {
-			if int(off)+totalLen > e.pools[pi].Cap() {
-				st.KeysLost++
-				return true
-			}
-			h := e.readPersistedHeader(pi, off)
-			if h.Magic == kv.Magic && h.Valid() && h.KLen > 0 &&
-				kv.ObjectSize(h.KLen, h.VLen) == totalLen {
-				key := make([]byte, h.KLen)
-				val := make([]byte, h.VLen)
-				base := e.pools[pi].Base() + int(off)
-				readPersisted(e.dev, base+kv.KeyOffset(), key)
-				readPersisted(e.dev, base+kv.ValueOffset(h.KLen), val)
-				if crc.Checksum(val) == h.CRC {
-					live = append(live, survivor{key: key, val: val, h: h})
-					st.KeysRecovered++
-					if rolled {
-						st.RolledBack++
-					}
-					return true
-				}
-			}
-			st.VersionsDiscarded++
-			rolled = true
-			if h.Magic != kv.Magic {
-				st.KeysLost++
-				return true
-			}
-			var ok bool
-			pi, off, totalLen, ok = kv.UnpackVPtr(h.PrePtr)
-			if !ok {
-				st.KeysLost++
-				return true
-			}
+		live = append(live, *best)
+		st.KeysRecovered++
+		if bestRolled {
+			st.RolledBack++
 		}
+		return true
 	})
 
 	// Pass 3: re-materialize the survivors into a canonical state — a

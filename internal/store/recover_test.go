@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/nvm"
+)
+
+// TestRecoverStagedSlotAfterDeleteRePut pins the crash shape the TCP
+// torture harness found: a DELETE followed by a re-PUT that lands while
+// log cleaning is in its merge stage. The re-PUT publishes only into the
+// staged location slot (and sets the entry's cut sequence); the current
+// (mark) slot still names the dead pre-delete chain. If the crash happens
+// before the cleaning run finishes — so the mark bit never flips —
+// recovery must fall through to the staged slot's chain instead of
+// declaring the key lost after the current slot's chain dies on the cut
+// filter.
+func TestRecoverStagedSlotAfterDeleteRePut(t *testing.T) {
+	cfg := Config{Buckets: 64, PoolSize: 4 << 10, VerifyTimeout: time.Second}
+	dev := nvm.New(cfg.Layout().DeviceSize())
+	st, _, err := New(dev, cfg, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Shard(0)
+	key := []byte("phoenix")
+	v1 := bytes.Repeat([]byte{0xa1}, 48)
+	v2 := bytes.Repeat([]byte{0xb2}, 48)
+
+	put := func(val []byte) {
+		pr := e.Put(nil, key, len(val), crc.Checksum(val))
+		if pr.Status != StatusOK {
+			t.Fatalf("put: status %v", pr.Status)
+		}
+		e.Pool(pr.Pool).WriteValue(pr.Off, len(key), val)
+		// A GET verifies and persists the fresh value on demand, making it
+		// observed-durable — exactly what the oracle holds recovery to.
+		if gr := e.Get(nil, key); gr.Status != StatusOK {
+			t.Fatalf("get after put: status %v", gr.Status)
+		}
+	}
+
+	put(v1)
+	if s := e.Del(nil, key); s != StatusOK {
+		t.Fatalf("del: status %v", s)
+	}
+	// Freeze the engine mid-cleaning, in the merge stage, without running
+	// the cleaner: new writes now target the new pool and publish through
+	// the staged slot, and a crash from here never flips the mark bit —
+	// the interleaving a concurrent cleaner produces when the process dies
+	// before the final sweep.
+	e.mu.Lock()
+	e.cleaning = true
+	e.merging = true
+	e.mu.Unlock()
+	put(v2)
+
+	// Power failure: every volatile line is lost, only flushed state
+	// survives. Recovery on the same device must restore v2 — it was
+	// served by a GET, so it is observed-durable.
+	dev.Crash(0xdead_beef, 0)
+	st2, rst, err := New(dev, cfg, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.KeysRecovered != 1 || rst.KeysLost != 0 {
+		t.Fatalf("recovery stats %+v, want exactly the re-put key recovered", rst)
+	}
+	e2 := st2.Shard(0)
+	gr := e2.Get(nil, key)
+	if gr.Status != StatusOK {
+		t.Fatalf("recovered get: status %v, want OK (observed-durable re-put lost)", gr.Status)
+	}
+	hd := e2.Pool(gr.Pool).Header(gr.Off)
+	got := e2.Pool(gr.Pool).ReadValue(gr.Off, hd.KLen, hd.VLen)
+	if !bytes.Equal(got, v2) {
+		t.Fatalf("recovered %x, want the re-put value %x", got, v2)
+	}
+}

@@ -19,6 +19,7 @@ type Stats struct {
 	CleanMoved     int // objects migrated during cleaning
 	CleanDropped   int // stale/invalid versions reclaimed
 	AllocFailures  int // PUTs rejected because the pool or table was full
+	SlotsReleased  int // freshly claimed table slots given back after a pool-full PUT
 	Recovered      int // keys restored by startup recovery
 	RolledBack     int // keys recovered from a non-head (older) version
 }
@@ -40,6 +41,7 @@ func (s *Stats) Add(o Stats) {
 	s.CleanMoved += o.CleanMoved
 	s.CleanDropped += o.CleanDropped
 	s.AllocFailures += o.AllocFailures
+	s.SlotsReleased += o.SlotsReleased
 	s.Recovered += o.Recovered
 	s.RolledBack += o.RolledBack
 }

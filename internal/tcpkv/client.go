@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"efactory/internal/crc"
 	"efactory/internal/kv"
@@ -20,11 +23,37 @@ var ErrNotFound = errors.New("tcpkv: key not found")
 // ErrServerFull is returned by Put when the pool is exhausted.
 var ErrServerFull = errors.New("tcpkv: server pool full")
 
+// RetryPolicy governs how the client reacts to transient transport
+// failures (connection resets, timeouts, truncated response frames): each
+// op is retried on a fresh pair of connections with exponential backoff.
+// Retried ops are at-least-once — a lost response frame does not reveal
+// whether the server applied the op, so a retried PUT may write twice and
+// a retried DELETE may find the key already gone (the client maps that to
+// success, not ErrNotFound, when a prior attempt's outcome was unknown).
+type RetryPolicy struct {
+	Attempts   int           // total tries per op; <= 1 means no retry
+	Backoff    time.Duration // delay before the first retry, doubling after
+	MaxBackoff time.Duration // backoff cap (0 = uncapped)
+	Timeout    time.Duration // per-attempt I/O deadline (0 = none)
+}
+
+// DefaultRetryPolicy is a sensible policy for flaky networks.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Attempts:   4,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Timeout:    2 * time.Second,
+	}
+}
+
 // Client is a TCP-mode eFactory client implementing the client-active
 // write scheme and the hybrid read scheme over two connections: an RPC
 // channel and a one-sided channel.
 type Client struct {
 	mu      sync.Mutex // operations are serialized per client, like a QP
+	addr    string
+	retry   RetryPolicy // zero value: single attempt, no deadlines
 	rpcConn net.Conn
 	osConn  net.Conn
 
@@ -41,29 +70,43 @@ type Client struct {
 	PureReads     int
 	FallbackReads int
 	RPCReads      int
+	// Retries and Reconnects count recovery actions taken under the
+	// client's RetryPolicy.
+	Retries    int
+	Reconnects int
 }
 
-// Dial connects to a tcpkv server and performs the geometry handshake.
-func Dial(addr string) (*Client, error) {
-	rpcConn, err := net.Dial("tcp", addr)
+// dialConns opens the RPC and one-sided channels to addr.
+func dialConns(addr string) (rpcConn, osConn net.Conn, err error) {
+	rpcConn, err = net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := rpcConn.Write([]byte{chanRPC}); err != nil {
 		rpcConn.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	osConn, err := net.Dial("tcp", addr)
+	osConn, err = net.Dial("tcp", addr)
 	if err != nil {
 		rpcConn.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := osConn.Write([]byte{chanOneSided}); err != nil {
 		rpcConn.Close()
 		osConn.Close()
+		return nil, nil, err
+	}
+	return rpcConn, osConn, nil
+}
+
+// Dial connects to a tcpkv server and performs the geometry handshake.
+// The returned client performs no retries; see SetRetryPolicy.
+func Dial(addr string) (*Client, error) {
+	rpcConn, osConn, err := dialConns(addr)
+	if err != nil {
 		return nil, err
 	}
-	c := &Client{rpcConn: rpcConn, osConn: osConn, hybrid: true}
+	c := &Client{addr: addr, rpcConn: rpcConn, osConn: osConn, hybrid: true}
 	resp, err := c.rpc(wire.Msg{Type: wire.THello})
 	if err != nil {
 		c.Close()
@@ -103,8 +146,93 @@ func (c *Client) Close() error {
 // SetHybridRead toggles the hybrid read scheme.
 func (c *Client) SetHybridRead(on bool) { c.hybrid = on }
 
+// SetRetryPolicy installs rp; ops issued afterwards retry transient
+// transport failures (reconnecting between attempts) and bound each
+// attempt with rp.Timeout.
+func (c *Client) SetRetryPolicy(rp RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = rp
+}
+
+// reconnect replaces both connections with fresh ones. Geometry is not
+// re-fetched: it is a property of the server's device layout, which a
+// reconnect cannot change. Callers hold c.mu.
+func (c *Client) reconnect() error {
+	c.rpcConn.Close()
+	c.osConn.Close()
+	rpcConn, osConn, err := dialConns(c.addr)
+	if err != nil {
+		return err
+	}
+	c.rpcConn, c.osConn = rpcConn, osConn
+	c.Reconnects++
+	return nil
+}
+
+// transient reports whether err is a transport failure worth retrying on
+// a fresh connection. Protocol outcomes (ErrNotFound, ErrServerFull,
+// status errors, NAKs) are final; connection-level failures — resets,
+// closed or half-closed connections, truncated frames, deadline
+// expiries — are not.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.As(err, &ne)
+}
+
+// retrying runs do under the client's RetryPolicy: on a transient error
+// it backs off (exponentially, capped), reconnects, and tries again.
+// Callers hold c.mu.
+func (c *Client) retrying(do func() error) error {
+	attempts := c.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.retry.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.Retries++
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if c.retry.MaxBackoff > 0 && backoff > c.retry.MaxBackoff {
+					backoff = c.retry.MaxBackoff
+				}
+			}
+			if rerr := c.reconnect(); rerr != nil {
+				err = rerr
+				continue
+			}
+		}
+		err = do()
+		if !transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// armDeadline bounds the next I/O on conn by the policy's per-attempt
+// timeout.
+func (c *Client) armDeadline(conn net.Conn) {
+	if c.retry.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.retry.Timeout))
+	}
+}
+
 // rpc performs one request/response on the RPC channel.
 func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
+	c.armDeadline(c.rpcConn)
 	if err := writeFrame(c.rpcConn, req.Encode()); err != nil {
 		return wire.Msg{}, err
 	}
@@ -117,6 +245,7 @@ func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
 
 // read performs a one-sided READ of length bytes at (rkey, off).
 func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
+	c.armDeadline(c.osConn)
 	frame := make([]byte, 17)
 	frame[0] = opRead
 	binary.BigEndian.PutUint32(frame[1:], rkey)
@@ -137,6 +266,7 @@ func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
 
 // write performs a one-sided WRITE of data at (rkey, off).
 func (c *Client) write(rkey uint32, off uint64, data []byte) error {
+	c.armDeadline(c.osConn)
 	frame := make([]byte, 17+len(data))
 	frame[0] = opWrite
 	binary.BigEndian.PutUint32(frame[1:], rkey)
@@ -162,38 +292,56 @@ func (c *Client) Put(key, value []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sum := crc.Checksum(value)
-	resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
-	if err != nil {
-		return err
-	}
-	switch resp.Status {
-	case wire.StOK:
-	case wire.StFull:
-		return ErrServerFull
-	default:
-		return fmt.Errorf("tcpkv: put status %d", resp.Status)
-	}
-	return c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
+	return c.retrying(func() error {
+		// A retried attempt redoes the allocation RPC: the previous
+		// attempt's slot (if it was granted) is left torn and gets
+		// invalidated by background verification.
+		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case wire.StOK:
+		case wire.StFull:
+			return ErrServerFull
+		default:
+			return fmt.Errorf("tcpkv: put status %d", resp.Status)
+		}
+		return c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
+	})
 }
 
 // Get fetches key's value with the hybrid read scheme.
 func (c *Client) Get(key []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.hybrid {
-		val, ok, err := c.pureRead(key)
+	var out []byte
+	err := c.retrying(func() error {
+		if c.hybrid {
+			val, ok, err := c.pureRead(key)
+			if err != nil {
+				return err
+			}
+			if ok {
+				c.PureReads++
+				out = val
+				return nil
+			}
+			c.FallbackReads++
+		} else {
+			c.RPCReads++
+		}
+		val, err := c.rpcRead(key)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if ok {
-			c.PureReads++
-			return val, nil
-		}
-		c.FallbackReads++
-	} else {
-		c.RPCReads++
+		out = val
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return c.rpcRead(key)
+	return out, nil
 }
 
 // pureRead is the optimistic one-sided path; ok is false on fallback.
@@ -329,12 +477,19 @@ func (c *Client) Metrics() (obs.Snapshot, error) {
 func (c *Client) Delete(key []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})
-	if err != nil {
-		return err
-	}
-	if resp.Status == wire.StNotFound {
-		return ErrNotFound
-	}
-	return nil
+	unknown := false // a failed attempt may have applied server-side
+	return c.retrying(func() error {
+		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})
+		if err != nil {
+			unknown = true
+			return err
+		}
+		if resp.Status == wire.StNotFound {
+			if unknown {
+				return nil // an earlier attempt's delete landed
+			}
+			return ErrNotFound
+		}
+		return nil
+	})
 }

@@ -1,0 +1,126 @@
+package tcpkv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"efactory/internal/fault"
+	"efactory/internal/nvm"
+)
+
+// TestDroppedFramesSurfaceWithoutRetry pins the negative control: with
+// response-frame drops injected and no retry policy, ops fail with a
+// transient transport error (not a protocol outcome).
+func TestDroppedFramesSurfaceWithoutRetry(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NetFaults = &fault.NetPlan{DropEvery: 1, PartialFrame: true} // every response lost
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err == nil {
+		// The handshake itself may survive only if its frame was not the
+		// dropped one; with DropEvery=1 it never is, so Dial should fail.
+		cl.Close()
+		t.Fatal("Dial succeeded though every response frame is dropped")
+	}
+	if !transient(err) {
+		t.Fatalf("expected a transient transport error, got %v", err)
+	}
+}
+
+// TestClientRetriesThroughDrops is the satellite's core check: with every
+// third response frame dropped (leaking a truncated prefix, so the client
+// sees torn frames, not clean EOFs), a retrying client completes a full
+// PUT/GET/DEL workload correctly.
+func TestClientRetriesThroughDrops(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NetFaults = &fault.NetPlan{DropEvery: 3, PartialFrame: true}
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+
+	// Dial itself needs luck with DropEvery=3: retry it like an op.
+	var cl *Client
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		cl, err = Dial(addr)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("dial never survived the drop schedule: %v", err)
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(RetryPolicy{
+		Attempts:   6,
+		Backoff:    500 * time.Microsecond,
+		MaxBackoff: 4 * time.Millisecond,
+		Timeout:    2 * time.Second,
+	})
+
+	for i := 0; i < 25; i++ {
+		key := []byte(fmt.Sprintf("retry-%02d", i))
+		val := []byte(fmt.Sprintf("value-%02d", i))
+		if err := cl.Put(key, val); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		got, err := cl.Get(key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if string(got) != string(val) {
+			t.Fatalf("get %s: got %q want %q", key, got, val)
+		}
+	}
+	for i := 0; i < 25; i += 3 {
+		key := []byte(fmt.Sprintf("retry-%02d", i))
+		if err := cl.Delete(key); err != nil {
+			t.Fatalf("delete %s: %v", key, err)
+		}
+		if _, err := cl.Get(key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get after delete %s: %v", key, err)
+		}
+	}
+	if cl.Retries == 0 || cl.Reconnects == 0 {
+		t.Fatalf("fault schedule never exercised the retry path: retries=%d reconnects=%d", cl.Retries, cl.Reconnects)
+	}
+}
+
+// TestClientTimeoutRecoversFromStalledRead: every third one-sided read
+// stalls longer than the per-attempt deadline; the client must time out,
+// reconnect, and complete on a non-stalled attempt. (The period is
+// coprime with the two reads a hybrid GET issues, so the stall drifts
+// across attempts instead of pinning the same read every time.)
+func TestClientTimeoutRecoversFromStalledRead(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NetFaults = &fault.NetPlan{StallEvery: 3, StallFor: 150 * time.Millisecond}
+	_, addr := startServer(t, nvm.New(cfg.DeviceSize()), cfg)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(RetryPolicy{
+		Attempts: 8,
+		Backoff:  500 * time.Microsecond,
+		Timeout:  40 * time.Millisecond, // well under StallFor
+	})
+
+	for i := 0; i < 8; i++ {
+		key := []byte(fmt.Sprintf("stall-%02d", i))
+		val := []byte(fmt.Sprintf("value-%02d", i))
+		if err := cl.Put(key, val); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		got, err := cl.Get(key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if string(got) != string(val) {
+			t.Fatalf("get %s: got %q want %q", key, got, val)
+		}
+	}
+	if cl.Retries == 0 {
+		t.Fatal("stall schedule never triggered a timeout retry")
+	}
+}

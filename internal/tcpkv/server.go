@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"efactory/internal/fault"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
 	"efactory/internal/obs"
@@ -97,6 +98,17 @@ type Config struct {
 	// CleanThreshold triggers log cleaning when the working pool's free
 	// fraction drops below it. Zero disables automatic cleaning.
 	CleanThreshold float64
+	// FaultPlan, when non-nil, wires the crash-point injection subsystem
+	// (internal/fault): the device and the engines' cost sink are wrapped
+	// so every cost charge and every flush/drain counts a boundary, and
+	// once the plan trips the device drops all further mutations — the
+	// persisted image is frozen exactly as a power failure at that
+	// boundary would leave it. Torture harnesses only.
+	FaultPlan *fault.Plan
+	// NetFaults, when non-nil, injects network faults: response-frame
+	// drops (optionally leaking a truncated prefix) on the RPC channel and
+	// stalls on one-sided reads. Exercises client retry/timeout logic.
+	NetFaults *fault.NetPlan
 }
 
 // DefaultConfig returns a small, usable configuration.
@@ -160,6 +172,13 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 	if dev.Size() < cfg.DeviceSize() {
 		return nil, fmt.Errorf("tcpkv: device %d B smaller than config needs (%d B)", dev.Size(), cfg.DeviceSize())
 	}
+	if cfg.FaultPlan != nil {
+		// All device traffic — engine mutations, flushes, and the
+		// one-sided channel — goes through the fault wrapper, so a tripped
+		// plan freezes the persisted image even against in-flight value
+		// writes, exactly as a process crash would.
+		dev = fault.WrapDevice(dev, cfg.FaultPlan)
+	}
 	s := &Server{
 		cfg:     cfg,
 		dev:     dev,
@@ -182,6 +201,11 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 				return true
 			}
 		},
+	}
+	if cfg.FaultPlan != nil {
+		// Every engine cost charge becomes a crash boundary; the wall
+		// clock (a nil inner sink) keeps timing behavior unchanged.
+		deps.Sink = fault.WrapSink(cfg.FaultPlan, nil)
 	}
 	st, _, err := store.New(dev, cfg.storeConfig(), deps)
 	if err != nil {
@@ -327,6 +351,19 @@ func (s *Server) serveRPC(conn net.Conn) {
 		if s.Cleaning() {
 			resp.Note |= wire.NoteCleaning
 		}
+		if drop, partial := s.cfg.NetFaults.NextFrame(); drop {
+			// The op was applied; only its response is lost — the client
+			// cannot distinguish this from a server crash after commit and
+			// must treat a retried op as possibly already applied.
+			if partial {
+				payload := resp.Encode()
+				buf := make([]byte, 4+len(payload))
+				binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+				copy(buf[4:], payload)
+				conn.Write(buf[:4+(len(payload)+1)/2])
+			}
+			return // cut the connection
+		}
 		if err := writeFrame(conn, resp.Encode()); err != nil {
 			return
 		}
@@ -355,6 +392,9 @@ func (s *Server) serveOneSided(conn net.Conn) {
 		}
 		switch op {
 		case opRead:
+			if d := s.cfg.NetFaults.NextRead(); d > 0 {
+				time.Sleep(d) // a stalled RNIC read completion
+			}
 			out := make([]byte, 1+length)
 			out[0] = 1
 			s.dev.Read(base+off, out[1:])

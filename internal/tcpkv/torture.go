@@ -1,0 +1,200 @@
+package tcpkv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"efactory/internal/crc"
+	"efactory/internal/fault"
+	"efactory/internal/nvm"
+	"efactory/internal/store"
+	"efactory/internal/wire"
+)
+
+// tcpVerifyTimeout replaces the fault.Config default when the caller did
+// not pick a wall-clock-scale bound: the shared default (2µs) is tuned
+// for the harnesses' virtual clocks and would invalidate every in-flight
+// value write before its TCP frame could arrive.
+const tcpVerifyTimeout = 25 * time.Millisecond
+
+// allocOnly sends a PUT allocation RPC and never writes the value — the
+// torture workload's torn PUT, a client that died mid-write. Same-package
+// so the harness can reach below the public Put API.
+func (c *Client) allocOnly(key, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: crc.Checksum(value), Len: uint64(len(value)), Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("tcpkv: alloc status %d", resp.Status)
+	}
+	return nil
+}
+
+// RunTCPTorture executes one crash-point torture run over the real TCP
+// transport on a file-backed device: a live Server (real goroutines,
+// locks, wall clock, background verifiers) driven by a Client over
+// loopback, with the device and cost sinks wrapped under a fault.Plan.
+// The crash model is a process failure: once the plan trips the device
+// drops all further mutations, the server is shut down, and the file is
+// reopened — exactly the lines that were explicitly flushed survive, the
+// volatile overlay is gone (a strict Survival-0 power failure). A second
+// server then recovers from the file and the durability Oracle is checked
+// against its engines.
+//
+// Unlike the store and simulation harnesses, runs are not bit-for-bit
+// reproducible — goroutine scheduling and wall-clock timing vary — so
+// boundary counts are approximate across runs of the same seed. The
+// oracle is sound regardless: it only ever requires outcomes that are
+// legal for every schedule.
+func RunTCPTorture(tc fault.Config) (fault.Result, error) {
+	tc = tc.WithDefaults()
+	if tc.VerifyTimeout < time.Millisecond {
+		tc.VerifyTimeout = tcpVerifyTimeout
+	}
+	dir, err := os.MkdirTemp("", "efactory-torture-*")
+	if err != nil {
+		return fault.Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "nvm.img")
+
+	plan := fault.NewPlan(tc.CrashAt)
+	cfg := Config{
+		Buckets:       tc.Buckets,
+		PoolSize:      tc.PoolSize,
+		Shards:        tc.Shards,
+		VerifyTimeout: tc.VerifyTimeout,
+		// Cleaning is driven explicitly by the workload (CleanEvery), not
+		// by occupancy, so every run sweeps the same op schedule.
+		CleanThreshold: 0,
+		FaultPlan:      plan,
+	}
+	dev, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		return fault.Result{}, err
+	}
+	srv, err := NewServer(dev, cfg)
+	if err != nil {
+		dev.Close()
+		return fault.Result{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		dev.Close()
+		return fault.Result{}, err
+	}
+	go srv.Serve(ln)
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		dev.Close()
+		return fault.Result{}, err
+	}
+	// No retries: a crash run must see each op's first outcome, not a
+	// masked one. The deadline is a hang safety net only.
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 1, Timeout: 5 * time.Second})
+
+	oracle := fault.NewOracle()
+	rng := rand.New(rand.NewPCG(tc.Seed, 0xfa17_707e))
+	var violations []string
+
+	for op := 0; op < tc.Ops && !plan.Tripped(); op++ {
+		if tc.CleanEvery > 0 && op > 0 && op%tc.CleanEvery == 0 {
+			srv.StartCleaning() // races the driver, like production
+		}
+		// Fixed number of draws per op keeps the workload identical
+		// across crash points of one seed.
+		kind := rng.IntN(100)
+		keyIdx := rng.IntN(tc.Keys)
+		fresh := rng.IntN(5) == 0
+		key := []byte(fmt.Sprintf("key-%02d", keyIdx))
+		if kind < 60 && fresh {
+			key = []byte(fmt.Sprintf("uniq-%04d", op))
+		}
+		switch {
+		case kind < 50: // PUT via the client-active scheme
+			val := fault.WorkloadValue(tc.Seed, string(key), op, tc.ValueLen)
+			err := cl.Put(key, val)
+			switch {
+			case err == nil && !plan.Tripped():
+				oracle.PutAcked(key, val, true)
+			case plan.Tripped():
+				// The crash landed inside the op: the server may or may
+				// not have applied it. Either outcome is legal.
+				oracle.PutPending(key, val)
+			}
+		case kind < 60: // torn PUT: allocation RPC, value never sent
+			val := fault.WorkloadValue(tc.Seed, string(key), op, tc.ValueLen)
+			err := cl.allocOnly(key, val)
+			if plan.Tripped() {
+				oracle.PutPending(key, val)
+			} else if err == nil {
+				oracle.PutAcked(key, val, false)
+			}
+		case kind < 85: // GET: observes durability
+			got, err := cl.Get(key)
+			if !plan.Tripped() && err == nil {
+				if v := oracle.ObserveGet(key, got, true); v != "" {
+					violations = append(violations, "live: "+v)
+				}
+			}
+		default: // DEL
+			err := cl.Delete(key)
+			switch {
+			case err == nil && !plan.Tripped():
+				oracle.DelAcked(key)
+			case plan.Tripped() && !errors.Is(err, ErrNotFound):
+				oracle.DelPending(key)
+			}
+		}
+	}
+
+	res := fault.Result{
+		Boundaries: plan.Boundaries(),
+		Tripped:    plan.Tripped(),
+		Stats:      srv.Stats(),
+	}
+
+	// Process restart: tear everything down and reopen the file. Only
+	// explicitly flushed lines ever reached it, so the reopened device IS
+	// the post-crash persisted image.
+	cl.Close()
+	srv.Close()
+	if err := dev.Close(); err != nil {
+		return res, err
+	}
+	dev2, err := nvm.OpenFile(path, cfg.DeviceSize())
+	if err != nil {
+		return res, err
+	}
+	defer dev2.Close()
+	rcfg := cfg
+	rcfg.FaultPlan = nil
+	srv2, err := NewServer(dev2, rcfg) // recovery runs inside store.New
+	if err != nil {
+		return res, fmt.Errorf("recovery failed: %w", err)
+	}
+	defer srv2.Close()
+	get := func(key string) ([]byte, bool) {
+		_, eng := srv2.shardFor([]byte(key))
+		gr := eng.Get(nil, []byte(key))
+		if gr.Status != store.StatusOK {
+			return nil, false
+		}
+		pool := eng.Pool(gr.Pool)
+		hd := pool.Header(gr.Off)
+		return pool.ReadValue(gr.Off, hd.KLen, hd.VLen), true
+	}
+	violations = append(violations, oracle.Check(get)...)
+	res.Violations = violations
+	return res, nil
+}

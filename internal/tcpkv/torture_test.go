@@ -1,0 +1,70 @@
+package tcpkv
+
+import (
+	"testing"
+
+	"efactory/internal/fault"
+)
+
+// tcpTortureConfig keeps the wall-clock sweep affordable: a TCP run costs
+// tens of milliseconds (real sockets, real file I/O, server restart), so
+// the workload is short and sweep points are subsampled.
+func tcpTortureConfig() fault.Config {
+	return fault.Config{Ops: 50, CleanEvery: 25}
+}
+
+// TestTCPTortureCountingRun sanity-checks the measuring run: no crash, no
+// violations, real workload coverage.
+func TestTCPTortureCountingRun(t *testing.T) {
+	res, err := RunTCPTorture(tcpTortureConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations in the no-crash run: %v", res.Violations)
+	}
+	if res.Tripped || res.Boundaries < 100 {
+		t.Fatalf("counting run: tripped=%v boundaries=%d", res.Tripped, res.Boundaries)
+	}
+	if res.Stats.Puts == 0 || res.Stats.Dels == 0 {
+		t.Fatalf("workload coverage too thin: %+v", res.Stats)
+	}
+}
+
+// TestTCPTortureMidCleaningShutdown replays the workload shape that found
+// the staged-slot recovery bug: CleanEvery short enough that a cleaning
+// run is still mid-flight (merge stage) when the process shuts down, after
+// a DELETE plus re-PUT landed on a hot key. With seed 1 the re-PUT
+// publishes only through the staged location slot; recovery must restore
+// it from there even though the mark bit never flipped. No injection — the
+// plain run plus restart is the repro.
+func TestTCPTortureMidCleaningShutdown(t *testing.T) {
+	res, err := RunTCPTorture(fault.Config{Seed: 1, Ops: 40, CleanEvery: 14})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+}
+
+// TestTCPTortureSweep is the TCP-transport acceptance sweep: crash points
+// spread across the workload, a process restart (file reopen) and oracle
+// check after each. Boundary counts drift between runs of one seed (real
+// scheduling), so the sweep subsamples rather than visiting every K.
+func TestTCPTortureSweep(t *testing.T) {
+	points := 10
+	if testing.Short() {
+		points = 4
+	}
+	sr, err := fault.Sweep(RunTCPTorture, tcpTortureConfig(), []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 8 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
