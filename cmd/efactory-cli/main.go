@@ -8,7 +8,7 @@
 //	efactory-cli [-addr host:7420] stats [-json]
 //	efactory-cli [-addr host:7420] metrics [-json]
 //	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0]
-//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256]
+//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-pipeline 0]
 //
 // metrics prints the server's per-op latency histograms (merged across
 // shards) and key gauges; -json dumps the raw telemetry snapshot. top
@@ -96,8 +96,10 @@ func main() {
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 10000, "operations")
 		vlen := fs.Int("vlen", 256, "value size in bytes")
+		batch := fs.Int("batch", 1, "keys per multi-op PUT batch (1 = plain Put)")
+		pipeline := fs.Int("pipeline", 0, "RPC pipeline depth (0 = client default)")
 		fs.Parse(args[1:])
-		runBench(cl, *n, *vlen)
+		runBench(cl, *n, *vlen, *batch, *pipeline)
 	default:
 		usage()
 	}
@@ -248,20 +250,53 @@ func fmtNS(ns float64) string {
 	return time.Duration(ns).Round(10 * time.Nanosecond).String()
 }
 
-func runBench(cl *tcpkv.Client, n, vlen int) {
+func runBench(cl *tcpkv.Client, n, vlen, batch, pipeline int) {
+	if pipeline > 0 {
+		if err := cl.SetPipelineDepth(pipeline); err != nil {
+			fatal("bench: set pipeline depth: %v", err)
+		}
+	}
+	if batch < 1 {
+		batch = 1
+	}
 	val := make([]byte, vlen)
 	for i := range val {
 		val[i] = byte(i)
 	}
 	var putLat, getLat stats.Recorder
 	t0 := time.Now()
-	for i := 0; i < n; i++ {
-		key := fmt.Sprintf("bench-%d", i%1024)
-		s := time.Now()
-		if err := cl.Put([]byte(key), val); err != nil {
-			fatal("bench put: %v", err)
+	if batch > 1 {
+		keys := make([][]byte, batch)
+		vals := make([][]byte, batch)
+		for i := 0; i < n; i += batch {
+			m := batch
+			if n-i < m {
+				m = n - i
+			}
+			for j := 0; j < m; j++ {
+				keys[j] = []byte(fmt.Sprintf("bench-%d", (i+j)%1024))
+				vals[j] = val
+			}
+			s := time.Now()
+			for _, err := range cl.PutBatch(keys[:m], vals[:m]) {
+				if err != nil {
+					fatal("bench put batch: %v", err)
+				}
+			}
+			per := time.Since(s) / time.Duration(m)
+			for j := 0; j < m; j++ {
+				putLat.Record(per)
+			}
 		}
-		putLat.Record(time.Since(s))
+	} else {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("bench-%d", i%1024)
+			s := time.Now()
+			if err := cl.Put([]byte(key), val); err != nil {
+				fatal("bench put: %v", err)
+			}
+			putLat.Record(time.Since(s))
+		}
 	}
 	putDur := time.Since(t0)
 	t0 = time.Now()

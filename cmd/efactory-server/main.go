@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-metrics-addr :9420]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-metrics-addr :9420]
+//
+// -bg-batch > 1 lets the background verifier group-verify and group-flush
+// up to that many contiguous objects per run; -pipeline-workers bounds the
+// concurrent in-flight RPCs served per pipelined client connection.
 //
 // With -metrics-addr set, the server also serves HTTP telemetry:
-// Prometheus text on /metrics, the full JSON snapshot on /debug/vars, and
-// the structured trace ring on /debug/trace.
+// Prometheus text on /metrics, the full JSON snapshot on /debug/vars, the
+// structured trace ring on /debug/trace, and Go profiling on /debug/pprof.
 package main
 
 import (
@@ -30,13 +34,17 @@ func main() {
 	poolMiB := flag.Int("pool", 64, "data pool size in MiB")
 	buckets := flag.Int("buckets", 16384, "hash table buckets per shard")
 	shards := flag.Int("shards", 1, "number of storage engine shards")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address; empty disables")
+	bgBatch := flag.Int("bg-batch", 1, "max objects group-verified and group-flushed per background run (1 = per-object)")
+	pipeWorkers := flag.Int("pipeline-workers", tcpkv.DefaultPipelineWorkers, "concurrent RPCs served per pipelined client connection")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (JSON), and /debug/pprof on this address; empty disables")
 	flag.Parse()
 
 	cfg := tcpkv.DefaultConfig()
 	cfg.Buckets = *buckets
 	cfg.PoolSize = *poolMiB << 20
 	cfg.Shards = *shards
+	cfg.BGBatch = *bgBatch
+	cfg.PipelineWorkers = *pipeWorkers
 
 	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
 	if err != nil {

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"efactory/internal/model"
+)
+
+// TestFigBatchShapes asserts the batching experiment's qualitative
+// claims at QuickScale: PUT throughput grows monotonically with the
+// multi-op batch size, and the group-flushed background path issues
+// fewer flush runs per verified object as the batch grows.
+func TestFigBatchShapes(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+	rs := FigBatch(io.Discard, &par, sc)
+	if len(rs) != len(BatchSizes) {
+		t.Fatalf("got %d results, want %d", len(rs), len(BatchSizes))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Mops <= rs[i-1].Mops {
+			t.Errorf("batch %d: %.3f Mops not above batch %d's %.3f — batching must pay",
+				rs[i].Batch, rs[i].Mops, rs[i-1].Batch, rs[i-1].Mops)
+		}
+	}
+	flushRuns := func(r Result) uint64 {
+		if r.Engine == nil {
+			t.Fatalf("batch %d: no engine snapshot", r.Batch)
+		}
+		return r.Engine.MergedOp("bg_flush").Count
+	}
+	first, last := rs[0], rs[len(rs)-1]
+	if f0, fN := flushRuns(first), flushRuns(last); fN >= f0 {
+		t.Errorf("flush runs did not shrink: batch %d issued %d, batch %d issued %d",
+			first.Batch, f0, last.Batch, fN)
+	}
+	if batched, _ := last.Engine.CounterValue("efactory_bg_batched_runs_total", nil); batched == 0 {
+		t.Errorf("batch %d: no coalesced background runs recorded", last.Batch)
+	}
+	if verified, ok := last.Engine.CounterValue("efactory_bg_objects_total", map[string]string{"outcome": "verified"}); !ok || verified == 0 {
+		t.Errorf("batch %d: verified-objects counter missing (ok=%v, v=%.0f)", last.Batch, ok, verified)
+	}
+}
+
+// TestRunPutBatchUnbatchedMatchesPutLatency: batch == 1 must drive the
+// plain Put path — the unbatched configuration is the control the sweep
+// is measured against.
+func TestRunPutBatchUnbatchedMatchesPutLatency(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+	r := RunPutBatch(&par, 1, 1, 256, 100, sc, 5)
+	if r.Ops != 100 || r.Batch != 1 {
+		t.Fatalf("ops=%d batch=%d", r.Ops, r.Batch)
+	}
+	if r.Engine == nil || r.Mops <= 0 || r.Median <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if batched, _ := r.Engine.CounterValue("efactory_bg_batched_runs_total", nil); batched != 0 {
+		t.Errorf("unbatched run recorded %.0f coalesced background runs, want 0", batched)
+	}
+}
+
+// BenchmarkPutBatch runs the full batching sweep once (-benchtime=1x in
+// CI): a smoke gate that the batched PUT pipeline and its telemetry stay
+// wired end to end.
+func BenchmarkPutBatch(b *testing.B) {
+	par := model.Default()
+	sc := QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := FigBatch(io.Discard, &par, sc)
+		if len(rs) != len(BatchSizes) {
+			b.Fatalf("got %d results", len(rs))
+		}
+	}
+}

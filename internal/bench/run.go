@@ -48,12 +48,17 @@ type Result struct {
 	ValLen  int
 	Clients int
 	Ops     int
-	Elapsed time.Duration
-	Mops    float64
-	Mean    time.Duration
-	Median  time.Duration
-	P99     time.Duration
-	P999    time.Duration
+	// Batch is the multi-op PUT batch size (0 or 1 = unbatched Put);
+	// Pipeline is the RPC pipeline depth where a run drives one. Set by the
+	// batching experiments only.
+	Batch    int `json:",omitempty"`
+	Pipeline int `json:",omitempty"`
+	Elapsed  time.Duration
+	Mops     float64
+	Mean     time.Duration
+	Median   time.Duration
+	P99      time.Duration
+	P999     time.Duration
 	// Hist is the full log-spaced latency histogram of the measured
 	// operations (virtual time), exported to BENCH_*.json.
 	Hist obs.HistSnapshot

@@ -1,0 +1,124 @@
+package efactory
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"efactory/internal/fault"
+	"efactory/internal/sim"
+)
+
+func TestSimPutBatchRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BGBatch = 8
+	c := newCluster(t, cfg, 1)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		const n = 20
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("batch-%02d", i))
+			vals[i] = bytes.Repeat([]byte{byte(i + 1)}, 40+i*11)
+		}
+		for i, err := range cl.PutBatch(p, keys, vals) {
+			if err != nil {
+				t.Fatalf("PutBatch op %d: %v", i, err)
+			}
+		}
+		if cl.Stats.BatchedPuts == 0 {
+			t.Error("BatchedPuts stat not bumped")
+		}
+		for i := range keys {
+			got, err := cl.Get(p, keys[i])
+			if err != nil {
+				t.Fatalf("Get %d: %v", i, err)
+			}
+			if !bytes.Equal(got, vals[i]) {
+				t.Fatalf("Get %d: wrong value", i)
+			}
+		}
+		// Let the batched background verifier drain, then re-read: every
+		// object must reach durability without client involvement.
+		p.Sleep(5 * time.Millisecond)
+		for i := range keys {
+			if _, err := cl.Get(p, keys[i]); err != nil {
+				t.Fatalf("post-settle Get %d: %v", i, err)
+			}
+		}
+	})
+	if got := c.srv.Store().StatsTotal().BGVerified; got < 20 {
+		t.Errorf("BGVerified = %d, want >= 20 (batched verifier fell behind)", got)
+	}
+}
+
+// TestSimPutBatchMatchesSequentialPuts: a batch must leave the store in
+// the same client-visible state as the equivalent sequence of single
+// PUTs.
+func TestSimPutBatchMatchesSequentialPuts(t *testing.T) {
+	read := func(batched bool) map[string]string {
+		c := newCluster(t, DefaultConfig(), 1)
+		state := make(map[string]string)
+		c.run(func(p *sim.Proc) {
+			cl := c.clients[0]
+			keys := make([][]byte, 12)
+			vals := make([][]byte, 12)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("key-%02d", i%6)) // overwrites included
+				vals[i] = []byte(fmt.Sprintf("value-%02d-%s", i, "padpadpadpad"))
+			}
+			if batched {
+				for i, err := range cl.PutBatch(p, keys, vals) {
+					if err != nil {
+						t.Fatalf("PutBatch op %d: %v", i, err)
+					}
+				}
+			} else {
+				for i := range keys {
+					if err := cl.Put(p, keys[i], vals[i]); err != nil {
+						t.Fatalf("Put %d: %v", i, err)
+					}
+				}
+			}
+			for i := 0; i < 6; i++ {
+				key := fmt.Sprintf("key-%02d", i)
+				got, err := cl.Get(p, []byte(key))
+				if err != nil {
+					t.Fatalf("Get %s: %v", key, err)
+				}
+				state[key] = string(got)
+			}
+		})
+		return state
+	}
+	seq, bat := read(false), read(true)
+	for k, v := range seq {
+		if bat[k] != v {
+			t.Errorf("%s: sequential %q, batched %q", k, v, bat[k])
+		}
+	}
+}
+
+// TestSimTortureSweepBatched reruns the sim-transport crash sweep with
+// batched background persistence: the coalesced flush must keep the
+// durability oracle green at every crash boundary.
+func TestSimTortureSweepBatched(t *testing.T) {
+	cfg := simTortureConfig()
+	cfg.BGBatch = 4
+	points := 40
+	if testing.Short() {
+		points = 10
+	}
+	sr, err := fault.Sweep(RunSimTorture, cfg, []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}

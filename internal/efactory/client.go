@@ -27,6 +27,7 @@ const maxEntryProbes = 4
 type ClientStats struct {
 	Puts          int
 	Gets          int
+	BatchedPuts   int // PUTs carried by doorbell-batched PutBatch chains
 	PureReads     int // GETs satisfied entirely one-sidedly
 	FallbackReads int // GETs that fell back to RPC after an undurable fetch
 	RPCReads      int // GETs that went straight to RPC (cleaning / no hybrid)
@@ -138,6 +139,69 @@ func (c *Client) Put(p *sim.Proc, key, value []byte) error {
 	}
 	valOff := int(resp.Off) + kv.ValueOffset(len(key))
 	return c.ep.Write(p, value, resp.RKey, valOff)
+}
+
+// PutBatch stores len(keys) key/value pairs with one allocation RPC and
+// one doorbell-batched chain of one-sided WRITEs: every value write is
+// posted before the client waits, and the chain completes in a single
+// notification round. Completion-vs-durability semantics match Put —
+// durability stays asynchronous, one object at a time, in the background.
+// The returned slice has one entry per op, in order: nil, ErrServerFull,
+// or a transport error shared by every op the failure reached.
+func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
+	if len(keys) != len(values) {
+		panic("efactory: PutBatch keys/values length mismatch")
+	}
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return errs
+	}
+	c.drainNotifications()
+	c.Stats.Puts += len(keys)
+	ops := make([]wire.PutOp, len(keys))
+	for i := range keys {
+		p.Sleep(c.par.CRCTime(len(values[i])))
+		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
+	}
+	fail := func(err error) []error {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return errs
+	}
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops)})
+	if err != nil {
+		return fail(err)
+	}
+	if resp.Status != wire.StOK {
+		return fail(fmt.Errorf("efactory: put batch failed with status %d", resp.Status))
+	}
+	grants, err := wire.DecodePutGrants(resp.Value)
+	if err != nil || len(grants) != len(keys) {
+		return fail(fmt.Errorf("efactory: malformed put batch response: %v", err))
+	}
+	reqs := make([]rnic.WriteReq, 0, len(keys))
+	for i, g := range grants {
+		switch g.Status {
+		case wire.StOK:
+			reqs = append(reqs, rnic.WriteReq{
+				Src:  values[i],
+				RKey: g.RKey,
+				Off:  int(g.Off) + kv.ValueOffset(len(keys[i])),
+			})
+		case wire.StFull:
+			errs[i] = ErrServerFull
+		default:
+			errs[i] = fmt.Errorf("efactory: put failed with status %d", g.Status)
+		}
+	}
+	if err := c.ep.WriteBatch(p, reqs); err != nil {
+		return fail(err)
+	}
+	c.Stats.BatchedPuts += len(reqs)
+	return errs
 }
 
 // Get fetches the value for key with the hybrid read scheme (Figure 6):

@@ -50,6 +50,11 @@ type Config struct {
 	// DisableBackground turns the verification thread off (for tests that
 	// want full control over when verification happens).
 	DisableBackground bool
+	// BGBatch caps how many contiguous objects the background verifier may
+	// coalesce into one group-verified, group-flushed run (Engine.BGBatch).
+	// The effective batch size adapts to the shard's durability lag, up to
+	// this cap. 0 or 1 keeps the classic one-object-per-step BGStep path.
+	BGBatch int
 	// DisableSelectiveDurability makes the RPC read path verify by CRC on
 	// every request instead of trusting the durability flag — the Forca
 	// behaviour eFactory improves on (§5.3.4). Used by ablation benches.

@@ -169,12 +169,20 @@ func (s *Server) startProcs() {
 }
 
 // bgLoop drives one shard's background verification thread (§4.3.2).
+// With BGBatch > 1 it uses the group-verified, group-flushed path, sizing
+// each batch from the shard's durability lag.
 func (s *Server) bgLoop(eng *store.Engine, p *sim.Proc) {
 	for !s.stopped {
 		progressed := false
 		for pi := 0; pi < 2; pi++ {
-			for eng.BGStep(p, pi) {
-				progressed = true
+			if s.cfg.BGBatch > 1 {
+				for eng.BGBatch(p, pi, eng.AdaptiveBGBatch(s.cfg.BGBatch)) > 0 {
+					progressed = true
+				}
+			} else {
+				for eng.BGStep(p, pi) {
+					progressed = true
+				}
 			}
 		}
 		if !progressed {
@@ -284,6 +292,8 @@ func (s *Server) worker(p *sim.Proc) {
 		switch m.Type {
 		case wire.TPut:
 			s.handlePut(p, msg.From, shard, eng, m)
+		case wire.TPutBatch:
+			s.handlePutBatch(p, msg.From, m)
 		case wire.TGet:
 			s.handleGet(p, msg.From, shard, eng, m)
 		case wire.TDel:
@@ -313,6 +323,45 @@ func (s *Server) handlePut(p *sim.Proc, from *rnic.Endpoint, shard int, eng *sto
 		Off:    res.Off,
 		Len:    uint64(res.Len),
 	})
+}
+
+// handlePutBatch allocates every op of a TPutBatch in one request: the
+// per-message recv/dispatch/send costs were paid once by the caller, so
+// the marginal cost of each extra op is just its engine work. Ops route
+// to their owning shards individually — a batch may span shards.
+func (s *Server) handlePutBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	ops, err := wire.DecodePutOps(m.Value)
+	if err != nil {
+		s.replyAny(p, from, wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError})
+		return
+	}
+	grants := make([]wire.PutGrant, len(ops))
+	for i, op := range ops {
+		shard := kv.ShardOf(kv.HashKey(op.Key), s.st.NumShards())
+		eng := s.st.Shard(shard)
+		res := eng.Put(p, op.Key, op.VLen, op.Crc)
+		if res.Status != store.StatusOK {
+			grants[i] = wire.PutGrant{Status: wire.StFull}
+			continue
+		}
+		grants[i] = wire.PutGrant{
+			Status: wire.StOK,
+			RKey:   s.poolMR[shard][res.Pool].RKey(),
+			Off:    res.Off,
+			Len:    uint32(res.Len),
+		}
+	}
+	s.replyAny(p, from, wire.Msg{Type: wire.TPutBatchResp, Status: wire.StOK, Value: wire.EncodePutGrants(grants)})
+}
+
+// replyAny is reply for responses not tied to one shard: the cleaning
+// note is set if any shard is mid-cleaning.
+func (s *Server) replyAny(p *sim.Proc, to *rnic.Endpoint, m wire.Msg) {
+	if s.st.Cleaning() {
+		m.Note |= wire.NoteCleaning
+	}
+	s.busy(p, s.par.SendCost)
+	_ = to.Send(p, m.Encode())
 }
 
 func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {

@@ -39,6 +39,7 @@ func RunSimTorture(tc fault.Config) (fault.Result, error) {
 		Workers:       2,
 		RecvBatching:  true,
 		VerifyTimeout: tc.VerifyTimeout,
+		BGBatch:       tc.BGBatch,
 		FaultPlan:     plan,
 	}
 	// The trip callback runs BEFORE the device freezes: the server NIC

@@ -20,18 +20,19 @@ import (
 // the raw device, and checked against the durability Oracle.
 type Config struct {
 	Seed     uint64
-	Ops      int     // workload length (default 200)
-	Keys     int     // hot keyset size (default 8)
-	Shards   int     // store shards (default 1)
-	Buckets  int     // hash buckets per shard (default 128)
-	PoolSize int     // bytes per data pool (default 8 KiB — small, so the
+	Ops      int // workload length (default 200)
+	Keys     int // hot keyset size (default 8)
+	Shards   int // store shards (default 1)
+	Buckets  int // hash buckets per shard (default 128)
+	PoolSize int // bytes per data pool (default 8 KiB — small, so the
 	// workload exercises pool-full PUTs and log cleaning)
-	ValueLen   int           // value size (default 48)
-	CleanEvery int           // StartCleaning every N ops (default 80; <0 never)
-	BGEvery    int           // one BGStep per shard every N ops (default 7; <0 never)
+	ValueLen      int           // value size (default 48)
+	CleanEvery    int           // StartCleaning every N ops (default 80; <0 never)
+	BGEvery       int           // one BGStep per shard every N ops (default 7; <0 never)
+	BGBatch       int           // background batch size (<= 1: per-object BGStep)
 	VerifyTimeout time.Duration // in-flight write invalidation bound (default 2µs virtual)
-	Survival   float64       // fraction of unflushed dirty lines surviving the crash (default 0: strict power failure)
-	CrashAt    int64         // trip at this boundary; <= 0 = run to completion, crash at end
+	Survival      float64       // fraction of unflushed dirty lines surviving the crash (default 0: strict power failure)
+	CrashAt       int64         // trip at this boundary; <= 0 = run to completion, crash at end
 }
 
 // WithDefaults fills zero fields with the default workload shape shared
@@ -81,8 +82,8 @@ type Result struct {
 // seed and crash point.
 type tickSink struct{ now uint64 }
 
-func (s *tickSink) Now() uint64                        { return s.now }
-func (s *tickSink) Charge(h any, op store.Op, n int)   { s.now += 100 }
+func (s *tickSink) Now() uint64                      { return s.now }
+func (s *tickSink) Charge(h any, op store.Op, n int) { s.now += 100 }
 
 // nopLocker matches the simulation's locking model: the harness drives
 // the engine from a single goroutine (the cleaner is spawned inline), so
@@ -152,7 +153,11 @@ func RunStore(cfg Config) (Result, error) {
 		if cfg.BGEvery > 0 && op%cfg.BGEvery == 0 {
 			for i := 0; i < st.NumShards(); i++ {
 				eng := st.Shard(i)
-				eng.BGStep(nil, eng.CurrentPool())
+				if cfg.BGBatch > 1 {
+					eng.BGBatch(nil, eng.CurrentPool(), cfg.BGBatch)
+				} else {
+					eng.BGStep(nil, eng.CurrentPool())
+				}
 			}
 			if plan.Tripped() {
 				break

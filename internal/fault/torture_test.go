@@ -293,3 +293,41 @@ func TestTortureDeterminism(t *testing.T) {
 		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
 	}
 }
+
+// TestTortureSweepStoreBatched reruns the store-level sweep with
+// group-verified, group-flushed background persistence: every crash
+// boundary inside a coalesced flush run must still recover consistently.
+func TestTortureSweepStoreBatched(t *testing.T) {
+	cfg := Config{Ops: 80, BGBatch: 4}
+	maxPoints := 0 // every boundary
+	if testing.Short() {
+		maxPoints = 40
+	}
+	sr, err := SweepStore(cfg, []uint64{1, 2}, maxPoints)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
+
+// TestTortureBatchedDeterminism: the batched BG path must stay a pure
+// function of the config, like the per-object path.
+func TestTortureBatchedDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 120, BGBatch: 8, CrashAt: 300}
+	a, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Boundaries != b.Boundaries || a.Tripped != b.Tripped || len(a.Violations) != len(b.Violations) {
+		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
+	}
+}

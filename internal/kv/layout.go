@@ -138,11 +138,28 @@ func WriteHeader(dev nvm.Device, base int, off uint64, h *Header) {
 	dev.Write(base+int(off), EncodeHeader(h))
 }
 
-// ReadHeader loads a header from pool offset off through the coherent view.
+// ReadHeader loads a header from pool offset off through the coherent
+// view. It reads word-by-word through Read8 rather than copying the line
+// into a temporary buffer: header reads dominate the GET path and the
+// background scan, and the buffer-free form keeps them off the heap (the
+// slice would escape through the Device interface). Every field word is
+// 8-aligned because objects are line-aligned.
 func ReadHeader(dev nvm.Device, base int, off uint64) Header {
-	b := make([]byte, HeaderSize)
-	dev.Read(base+int(off), b)
-	return DecodeHeader(b)
+	a := base + int(off)
+	wCRC := dev.Read8(a + offCRC)   // CRC | KLen<<32
+	wVLen := dev.Read8(a + offVLen) // VLen | Flags<<32
+	wMagic := dev.Read8(a + offMagic)
+	return Header{
+		PrePtr:    dev.Read8(a + offPrePtr),
+		NextPtr:   dev.Read8(a + offNextPtr),
+		Seq:       dev.Read8(a + offSeq),
+		CreatedAt: dev.Read8(a + offCreatedAt),
+		CRC:       uint32(wCRC),
+		KLen:      int(uint32(wCRC >> 32)),
+		VLen:      int(uint32(wVLen)),
+		Flags:     uint8(wVLen >> 32),
+		Magic:     uint32(wMagic),
+	}
 }
 
 // SetFlags atomically updates the flags byte of the header at off. The
@@ -152,10 +169,11 @@ func SetFlags(dev nvm.Device, base int, off uint64, flags uint8) {
 	addr := base + int(off) + offFlags
 	// offFlags is 44: not 8-aligned. Read-modify-write the containing
 	// aligned word (bytes 40..47 hold VLen, Flags, pad — VLen is
-	// immutable after allocation, so this is safe).
+	// immutable after allocation, so this is safe). Word-granular
+	// Read8/Write8 keeps the flag flip buffer-free: it runs once per
+	// object verified by the background thread.
 	word := addr &^ 7
-	var b [8]byte
-	dev.Read(word, b[:])
-	b[addr-word] = flags
-	dev.Write8(word, binary.LittleEndian.Uint64(b[:]))
+	shift := uint((addr - word) * 8) // little-endian: byte i = bits 8i..8i+7
+	w := dev.Read8(word)
+	dev.Write8(word, w&^(0xff<<shift)|uint64(flags)<<shift)
 }

@@ -110,9 +110,30 @@ func (p *Pool) ReadObject(off uint64) (Header, []byte, []byte) {
 
 // ReadValue returns only the value bytes of the object at off.
 func (p *Pool) ReadValue(off uint64, klen, vlen int) []byte {
-	val := make([]byte, vlen)
-	p.dev.Read(p.base+int(off)+ValueOffset(klen), val)
-	return val
+	return p.ReadValueInto(nil, off, klen, vlen)
+}
+
+// ReadValueInto reads the value bytes of the object at off into dst,
+// growing it only when too small, and returns the filled slice. The
+// allocation-free twin of ReadValue for hot paths that own scratch space.
+func (p *Pool) ReadValueInto(dst []byte, off uint64, klen, vlen int) []byte {
+	if cap(dst) < vlen {
+		dst = make([]byte, vlen)
+	}
+	dst = dst[:vlen]
+	p.dev.Read(p.base+int(off)+ValueOffset(klen), dst)
+	return dst
+}
+
+// ReadKeyInto reads the key bytes of the object at off into dst, growing
+// it only when too small, and returns the filled slice.
+func (p *Pool) ReadKeyInto(dst []byte, off uint64, klen int) []byte {
+	if cap(dst) < klen {
+		dst = make([]byte, klen)
+	}
+	dst = dst[:klen]
+	p.dev.Read(p.base+int(off)+KeyOffset(), dst)
+	return dst
 }
 
 // WriteValue stores value bytes into the object at off (the server-copy
@@ -125,6 +146,22 @@ func (p *Pool) WriteValue(off uint64, klen int, value []byte) {
 func (p *Pool) FlushObject(off uint64, klen, vlen int) {
 	p.dev.Flush(p.base+int(off), ObjectSize(klen, vlen))
 	p.dev.Drain()
+}
+
+// FlushRange persists the pool-relative byte range [off, off+n) with a
+// single flush + drain pair. Batched background persistence uses it to
+// amortize the drain across a run of contiguous verified objects.
+func (p *Pool) FlushRange(off uint64, n int) {
+	p.dev.Flush(p.base+int(off), n)
+	p.dev.Drain()
+}
+
+// SetFlagsVolatile updates the flags byte of the object at off without
+// persisting it. Callers batching flag flips follow with one FlushRange
+// covering the run; the value bytes must already be durable so the
+// durable-flag-implies-durable-value invariant holds at every crash point.
+func (p *Pool) SetFlagsVolatile(off uint64, flags uint8) {
+	SetFlags(p.dev, p.base, off, flags)
 }
 
 // SetNextPtr updates and persists the NextPtr word of the object at off

@@ -118,11 +118,18 @@ func (t *Table) BucketIndex(keyHash uint64) int { return int(keyHash % uint64(t.
 // offset a client passes to an RDMA read of the entry.
 func (t *Table) BucketOffset(i int) int { return i * EntrySize }
 
-// Entry loads bucket i.
+// Entry loads bucket i. Like ReadHeader, it reads word-by-word through
+// Read8: lookups probe one entry per step on the GET and PUT hot paths,
+// and a temporary buffer would escape through the Device interface. Each
+// word is written atomically, so word-granular loads observe exactly the
+// states the update protocol persists.
 func (t *Table) Entry(i int) Entry {
-	b := make([]byte, EntrySize)
-	t.dev.Read(t.base+t.BucketOffset(i), b)
-	return DecodeEntry(b)
+	a := t.base + t.BucketOffset(i)
+	return Entry{
+		KeyHash: t.dev.Read8(a),
+		Loc:     [2]uint64{t.dev.Read8(a + 8), t.dev.Read8(a + 16)},
+		Flags:   t.dev.Read8(a + 24),
+	}
 }
 
 // Lookup probes for a key hash and returns the bucket index and entry.

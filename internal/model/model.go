@@ -31,6 +31,11 @@ type Params struct {
 	// PostCost is the requester CPU cost to post a work request (doorbell,
 	// WQE build).
 	PostCost time.Duration
+	// PostCostDoorbell is the incremental CPU cost of each additional work
+	// request in a doorbell-batched post: the WQE still has to be built,
+	// but the MMIO doorbell ring and its write barrier are paid once for
+	// the whole chain.
+	PostCostDoorbell time.Duration
 	// JitterFrac adds uniform ±JitterFrac relative noise to every wire
 	// delay, giving latency distributions a realistic spread (so medians
 	// and p99s differ, as in Figure 1). Zero disables jitter; the noise
@@ -120,10 +125,11 @@ type Params struct {
 // the calibration targets.
 func Default() Params {
 	return Params{
-		WireDelay:  900 * time.Nanosecond,
-		BytesPerNS: 12.5,
-		PostCost:   150 * time.Nanosecond,
-		JitterFrac: 0.15,
+		WireDelay:        900 * time.Nanosecond,
+		BytesPerNS:       12.5,
+		PostCost:         150 * time.Nanosecond,
+		PostCostDoorbell: 40 * time.Nanosecond,
+		JitterFrac:       0.15,
 
 		RecvCost:        420 * time.Nanosecond,
 		RecvCostBatched: 210 * time.Nanosecond,

@@ -170,6 +170,32 @@ func (s Snapshot) GaugeValue(name string) (float64, bool) {
 	return total, found
 }
 
+// CounterValue returns the sum of every counter named name whose labels
+// include all of match (summing across shard labels and any labels not
+// constrained by match), and whether at least one was found. A nil match
+// sums every registration of the name.
+func (s Snapshot) CounterValue(name string, match map[string]string) (float64, bool) {
+	var total float64
+	found := false
+	for _, c := range s.Counters {
+		if c.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if c.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += c.Value
+			found = true
+		}
+	}
+	return total, found
+}
+
 // sortedLabelKeys renders deterministically.
 func sortedLabelKeys(m map[string]string) []string {
 	keys := make([]string, 0, len(m))

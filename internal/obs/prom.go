@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
@@ -88,9 +89,10 @@ func formatLabels(labels map[string]string) string {
 
 // Handler serves the registry over HTTP:
 //
-//	/metrics     Prometheus text format
-//	/debug/vars  the full Snapshot as JSON
-//	/debug/trace the trace ring as a JSON event array, oldest first
+//	/metrics      Prometheus text format
+//	/debug/vars   the full Snapshot as JSON
+//	/debug/trace  the trace ring as a JSON event array, oldest first
+//	/debug/pprof  the standard Go profiling endpoints
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -105,5 +107,10 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		json.NewEncoder(w).Encode(r.ring.Dump())
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

@@ -56,8 +56,8 @@ func (e *Engine) BGStep(h any, pi int) bool {
 	if pool != e.pools[pi] {
 		return false
 	}
-	val := pool.ReadValue(off, hd.KLen, hd.VLen)
-	match := crc.Checksum(val) == hd.CRC
+	e.valScratch = pool.ReadValueInto(e.valScratch, off, hd.KLen, hd.VLen)
+	match := crc.Checksum(e.valScratch) == hd.CRC
 	e.observe(int(OpBGCRC), tCRC)
 	if match {
 		tFlush := e.sink.Now()
@@ -75,9 +75,8 @@ func (e *Engine) BGStep(h any, pi int) bool {
 	if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 		pool.SetFlags(off, hd.Flags&^kv.FlagValid)
 		e.stats.BGInvalidated++
-		key := make([]byte, hd.KLen)
-		e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
-		e.trace("bg_verify", "invalidated", kv.HashKey(key), hd.Seq)
+		e.keyScratch = pool.ReadKeyInto(e.keyScratch, off, hd.KLen)
+		e.trace("bg_verify", "invalidated", kv.HashKey(e.keyScratch), hd.Seq)
 		e.bgCursor[pi] += size
 		return true
 	}
@@ -85,15 +84,159 @@ func (e *Engine) BGStep(h any, pi int) bool {
 	return false
 }
 
+// BGBatch is the group-verified, group-flushed variant of BGStep: under a
+// single lock acquisition it scans a run of up to max contiguous objects
+// at the shard's cursor in pool pi, CRC-verifies the not-yet-durable
+// ones, then persists the whole run with one coalesced FlushRange and
+// flips every durability flag, followed by a second FlushRange covering
+// the flag bits. This amortizes the lock, the per-object Charge, and —
+// most importantly — the flush+drain pair across the run: 2 drains per
+// batch instead of 2 per object.
+//
+// Completion-vs-durability semantics are unchanged. The value bytes of
+// every object in the run are durable before any of their durability
+// flags is persisted, so the crash invariant (durable flag implies
+// durable, CRC-intact value) holds at every crash point inside a
+// partially-flushed batch — including between the two FlushRange calls.
+//
+// Returns the number of objects passed over (verified, skipped, stale, or
+// invalidated); 0 means the cursor is parked at the end of the log or
+// stalled on an in-flight value. max <= 1 degenerates to BGStep.
+func (e *Engine) BGBatch(h any, pi, max int) int {
+	if max <= 1 {
+		if e.BGStep(h, pi) {
+			return 1
+		}
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	processed := 0
+	run := e.bgRun[:0]
+	var runStart, runEnd uint64
+	recycled := false
+	for processed < max {
+		pool := e.pools[pi]
+		if e.bgCursor[pi]+kv.HeaderSize > pool.Used() {
+			break
+		}
+		off := uint64(e.bgCursor[pi])
+		tScan := e.sink.Now()
+		e.sink.Charge(h, OpBGScan, 0)
+		if pool != e.pools[pi] {
+			recycled = true
+			break
+		}
+		hd := pool.Header(off)
+		e.observe(int(OpBGScan), tScan)
+		if hd.Magic != kv.Magic || hd.KLen <= 0 {
+			break // allocation raced us; retry this position later
+		}
+		size := kv.ObjectSize(hd.KLen, hd.VLen)
+		if !hd.Valid() || hd.Durable() {
+			e.stats.BGSkipped++
+			e.bgCursor[pi] += size
+			processed++
+			continue
+		}
+		stale := e.bgSuperseded(h, pi, off, hd.KLen)
+		if pool != e.pools[pi] {
+			recycled = true
+			break
+		}
+		if stale {
+			e.stats.BGStale++
+			e.bgCursor[pi] += size
+			processed++
+			continue
+		}
+		tCRC := e.sink.Now()
+		e.sink.Charge(h, OpBGCRC, hd.VLen)
+		if pool != e.pools[pi] {
+			recycled = true
+			break
+		}
+		e.valScratch = pool.ReadValueInto(e.valScratch, off, hd.KLen, hd.VLen)
+		match := crc.Checksum(e.valScratch) == hd.CRC
+		e.observe(int(OpBGCRC), tCRC)
+		if !match {
+			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
+				pool.SetFlags(off, hd.Flags&^kv.FlagValid)
+				e.stats.BGInvalidated++
+				e.keyScratch = pool.ReadKeyInto(e.keyScratch, off, hd.KLen)
+				e.trace("bg_verify", "invalidated", kv.HashKey(e.keyScratch), hd.Seq)
+				e.bgCursor[pi] += size
+				processed++
+				continue
+			}
+			break // value still in flight: stall the scan here
+		}
+		if len(run) == 0 {
+			runStart = off
+		}
+		run = append(run, off)
+		runEnd = off + uint64(size)
+		e.bgCursor[pi] += size
+		processed++
+	}
+	e.bgRun = run[:0] // retain capacity for the next batch
+	if len(run) > 0 && !recycled {
+		pool := e.pools[pi]
+		n := int(runEnd - runStart)
+		tFlush := e.sink.Now()
+		e.sink.Charge(h, OpBGFlush, n)
+		if pool == e.pools[pi] {
+			// Values (and headers) first, then the flags: each durability
+			// flag only becomes persistent after the bytes it vouches for.
+			pool.FlushRange(runStart, n)
+			for _, off := range run {
+				// Re-read the flags at flip time: a concurrent GET may have
+				// set FlagDurable and the cleaner may have set FlagTrans
+				// while a Charge above yielded.
+				pool.SetFlagsVolatile(off, pool.Header(off).Flags|kv.FlagDurable)
+			}
+			pool.FlushRange(runStart, n)
+			e.observe(int(OpBGFlush), tFlush)
+			e.stats.BGVerified += len(run)
+			if len(run) > 1 {
+				e.stats.BGBatched++
+			}
+		}
+	}
+	return processed
+}
+
+// adaptiveBatchStep is the durability-lag backlog that buys one more
+// object of background batch: ~a handful of typical objects per step, so
+// the batch size tracks how far behind the verifier has fallen.
+const adaptiveBatchStep = 2048
+
+// AdaptiveBGBatch maps the shard's durability-lag backlog (the
+// efactory_durability_lag_bytes gauge) to a batch size in [1, max]: an
+// idle shard verifies one object at a time, minimizing each fresh write's
+// time to durability, while a backlogged shard coalesces up to max
+// objects per lock acquisition, maximizing drain throughput.
+func (e *Engine) AdaptiveBGBatch(max int) int {
+	if max <= 1 {
+		return 1
+	}
+	backlog, _ := e.DurabilityLag()
+	b := 1 + backlog/adaptiveBatchStep
+	if b > max {
+		b = max
+	}
+	return b
+}
+
 // bgSuperseded reports whether the version at off in pool pi is no longer
 // its key's head version. Callers hold mu.
 func (e *Engine) bgSuperseded(h any, pi int, off uint64, klen int) bool {
 	pool := e.pools[pi]
-	key := make([]byte, klen)
+	e.keyScratch = pool.ReadKeyInto(e.keyScratch, off, klen)
 	tLookup := e.sink.Now()
-	e.dev.Read(pool.Base()+int(off)+kv.KeyOffset(), key)
+	keyHash := kv.HashKey(e.keyScratch)
 	e.sink.Charge(h, OpBGLookup, 0)
-	_, en, found := e.table.Lookup(kv.HashKey(key))
+	_, en, found := e.table.Lookup(keyHash)
 	e.observe(int(OpBGLookup), tLookup)
 	if !found {
 		return true // entry reclaimed: version unreachable

@@ -142,6 +142,13 @@ type Engine struct {
 	bgCursor [2]int
 	stopped  bool
 	stats    Stats
+
+	// Scratch buffers for the hot GET/BGStep paths (guarded by mu). They
+	// never outlive a yield point: each is consumed (CRC, hash) before the
+	// next Charge, so cooperative interleavings cannot clobber live data.
+	keyScratch []byte
+	valScratch []byte
+	bgRun      []uint64 // verified-offset run reused across BGBatch calls
 }
 
 func newEngine(dev nvm.Device, cfg Config, deps Deps, l kv.Layout, shard int, reg *obs.Registry) *Engine {
@@ -417,8 +424,8 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 			// Not yet durable: verify and persist on demand.
 			tCRC := e.sink.Now()
 			e.sink.Charge(h, OpCRC, hd.VLen)
-			val := pool.ReadValue(off, hd.KLen, hd.VLen)
-			match := crc.Checksum(val) == hd.CRC
+			e.valScratch = pool.ReadValueInto(e.valScratch, off, hd.KLen, hd.VLen)
+			match := crc.Checksum(e.valScratch) == hd.CRC
 			e.observe(int(OpCRC), tCRC)
 			if match {
 				tFlush := e.sink.Now()

@@ -167,6 +167,7 @@ func (s *Store) registerMetrics() {
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("skipped"), func(st Stats) int { return st.BGSkipped })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("stale"), func(st Stats) int { return st.BGStale })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("invalidated"), func(st Stats) int { return st.BGInvalidated })
+		counter("efactory_bg_batched_runs_total", "Multi-object coalesced flush runs issued by batched background persistence.", lbl, func(st Stats) int { return st.BGBatched })
 		counter("efactory_cleanings_total", "Completed log-cleaning runs.", lbl, func(st Stats) int { return st.Cleanings })
 		counter("efactory_clean_objects_total", "Cleaner per-object outcomes.", outLbl("moved"), func(st Stats) int { return st.CleanMoved })
 		counter("efactory_clean_objects_total", "Cleaner per-object outcomes.", outLbl("dropped"), func(st Stats) int { return st.CleanDropped })

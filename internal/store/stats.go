@@ -15,6 +15,7 @@ type Stats struct {
 	BGSkipped      int // objects the background thread skipped (already durable)
 	BGStale        int // superseded versions the background thread skipped
 	BGInvalidated  int // versions invalidated in the background after VerifyTimeout
+	BGBatched      int // multi-object coalesced flush runs issued by BGBatch
 	Cleanings      int // completed log-cleaning runs
 	CleanMoved     int // objects migrated during cleaning
 	CleanDropped   int // stale/invalid versions reclaimed
@@ -37,6 +38,7 @@ func (s *Stats) Add(o Stats) {
 	s.BGSkipped += o.BGSkipped
 	s.BGStale += o.BGStale
 	s.BGInvalidated += o.BGInvalidated
+	s.BGBatched += o.BGBatched
 	s.Cleanings += o.Cleanings
 	s.CleanMoved += o.CleanMoved
 	s.CleanDropped += o.CleanDropped

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"syscall"
 	"time"
@@ -22,6 +23,10 @@ var ErrNotFound = errors.New("tcpkv: key not found")
 
 // ErrServerFull is returned by Put when the pool is exhausted.
 var ErrServerFull = errors.New("tcpkv: server pool full")
+
+// DefaultPipelineDepth bounds how many RPCs a client keeps in flight on
+// its pipelined channel unless SetPipelineDepth says otherwise.
+const DefaultPipelineDepth = 16
 
 // RetryPolicy governs how the client reacts to transient transport
 // failures (connection resets, timeouts, truncated response frames): each
@@ -48,14 +53,27 @@ func DefaultRetryPolicy() RetryPolicy {
 }
 
 // Client is a TCP-mode eFactory client implementing the client-active
-// write scheme and the hybrid read scheme over two connections: an RPC
-// channel and a one-sided channel.
+// write scheme and the hybrid read scheme over two connections: a
+// pipelined RPC channel that carries many requests in flight at once
+// (sequence-tagged frames, demultiplexed by a reader goroutine) and a
+// lock-step one-sided channel. Methods are safe for concurrent use;
+// concurrent RPCs share the pipelined connection instead of queueing
+// behind each other.
 type Client struct {
-	mu      sync.Mutex // operations are serialized per client, like a QP
-	addr    string
-	retry   RetryPolicy // zero value: single attempt, no deadlines
-	rpcConn net.Conn
-	osConn  net.Conn
+	addr string
+
+	// mu guards connection state, the retry policy, and the counters —
+	// not op I/O, which proceeds concurrently on the pipe.
+	mu        sync.Mutex
+	retry     RetryPolicy // zero value: single attempt, no deadlines
+	pipeDepth int
+	gen       uint64 // bumped per reconnect; concurrent retriers share one redial
+	pipe      *pipe
+	osConn    net.Conn
+
+	// osMu serializes the one-sided channel: its frames are lock-step
+	// request/response (or a batched burst of them).
+	osMu sync.Mutex
 
 	tableRKey    uint32 // shard 0's table rkey; shard s adds rkeysPerShard*s
 	poolRKeyBase uint32 // shard 0's pools; shard s pool i is poolRKeyBase + rkeysPerShard*s + i
@@ -63,10 +81,12 @@ type Client struct {
 	shards       int
 
 	// Hybrid disabled => every GET is an RPC (for comparison runs).
+	// Configure before issuing concurrent ops.
 	hybrid bool
 
 	// PureReads / FallbackReads / RPCReads mirror the simulation client's
-	// path counters.
+	// path counters. Guarded by mu while ops are in flight; read them
+	// quiesced.
 	PureReads     int
 	FallbackReads int
 	RPCReads      int
@@ -76,37 +96,229 @@ type Client struct {
 	Reconnects int
 }
 
-// dialConns opens the RPC and one-sided channels to addr.
-func dialConns(addr string) (rpcConn, osConn net.Conn, err error) {
-	rpcConn, err = net.Dial("tcp", addr)
-	if err != nil {
-		return nil, nil, err
+// pipe is one pipelined RPC connection: a writer goroutine serializes
+// sequence-tagged request frames onto the socket, and a reader goroutine
+// demultiplexes responses back to the callers waiting on them by sequence
+// number, so the connection carries up to depth RPCs in flight at once.
+type pipe struct {
+	conn    net.Conn
+	timeout func() time.Duration // per-call bound, read at call time
+
+	wq   chan pipeFrame
+	done chan struct{}
+	sem  chan struct{} // bounds in-flight calls to the pipeline depth
+
+	mu      sync.Mutex
+	pending map[uint32]chan pipeResult
+	seq     uint32
+	err     error
+}
+
+type pipeFrame struct {
+	seq     uint32
+	payload []byte
+}
+
+type pipeResult struct {
+	payload []byte
+	err     error
+}
+
+func newPipe(conn net.Conn, depth int, timeout func() time.Duration) *pipe {
+	if depth < 1 {
+		depth = 1
 	}
-	if _, err := rpcConn.Write([]byte{chanRPC}); err != nil {
-		rpcConn.Close()
-		return nil, nil, err
+	p := &pipe{
+		conn:    conn,
+		timeout: timeout,
+		wq:      make(chan pipeFrame, depth),
+		done:    make(chan struct{}),
+		sem:     make(chan struct{}, depth),
+		pending: make(map[uint32]chan pipeResult),
 	}
-	osConn, err = net.Dial("tcp", addr)
+	go p.writer()
+	go p.reader()
+	return p
+}
+
+// writer owns the socket's write side. Frames are [len][seq][msg] with the
+// length prefix covering the 4-byte sequence tag. Each write is bounded by
+// the policy timeout, and the deadline is cleared after every frame —
+// nothing further is owed on the write side until the next request, and a
+// stale deadline would poison an idle connection.
+func (p *pipe) writer() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case f := <-p.wq:
+			buf := make([]byte, 8+len(f.payload))
+			binary.BigEndian.PutUint32(buf, uint32(4+len(f.payload)))
+			binary.BigEndian.PutUint32(buf[4:], f.seq)
+			copy(buf[8:], f.payload)
+			if d := p.timeout(); d > 0 {
+				p.conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			_, err := p.conn.Write(buf)
+			if err == nil {
+				err = p.conn.SetWriteDeadline(time.Time{})
+			}
+			if err != nil {
+				p.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// reader demultiplexes responses to waiting callers. It reads with no
+// deadline: an idle pipelined connection must be able to sit quietly
+// between bursts without spuriously timing out. Timeliness is enforced
+// per call in call(), where a caller that stops waiting kills the pipe.
+func (p *pipe) reader() {
+	for {
+		raw, err := readFrame(p.conn)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		if len(raw) < 4 {
+			p.fail(errors.New("tcpkv: short pipelined frame"))
+			return
+		}
+		seq := binary.BigEndian.Uint32(raw)
+		p.mu.Lock()
+		ch := p.pending[seq]
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- pipeResult{payload: raw[4:]}
+		}
+	}
+}
+
+// fail marks the pipe dead exactly once: the socket closes (unblocking the
+// reader and writer), every pending caller gets err, and future calls fail
+// fast.
+func (p *pipe) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return
+	}
+	p.err = err
+	close(p.done)
+	p.conn.Close()
+	for seq, ch := range p.pending {
+		delete(p.pending, seq)
+		ch <- pipeResult{err: err}
+	}
+}
+
+func (p *pipe) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *pipe) forget(seq uint32) {
+	p.mu.Lock()
+	delete(p.pending, seq)
+	p.mu.Unlock()
+}
+
+// call issues one RPC and waits for its response. The sequence number is
+// the call's identity on the shared connection: an op retried after a
+// failure re-enters a fresh pipe under a fresh sequence, so acknowledged
+// sequences are never replayed.
+func (p *pipe) call(payload []byte) ([]byte, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.done:
+		return nil, p.failure()
+	}
+	defer func() { <-p.sem }()
+
+	ch := make(chan pipeResult, 1)
+	p.mu.Lock()
+	if p.err != nil {
+		p.mu.Unlock()
+		return nil, p.err
+	}
+	p.seq++
+	seq := p.seq
+	p.pending[seq] = ch
+	p.mu.Unlock()
+
+	select {
+	case p.wq <- pipeFrame{seq: seq, payload: payload}:
+	case <-p.done:
+		p.forget(seq)
+		return nil, p.failure()
+	}
+
+	var expired <-chan time.Time
+	if d := p.timeout(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case r := <-ch:
+		return r.payload, r.err
+	case <-expired:
+		// This sequence has no waiter anymore; the connection can no
+		// longer be trusted to stay in sync, so fail everything over
+		// together and let the retry path redial.
+		p.forget(seq)
+		p.fail(os.ErrDeadlineExceeded)
+		return nil, os.ErrDeadlineExceeded
+	}
+}
+
+// dialLocked (re)establishes both channels. Callers hold c.mu.
+func (c *Client) dialLocked() error {
+	rpcConn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if _, err := rpcConn.Write([]byte{chanRPCPipe}); err != nil {
+		rpcConn.Close()
+		return err
+	}
+	osConn, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		rpcConn.Close()
-		return nil, nil, err
+		return err
 	}
 	if _, err := osConn.Write([]byte{chanOneSided}); err != nil {
 		rpcConn.Close()
 		osConn.Close()
-		return nil, nil, err
+		return err
 	}
-	return rpcConn, osConn, nil
+	c.pipe = newPipe(rpcConn, c.pipeDepth, c.callTimeout)
+	c.osConn = osConn
+	return nil
+}
+
+// callTimeout reads the current per-attempt timeout; the pipe consults it
+// at call time so SetRetryPolicy applies to live connections.
+func (c *Client) callTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry.Timeout
 }
 
 // Dial connects to a tcpkv server and performs the geometry handshake.
 // The returned client performs no retries; see SetRetryPolicy.
 func Dial(addr string) (*Client, error) {
-	rpcConn, osConn, err := dialConns(addr)
+	c := &Client{addr: addr, hybrid: true, pipeDepth: DefaultPipelineDepth}
+	c.mu.Lock()
+	err := c.dialLocked()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{addr: addr, rpcConn: rpcConn, osConn: osConn, hybrid: true}
 	resp, err := c.rpc(wire.Msg{Type: wire.THello})
 	if err != nil {
 		c.Close()
@@ -135,12 +347,10 @@ func (c *Client) shardRKeysFor(keyHash uint64) (table, poolBase uint32) {
 
 // Close tears both connections down.
 func (c *Client) Close() error {
-	err1 := c.rpcConn.Close()
-	err2 := c.osConn.Close()
-	if err1 != nil {
-		return err1
-	}
-	return err2
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pipe.fail(net.ErrClosed)
+	return c.osConn.Close()
 }
 
 // SetHybridRead toggles the hybrid read scheme.
@@ -155,19 +365,45 @@ func (c *Client) SetRetryPolicy(rp RetryPolicy) {
 	c.retry = rp
 }
 
-// reconnect replaces both connections with fresh ones. Geometry is not
-// re-fetched: it is a property of the server's device layout, which a
-// reconnect cannot change. Callers hold c.mu.
-func (c *Client) reconnect() error {
-	c.rpcConn.Close()
+// SetPipelineDepth bounds how many RPCs the client keeps in flight on the
+// pipelined channel (default DefaultPipelineDepth). The connection is
+// re-established to apply the new depth, so call it quiesced: RPCs in
+// flight on the old connection are failed.
+func (c *Client) SetPipelineDepth(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pipeDepth = n
+	c.pipe.fail(net.ErrClosed)
 	c.osConn.Close()
-	rpcConn, osConn, err := dialConns(c.addr)
-	if err != nil {
+	if err := c.dialLocked(); err != nil {
 		return err
 	}
-	c.rpcConn, c.osConn = rpcConn, osConn
-	c.Reconnects++
+	c.gen++
 	return nil
+}
+
+// reconnect replaces both channels with fresh ones — unless another caller
+// already did: concurrent ops that observed a failure on the same
+// connection generation share a single redial instead of dialing over each
+// other. Geometry is not re-fetched: it is a property of the server's
+// device layout, which a reconnect cannot change.
+func (c *Client) reconnect(genSeen uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != genSeen {
+		return c.gen, nil // another op's retry already reconnected
+	}
+	c.pipe.fail(net.ErrClosed)
+	c.osConn.Close()
+	if err := c.dialLocked(); err != nil {
+		return c.gen, err
+	}
+	c.gen++
+	c.Reconnects++
+	return c.gen, nil
 }
 
 // transient reports whether err is a transport failure worth retrying on
@@ -189,31 +425,46 @@ func transient(err error) bool {
 		errors.As(err, &ne)
 }
 
-// retrying runs do under the client's RetryPolicy: on a transient error
-// it backs off (exponentially, capped), reconnects, and tries again.
-// Callers hold c.mu.
+// retrying runs do under the client's RetryPolicy: on a transient error it
+// backs off (exponentially, capped), reconnects, and tries again. Each
+// caller replays only its own op — sequences already acknowledged on the
+// shared pipelined connection are never resent.
 func (c *Client) retrying(do func() error) error {
-	attempts := c.retry.Attempts
+	c.mu.Lock()
+	rp := c.retry
+	c.mu.Unlock()
+	attempts := rp.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := c.retry.Backoff
-	var err error
+	backoff := rp.Backoff
+	var (
+		gen uint64
+		err error
+	)
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			c.mu.Lock()
 			c.Retries++
+			c.mu.Unlock()
 			if backoff > 0 {
 				time.Sleep(backoff)
 				backoff *= 2
-				if c.retry.MaxBackoff > 0 && backoff > c.retry.MaxBackoff {
-					backoff = c.retry.MaxBackoff
+				if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
+					backoff = rp.MaxBackoff
 				}
 			}
-			if rerr := c.reconnect(); rerr != nil {
+			var rerr error
+			if gen, rerr = c.reconnect(gen); rerr != nil {
 				err = rerr
 				continue
 			}
 		}
+		// The generation this attempt runs against: a failure redials only
+		// if nobody else has since this point.
+		c.mu.Lock()
+		gen = c.gen
+		c.mu.Unlock()
 		err = do()
 		if !transient(err) {
 			return err
@@ -222,75 +473,116 @@ func (c *Client) retrying(do func() error) error {
 	return err
 }
 
-// armDeadline bounds the next I/O on conn by the policy's per-attempt
-// timeout.
-func (c *Client) armDeadline(conn net.Conn) {
-	if c.retry.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.retry.Timeout))
-	}
-}
-
-// rpc performs one request/response on the RPC channel.
+// rpc performs one request/response over the pipelined channel. Concurrent
+// callers share the connection; responses demultiplex by sequence number.
 func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
-	c.armDeadline(c.rpcConn)
-	if err := writeFrame(c.rpcConn, req.Encode()); err != nil {
-		return wire.Msg{}, err
-	}
-	raw, err := readFrame(c.rpcConn)
+	c.mu.Lock()
+	p := c.pipe
+	c.mu.Unlock()
+	raw, err := p.call(req.Encode())
 	if err != nil {
 		return wire.Msg{}, err
 	}
 	return wire.Decode(raw)
 }
 
-// read performs a one-sided READ of length bytes at (rkey, off).
-func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
-	c.armDeadline(c.osConn)
+// osExchange writes the given one-sided frames back-to-back and then reads
+// one response frame per request — the one-sided channel's doorbell batch.
+// The policy deadline covers the whole exchange and is cleared on success
+// so an idle connection never trips over a stale deadline later.
+func (c *Client) osExchange(frames [][]byte) ([][]byte, error) {
+	c.mu.Lock()
+	conn := c.osConn
+	d := c.retry.Timeout
+	c.mu.Unlock()
+	c.osMu.Lock()
+	defer c.osMu.Unlock()
+	if d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+	}
+	for _, f := range frames {
+		if err := writeFrame(conn, f); err != nil {
+			return nil, err
+		}
+	}
+	resps := make([][]byte, len(frames))
+	for i := range resps {
+		r, err := readFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		resps[i] = r
+	}
+	if d > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	return resps, nil
+}
+
+// osReadFrame encodes a one-sided READ of length bytes at (rkey, off).
+func osReadFrame(rkey uint32, off uint64, length int) []byte {
 	frame := make([]byte, 17)
 	frame[0] = opRead
 	binary.BigEndian.PutUint32(frame[1:], rkey)
 	binary.BigEndian.PutUint64(frame[5:], off)
 	binary.BigEndian.PutUint32(frame[13:], uint32(length))
-	if err := writeFrame(c.osConn, frame); err != nil {
-		return nil, err
-	}
-	resp, err := readFrame(c.osConn)
-	if err != nil {
-		return nil, err
-	}
-	if len(resp) < 1 || resp[0] != 1 {
-		return nil, errors.New("tcpkv: one-sided read NAK")
-	}
-	return resp[1:], nil
+	return frame
 }
 
-// write performs a one-sided WRITE of data at (rkey, off).
-func (c *Client) write(rkey uint32, off uint64, data []byte) error {
-	c.armDeadline(c.osConn)
+// osWriteFrame encodes a one-sided WRITE of data at (rkey, off).
+func osWriteFrame(rkey uint32, off uint64, data []byte) []byte {
 	frame := make([]byte, 17+len(data))
 	frame[0] = opWrite
 	binary.BigEndian.PutUint32(frame[1:], rkey)
 	binary.BigEndian.PutUint64(frame[5:], off)
 	binary.BigEndian.PutUint32(frame[13:], uint32(len(data)))
 	copy(frame[17:], data)
-	if err := writeFrame(c.osConn, frame); err != nil {
-		return err
+	return frame
+}
+
+// read performs a one-sided READ of length bytes at (rkey, off).
+func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
+	resps, err := c.osExchange([][]byte{osReadFrame(rkey, off, length)})
+	if err != nil {
+		return nil, err
 	}
-	resp, err := readFrame(c.osConn)
+	if len(resps[0]) < 1 || resps[0][0] != 1 {
+		return nil, errors.New("tcpkv: one-sided read NAK")
+	}
+	return resps[0][1:], nil
+}
+
+// write performs a one-sided WRITE of data at (rkey, off).
+func (c *Client) write(rkey uint32, off uint64, data []byte) error {
+	return c.writeBatch([][]byte{osWriteFrame(rkey, off, data)})
+}
+
+// writeBatch posts every WRITE frame before waiting on any completion.
+func (c *Client) writeBatch(frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	resps, err := c.osExchange(frames)
 	if err != nil {
 		return err
 	}
-	if len(resp) < 1 || resp[0] != 1 {
-		return errors.New("tcpkv: one-sided write NAK")
+	for _, r := range resps {
+		if len(r) < 1 || r[0] != 1 {
+			return errors.New("tcpkv: one-sided write NAK")
+		}
 	}
 	return nil
+}
+
+func (c *Client) bump(field *int) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
 }
 
 // Put stores value under key: checksum, allocation RPC, one-sided value
 // write — no durability round trip (asynchronous durability).
 func (c *Client) Put(key, value []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	sum := crc.Checksum(value)
 	return c.retrying(func() error {
 		// A retried attempt redoes the allocation RPC: the previous
@@ -311,10 +603,70 @@ func (c *Client) Put(key, value []byte) error {
 	})
 }
 
+// PutBatch stores len(keys) key/value pairs with one multi-op allocation
+// RPC and one burst of one-sided value writes, every frame posted before
+// the first completion is awaited — the TCP analogue of a doorbell-batched
+// WRITE chain. Completion semantics match Put: durability stays
+// asynchronous, handled by the background verifier. The returned slice has
+// one entry per op, in order: nil, ErrServerFull, or a transport error
+// shared by every op the failure reached.
+func (c *Client) PutBatch(keys, values [][]byte) []error {
+	if len(keys) != len(values) {
+		panic("tcpkv: PutBatch keys/values length mismatch")
+	}
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return errs
+	}
+	ops := make([]wire.PutOp, len(keys))
+	for i := range keys {
+		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
+	}
+	req := wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops)}
+	err := c.retrying(func() error {
+		for i := range errs {
+			errs[i] = nil // a retried attempt regrants every slot
+		}
+		resp, err := c.rpc(req)
+		if err != nil {
+			return err
+		}
+		if resp.Status != wire.StOK {
+			return fmt.Errorf("tcpkv: put batch status %d", resp.Status)
+		}
+		grants, err := wire.DecodePutGrants(resp.Value)
+		if err != nil {
+			return fmt.Errorf("tcpkv: malformed put batch response: %w", err)
+		}
+		if len(grants) != len(keys) {
+			return fmt.Errorf("tcpkv: put batch returned %d grants for %d ops", len(grants), len(keys))
+		}
+		frames := make([][]byte, 0, len(keys))
+		for i, g := range grants {
+			switch g.Status {
+			case wire.StOK:
+				off := g.Off + uint64(kv.ValueOffset(len(keys[i])))
+				frames = append(frames, osWriteFrame(g.RKey, off, values[i]))
+			case wire.StFull:
+				errs[i] = ErrServerFull
+			default:
+				errs[i] = fmt.Errorf("tcpkv: put status %d", g.Status)
+			}
+		}
+		return c.writeBatch(frames)
+	})
+	if err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return errs
+}
+
 // Get fetches key's value with the hybrid read scheme.
 func (c *Client) Get(key []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []byte
 	err := c.retrying(func() error {
 		if c.hybrid {
@@ -323,13 +675,13 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 				return err
 			}
 			if ok {
-				c.PureReads++
+				c.bump(&c.PureReads)
 				out = val
 				return nil
 			}
-			c.FallbackReads++
+			c.bump(&c.FallbackReads)
 		} else {
-			c.RPCReads++
+			c.bump(&c.RPCReads)
 		}
 		val, err := c.rpcRead(key)
 		if err != nil {
@@ -417,8 +769,6 @@ func (c *Client) rpcRead(key []byte) ([]byte, error) {
 
 // ServerStats fetches the server's counters.
 func (c *Client) ServerStats() (Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	resp, err := c.rpc(wire.Msg{Type: wire.TStats})
 	if err != nil {
 		return Stats{}, err
@@ -437,8 +787,6 @@ func (c *Client) ServerStats() (Stats, error) {
 // Pre-sharding servers answer the unknown type with an error status, which
 // surfaces as a normal error here.
 func (c *Client) ShardStats() ([]Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	resp, err := c.rpc(wire.Msg{Type: wire.TShardStats})
 	if err != nil {
 		return nil, err
@@ -457,8 +805,6 @@ func (c *Client) ShardStats() ([]Stats, error) {
 // latency histograms, gauges, counters). Servers predating the TMetrics
 // type answer with an error status, which surfaces as a normal error.
 func (c *Client) Metrics() (obs.Snapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	resp, err := c.rpc(wire.Msg{Type: wire.TMetrics})
 	if err != nil {
 		return obs.Snapshot{}, err
@@ -475,8 +821,6 @@ func (c *Client) Metrics() (obs.Snapshot, error) {
 
 // Delete removes key.
 func (c *Client) Delete(key []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	unknown := false // a failed attempt may have applied server-side
 	return c.retrying(func() error {
 		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})

@@ -64,7 +64,16 @@ import (
 const (
 	chanRPC      = 0x01
 	chanOneSided = 0x02
+	// chanRPCPipe is the pipelined RPC channel: every frame carries a
+	// 4-byte sequence tag ahead of the wire message, and responses may
+	// return out of order, so one connection can hold many RPCs in flight.
+	chanRPCPipe = 0x03
 )
+
+// DefaultPipelineWorkers bounds how many of one pipelined connection's
+// requests the server processes concurrently when Config.PipelineWorkers
+// is zero.
+const DefaultPipelineWorkers = 4
 
 // One-sided opcodes.
 const (
@@ -98,6 +107,16 @@ type Config struct {
 	// CleanThreshold triggers log cleaning when the working pool's free
 	// fraction drops below it. Zero disables automatic cleaning.
 	CleanThreshold float64
+	// BGBatch caps how many contiguous objects each shard's background
+	// verifier may coalesce into one group-verified, group-flushed run
+	// (store.Engine.BGBatch); the effective size adapts to the shard's
+	// durability lag, up to this cap. 0 or 1 keeps the classic
+	// one-object-per-step BGStep path.
+	BGBatch int
+	// PipelineWorkers bounds how many of one pipelined connection's
+	// requests the server processes concurrently. 0 means
+	// DefaultPipelineWorkers.
+	PipelineWorkers int
 	// FaultPlan, when non-nil, wires the crash-point injection subsystem
 	// (internal/fault): the device and the engines' cost sink are wrapped
 	// so every cost charge and every flush/drain counts a boundary, and
@@ -304,6 +323,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	switch kind[0] {
 	case chanRPC:
 		s.serveRPC(conn)
+	case chanRPCPipe:
+		s.servePipelined(conn)
 	case chanOneSided:
 		s.serveOneSided(conn)
 	}
@@ -367,6 +388,70 @@ func (s *Server) serveRPC(conn net.Conn) {
 		if err := writeFrame(conn, resp.Encode()); err != nil {
 			return
 		}
+	}
+}
+
+// servePipelined is the sequence-tagged RPC channel: one connection
+// carries many requests in flight at once. Each frame's payload is a
+// 4-byte big-endian sequence number followed by the wire message; the
+// response echoes the sequence so the client can demultiplex completions
+// that return out of order. Requests are handled by a bounded worker pool
+// (Config.PipelineWorkers) and responses are written under a per-connection
+// mutex so frames never interleave.
+func (s *Server) servePipelined(conn net.Conn) {
+	workers := s.cfg.PipelineWorkers
+	if workers <= 0 {
+		workers = DefaultPipelineWorkers
+	}
+	sem := make(chan struct{}, workers)
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	defer wg.Wait() // workers finish before serveConn closes the socket
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(raw) < 4 {
+			return
+		}
+		seq := binary.BigEndian.Uint32(raw)
+		m, err := wire.Decode(raw[4:])
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := s.handle(m)
+			if s.Cleaning() {
+				resp.Note |= wire.NoteCleaning
+			}
+			payload := resp.Encode()
+			buf := make([]byte, 8+len(payload))
+			binary.BigEndian.PutUint32(buf, uint32(4+len(payload)))
+			binary.BigEndian.PutUint32(buf[4:], seq)
+			copy(buf[8:], payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if drop, partial := s.cfg.NetFaults.NextFrame(); drop {
+				// The op was applied; only its response is lost. Cut the
+				// connection so the client fails everything in flight over
+				// to a fresh one.
+				if partial {
+					conn.Write(buf[:4+(4+len(payload)+1)/2])
+				}
+				conn.Close()
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+			}
+		}()
 	}
 }
 
@@ -451,6 +536,8 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 		}
 	case wire.TPut:
 		return s.handlePut(m)
+	case wire.TPutBatch:
+		return s.handlePutBatch(m)
 	case wire.TGet:
 		return s.handleGet(m)
 	case wire.TDel:
@@ -495,6 +582,34 @@ func (s *Server) handlePut(m wire.Msg) wire.Msg {
 	}
 }
 
+// handlePutBatch allocates every op in a multi-op PUT with one received
+// message and one response: the recv/dispatch/send overhead is paid once
+// per batch instead of once per object. Ops route to their owning shards
+// individually, so a batch may span shards.
+func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
+	ops, err := wire.DecodePutOps(m.Value)
+	if err != nil {
+		return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError}
+	}
+	grants := make([]wire.PutGrant, len(ops))
+	for i, op := range ops {
+		sh, eng := s.shardFor(op.Key)
+		res := eng.Put(nil, op.Key, op.VLen, op.Crc)
+		if res.Status != store.StatusOK {
+			grants[i] = wire.PutGrant{Status: wire.StFull}
+			continue
+		}
+		_, poolBase := shardRKeys(sh)
+		grants[i] = wire.PutGrant{
+			Status: wire.StOK,
+			RKey:   poolBase + uint32(res.Pool),
+			Off:    res.Off,
+			Len:    uint32(res.Len),
+		}
+	}
+	return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StOK, Value: wire.EncodePutGrants(grants)}
+}
+
 func (s *Server) handleGet(m wire.Msg) wire.Msg {
 	sh, eng := s.shardFor(m.Key)
 	res := eng.Get(nil, m.Key)
@@ -518,8 +633,10 @@ func (s *Server) handleDel(m wire.Msg) wire.Msg {
 
 // background drives one shard's verification-and-persisting thread
 // (§4.3.2) in real time: scan the logs, verify CRCs, flush, set
-// durability flags. Each BGStep takes the engine lock for one object so
-// request handling interleaves.
+// durability flags. With BGBatch <= 1 each BGStep takes the engine lock
+// for one object so request handling interleaves; with BGBatch > 1 the
+// verifier group-verifies and group-flushes a durability-lag-sized run of
+// objects per lock acquisition.
 func (s *Server) background(eng *store.Engine) {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.BGInterval)
@@ -534,8 +651,14 @@ func (s *Server) background(eng *store.Engine) {
 		for progressed {
 			progressed = false
 			for pi := 0; pi < 2; pi++ {
-				for eng.BGStep(nil, pi) {
-					progressed = true
+				if s.cfg.BGBatch > 1 {
+					for eng.BGBatch(nil, pi, eng.AdaptiveBGBatch(s.cfg.BGBatch)) > 0 {
+						progressed = true
+					}
+				} else {
+					for eng.BGStep(nil, pi) {
+						progressed = true
+					}
 				}
 			}
 		}

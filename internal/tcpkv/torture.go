@@ -26,8 +26,6 @@ const tcpVerifyTimeout = 25 * time.Millisecond
 // torture workload's torn PUT, a client that died mid-write. Same-package
 // so the harness can reach below the public Put API.
 func (c *Client) allocOnly(key, value []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: crc.Checksum(value), Len: uint64(len(value)), Key: key})
 	if err != nil {
 		return err
@@ -72,6 +70,7 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 		PoolSize:      tc.PoolSize,
 		Shards:        tc.Shards,
 		VerifyTimeout: tc.VerifyTimeout,
+		BGBatch:       tc.BGBatch,
 		// Cleaning is driven explicitly by the workload (CleanEvery), not
 		// by occupancy, so every run sweeps the same op schedule.
 		CleanThreshold: 0,

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPutOpsRoundTrip(t *testing.T) {
+	ops := []PutOp{
+		{Crc: 0xdeadbeef, VLen: 256, Key: []byte("alpha")},
+		{Crc: 1, VLen: 0, Key: []byte("")},
+		{Crc: 0xffffffff, VLen: 1 << 20, Key: bytes.Repeat([]byte{'k'}, 300)},
+	}
+	got, err := DecodePutOps(EncodePutOps(ops))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		g := got[i]
+		if g.Crc != op.Crc || g.VLen != op.VLen || !bytes.Equal(g.Key, op.Key) {
+			t.Errorf("op %d: got %+v, want %+v", i, g, op)
+		}
+	}
+}
+
+func TestPutOpsEmptyBatch(t *testing.T) {
+	got, err := DecodePutOps(EncodePutOps(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d ops from an empty batch", len(got))
+	}
+}
+
+func TestPutOpsTruncated(t *testing.T) {
+	blob := EncodePutOps([]PutOp{{Crc: 7, VLen: 48, Key: []byte("victim")}})
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodePutOps(blob[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+}
+
+func TestPutGrantsRoundTrip(t *testing.T) {
+	gs := []PutGrant{
+		{Status: StOK, RKey: 4, Off: 1 << 40, Len: 320},
+		{Status: StFull},
+		{Status: StOK, RKey: 0xffffffff, Off: 0, Len: 0xffffffff},
+	}
+	got, err := DecodePutGrants(EncodePutGrants(gs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(gs) {
+		t.Fatalf("decoded %d grants, want %d", len(got), len(gs))
+	}
+	for i := range gs {
+		if got[i] != gs[i] {
+			t.Errorf("grant %d: got %+v, want %+v", i, got[i], gs[i])
+		}
+	}
+}
+
+func TestPutGrantsTruncated(t *testing.T) {
+	blob := EncodePutGrants([]PutGrant{{Status: StOK, RKey: 1, Off: 2, Len: 3}})
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodePutGrants(blob[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+}

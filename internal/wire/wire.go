@@ -72,6 +72,13 @@ const (
 	TMetrics
 	// TMetricsResp answers TMetrics.
 	TMetricsResp
+	// TPutBatch asks the server to allocate log regions for several values
+	// in one round trip (the doorbell-batched PUT). Value carries the ops
+	// encoded by EncodePutOps; the other header fields are unused.
+	TPutBatch
+	// TPutBatchResp answers TPutBatch: Value carries one PutGrant per op
+	// (EncodePutGrants), in request order.
+	TPutBatchResp
 )
 
 // Status codes.
@@ -156,4 +163,105 @@ func Decode(b []byte) (Msg, error) {
 		m.Value = b[headerLen+klen:]
 	}
 	return m, nil
+}
+
+// PutOp is one operation of a TPutBatch request: the allocation request a
+// single TPut would carry in its header fields.
+type PutOp struct {
+	Crc  uint32
+	VLen int
+	Key  []byte
+}
+
+// PutGrant is one allocation result of a TPutBatchResp, in request order.
+// A non-OK Status leaves the other fields zero.
+type PutGrant struct {
+	Status uint8
+	RKey   uint32
+	Off    uint64
+	Len    uint32 // total object length
+}
+
+// EncodePutOps packs a TPutBatch payload (carried in Msg.Value).
+func EncodePutOps(ops []PutOp) []byte {
+	n := 4
+	for _, op := range ops {
+		n += 12 + len(op.Key)
+	}
+	b := make([]byte, n)
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(len(ops)))
+	p := 4
+	for _, op := range ops {
+		le.PutUint32(b[p:], op.Crc)
+		le.PutUint32(b[p+4:], uint32(op.VLen))
+		le.PutUint32(b[p+8:], uint32(len(op.Key)))
+		copy(b[p+12:], op.Key)
+		p += 12 + len(op.Key)
+	}
+	return b
+}
+
+// DecodePutOps unpacks a TPutBatch payload.
+func DecodePutOps(b []byte) ([]PutOp, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: batch header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	ops := make([]PutOp, 0, count)
+	p := 4
+	for i := 0; i < count; i++ {
+		if len(b) < p+12 {
+			return nil, fmt.Errorf("%w: batch op %d", ErrShort, i)
+		}
+		crc := le.Uint32(b[p:])
+		vlen := int(le.Uint32(b[p+4:]))
+		klen := int(le.Uint32(b[p+8:]))
+		if klen < 0 || vlen < 0 || len(b) < p+12+klen {
+			return nil, fmt.Errorf("%w: batch op %d key", ErrShort, i)
+		}
+		ops = append(ops, PutOp{Crc: crc, VLen: vlen, Key: b[p+12 : p+12+klen : p+12+klen]})
+		p += 12 + klen
+	}
+	return ops, nil
+}
+
+// EncodePutGrants packs a TPutBatchResp payload (carried in Msg.Value).
+func EncodePutGrants(gs []PutGrant) []byte {
+	b := make([]byte, 4+17*len(gs))
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(len(gs)))
+	p := 4
+	for _, g := range gs {
+		b[p] = g.Status
+		le.PutUint32(b[p+1:], g.RKey)
+		le.PutUint64(b[p+5:], g.Off)
+		le.PutUint32(b[p+13:], g.Len)
+		p += 17
+	}
+	return b
+}
+
+// DecodePutGrants unpacks a TPutBatchResp payload.
+func DecodePutGrants(b []byte) ([]PutGrant, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: grant header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	if len(b) < 4+17*count {
+		return nil, fmt.Errorf("%w: %d grants in %d bytes", ErrShort, count, len(b))
+	}
+	gs := make([]PutGrant, count)
+	for i := range gs {
+		p := 4 + 17*i
+		gs[i] = PutGrant{
+			Status: b[p],
+			RKey:   le.Uint32(b[p+1:]),
+			Off:    le.Uint64(b[p+5:]),
+			Len:    le.Uint32(b[p+13:]),
+		}
+	}
+	return gs, nil
 }
