@@ -8,7 +8,7 @@
 //	efactory-cli [-addr host:7420] stats [-json]
 //	efactory-cli [-addr host:7420] metrics [-json]
 //	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0]
-//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-pipeline 0]
+//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0]
 //
 // metrics prints the server's per-op latency histograms (merged across
 // shards) and key gauges; -json dumps the raw telemetry snapshot. top
@@ -97,9 +97,11 @@ func main() {
 		n := fs.Int("n", 10000, "operations")
 		vlen := fs.Int("vlen", 256, "value size in bytes")
 		batch := fs.Int("batch", 1, "keys per multi-op PUT batch (1 = plain Put)")
+		getBatch := fs.Int("getbatch", 1, "keys per multi-GET batch (1 = plain Get)")
+		hintCache := fs.Bool("hint-cache", false, "read through the client-side location/durability hint cache")
 		pipeline := fs.Int("pipeline", 0, "RPC pipeline depth (0 = client default)")
 		fs.Parse(args[1:])
-		runBench(cl, *n, *vlen, *batch, *pipeline)
+		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *pipeline)
 	default:
 		usage()
 	}
@@ -250,7 +252,7 @@ func fmtNS(ns float64) string {
 	return time.Duration(ns).Round(10 * time.Nanosecond).String()
 }
 
-func runBench(cl *tcpkv.Client, n, vlen, batch, pipeline int) {
+func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pipeline int) {
 	if pipeline > 0 {
 		if err := cl.SetPipelineDepth(pipeline); err != nil {
 			fatal("bench: set pipeline depth: %v", err)
@@ -258,6 +260,12 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, pipeline int) {
 	}
 	if batch < 1 {
 		batch = 1
+	}
+	if getBatch < 1 {
+		getBatch = 1
+	}
+	if hintCache {
+		cl.EnableHintCache(0)
 	}
 	val := make([]byte, vlen)
 	for i := range val {
@@ -300,22 +308,46 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, pipeline int) {
 	}
 	putDur := time.Since(t0)
 	t0 = time.Now()
-	for i := 0; i < n; i++ {
-		key := fmt.Sprintf("bench-%d", i%1024)
-		s := time.Now()
-		if _, err := cl.Get([]byte(key)); err != nil {
-			fatal("bench get: %v", err)
+	if getBatch > 1 {
+		keys := make([][]byte, getBatch)
+		for i := 0; i < n; i += getBatch {
+			m := getBatch
+			if n-i < m {
+				m = n - i
+			}
+			for j := 0; j < m; j++ {
+				keys[j] = []byte(fmt.Sprintf("bench-%d", (i+j)%1024))
+			}
+			s := time.Now()
+			_, errs := cl.GetBatch(keys[:m])
+			for _, err := range errs {
+				if err != nil {
+					fatal("bench get batch: %v", err)
+				}
+			}
+			per := time.Since(s) / time.Duration(m)
+			for j := 0; j < m; j++ {
+				getLat.Record(per)
+			}
 		}
-		getLat.Record(time.Since(s))
+	} else {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("bench-%d", i%1024)
+			s := time.Now()
+			if _, err := cl.Get([]byte(key)); err != nil {
+				fatal("bench get: %v", err)
+			}
+			getLat.Record(time.Since(s))
+		}
 	}
 	getDur := time.Since(t0)
 	fmt.Printf("PUT: %d ops in %v (%.0f ops/s, p50/p99/p99.9 %v/%v/%v)\n",
 		n, putDur, float64(n)/putDur.Seconds(),
 		putLat.Median(), putLat.P99(), putLat.P999())
-	fmt.Printf("GET: %d ops in %v (%.0f ops/s, p50/p99/p99.9 %v/%v/%v, %d pure / %d fallback)\n",
+	fmt.Printf("GET: %d ops in %v (%.0f ops/s, p50/p99/p99.9 %v/%v/%v, %d pure / %d hinted / %d fallback)\n",
 		n, getDur, float64(n)/getDur.Seconds(),
 		getLat.Median(), getLat.P99(), getLat.P999(),
-		cl.PureReads, cl.FallbackReads)
+		cl.PureReads, cl.HintedReads, cl.FallbackReads)
 }
 
 func usage() {

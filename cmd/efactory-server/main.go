@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-metrics-addr :9420]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420]
 //
 // -bg-batch > 1 lets the background verifier group-verify and group-flush
 // up to that many contiguous objects per run; -pipeline-workers bounds the
-// concurrent in-flight RPCs served per pipelined client connection.
+// concurrent in-flight RPCs served per pipelined client connection;
+// -max-get-batch caps how many keys one multi-GET request may carry.
 //
 // With -metrics-addr set, the server also serves HTTP telemetry:
 // Prometheus text on /metrics, the full JSON snapshot on /debug/vars, the
@@ -36,6 +37,7 @@ func main() {
 	shards := flag.Int("shards", 1, "number of storage engine shards")
 	bgBatch := flag.Int("bg-batch", 1, "max objects group-verified and group-flushed per background run (1 = per-object)")
 	pipeWorkers := flag.Int("pipeline-workers", tcpkv.DefaultPipelineWorkers, "concurrent RPCs served per pipelined client connection")
+	maxGetBatch := flag.Int("max-get-batch", 0, "max keys per multi-GET request (0 = built-in default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (JSON), and /debug/pprof on this address; empty disables")
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 	cfg.Shards = *shards
 	cfg.BGBatch = *bgBatch
 	cfg.PipelineWorkers = *pipeWorkers
+	cfg.MaxGetBatch = *maxGetBatch
 
 	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
 	if err != nil {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	efactory-torture [-transport store|sim|tcp|all] [-seeds n] [-points k]
-//	                 [-ops n] [-keys n] [-survival f]
+//	                 [-ops n] [-keys n] [-survival f] [-get-batch]
 //
 // -points <= 0 sweeps every boundary (store and sim transports only; the
 // wall-clock tcp transport is capped). Exits 1 if any crash point leaves
@@ -29,6 +29,7 @@ func main() {
 	ops := flag.Int("ops", 60, "workload length per run")
 	keys := flag.Int("keys", 0, "hot keyset size (0 = harness default)")
 	survival := flag.Float64("survival", 0, "fraction of unflushed dirty lines surviving each crash (0 = strict power failure)")
+	getBatch := flag.Bool("get-batch", true, "also sweep a leg whose GETs go through batched multi-GET + hint cache")
 	flag.Parse()
 
 	spec := bench.TortureSpec{
@@ -36,6 +37,7 @@ func main() {
 		Ops:      *ops,
 		Keys:     *keys,
 		Survival: *survival,
+		GetBatch: *getBatch,
 	}
 	switch *transport {
 	case "all":

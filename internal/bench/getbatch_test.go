@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"efactory/internal/model"
+)
+
+// TestFigGetBatchShapes asserts the read-path experiment's qualitative
+// claims at QuickScale: multi-GET throughput grows monotonically with the
+// batch width, the hint cache beats the probe walk at every width, and
+// against a settled store the measured phase reads entirely through hints
+// with zero fallbacks.
+func TestFigGetBatchShapes(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+	rs := FigGetBatch(io.Discard, &par, sc)
+	if len(rs) != 2*len(GetBatchSizes) {
+		t.Fatalf("got %d results, want %d", len(rs), 2*len(GetBatchSizes))
+	}
+	noHint, hint := rs[:len(GetBatchSizes)], rs[len(GetBatchSizes):]
+	for _, half := range [][]Result{noHint, hint} {
+		for i := 1; i < len(half); i++ {
+			if half[i].Mops <= half[i-1].Mops {
+				t.Errorf("hint=%v batch %d: %.3f Mops not above batch %d's %.3f — batching must pay",
+					half[i].Hint, half[i].Batch, half[i].Mops, half[i-1].Batch, half[i-1].Mops)
+			}
+		}
+	}
+	for i := range noHint {
+		if hint[i].Mops <= noHint[i].Mops {
+			t.Errorf("batch %d: hinted %.3f Mops not above unhinted %.3f — the hint cache must pay",
+				hint[i].Batch, hint[i].Mops, noHint[i].Mops)
+		}
+	}
+}
+
+// TestRunGetBatchHintedSteadyState: against a fully durable, warmed
+// store, every measured hinted read must complete via its cached location
+// — a fallback would mean the hint path rejects valid hints.
+func TestRunGetBatchHintedSteadyState(t *testing.T) {
+	par := model.Default()
+	sc := QuickScale()
+	r, cs := RunGetBatch(&par, 4, true, 256, 100, sc, 9)
+	if r.Ops != 100 || r.Batch != 4 || !r.Hint {
+		t.Fatalf("ops=%d batch=%d hint=%v", r.Ops, r.Batch, r.Hint)
+	}
+	if cs.HintedReads != 100 || cs.PureReads != 100 {
+		t.Errorf("hinted=%d pure=%d, want both 100", cs.HintedReads, cs.PureReads)
+	}
+	if cs.FallbackReads != 0 {
+		t.Errorf("%d fallback reads in steady state, want 0", cs.FallbackReads)
+	}
+}
+
+// BenchmarkGetBatch runs the full read-path sweep once (-benchtime=1x in
+// CI): a smoke gate that batched multi-GET, the hint cache, and their
+// counters stay wired end to end.
+func BenchmarkGetBatch(b *testing.B) {
+	par := model.Default()
+	sc := QuickScale()
+	for i := 0; i < b.N; i++ {
+		rs := FigGetBatch(io.Discard, &par, sc)
+		if len(rs) != 2*len(GetBatchSizes) {
+			b.Fatalf("got %d results", len(rs))
+		}
+	}
+}

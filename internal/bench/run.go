@@ -53,12 +53,15 @@ type Result struct {
 	// batching experiments only.
 	Batch    int `json:",omitempty"`
 	Pipeline int `json:",omitempty"`
-	Elapsed  time.Duration
-	Mops     float64
-	Mean     time.Duration
-	Median   time.Duration
-	P99      time.Duration
-	P999     time.Duration
+	// Hint marks runs reading through the client-side location/durability
+	// hint cache. Set by the multi-GET experiment only.
+	Hint    bool `json:",omitempty"`
+	Elapsed time.Duration
+	Mops    float64
+	Mean    time.Duration
+	Median  time.Duration
+	P99     time.Duration
+	P999    time.Duration
 	// Hist is the full log-spaced latency histogram of the measured
 	// operations (virtual time), exported to BENCH_*.json.
 	Hist obs.HistSnapshot

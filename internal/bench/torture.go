@@ -29,6 +29,7 @@ type TortureSpec struct {
 	Keys       int // hot keyset size (0 = harness default)
 	BGBatch    int // background verification batch size (<= 1: per-object)
 	Survival   float64
+	GetBatch   bool // also sweep a leg whose GETs go through batched multi-GET + hint cache
 }
 
 // DefaultTortureSpec returns the sweep shape used by -fig torture: quick
@@ -41,6 +42,7 @@ func DefaultTortureSpec(quick bool) TortureSpec {
 			Seeds:      []uint64{1, 2},
 			Points:     25,
 			Ops:        40,
+			GetBatch:   true,
 		}
 	}
 	return TortureSpec{
@@ -48,6 +50,7 @@ func DefaultTortureSpec(quick bool) TortureSpec {
 		Seeds:      []uint64{1, 2, 3},
 		Points:     0, // every boundary (store, sim); tcp capped
 		Ops:        60,
+		GetBatch:   true,
 	}
 }
 
@@ -90,17 +93,31 @@ func Torture(w io.Writer, spec TortureSpec) int {
 			fmt.Fprintf(w, "(tcp: capping sweep at %d points per seed — wall-clock runs)\n", tcpPointsCap)
 			points = tcpPointsCap
 		}
-		sr, err := fault.Sweep(run, cfg, spec.Seeds, points)
-		if err != nil {
-			fmt.Fprintf(w, "%-8s harness error after %d runs: %v\n", tr, sr.Runs, err)
-			total++
-			continue
+		legs := []struct {
+			label string
+			cfg   fault.Config
+		}{{tr, cfg}}
+		if spec.GetBatch {
+			gb := cfg
+			gb.GetBatch = true
+			legs = append(legs, struct {
+				label string
+				cfg   fault.Config
+			}{tr + "+gb", gb})
 		}
-		fmt.Fprintf(w, "%-8s %8d %14v %12d\n", tr, sr.Runs, sr.Boundaries, len(sr.Violations))
-		for _, v := range sr.Violations {
-			fmt.Fprintf(w, "  VIOLATION [%s] %s\n", tr, v)
+		for _, leg := range legs {
+			sr, err := fault.Sweep(run, leg.cfg, spec.Seeds, points)
+			if err != nil {
+				fmt.Fprintf(w, "%-8s harness error after %d runs: %v\n", leg.label, sr.Runs, err)
+				total++
+				continue
+			}
+			fmt.Fprintf(w, "%-8s %8d %14v %12d\n", leg.label, sr.Runs, sr.Boundaries, len(sr.Violations))
+			for _, v := range sr.Violations {
+				fmt.Fprintf(w, "  VIOLATION [%s] %s\n", leg.label, v)
+			}
+			total += len(sr.Violations)
 		}
-		total += len(sr.Violations)
 	}
 	if total == 0 {
 		fmt.Fprintln(w, "all crash points recovered consistently")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"efactory/internal/crc"
+	"efactory/internal/hint"
 	"efactory/internal/kv"
 	"efactory/internal/model"
 	"efactory/internal/rnic"
@@ -28,7 +29,9 @@ type ClientStats struct {
 	Puts          int
 	Gets          int
 	BatchedPuts   int // PUTs carried by doorbell-batched PutBatch chains
+	BatchedGets   int // GETs carried by doorbell-batched GetBatch chains
 	PureReads     int // GETs satisfied entirely one-sidedly
+	HintedReads   int // pure reads whose probe walk was skipped by a hint hit
 	FallbackReads int // GETs that fell back to RPC after an undurable fetch
 	RPCReads      int // GETs that went straight to RPC (cleaning / no hybrid)
 	Notifications int // clean-start/end notifications processed
@@ -54,6 +57,7 @@ type Client struct {
 	buckets  int // per shard
 	hybrid   bool
 	cleaning bool
+	hints    *hint.Cache // nil unless EnableHintCache was called
 
 	Stats ClientStats
 }
@@ -137,6 +141,7 @@ func (c *Client) Put(p *sim.Proc, key, value []byte) error {
 	default:
 		return fmt.Errorf("efactory: put failed with status %d", resp.Status)
 	}
+	c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
 	valOff := int(resp.Off) + kv.ValueOffset(len(key))
 	return c.ep.Write(p, value, resp.RKey, valOff)
 }
@@ -186,6 +191,7 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 	for i, g := range grants {
 		switch g.Status {
 		case wire.StOK:
+			c.noteLocation(keys[i], g.RKey, g.Off, int(g.Len), len(keys[i]), 0, false)
 			reqs = append(reqs, rnic.WriteReq{
 				Src:  values[i],
 				RKey: g.RKey,
@@ -213,6 +219,21 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 	c.drainNotifications()
 	c.Stats.Gets++
 	if c.hybrid && !c.cleaning {
+		if c.hints != nil {
+			val, verdict, err := c.hintedRead(p, key)
+			if err != nil {
+				return nil, err
+			}
+			switch verdict {
+			case hrHit:
+				c.Stats.PureReads++
+				return val, nil
+			case hrFallback:
+				c.Stats.FallbackReads++
+				return c.rpcRead(p, key)
+			}
+			// hrMiss: no usable hint — run the probe walk below.
+		}
 		val, ok, err := c.pureRead(p, key)
 		if err != nil {
 			return nil, err
@@ -237,6 +258,7 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
+	slot := -1
 	buf := make([]byte, kv.EntrySize)
 	for probe := 0; probe < maxEntryProbes; probe++ {
 		bucket := (idx + probe) % c.buckets
@@ -251,7 +273,7 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 			continue // reclaimed slot: probe past it
 		}
 		if e.KeyHash == keyHash {
-			entry, found = e, true
+			entry, found, slot = e, true, bucket
 			break
 		}
 	}
@@ -280,6 +302,13 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 	if vo+h.VLen > len(obj) {
 		return nil, false, nil // torn metadata; fall back
 	}
+	if c.hints != nil {
+		shard := kv.ShardOf(keyHash, len(c.shards))
+		c.hints.Insert(shard, key, hint.Entry{
+			Slot: slot, Pool: pool, Off: off, Len: totalLen,
+			KLen: h.KLen, Seq: h.Seq, Durable: true,
+		})
+	}
 	return append([]byte(nil), obj[vo:vo+h.VLen]...), true, nil
 }
 
@@ -305,12 +334,16 @@ func (c *Client) rpcRead(p *sim.Proc, key []byte) ([]byte, error) {
 	if h.Magic != kv.Magic || vo+h.VLen > len(obj) {
 		return nil, fmt.Errorf("efactory: server returned corrupt object at %d", resp.Off)
 	}
+	// The server only grants durable versions, so the hint is warm for the
+	// next optimistic read.
+	c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), h.KLen, h.Seq, true)
 	return append([]byte(nil), obj[vo:vo+h.VLen]...), nil
 }
 
 // Delete removes key.
 func (c *Client) Delete(p *sim.Proc, key []byte) error {
 	c.drainNotifications()
+	c.dropHint(key)
 	resp, err := c.rpc(p, wire.Msg{Type: wire.TDel, Key: key})
 	if err != nil {
 		return err

@@ -296,6 +296,8 @@ func (s *Server) worker(p *sim.Proc) {
 			s.handlePutBatch(p, msg.From, m)
 		case wire.TGet:
 			s.handleGet(p, msg.From, shard, eng, m)
+		case wire.TGetBatch:
+			s.handleGetBatch(p, msg.From, m)
 		case wire.TDel:
 			s.handleDel(p, msg.From, eng, m)
 		}
@@ -378,6 +380,61 @@ func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, shard int, eng *sto
 		Len:    uint64(res.Len),
 		KLen:   uint32(res.KLen),
 	})
+}
+
+// handleGetBatch resolves every op of a TGetBatch in one request. Ops are
+// grouped by owning shard so each shard's engine takes its lock once per
+// batch; client-learned slots pass through as engine lookup hints. The
+// reply carries index-aligned grants, each with the resolved slot, version
+// sequence, and durability flag so clients can warm their hint caches.
+func (s *Server) handleGetBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+	ops, err := wire.DecodeGetOps(m.Value)
+	if err != nil {
+		s.replyAny(p, from, wire.Msg{Type: wire.TGetResults, Status: wire.StError})
+		return
+	}
+	grants := make([]wire.GetGrant, len(ops))
+	byShard := make([][]int, s.st.NumShards())
+	for i, op := range ops {
+		sh := kv.ShardOf(kv.HashKey(op.Key), len(byShard))
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, list := range byShard {
+		if len(list) == 0 {
+			continue
+		}
+		keys := make([][]byte, len(list))
+		slots := make([]int, len(list))
+		for j, i := range list {
+			keys[j] = ops[i].Key
+			slots[j] = -1
+			if ops[i].Slot != wire.NoSlot {
+				slots[j] = int(ops[i].Slot)
+			}
+		}
+		for j, res := range s.st.Shard(sh).GetBatch(p, keys, slots) {
+			i := list[j]
+			if res.Status != store.StatusOK {
+				grants[i] = wire.GetGrant{Status: wire.StNotFound}
+				continue
+			}
+			var flags uint8
+			if res.Durable {
+				flags |= wire.GrantDurable
+			}
+			grants[i] = wire.GetGrant{
+				Status: wire.StOK,
+				Flags:  flags,
+				RKey:   s.poolMR[sh][res.Pool].RKey(),
+				Slot:   uint32(res.Slot),
+				Len:    uint32(res.Len),
+				KLen:   uint32(res.KLen),
+				Off:    res.Off,
+				Seq:    res.Seq,
+			}
+		}
+	}
+	s.replyAny(p, from, wire.Msg{Type: wire.TGetResults, Status: wire.StOK, Value: wire.EncodeGetGrants(grants)})
 }
 
 func (s *Server) handleDel(p *sim.Proc, from *rnic.Endpoint, eng *store.Engine, m wire.Msg) {

@@ -67,6 +67,11 @@ func RunSimTorture(tc fault.Config) (fault.Result, error) {
 		srv.NIC().Crash()
 	}
 	cl = srv.AttachClient("torture")
+	if tc.GetBatch {
+		// The batched leg reads through the hint cache so crash points land
+		// inside hinted chained READs and their fallbacks too.
+		cl.EnableHintCache(0)
+	}
 
 	oracle := fault.NewOracle()
 	rng := rand.New(rand.NewPCG(tc.Seed, 0xfa17_707e))
@@ -110,11 +115,26 @@ func RunSimTorture(tc fault.Config) (fault.Result, error) {
 				} else if err == nil && resp.Status == wire.StOK {
 					oracle.PutAcked(key, val, false)
 				}
-			case kind < 85: // GET: hybrid read, observes durability
+			case kind < 85 && !tc.GetBatch: // GET: hybrid read, observes durability
 				got, err := cl.Get(p, key)
 				if !plan.Tripped() && err == nil {
 					if v := oracle.ObserveGet(key, got, true); v != "" {
 						violations = append(violations, "live: "+v)
+					}
+				}
+			case kind < 85: // batched GET leg: doorbell-chained multi-GET
+				keys := [][]byte{key}
+				for j := 1; j < fault.GetBatchFan; j++ {
+					keys = append(keys, []byte(fmt.Sprintf("key-%02d", rng.IntN(tc.Keys))))
+				}
+				vals, errs := cl.GetBatch(p, keys)
+				if !plan.Tripped() {
+					for i := range keys {
+						if errs[i] == nil {
+							if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
+								violations = append(violations, "live: "+v)
+							}
+						}
 					}
 				}
 			default: // DEL

@@ -69,3 +69,25 @@ func TestSimTortureDeterminism(t *testing.T) {
 		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
 	}
 }
+
+// TestSimTortureSweepGetBatch reruns the sim sweep with the batched
+// multi-GET + hint-cache workload leg: crash points land inside
+// doorbell-chained reads, hinted lookups, and their RPC fallbacks.
+func TestSimTortureSweepGetBatch(t *testing.T) {
+	cfg := simTortureConfig()
+	cfg.GetBatch = true
+	points := 0 // every boundary
+	if testing.Short() {
+		points = 15
+	}
+	sr, err := fault.Sweep(RunSimTorture, cfg, []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}

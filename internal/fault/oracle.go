@@ -110,23 +110,67 @@ func (o *Oracle) ObserveGet(key, value []byte, found bool) string {
 		return ""
 	}
 	h := o.hist(key)
+	window := windowAfterLastDel(h.events)
 	acceptable := make(map[string]bool)
-	for _, ev := range h.events {
-		switch ev.kind {
-		case evDel:
-			acceptable = make(map[string]bool)
-		case evPut:
-			if ev.complete {
-				acceptable[string(ev.value)] = true
+	curPut := -1
+	for i, ev := range window {
+		if ev.kind == evPut && ev.complete {
+			acceptable[string(ev.value)] = true
+			if string(ev.value) == string(value) {
+				curPut = i
 			}
 		}
 	}
+	prevDurPut := lastDurablePutIdx(window)
 	h.events = append(h.events,
 		event{kind: evDurable, value: append([]byte(nil), value...)})
 	if !acceptable[string(value)] {
 		return fmt.Sprintf("key %q: live GET returned %.40q, not an acknowledged value since the last DELETE", key, value)
 	}
+	// Version monotonicity is put order: once some version was observed
+	// durable, no strictly older version may ever be served again.
+	if curPut >= 0 && prevDurPut >= 0 && curPut < prevDurPut {
+		return fmt.Sprintf("key %q: live GET regressed to %.40q, older than a previously observed-durable version", key, value)
+	}
 	return ""
+}
+
+// windowAfterLastDel returns the events after the last acknowledged
+// DELETE (all of them if the key was never deleted).
+func windowAfterLastDel(events []event) []event {
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].kind == evDel {
+			return events[i+1:]
+		}
+	}
+	return events
+}
+
+// lastDurablePutIdx returns the monotonicity watermark: the highest PUT
+// index whose value was ever observed durable in window (-1 when nothing
+// was). Anchoring at the PUT index — not the observation index — matters
+// both ways: a PUT acknowledged before an observation of an older value
+// is still a NEWER version (it just had not been verified yet), while an
+// observation of an older value after a newer one must not lower the
+// watermark the newer observation established.
+func lastDurablePutIdx(window []event) int {
+	best := -1
+	for i, ev := range window {
+		if ev.kind != evDurable {
+			continue
+		}
+		val := string(ev.value)
+		match := i // defensive: no matching put pins the observation point
+		for j, pv := range window[:i] {
+			if pv.kind == evPut && pv.complete && string(pv.value) == val {
+				match = j
+			}
+		}
+		if match > best {
+			best = match
+		}
+	}
+	return best
 }
 
 // Keys returns every key the history touched, sorted.
@@ -156,31 +200,23 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 	for _, k := range ks {
 		h := o.keys[k]
 		// Window: events after the last acknowledged DELETE.
-		window := h.events
-		deleted := false
-		for i := len(h.events) - 1; i >= 0; i-- {
-			if h.events[i].kind == evDel {
-				window = h.events[i+1:]
-				deleted = true
-				break
-			}
-		}
+		window := windowAfterLastDel(h.events)
+		deleted := len(window) != len(h.events)
 		// Acceptable values: with an observed-durable version in the
-		// window, that value and any later complete PUT (absence would be
-		// a regression); without one, any complete PUT or absence.
-		durIdx := -1
-		for i, ev := range window {
-			if ev.kind == evDurable {
-				durIdx = i
-			}
-		}
+		// window, that value and any complete PUT newer than it in put
+		// order (absence would be a regression) — newer includes PUTs
+		// acknowledged before the observation but not yet verified at that
+		// moment. Without an observation, any complete PUT or absence.
+		durPut := lastDurablePutIdx(window)
 		acceptable := make(map[string]bool)
-		allowAbsent := durIdx < 0
-		if durIdx >= 0 {
-			acceptable[string(window[durIdx].value)] = true
+		allowAbsent := durPut < 0
+		if durPut >= 0 {
+			// The watermark value itself (usually a put; an observation in
+			// the defensive no-matching-put case).
+			acceptable[string(window[durPut].value)] = true
 		}
 		for i, ev := range window {
-			if ev.kind == evPut && ev.complete && i > durIdx {
+			if ev.kind == evPut && ev.complete && i >= durPut {
 				acceptable[string(ev.value)] = true
 			}
 		}
@@ -199,7 +235,7 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 			kind := "torn or unknown value"
 			if deleted && o.valueBeforeLastDel(h, got) {
 				kind = "deleted key resurrected"
-			} else if durIdx >= 0 && o.valueInWindowBefore(window, durIdx, got) {
+			} else if durPut >= 0 && o.valueInWindowBefore(window, durPut, got) {
 				kind = "version regressed past an observed-durable version"
 			}
 			violations = append(violations, fmt.Sprintf(

@@ -107,3 +107,47 @@ func TestOracleLiveResurrectionCaught(t *testing.T) {
 		t.Fatalf("live not-found is always legal, got %s", v)
 	}
 }
+
+// Regression pinned by the GetBatch torture leg: a PUT acknowledged
+// before an older version was observed durable is a NEWER version (put
+// order is version order) — the observation only means the new put had
+// not been verified yet. Recovery rolling forward to it is legal, not a
+// regression; older puts remain illegal.
+func TestOracleAckedPutBeforeObservationRollsForward(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v0"), true)
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.PutAcked([]byte("k"), []byte("v2"), true)
+	// v2 is still pre-durable; the engine legally serves v1.
+	if v := o.ObserveGet([]byte("k"), []byte("v1"), true); v != "" {
+		t.Fatalf("serving the durable version while a newer put verifies is legal, got %s", v)
+	}
+	for _, val := range []string{"v1", "v2"} {
+		if vs := o.Check(getReturning(val, true)); len(vs) != 0 {
+			t.Fatalf("recovering %q must be legal, got %v", val, vs)
+		}
+	}
+	if vs := o.Check(getReturning("v0", true)); len(vs) != 1 || !strings.Contains(vs[0], "regressed") {
+		t.Fatalf("want one regression violation for v0, got %v", vs)
+	}
+	if vs := o.Check(getReturning("", false)); len(vs) != 1 {
+		t.Fatalf("absence still loses the observed v1, got %v", vs)
+	}
+}
+
+// The live mirror of version monotonicity: once v2 was observed durable,
+// serving v1 again is a regression even though both are acked values.
+func TestOracleLiveRegressionCaught(t *testing.T) {
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.PutAcked([]byte("k"), []byte("v2"), true)
+	if v := o.ObserveGet([]byte("k"), []byte("v2"), true); v != "" {
+		t.Fatalf("observing v2 is legal, got %s", v)
+	}
+	if v := o.ObserveGet([]byte("k"), []byte("v1"), true); v == "" || !strings.Contains(v, "regressed") {
+		t.Fatalf("live regression to v1 must be flagged, got %q", v)
+	}
+	if vs := o.Check(getReturning("v1", true)); len(vs) != 1 || !strings.Contains(vs[0], "regressed") {
+		t.Fatalf("recovery to v1 after observed v2 must be flagged, got %v", vs)
+	}
+}

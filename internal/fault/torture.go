@@ -33,7 +33,12 @@ type Config struct {
 	VerifyTimeout time.Duration // in-flight write invalidation bound (default 2µs virtual)
 	Survival      float64       // fraction of unflushed dirty lines surviving the crash (default 0: strict power failure)
 	CrashAt       int64         // trip at this boundary; <= 0 = run to completion, crash at end
+	GetBatch      bool          // serve the GET slice as 4-key batched multi-GETs (client transports also enable the hint cache)
 }
+
+// GetBatchFan is the batch width of the GetBatch workload leg: each GET op
+// becomes one multi-GET over the drawn key plus three more hot keys.
+const GetBatchFan = 4
 
 // WithDefaults fills zero fields with the default workload shape shared
 // by every transport's torture runner.
@@ -196,7 +201,7 @@ func RunStore(cfg Config) (Result, error) {
 				claimed[string(key)] = true
 				oracle.PutAcked(key, val, false)
 			}
-		case kind < 85: // GET: observe durability
+		case kind < 85 && !cfg.GetBatch: // GET: observe durability
 			gr := eng.Get(nil, key)
 			if !plan.Tripped() && gr.Status == store.StatusOK {
 				pool := eng.Pool(gr.Pool)
@@ -204,6 +209,36 @@ func RunStore(cfg Config) (Result, error) {
 				val := pool.ReadValue(gr.Off, hd.KLen, hd.VLen)
 				if v := oracle.ObserveGet(key, val, true); v != "" {
 					violations = append(violations, "live: "+v)
+				}
+			}
+		case kind < 85: // batched GET leg: one multi-GET per shard group
+			keys := [][]byte{key}
+			for j := 1; j < GetBatchFan; j++ {
+				keys = append(keys, []byte(fmt.Sprintf("key-%02d", rng.IntN(cfg.Keys))))
+			}
+			// Group per shard in shard order — a map walk here would make
+			// boundary numbering depend on Go's map iteration, breaking the
+			// run's determinism.
+			for sh := 0; sh < st.NumShards(); sh++ {
+				var group [][]byte
+				for _, k := range keys {
+					if st.ShardFor(k) == sh {
+						group = append(group, k)
+					}
+				}
+				if len(group) == 0 {
+					continue
+				}
+				geng := st.Shard(sh)
+				for i, gr := range geng.GetBatch(nil, group, nil) {
+					if !plan.Tripped() && gr.Status == store.StatusOK {
+						pool := geng.Pool(gr.Pool)
+						hd := pool.Header(gr.Off)
+						val := pool.ReadValue(gr.Off, hd.KLen, hd.VLen)
+						if v := oracle.ObserveGet(group[i], val, true); v != "" {
+							violations = append(violations, "live: "+v)
+						}
+					}
 				}
 			}
 		default: // DEL

@@ -331,3 +331,49 @@ func TestTortureBatchedDeterminism(t *testing.T) {
 		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
 	}
 }
+
+// TestTortureSweepStoreGetBatch reruns the store sweep with the batched
+// multi-GET workload leg: every GET becomes a per-shard GetBatch, so
+// crash boundaries land inside the engine's single-lock batch path too.
+func TestTortureSweepStoreGetBatch(t *testing.T) {
+	cfg := Config{Ops: 80, Shards: 2, GetBatch: true}
+	maxPoints := 0 // every boundary
+	if testing.Short() {
+		maxPoints = 40
+	}
+	sr, err := SweepStore(cfg, []uint64{1, 2}, maxPoints)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
+
+// TestTortureGetBatchCoverageAndDeterminism: the batched leg must really
+// exercise GetBatch and stay a pure function of the config.
+func TestTortureGetBatchCoverageAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 120, Shards: 2, GetBatch: true}
+	a, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.GetBatches == 0 {
+		t.Errorf("GetBatch leg never hit the batch path: %+v", a.Stats)
+	}
+	cfg.CrashAt = 300
+	b1, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Boundaries != b2.Boundaries || b1.Tripped != b2.Tripped || len(b1.Violations) != len(b2.Violations) {
+		t.Errorf("non-deterministic batched runs: %+v vs %+v", b1, b2)
+	}
+}

@@ -1,0 +1,186 @@
+// Package hint is the client-side location/durability hint cache of the
+// read path (FaRM-style location caching): a bounded, per-shard map from
+// key to the last place a durable version of it was seen — table slot,
+// pool region, offset/length, version sequence, durability flag.
+//
+// Hints are an accelerator, never an authority. A hit lets the client skip
+// the slot-probe READs of the optimistic read path and fetch the entry and
+// the object in one doorbell-chained group, but the fetched entry is ALWAYS
+// validated (key hash, current location) and the object still carries its
+// own magic/valid/durable/key checks — so a stale hint costs one wasted
+// speculative READ and an Invalidate, and can never surface a wrong,
+// pre-delete, or torn value. See DESIGN.md, "Hint-cache coherence".
+package hint
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"efactory/internal/obs"
+)
+
+// DefaultCap is the per-shard entry bound used when New is given a
+// non-positive capacity.
+const DefaultCap = 4096
+
+// Entry is one cached location: where a durable version of the key was
+// last observed.
+type Entry struct {
+	Slot    int    // hash-table bucket index within the shard
+	Pool    uint32 // pool region (rkey) as the client addresses it
+	Off     uint64 // pool-relative object offset
+	Len     int    // total object length
+	KLen    int    // key length recorded in the object header
+	Seq     uint64 // version sequence number
+	Durable bool   // durability flag when last observed
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 // lookups that found a cached entry
+	Misses    uint64 // lookups that found nothing
+	Stale     uint64 // cached entries invalidated after failing validation
+	Inserts   uint64 // entries stored or refreshed
+	Evictions uint64 // entries displaced by the per-shard capacity bound
+}
+
+// Cache is a bounded per-shard hint cache. All methods are safe for
+// concurrent use; counters are atomic so readers under -race never
+// serialize on the shard locks.
+type Cache struct {
+	perShard int
+	shards   []cacheShard
+
+	hits, misses, stale, inserts, evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]Entry
+}
+
+// New builds a cache for nshards shards with at most capPerShard entries
+// each (DefaultCap if non-positive).
+func New(nshards, capPerShard int) *Cache {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if capPerShard <= 0 {
+		capPerShard = DefaultCap
+	}
+	c := &Cache{perShard: capPerShard, shards: make([]cacheShard, nshards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Entry)
+	}
+	return c
+}
+
+func (c *Cache) shard(i int) *cacheShard {
+	if i < 0 || i >= len(c.shards) {
+		i = 0
+	}
+	return &c.shards[i]
+}
+
+// Lookup returns the cached entry for key in shard, if any.
+func (c *Cache) Lookup(shard int, key []byte) (Entry, bool) {
+	s := c.shard(shard)
+	s.mu.Lock()
+	e, ok := s.m[string(key)]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Peek returns the cached entry without touching the hit/miss counters —
+// for callers refreshing a hint, not deciding a read path with it.
+func (c *Cache) Peek(shard int, key []byte) (Entry, bool) {
+	s := c.shard(shard)
+	s.mu.Lock()
+	e, ok := s.m[string(key)]
+	s.mu.Unlock()
+	return e, ok
+}
+
+// Insert stores or refreshes key's hint. When the shard is at capacity an
+// arbitrary resident entry is evicted — random replacement is plenty for a
+// cache whose misses only cost the probe walk the hit would have skipped.
+func (c *Cache) Insert(shard int, key []byte, e Entry) {
+	s := c.shard(shard)
+	s.mu.Lock()
+	k := string(key)
+	if _, resident := s.m[k]; !resident && len(s.m) >= c.perShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	s.m[k] = e
+	s.mu.Unlock()
+	c.inserts.Add(1)
+}
+
+// Invalidate drops key's hint after it failed validation (or after the
+// client itself deleted the key). It is a no-op for absent keys.
+func (c *Cache) Invalidate(shard int, key []byte) {
+	s := c.shard(shard)
+	s.mu.Lock()
+	k := string(key)
+	_, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.stale.Add(1)
+	}
+}
+
+// Len returns the total number of cached hints across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Inserts:   c.inserts.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// Register exports the cache counters through an obs.Registry under the
+// given role label (e.g. "client"), alongside a resident-entry gauge.
+func (c *Cache) Register(reg *obs.Registry, role string) {
+	lbl := map[string]string{"role": role}
+	outcome := func(o string) map[string]string {
+		return map[string]string{"role": role, "outcome": o}
+	}
+	reg.AddCounter("efactory_hint_cache_lookups_total", "Hint-cache lookup outcomes.", outcome("hit"),
+		func() float64 { return float64(c.hits.Load()) })
+	reg.AddCounter("efactory_hint_cache_lookups_total", "Hint-cache lookup outcomes.", outcome("miss"),
+		func() float64 { return float64(c.misses.Load()) })
+	reg.AddCounter("efactory_hint_cache_stale_total", "Hints invalidated after failing validation.", lbl,
+		func() float64 { return float64(c.stale.Load()) })
+	reg.AddCounter("efactory_hint_cache_inserts_total", "Hints stored or refreshed.", lbl,
+		func() float64 { return float64(c.inserts.Load()) })
+	reg.AddCounter("efactory_hint_cache_evictions_total", "Hints displaced by the capacity bound.", lbl,
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.AddGauge("efactory_hint_cache_entries", "Resident hints across shards.", lbl,
+		func() float64 { return float64(c.Len()) })
+}

@@ -1,0 +1,139 @@
+package hint_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"efactory/internal/hint"
+	"efactory/internal/obs"
+)
+
+func TestLookupInsertInvalidate(t *testing.T) {
+	c := hint.New(2, 8)
+	key := []byte("alpha")
+	if _, ok := c.Lookup(0, key); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	e := hint.Entry{Slot: 7, Pool: 3, Off: 640, Len: 96, KLen: 5, Seq: 12, Durable: true}
+	c.Insert(0, key, e)
+	got, ok := c.Lookup(0, key)
+	if !ok || got != e {
+		t.Fatalf("lookup after insert: %+v ok=%v, want %+v", got, ok, e)
+	}
+	// Hints are per shard: the same key in another shard is a miss.
+	if _, ok := c.Lookup(1, key); ok {
+		t.Fatal("key leaked across shards")
+	}
+	// Refresh replaces in place.
+	e2 := e
+	e2.Seq = 13
+	c.Insert(0, key, e2)
+	if got, _ := c.Lookup(0, key); got != e2 {
+		t.Fatalf("refresh not applied: %+v", got)
+	}
+	c.Invalidate(0, key)
+	if _, ok := c.Lookup(0, key); ok {
+		t.Fatal("lookup after invalidate hit")
+	}
+	c.Invalidate(0, key) // absent: must not count as stale again
+
+	st := c.Stats()
+	want := hint.Stats{Hits: 2, Misses: 3, Stale: 1, Inserts: 2}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	const cap = 16
+	c := hint.New(1, cap)
+	for i := 0; i < 3*cap; i++ {
+		c.Insert(0, []byte(fmt.Sprintf("k%03d", i)), hint.Entry{Slot: i})
+	}
+	if n := c.Len(); n != cap {
+		t.Fatalf("cache holds %d entries, cap is %d", n, cap)
+	}
+	st := c.Stats()
+	if st.Evictions != 2*cap {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 2*cap)
+	}
+	// Refreshing a resident key at capacity must not evict anyone.
+	var resident []byte
+	for i := 0; i < 3*cap; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		if _, ok := c.Lookup(0, k); ok {
+			resident = k
+			break
+		}
+	}
+	if resident == nil {
+		t.Fatal("no resident key found")
+	}
+	before := c.Stats().Evictions
+	c.Insert(0, resident, hint.Entry{Slot: 999})
+	if c.Stats().Evictions != before {
+		t.Fatal("refreshing a resident key evicted an entry")
+	}
+}
+
+func TestDefaultsAndBadShard(t *testing.T) {
+	c := hint.New(0, 0)
+	c.Insert(-5, []byte("x"), hint.Entry{Slot: 1})
+	if _, ok := c.Lookup(99, []byte("x")); !ok {
+		t.Fatal("out-of-range shard indexes should clamp to shard 0")
+	}
+}
+
+func TestRegisterExportsCounters(t *testing.T) {
+	c := hint.New(1, 4)
+	c.Insert(0, []byte("a"), hint.Entry{})
+	c.Lookup(0, []byte("a"))
+	c.Lookup(0, []byte("b"))
+	c.Invalidate(0, []byte("a"))
+
+	reg := obs.New("efactory", 1, []string{"noop"}, 8)
+	c.Register(reg, "client")
+	snap := reg.Snapshot()
+	check := func(name string, match map[string]string, want float64) {
+		t.Helper()
+		v, ok := snap.CounterValue(name, match)
+		if !ok || v != want {
+			t.Fatalf("%s%v = %v (ok=%v), want %v", name, match, v, ok, want)
+		}
+	}
+	check("efactory_hint_cache_lookups_total", map[string]string{"outcome": "hit"}, 1)
+	check("efactory_hint_cache_lookups_total", map[string]string{"outcome": "miss"}, 1)
+	check("efactory_hint_cache_stale_total", map[string]string{"role": "client"}, 1)
+	check("efactory_hint_cache_inserts_total", map[string]string{"role": "client"}, 1)
+	if v, ok := snap.GaugeValue("efactory_hint_cache_entries"); !ok || v != 0 {
+		t.Fatalf("entries gauge = %v (ok=%v), want 0", v, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := hint.New(4, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("k%d", i%97))
+				sh := i % 4
+				switch (g + i) % 3 {
+				case 0:
+					c.Insert(sh, k, hint.Entry{Slot: i, Seq: uint64(i)})
+				case 1:
+					c.Lookup(sh, k)
+				default:
+					c.Invalidate(sh, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 4*64 {
+		t.Fatalf("cache exceeded bound: %d", c.Len())
+	}
+}

@@ -477,3 +477,32 @@ func TestDecodeEntryMatchesServerView(t *testing.T) {
 		t.Fatalf("client-decoded loc = (%d, %d)", off, l)
 	}
 }
+
+func TestTableLookupAt(t *testing.T) {
+	dev := nvm.New(1 << 16)
+	tab := NewTable(dev, 0, 128)
+	kh := HashKey([]byte("hinted"))
+	idx, _, ok := tab.FindSlot(kh)
+	if !ok {
+		t.Fatal("FindSlot failed")
+	}
+	tab.Publish(idx, PackLoc(512, 64))
+	if e, ok := tab.LookupAt(idx, kh); !ok || e.Current() != PackLoc(512, 64) {
+		t.Fatalf("LookupAt(correct) = (%+v, %v)", e, ok)
+	}
+	// A hint pointing at the wrong bucket, out of range, or at a
+	// reclaimed slot must miss rather than return another key's entry.
+	if _, ok := tab.LookupAt((idx+1)%tab.N(), kh); ok {
+		t.Fatal("LookupAt accepted a wrong bucket")
+	}
+	if _, ok := tab.LookupAt(-1, kh); ok {
+		t.Fatal("LookupAt accepted a negative index")
+	}
+	if _, ok := tab.LookupAt(tab.N(), kh); ok {
+		t.Fatal("LookupAt accepted an out-of-range index")
+	}
+	tab.Clear(idx)
+	if _, ok := tab.LookupAt(idx, kh); ok {
+		t.Fatal("LookupAt accepted a reclaimed slot")
+	}
+}

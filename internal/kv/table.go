@@ -152,6 +152,21 @@ func (t *Table) Lookup(keyHash uint64) (int, Entry, bool) {
 	return 0, Entry{}, false
 }
 
+// LookupAt checks a cached slot hint: it returns bucket i's entry if that
+// bucket still holds keyHash (and was not reclaimed). A stale hint returns
+// ok == false and the caller falls back to a full Lookup, so hints can
+// only skip probe work, never change a lookup's result.
+func (t *Table) LookupAt(i int, keyHash uint64) (Entry, bool) {
+	if i < 0 || i >= t.n {
+		return Entry{}, false
+	}
+	e := t.Entry(i)
+	if e.KeyHash == keyHash && !e.Free() {
+		return e, true
+	}
+	return Entry{}, false
+}
+
 // FindSlot locates the bucket for keyHash, claiming an empty slot if the
 // key is absent. existed reports whether the key was already present; ok is
 // false only when the table is full.

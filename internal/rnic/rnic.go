@@ -373,6 +373,50 @@ func (e *Endpoint) WriteBatch(p *sim.Proc, reqs []WriteReq) error {
 	return nil
 }
 
+// ReadReq is one READ of a doorbell-batched chain.
+type ReadReq struct {
+	Dst  []byte
+	RKey uint32
+	Off  int
+}
+
+// ReadBatch posts len(reqs) READs as one doorbell-batched chain and blocks
+// until the chain completes: the WQEs are built and the doorbell rung once
+// (PostCost + (n-1)*PostCostDoorbell), the request chain crosses the
+// fabric once, the responses serialize back-to-back on the return path,
+// and the requester polls ONE coalesced completion instead of one per
+// READ — the read-side counterpart of WriteBatch. A chain member whose
+// target fails validation aborts the chain with an error; destinations of
+// earlier members may already hold fetched bytes, exactly as a real NIC
+// processing WQEs in order would leave them.
+func (e *Endpoint) ReadBatch(p *sim.Proc, reqs []ReadReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(reqs) == 1 {
+		return e.Read(p, reqs[0].Dst, reqs[0].RKey, reqs[0].Off)
+	}
+	p.Sleep(e.par.PostCost + time.Duration(len(reqs)-1)*e.par.PostCostDoorbell)
+	p.Sleep(e.oneWay(0)) // the request chain reaches the responder NIC
+	if e.peer.nic.crashed {
+		return ErrCrashed
+	}
+	total := 0
+	for _, r := range reqs {
+		mr, err := e.peer.nic.lookup(r.RKey, r.Off, len(r.Dst))
+		if err != nil {
+			return err
+		}
+		mr.dev.Read(mr.base+r.Off, r.Dst) // DMA from the coherent view
+		total += len(r.Dst)
+	}
+	p.Sleep(e.oneWay(total)) // responses serialize back; one completion poll
+	if e.peer.nic.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
 // Commit is the proposed "RDMA durable write commit" verb (rcommit, from
 // the IETF draft the paper discusses in §7.1): it instructs the responder
 // NIC to flush the given remote range into the persistence domain and ack

@@ -384,3 +384,80 @@ func TestDeliverToCrashedNICDrops(t *testing.T) {
 		t.Fatal("message delivered to a crashed NIC")
 	}
 }
+
+func TestReadBatchFetchesAll(t *testing.T) {
+	env, _, dev, mr, cli, _ := testRig(t, 8192)
+	want := make([][]byte, 5)
+	for i := range want {
+		want[i] = bytes.Repeat([]byte{byte('a' + i)}, 96)
+		dev.Write(256*i, want[i])
+		dev.Flush(256*i, 96)
+	}
+	dev.Drain()
+	reqs := make([]ReadReq, len(want))
+	for i := range reqs {
+		reqs[i] = ReadReq{Dst: make([]byte, 96), RKey: mr.RKey(), Off: 256 * i}
+	}
+	env.Go("client", func(p *sim.Proc) {
+		if err := cli.ReadBatch(p, reqs); err != nil {
+			t.Errorf("ReadBatch: %v", err)
+		}
+	})
+	env.Run()
+	for i := range want {
+		if !bytes.Equal(reqs[i].Dst, want[i]) {
+			t.Fatalf("req %d read %q, want %q", i, reqs[i].Dst[:8], want[i][:8])
+		}
+	}
+}
+
+func TestReadBatchSingleCompletionCharge(t *testing.T) {
+	// A chain of n READs must cost one doorbell-batched post, one request
+	// crossing, and one serialized response — strictly cheaper than n
+	// individual READs, and exactly the model's chained cost.
+	env, par, _, mr, cli, _ := testRig(t, 1<<16)
+	const n, sz = 8, 128
+	var batched, single time.Duration
+	env.Go("client", func(p *sim.Proc) {
+		reqs := make([]ReadReq, n)
+		for i := range reqs {
+			reqs[i] = ReadReq{Dst: make([]byte, sz), RKey: mr.RKey(), Off: sz * i}
+		}
+		t0 := env.Now()
+		if err := cli.ReadBatch(p, reqs); err != nil {
+			t.Errorf("ReadBatch: %v", err)
+		}
+		batched = env.Now() - t0
+		t0 = env.Now()
+		buf := make([]byte, sz)
+		for i := 0; i < n; i++ {
+			if err := cli.Read(p, buf, mr.RKey(), sz*i); err != nil {
+				t.Errorf("Read: %v", err)
+			}
+		}
+		single = env.Now() - t0
+	})
+	env.Run()
+	wantBatched := par.PostCost + time.Duration(n-1)*par.PostCostDoorbell +
+		par.OneWay(0) + par.OneWay(n*sz)
+	if batched != wantBatched {
+		t.Fatalf("batched chain took %v, want %v", batched, wantBatched)
+	}
+	if batched >= single {
+		t.Fatalf("batched %v not cheaper than %d singles %v", batched, n, single)
+	}
+}
+
+func TestReadBatchBoundsAbort(t *testing.T) {
+	env, _, _, mr, cli, _ := testRig(t, 4096)
+	env.Go("client", func(p *sim.Proc) {
+		reqs := []ReadReq{
+			{Dst: make([]byte, 64), RKey: mr.RKey(), Off: 0},
+			{Dst: make([]byte, 64), RKey: mr.RKey(), Off: 1 << 20}, // outside the MR
+		}
+		if err := cli.ReadBatch(p, reqs); !errors.Is(err, ErrBounds) {
+			t.Errorf("ReadBatch err = %v, want ErrBounds", err)
+		}
+	})
+	env.Run()
+}

@@ -112,13 +112,20 @@ type PutResult struct {
 	Len    int    // total object length
 }
 
-// GetResult tells the transport where the durable version lives.
+// GetResult tells the transport where the durable version lives. Slot,
+// Seq, and Durable describe the resolved entry and version so transports
+// can hand clients hint-cache material: Slot is the table bucket the key
+// lives in, Seq the served version's sequence number, and Durable whether
+// its durability flag was set when the result was produced.
 type GetResult struct {
-	Status Status
-	Pool   int
-	Off    uint64
-	Len    int // total object length
-	KLen   int
+	Status  Status
+	Pool    int
+	Off     uint64
+	Len     int // total object length
+	KLen    int
+	Slot    int
+	Seq     uint64
+	Durable bool
 }
 
 // Engine is one shard of the storage engine.
@@ -378,10 +385,53 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
 	defer func() { e.observe(mopGet, t0) }()
+	return e.getLocked(h, key, -1)
+}
+
+// GetBatch resolves several keys under ONE lock acquisition — the engine
+// side of the doorbell-batched multi-GET. slots optionally carries a
+// client-cached bucket index per key (-1 for none); a valid hint skips the
+// probe walk, a stale one degrades to a full lookup. Results are
+// index-aligned with keys.
+func (e *Engine) GetBatch(h any, keys [][]byte, slots []int) []GetResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.GetBatches++
+	res := make([]GetResult, len(keys))
+	for i, key := range keys {
+		t0 := e.sink.Now()
+		hint := -1
+		if slots != nil {
+			hint = slots[i]
+		}
+		res[i] = e.getLocked(h, key, hint)
+		e.observe(mopGet, t0)
+	}
+	return res
+}
+
+// getLocked is the shared body of Get and GetBatch. Callers hold mu.
+func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 	e.stats.Gets++
 	keyHash := kv.HashKey(key)
+	t0 := e.sink.Now()
 	e.sink.Charge(h, OpLookup, 0)
-	_, en, found := e.table.Lookup(keyHash)
+	var (
+		idx   int
+		en    kv.Entry
+		found bool
+	)
+	if slotHint >= 0 {
+		if hintEn, ok := e.table.LookupAt(slotHint, keyHash); ok {
+			idx, en, found = slotHint, hintEn, true
+			e.stats.HintedLookups++
+		} else {
+			e.stats.HintedStale++
+		}
+	}
+	if !found {
+		idx, en, found = e.table.Lookup(keyHash)
+	}
 	e.observe(int(OpLookup), t0)
 	if !found || en.Tombstone() {
 		return GetResult{Status: StatusNotFound}
@@ -408,7 +458,8 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 					e.stats.GetRolledBack++
 					e.trace("get", "rolled_back", keyHash, hd.Seq)
 				}
-				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
+					Slot: idx, Seq: hd.Seq, Durable: true}
 			}
 			if hd.Durable() {
 				// Ablation mode: re-verify despite the flag.
@@ -419,7 +470,8 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 				e.sink.Charge(h, OpFlushClean, totalLen)
 				e.observe(int(OpFlushClean), tFlush)
 				e.stats.GetVerified++
-				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
+					Slot: idx, Seq: hd.Seq, Durable: true}
 			}
 			// Not yet durable: verify and persist on demand.
 			tCRC := e.sink.Now()
@@ -439,7 +491,8 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 					e.stats.GetRolledBack++
 					e.trace("get", "rolled_back", keyHash, hd.Seq)
 				}
-				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen}
+				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
+					Slot: idx, Seq: hd.Seq, Durable: true}
 			}
 			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 				pool.SetFlags(off, hd.Flags&^kv.FlagValid)

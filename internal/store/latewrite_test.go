@@ -1,0 +1,89 @@
+// Late-write invalidation: a batched allocation stamps every object's
+// CreatedAt before any value bytes arrive, so a client whose write burst
+// outlives VerifyTimeout races the background verifier. The differential
+// suite surfaced the observable consequence (acknowledged batched puts
+// reading back NotFound); this test pins the engine-side contract with a
+// deterministic clock: writes landing before invalidation verify, writes
+// landing after invalidation never resurrect the key or surface torn
+// bytes.
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/store"
+)
+
+func TestLateBatchedWriteDoesNotResurrect(t *testing.T) {
+	st, dev, tick := directStore(t)
+	defer st.Stop()
+	eng := st.Shard(0)
+
+	// One batched allocation round: all eight slots are granted (and
+	// CreatedAt stamped) before any value lands, like a TPutBatch grant.
+	const n, late = 8, 4
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	grants := make([]store.PutResult, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("late-%02d", i))
+		vals[i] = []byte(fmt.Sprintf("val-%02d-%s", i, "yyyyyyyyyyyyyyyyyyyy"))
+		pr := eng.Put(nil, keys[i], len(vals[i]), crc.Checksum(vals[i]))
+		if pr.Status != store.StatusOK {
+			t.Fatalf("put %s: status %v", keys[i], pr.Status)
+		}
+		grants[i] = pr
+	}
+	write := func(i int) {
+		pool := eng.Pool(grants[i].Pool)
+		dev.Write(pool.Base()+int(grants[i].Off)+kv.ValueOffset(len(keys[i])), vals[i])
+	}
+	// The fast half of the burst lands before the verifier comes around.
+	for i := 0; i < late; i++ {
+		write(i)
+	}
+	// The slow half is delayed past VerifyTimeout; the verifier must
+	// presume those writes torn and invalidate them.
+	tick.now += 1 << 20
+	for i := 0; i < 200; i++ {
+		eng.BGStep(nil, eng.CurrentPool())
+	}
+	stats := st.StatsTotal()
+	if stats.BGVerified != late || stats.BGInvalidated != n-late {
+		t.Fatalf("after drain: BGVerified=%d BGInvalidated=%d, want %d/%d",
+			stats.BGVerified, stats.BGInvalidated, late, n-late)
+	}
+	// The belated writes now land anyway — after invalidation, exactly the
+	// ordering the differential suite produced under -race.
+	for i := late; i < n; i++ {
+		write(i)
+	}
+	for i := 0; i < 200; i++ {
+		eng.BGStep(nil, eng.CurrentPool())
+	}
+	for i := 0; i < n; i++ {
+		gr := eng.Get(nil, keys[i])
+		if i < late {
+			if gr.Status != store.StatusOK {
+				t.Fatalf("key %s: verified write lost: status %v", keys[i], gr.Status)
+			}
+			pool := eng.Pool(gr.Pool)
+			hd := pool.Header(gr.Off)
+			if !hd.Durable() {
+				t.Errorf("key %s: verified but not durable", keys[i])
+			}
+			if got := pool.ReadValue(gr.Off, hd.KLen, hd.VLen); !bytes.Equal(got, vals[i]) {
+				t.Errorf("key %s: value %.32q, want %.32q", keys[i], got, vals[i])
+			}
+		} else if gr.Status == store.StatusOK {
+			t.Errorf("key %s: invalidated write resurrected by a late value landing", keys[i])
+		}
+	}
+	if st.StatsTotal().BGInvalidated != n-late {
+		t.Errorf("BGInvalidated moved after late writes: %d", st.StatsTotal().BGInvalidated)
+	}
+}

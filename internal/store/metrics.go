@@ -163,6 +163,9 @@ func (s *Store) registerMetrics() {
 		counter("efactory_get_outcomes_total", "RPC-path GET resolutions.", outLbl("verified"), func(st Stats) int { return st.GetVerified })
 		counter("efactory_get_outcomes_total", "RPC-path GET resolutions.", outLbl("rolled_back"), func(st Stats) int { return st.GetRolledBack })
 		counter("efactory_get_outcomes_total", "RPC-path GET resolutions.", outLbl("invalidated"), func(st Stats) int { return st.GetInvalidated })
+		counter("efactory_get_batches_total", "Multi-key GetBatch calls handled (one lock acquisition each).", lbl, func(st Stats) int { return st.GetBatches })
+		counter("efactory_hinted_lookups_total", "Slot-hinted lookup outcomes.", outLbl("hit"), func(st Stats) int { return st.HintedLookups })
+		counter("efactory_hinted_lookups_total", "Slot-hinted lookup outcomes.", outLbl("stale"), func(st Stats) int { return st.HintedStale })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("verified"), func(st Stats) int { return st.BGVerified })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("skipped"), func(st Stats) int { return st.BGSkipped })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("stale"), func(st Stats) int { return st.BGStale })

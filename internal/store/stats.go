@@ -11,6 +11,9 @@ type Stats struct {
 	GetVerified    int // RPC gets that verified+persisted on demand
 	GetRolledBack  int // RPC gets answered from a previous version
 	GetInvalidated int // versions invalidated on the GET path after VerifyTimeout
+	GetBatches     int // multi-key GetBatch calls (one lock acquisition each)
+	HintedLookups  int // lookups resolved from a client slot hint
+	HintedStale    int // client slot hints that no longer matched their key
 	BGVerified     int // objects verified+persisted by the background thread
 	BGSkipped      int // objects the background thread skipped (already durable)
 	BGStale        int // superseded versions the background thread skipped
@@ -34,6 +37,9 @@ func (s *Stats) Add(o Stats) {
 	s.GetVerified += o.GetVerified
 	s.GetRolledBack += o.GetRolledBack
 	s.GetInvalidated += o.GetInvalidated
+	s.GetBatches += o.GetBatches
+	s.HintedLookups += o.HintedLookups
+	s.HintedStale += o.HintedStale
 	s.BGVerified += o.BGVerified
 	s.BGSkipped += o.BGSkipped
 	s.BGStale += o.BGStale

@@ -5,14 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"sync"
-	"syscall"
 	"time"
 
 	"efactory/internal/crc"
+	"efactory/internal/hint"
 	"efactory/internal/kv"
 	"efactory/internal/obs"
 	"efactory/internal/wire"
@@ -27,30 +26,6 @@ var ErrServerFull = errors.New("tcpkv: server pool full")
 // DefaultPipelineDepth bounds how many RPCs a client keeps in flight on
 // its pipelined channel unless SetPipelineDepth says otherwise.
 const DefaultPipelineDepth = 16
-
-// RetryPolicy governs how the client reacts to transient transport
-// failures (connection resets, timeouts, truncated response frames): each
-// op is retried on a fresh pair of connections with exponential backoff.
-// Retried ops are at-least-once — a lost response frame does not reveal
-// whether the server applied the op, so a retried PUT may write twice and
-// a retried DELETE may find the key already gone (the client maps that to
-// success, not ErrNotFound, when a prior attempt's outcome was unknown).
-type RetryPolicy struct {
-	Attempts   int           // total tries per op; <= 1 means no retry
-	Backoff    time.Duration // delay before the first retry, doubling after
-	MaxBackoff time.Duration // backoff cap (0 = uncapped)
-	Timeout    time.Duration // per-attempt I/O deadline (0 = none)
-}
-
-// DefaultRetryPolicy is a sensible policy for flaky networks.
-func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{
-		Attempts:   4,
-		Backoff:    2 * time.Millisecond,
-		MaxBackoff: 50 * time.Millisecond,
-		Timeout:    2 * time.Second,
-	}
-}
 
 // Client is a TCP-mode eFactory client implementing the client-active
 // write scheme and the hybrid read scheme over two connections: a
@@ -84,12 +59,21 @@ type Client struct {
 	// Configure before issuing concurrent ops.
 	hybrid bool
 
+	// hints is the client-side location/durability hint cache (nil unless
+	// EnableHintCache was called). Like hybrid, configure before issuing
+	// concurrent ops; the cache itself is internally synchronized.
+	hints *hint.Cache
+
 	// PureReads / FallbackReads / RPCReads mirror the simulation client's
 	// path counters. Guarded by mu while ops are in flight; read them
 	// quiesced.
 	PureReads     int
 	FallbackReads int
 	RPCReads      int
+	// BatchedGets counts GETs carried by GetBatch; HintedReads counts pure
+	// reads whose probe walk was skipped by a hint-cache hit.
+	BatchedGets int
+	HintedReads int
 	// Retries and Reconnects count recovery actions taken under the
 	// client's RetryPolicy.
 	Retries    int
@@ -142,10 +126,10 @@ func newPipe(conn net.Conn, depth int, timeout func() time.Duration) *pipe {
 }
 
 // writer owns the socket's write side. Frames are [len][seq][msg] with the
-// length prefix covering the 4-byte sequence tag. Each write is bounded by
-// the policy timeout, and the deadline is cleared after every frame —
-// nothing further is owed on the write side until the next request, and a
-// stale deadline would poison an idle connection.
+// length prefix covering the 4-byte sequence tag. Each write runs under
+// the shared attemptDeadline discipline (arm, write, clear) — nothing
+// further is owed on the write side until the next request, and a stale
+// deadline would poison an idle connection.
 func (p *pipe) writer() {
 	for {
 		select {
@@ -156,14 +140,11 @@ func (p *pipe) writer() {
 			binary.BigEndian.PutUint32(buf, uint32(4+len(f.payload)))
 			binary.BigEndian.PutUint32(buf[4:], f.seq)
 			copy(buf[8:], f.payload)
-			if d := p.timeout(); d > 0 {
-				p.conn.SetWriteDeadline(time.Now().Add(d))
-			}
-			_, err := p.conn.Write(buf)
-			if err == nil {
-				err = p.conn.SetWriteDeadline(time.Time{})
-			}
-			if err != nil {
+			dl := attemptDeadline{set: p.conn.SetWriteDeadline, d: p.timeout()}
+			if err := dl.guard(func() error {
+				_, err := p.conn.Write(buf)
+				return err
+			}); err != nil {
 				p.fail(err)
 				return
 			}
@@ -278,22 +259,13 @@ func (p *pipe) call(payload []byte) ([]byte, error) {
 
 // dialLocked (re)establishes both channels. Callers hold c.mu.
 func (c *Client) dialLocked() error {
-	rpcConn, err := net.Dial("tcp", c.addr)
+	rpcConn, err := dialChannel(c.addr, chanRPCPipe)
 	if err != nil {
 		return err
 	}
-	if _, err := rpcConn.Write([]byte{chanRPCPipe}); err != nil {
-		rpcConn.Close()
-		return err
-	}
-	osConn, err := net.Dial("tcp", c.addr)
+	osConn, err := dialChannel(c.addr, chanOneSided)
 	if err != nil {
 		rpcConn.Close()
-		return err
-	}
-	if _, err := osConn.Write([]byte{chanOneSided}); err != nil {
-		rpcConn.Close()
-		osConn.Close()
 		return err
 	}
 	c.pipe = newPipe(rpcConn, c.pipeDepth, c.callTimeout)
@@ -406,73 +378,6 @@ func (c *Client) reconnect(genSeen uint64) (uint64, error) {
 	return c.gen, nil
 }
 
-// transient reports whether err is a transport failure worth retrying on
-// a fresh connection. Protocol outcomes (ErrNotFound, ErrServerFull,
-// status errors, NAKs) are final; connection-level failures — resets,
-// closed or half-closed connections, truncated frames, deadline
-// expiries — are not.
-func transient(err error) bool {
-	if err == nil {
-		return false
-	}
-	var ne net.Error
-	return errors.Is(err, io.EOF) ||
-		errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, net.ErrClosed) ||
-		errors.Is(err, syscall.ECONNRESET) ||
-		errors.Is(err, syscall.EPIPE) ||
-		errors.Is(err, syscall.ECONNREFUSED) ||
-		errors.As(err, &ne)
-}
-
-// retrying runs do under the client's RetryPolicy: on a transient error it
-// backs off (exponentially, capped), reconnects, and tries again. Each
-// caller replays only its own op — sequences already acknowledged on the
-// shared pipelined connection are never resent.
-func (c *Client) retrying(do func() error) error {
-	c.mu.Lock()
-	rp := c.retry
-	c.mu.Unlock()
-	attempts := rp.Attempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	backoff := rp.Backoff
-	var (
-		gen uint64
-		err error
-	)
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			c.mu.Lock()
-			c.Retries++
-			c.mu.Unlock()
-			if backoff > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
-				if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
-					backoff = rp.MaxBackoff
-				}
-			}
-			var rerr error
-			if gen, rerr = c.reconnect(gen); rerr != nil {
-				err = rerr
-				continue
-			}
-		}
-		// The generation this attempt runs against: a failure redials only
-		// if nobody else has since this point.
-		c.mu.Lock()
-		gen = c.gen
-		c.mu.Unlock()
-		err = do()
-		if !transient(err) {
-			return err
-		}
-	}
-	return err
-}
-
 // rpc performs one request/response over the pipelined channel. Concurrent
 // callers share the connection; responses demultiplex by sequence number.
 func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
@@ -488,33 +393,34 @@ func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
 
 // osExchange writes the given one-sided frames back-to-back and then reads
 // one response frame per request — the one-sided channel's doorbell batch.
-// The policy deadline covers the whole exchange and is cleared on success
-// so an idle connection never trips over a stale deadline later.
+// One attemptDeadline covers the whole exchange, same discipline as the
+// pipelined channel's writer.
 func (c *Client) osExchange(frames [][]byte) ([][]byte, error) {
 	c.mu.Lock()
 	conn := c.osConn
-	d := c.retry.Timeout
+	dl := attemptDeadline{set: conn.SetDeadline, d: c.retry.Timeout}
 	c.mu.Unlock()
 	c.osMu.Lock()
 	defer c.osMu.Unlock()
-	if d > 0 {
-		conn.SetDeadline(time.Now().Add(d))
-	}
-	for _, f := range frames {
-		if err := writeFrame(conn, f); err != nil {
-			return nil, err
+	var resps [][]byte
+	err := dl.guard(func() error {
+		for _, f := range frames {
+			if err := writeFrame(conn, f); err != nil {
+				return err
+			}
 		}
-	}
-	resps := make([][]byte, len(frames))
-	for i := range resps {
-		r, err := readFrame(conn)
-		if err != nil {
-			return nil, err
+		resps = make([][]byte, len(frames))
+		for i := range resps {
+			r, err := readFrame(conn)
+			if err != nil {
+				return err
+			}
+			resps[i] = r
 		}
-		resps[i] = r
-	}
-	if d > 0 {
-		conn.SetDeadline(time.Time{})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return resps, nil
 }
@@ -599,6 +505,7 @@ func (c *Client) Put(key, value []byte) error {
 		default:
 			return fmt.Errorf("tcpkv: put status %d", resp.Status)
 		}
+		c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
 		return c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
 	})
 }
@@ -645,6 +552,7 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 		for i, g := range grants {
 			switch g.Status {
 			case wire.StOK:
+				c.noteLocation(keys[i], g.RKey, g.Off, int(g.Len), len(keys[i]), 0, false)
 				off := g.Off + uint64(kv.ValueOffset(len(keys[i])))
 				frames = append(frames, osWriteFrame(g.RKey, off, values[i]))
 			case wire.StFull:
@@ -670,6 +578,27 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 	var out []byte
 	err := c.retrying(func() error {
 		if c.hybrid {
+			if c.hints != nil {
+				val, verdict, err := c.hintedRead(key)
+				if err != nil {
+					return err
+				}
+				switch verdict {
+				case hrHit:
+					c.bump(&c.PureReads)
+					out = val
+					return nil
+				case hrFallback:
+					c.bump(&c.FallbackReads)
+					val, err := c.rpcRead(key)
+					if err != nil {
+						return err
+					}
+					out = val
+					return nil
+				}
+				// hrMiss: no usable hint — run the probe walk below.
+			}
 			val, ok, err := c.pureRead(key)
 			if err != nil {
 				return err
@@ -703,6 +632,7 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
+	slot := -1
 	for probe := 0; probe < 4; probe++ {
 		bucket := (idx + probe) % c.buckets
 		raw, err := c.read(tableRKey, uint64(bucket*kv.EntrySize), kv.EntrySize)
@@ -717,7 +647,7 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 			continue
 		}
 		if e.KeyHash == keyHash {
-			entry, found = e, true
+			entry, found, slot = e, true, bucket
 			break
 		}
 	}
@@ -739,6 +669,12 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 	vo := kv.ValueOffset(h.KLen)
 	if vo+h.VLen > len(obj) {
 		return nil, false, nil
+	}
+	if c.hints != nil {
+		c.hints.Insert(kv.ShardOf(keyHash, c.shards), key, hint.Entry{
+			Slot: slot, Pool: poolBase + uint32(entry.Mark()&1), Off: off, Len: totalLen,
+			KLen: h.KLen, Seq: h.Seq, Durable: true,
+		})
 	}
 	return append([]byte(nil), obj[vo:vo+h.VLen]...), true, nil
 }
@@ -764,6 +700,9 @@ func (c *Client) rpcRead(key []byte) ([]byte, error) {
 	if h.Magic != kv.Magic || vo+h.VLen > len(obj) {
 		return nil, errors.New("tcpkv: corrupt object from server")
 	}
+	// The server only grants durable versions, so the hint is warm for the
+	// next optimistic read.
+	c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), h.KLen, h.Seq, true)
 	return append([]byte(nil), obj[vo:vo+h.VLen]...), nil
 }
 
@@ -821,6 +760,7 @@ func (c *Client) Metrics() (obs.Snapshot, error) {
 
 // Delete removes key.
 func (c *Client) Delete(key []byte) error {
+	c.dropHint(key)
 	unknown := false // a failed attempt may have applied server-side
 	return c.retrying(func() error {
 		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})

@@ -1,0 +1,146 @@
+// Shared transport-recovery policy for the client's two channels. The
+// pipelined RPC channel and the lock-step one-sided channel fail in the
+// same ways (resets, stalls, torn frames) and must recover the same way:
+// one RetryPolicy drives both, one deadline discipline bounds each
+// attempt on both, and one dial helper re-establishes either. Keeping
+// these here — instead of copy-pasted per channel — is what guarantees
+// the two channels can never drift apart on timeout or backoff behavior.
+package tcpkv
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy governs how the client reacts to transient transport
+// failures (connection resets, timeouts, truncated response frames): each
+// op is retried on a fresh pair of connections with exponential backoff.
+// Retried ops are at-least-once — a lost response frame does not reveal
+// whether the server applied the op, so a retried PUT may write twice and
+// a retried DELETE may find the key already gone (the client maps that to
+// success, not ErrNotFound, when a prior attempt's outcome was unknown).
+type RetryPolicy struct {
+	Attempts   int           // total tries per op; <= 1 means no retry
+	Backoff    time.Duration // delay before the first retry, doubling after
+	MaxBackoff time.Duration // backoff cap (0 = uncapped)
+	Timeout    time.Duration // per-attempt I/O deadline (0 = none)
+}
+
+// DefaultRetryPolicy is a sensible policy for flaky networks.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Attempts:   4,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Timeout:    2 * time.Second,
+	}
+}
+
+// attemptDeadline is the per-attempt deadline discipline both channels
+// share: arm the connection's deadline before the guarded I/O and clear
+// it again on success, so nothing is owed between ops and an idle
+// connection never trips over a stale deadline later. set is whichever
+// deadline setter bounds exactly the I/O the channel owes (SetDeadline
+// for the lock-step one-sided exchange, SetWriteDeadline for the
+// pipelined writer, whose read side is bounded per call instead).
+type attemptDeadline struct {
+	set func(time.Time) error
+	d   time.Duration
+}
+
+func (a attemptDeadline) guard(op func() error) error {
+	if a.d > 0 {
+		a.set(time.Now().Add(a.d))
+	}
+	if err := op(); err != nil {
+		return err
+	}
+	if a.d > 0 {
+		return a.set(time.Time{})
+	}
+	return nil
+}
+
+// dialChannel opens one connection to addr and announces its channel kind
+// with the one-byte handshake every tcpkv channel starts with.
+func dialChannel(addr string, kind byte) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte{kind}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// transient reports whether err is a transport failure worth retrying on
+// a fresh connection. Protocol outcomes (ErrNotFound, ErrServerFull,
+// status errors, NAKs) are final; connection-level failures — resets,
+// closed or half-closed connections, truncated frames, deadline
+// expiries — are not.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.As(err, &ne)
+}
+
+// retrying runs do under the client's RetryPolicy: on a transient error it
+// backs off (exponentially, capped), reconnects, and tries again. Each
+// caller replays only its own op — sequences already acknowledged on the
+// shared pipelined connection are never resent.
+func (c *Client) retrying(do func() error) error {
+	c.mu.Lock()
+	rp := c.retry
+	c.mu.Unlock()
+	attempts := rp.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := rp.Backoff
+	var (
+		gen uint64
+		err error
+	)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.mu.Lock()
+			c.Retries++
+			c.mu.Unlock()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
+					backoff = rp.MaxBackoff
+				}
+			}
+			var rerr error
+			if gen, rerr = c.reconnect(gen); rerr != nil {
+				err = rerr
+				continue
+			}
+		}
+		// The generation this attempt runs against: a failure redials only
+		// if nobody else has since this point.
+		c.mu.Lock()
+		gen = c.gen
+		c.mu.Unlock()
+		err = do()
+		if !transient(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -75,6 +75,10 @@ const (
 // is zero.
 const DefaultPipelineWorkers = 4
 
+// DefaultMaxGetBatch caps the ops per TGetBatch request when
+// Config.MaxGetBatch is zero.
+const DefaultMaxGetBatch = 1024
+
 // One-sided opcodes.
 const (
 	opRead  = 0x01
@@ -117,6 +121,9 @@ type Config struct {
 	// requests the server processes concurrently. 0 means
 	// DefaultPipelineWorkers.
 	PipelineWorkers int
+	// MaxGetBatch caps how many ops one TGetBatch request may carry; larger
+	// batches are rejected with StError. 0 means DefaultMaxGetBatch.
+	MaxGetBatch int
 	// FaultPlan, when non-nil, wires the crash-point injection subsystem
 	// (internal/fault): the device and the engines' cost sink are wrapped
 	// so every cost charge and every flush/drain counts a boundary, and
@@ -540,6 +547,8 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 		return s.handlePutBatch(m)
 	case wire.TGet:
 		return s.handleGet(m)
+	case wire.TGetBatch:
+		return s.handleGetBatch(m)
 	case wire.TDel:
 		return s.handleDel(m)
 	case wire.TStats:
@@ -621,6 +630,69 @@ func (s *Server) handleGet(m wire.Msg) wire.Msg {
 		Type: wire.TGetResp, Status: wire.StOK,
 		RKey: poolBase + uint32(res.Pool), Off: res.Off, Len: uint64(res.Len), KLen: uint32(res.KLen),
 	}
+}
+
+// handleGetBatch resolves every op of a multi-key GET with one received
+// message and one response. Ops are grouped by owning shard so each
+// shard's engine takes its lock once per batch; client-learned slots pass
+// through as engine lookup hints. Grants come back index-aligned with the
+// ops and carry the resolved slot, version sequence, and durability flag
+// so clients can warm their hint caches.
+func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
+	ops, err := wire.DecodeGetOps(m.Value)
+	if err != nil {
+		return wire.Msg{Type: wire.TGetResults, Status: wire.StError}
+	}
+	max := s.cfg.MaxGetBatch
+	if max <= 0 {
+		max = DefaultMaxGetBatch
+	}
+	if len(ops) > max {
+		return wire.Msg{Type: wire.TGetResults, Status: wire.StError}
+	}
+	grants := make([]wire.GetGrant, len(ops))
+	byShard := make([][]int, s.st.NumShards())
+	for i, op := range ops {
+		sh := kv.ShardOf(kv.HashKey(op.Key), len(byShard))
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, list := range byShard {
+		if len(list) == 0 {
+			continue
+		}
+		keys := make([][]byte, len(list))
+		slots := make([]int, len(list))
+		for j, i := range list {
+			keys[j] = ops[i].Key
+			slots[j] = -1
+			if ops[i].Slot != wire.NoSlot {
+				slots[j] = int(ops[i].Slot)
+			}
+		}
+		_, poolBase := shardRKeys(sh)
+		for j, res := range s.st.Shard(sh).GetBatch(nil, keys, slots) {
+			i := list[j]
+			if res.Status != store.StatusOK {
+				grants[i] = wire.GetGrant{Status: wire.StNotFound}
+				continue
+			}
+			var flags uint8
+			if res.Durable {
+				flags |= wire.GrantDurable
+			}
+			grants[i] = wire.GetGrant{
+				Status: wire.StOK,
+				Flags:  flags,
+				RKey:   poolBase + uint32(res.Pool),
+				Slot:   uint32(res.Slot),
+				Len:    uint32(res.Len),
+				KLen:   uint32(res.KLen),
+				Off:    res.Off,
+				Seq:    res.Seq,
+			}
+		}
+	}
+	return wire.Msg{Type: wire.TGetResults, Status: wire.StOK, Value: wire.EncodeGetGrants(grants)}
 }
 
 func (s *Server) handleDel(m wire.Msg) wire.Msg {

@@ -101,6 +101,11 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 	// No retries: a crash run must see each op's first outcome, not a
 	// masked one. The deadline is a hang safety net only.
 	cl.SetRetryPolicy(RetryPolicy{Attempts: 1, Timeout: 5 * time.Second})
+	if tc.GetBatch {
+		// The batched leg reads through the hint cache so crash points land
+		// inside hinted one-sided reads and their RPC fallbacks too.
+		cl.EnableHintCache(0)
+	}
 
 	oracle := fault.NewOracle()
 	rng := rand.New(rand.NewPCG(tc.Seed, 0xfa17_707e))
@@ -139,11 +144,26 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 			} else if err == nil {
 				oracle.PutAcked(key, val, false)
 			}
-		case kind < 85: // GET: observes durability
+		case kind < 85 && !tc.GetBatch: // GET: observes durability
 			got, err := cl.Get(key)
 			if !plan.Tripped() && err == nil {
 				if v := oracle.ObserveGet(key, got, true); v != "" {
 					violations = append(violations, "live: "+v)
+				}
+			}
+		case kind < 85: // batched GET leg: multi-GET through the hint cache
+			keys := [][]byte{key}
+			for j := 1; j < fault.GetBatchFan; j++ {
+				keys = append(keys, []byte(fmt.Sprintf("key-%02d", rng.IntN(tc.Keys))))
+			}
+			vals, errs := cl.GetBatch(keys)
+			if !plan.Tripped() {
+				for i := range keys {
+					if errs[i] == nil {
+						if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
+							violations = append(violations, "live: "+v)
+						}
+					}
 				}
 			}
 		default: // DEL

@@ -68,3 +68,27 @@ func TestTCPTortureSweep(t *testing.T) {
 		t.Fatalf("sweep ran only %d runs", sr.Runs)
 	}
 }
+
+// TestTCPTortureSweepGetBatch reruns the TCP sweep with the batched
+// multi-GET + hint-cache workload leg. This leg is what exposed the
+// oracle's observation-anchored monotonicity bug (an acked-but-unverified
+// newer PUT was treated as a regression when recovery rolled forward to
+// it), pinned in fault's oracle tests.
+func TestTCPTortureSweepGetBatch(t *testing.T) {
+	cfg := tcpTortureConfig()
+	cfg.GetBatch = true
+	points := 8
+	if testing.Short() {
+		points = 4
+	}
+	sr, err := fault.Sweep(RunTCPTorture, cfg, []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 8 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}

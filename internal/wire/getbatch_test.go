@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestGetOpsRoundTrip(t *testing.T) {
+	ops := []GetOp{
+		{Slot: 17, Key: []byte("alpha")},
+		{Slot: NoSlot, Key: []byte("")},
+		{Slot: 0, Key: bytes.Repeat([]byte{'k'}, 300)},
+	}
+	got, err := DecodeGetOps(EncodeGetOps(ops))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		g := got[i]
+		if g.Slot != op.Slot || !bytes.Equal(g.Key, op.Key) {
+			t.Errorf("op %d: got %+v, want %+v", i, g, op)
+		}
+	}
+}
+
+func TestGetOpsEmptyBatch(t *testing.T) {
+	got, err := DecodeGetOps(EncodeGetOps(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d ops from an empty batch", len(got))
+	}
+}
+
+func TestGetOpsTruncated(t *testing.T) {
+	blob := EncodeGetOps([]GetOp{{Slot: 3, Key: []byte("victim")}})
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeGetOps(blob[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+}
+
+func TestGetGrantsRoundTrip(t *testing.T) {
+	gs := []GetGrant{
+		{Status: StOK, Flags: GrantDurable, RKey: 4, Slot: 9, Len: 320, KLen: 5, Off: 1 << 40, Seq: 77},
+		{Status: StNotFound},
+		{Status: StOK, RKey: 0xffffffff, Slot: NoSlot, Len: 0xffffffff, KLen: 0, Off: 0, Seq: ^uint64(0)},
+	}
+	got, err := DecodeGetGrants(EncodeGetGrants(gs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(gs) {
+		t.Fatalf("decoded %d grants, want %d", len(got), len(gs))
+	}
+	for i := range gs {
+		if got[i] != gs[i] {
+			t.Errorf("grant %d: got %+v, want %+v", i, got[i], gs[i])
+		}
+	}
+	if !got[0].Durable() || got[1].Durable() {
+		t.Fatalf("durable flags mangled: %+v", got)
+	}
+}
+
+func TestGetGrantsTruncated(t *testing.T) {
+	blob := EncodeGetGrants([]GetGrant{{Status: StOK, RKey: 1, Slot: 2, Len: 3, KLen: 4, Off: 5, Seq: 6}})
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeGetGrants(blob[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+}
+
+func TestGetGrantsMisalignedCount(t *testing.T) {
+	// A response whose count field claims more grants than the payload
+	// carries must fail cleanly: an index-misaligned error array would
+	// otherwise map results onto the wrong keys.
+	blob := EncodeGetGrants([]GetGrant{{Status: StOK}, {Status: StNotFound}})
+	binary.LittleEndian.PutUint32(blob, 3)
+	if _, err := DecodeGetGrants(blob); !errors.Is(err, ErrShort) {
+		t.Fatalf("inflated count: err = %v, want ErrShort", err)
+	}
+	// A smaller count than encoded is accepted but must decode exactly
+	// count grants — trailing bytes are the caller's concern.
+	binary.LittleEndian.PutUint32(blob, 1)
+	gs, err := DecodeGetGrants(blob)
+	if err != nil {
+		t.Fatalf("deflated count: %v", err)
+	}
+	if len(gs) != 1 || gs[0].Status != StOK {
+		t.Fatalf("deflated count decoded %+v", gs)
+	}
+}
+
+func TestGetOpsMisalignedCount(t *testing.T) {
+	blob := EncodeGetOps([]GetOp{{Slot: 1, Key: []byte("a")}, {Slot: 2, Key: []byte("b")}})
+	binary.LittleEndian.PutUint32(blob, 5)
+	if _, err := DecodeGetOps(blob); !errors.Is(err, ErrShort) {
+		t.Fatalf("inflated count: err = %v, want ErrShort", err)
+	}
+}
+
+func TestGetBatchTypeValuesStable(t *testing.T) {
+	// Appended-only wire values: TGetBatch/TGetResults must sit after the
+	// PR-4 batch types for cross-version compatibility.
+	if TPutBatch != 22 || TPutBatchResp != 23 || TGetBatch != 24 || TGetResults != 25 {
+		t.Fatalf("wire type values shifted: TPutBatch=%d TPutBatchResp=%d TGetBatch=%d TGetResults=%d",
+			TPutBatch, TPutBatchResp, TGetBatch, TGetResults)
+	}
+}
+
+// FuzzWire drives every batch payload codec with arbitrary bytes: none may
+// panic or over-allocate, and anything accepted must survive a re-encode.
+func FuzzWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeGetOps([]GetOp{{Slot: 1, Key: []byte("k")}, {Slot: NoSlot, Key: []byte("q")}}))
+	f.Add(EncodeGetGrants([]GetGrant{{Status: StOK, Flags: GrantDurable, RKey: 2, Slot: 3, Len: 4, KLen: 1, Off: 5, Seq: 6}}))
+	f.Add(EncodePutOps([]PutOp{{Crc: 9, VLen: 48, Key: []byte("p")}}))
+	f.Add(EncodePutGrants([]PutGrant{{Status: StOK, RKey: 1, Off: 2, Len: 3}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ops, err := DecodeGetOps(data); err == nil {
+			again, err := DecodeGetOps(EncodeGetOps(ops))
+			if err != nil || len(again) != len(ops) {
+				t.Fatalf("get ops re-decode: %v (%d vs %d)", err, len(again), len(ops))
+			}
+			for i := range ops {
+				if again[i].Slot != ops[i].Slot || !bytes.Equal(again[i].Key, ops[i].Key) {
+					t.Fatalf("get op %d round trip mismatch", i)
+				}
+			}
+		}
+		if gs, err := DecodeGetGrants(data); err == nil {
+			again, err := DecodeGetGrants(EncodeGetGrants(gs))
+			if err != nil || len(again) != len(gs) {
+				t.Fatalf("get grants re-decode: %v", err)
+			}
+			for i := range gs {
+				if again[i] != gs[i] {
+					t.Fatalf("get grant %d round trip mismatch", i)
+				}
+			}
+		}
+		if ops, err := DecodePutOps(data); err == nil {
+			if _, err := DecodePutOps(EncodePutOps(ops)); err != nil {
+				t.Fatalf("put ops re-decode: %v", err)
+			}
+		}
+		if gs, err := DecodePutGrants(data); err == nil {
+			if _, err := DecodePutGrants(EncodePutGrants(gs)); err != nil {
+				t.Fatalf("put grants re-decode: %v", err)
+			}
+		}
+	})
+}

@@ -79,6 +79,15 @@ const (
 	// TPutBatchResp answers TPutBatch: Value carries one PutGrant per op
 	// (EncodePutGrants), in request order.
 	TPutBatchResp
+	// TGetBatch asks the server to resolve several keys in one round trip
+	// (the read-side counterpart of TPutBatch). Value carries the ops
+	// encoded by EncodeGetOps; each op may carry the client's cached table
+	// slot so the server can try a slot-hinted lookup first.
+	TGetBatch
+	// TGetResults answers TGetBatch: Value carries one GetGrant per key
+	// (EncodeGetGrants), index-aligned with the request so per-key errors
+	// map back to their ops.
+	TGetResults
 )
 
 // Status codes.
@@ -209,7 +218,7 @@ func DecodePutOps(b []byte) ([]PutOp, error) {
 	}
 	le := binary.LittleEndian
 	count := int(le.Uint32(b))
-	ops := make([]PutOp, 0, count)
+	ops := make([]PutOp, 0, capHint(count, len(b)-4, 12))
 	p := 4
 	for i := 0; i < count; i++ {
 		if len(b) < p+12 {
@@ -261,6 +270,151 @@ func DecodePutGrants(b []byte) ([]PutGrant, error) {
 			RKey:   le.Uint32(b[p+1:]),
 			Off:    le.Uint64(b[p+5:]),
 			Len:    le.Uint32(b[p+13:]),
+		}
+	}
+	return gs, nil
+}
+
+// capHint bounds a decoded element count by what the payload could
+// physically hold (minSize bytes per element), so a corrupt count field
+// cannot drive a huge preallocation.
+func capHint(count, avail, minSize int) int {
+	if max := avail / minSize; count > max {
+		return max
+	}
+	if count < 0 {
+		return 0
+	}
+	return count
+}
+
+// NoSlot in GetOp.Slot means the client has no cached table slot for the
+// key and the server should run a full lookup.
+const NoSlot = ^uint32(0)
+
+// GetOp is one key of a TGetBatch request. Slot optionally carries the
+// client's cached bucket index for the key (NoSlot if unknown); the server
+// verifies the hint against the entry's key hash before trusting it, so a
+// stale slot degrades to a normal lookup rather than a wrong answer.
+type GetOp struct {
+	Slot uint32
+	Key  []byte
+}
+
+// GetGrant flag bits.
+const (
+	// GrantDurable marks the located version as already verified+persisted
+	// (its durability flag is set), so the client may cache the location
+	// for future optimistic reads.
+	GrantDurable uint8 = 1 << 0
+)
+
+// GetGrant is one per-key result of a TGetResults response, index-aligned
+// with the request's ops. A non-OK Status leaves the other fields zero.
+// Slot and Seq let the client refresh its hint cache: Slot is the bucket
+// the key resolved to, Seq the located version's sequence number.
+type GetGrant struct {
+	Status uint8
+	Flags  uint8
+	RKey   uint32
+	Slot   uint32
+	Len    uint32 // total object length
+	KLen   uint32
+	Off    uint64
+	Seq    uint64
+}
+
+// Durable reports the GrantDurable flag.
+func (g *GetGrant) Durable() bool { return g.Flags&GrantDurable != 0 }
+
+// getGrantSize is the fixed wire footprint of one GetGrant.
+const getGrantSize = 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
+
+// EncodeGetOps packs a TGetBatch payload (carried in Msg.Value).
+func EncodeGetOps(ops []GetOp) []byte {
+	n := 4
+	for _, op := range ops {
+		n += 8 + len(op.Key)
+	}
+	b := make([]byte, n)
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(len(ops)))
+	p := 4
+	for _, op := range ops {
+		le.PutUint32(b[p:], op.Slot)
+		le.PutUint32(b[p+4:], uint32(len(op.Key)))
+		copy(b[p+8:], op.Key)
+		p += 8 + len(op.Key)
+	}
+	return b
+}
+
+// DecodeGetOps unpacks a TGetBatch payload.
+func DecodeGetOps(b []byte) ([]GetOp, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: get batch header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	ops := make([]GetOp, 0, capHint(count, len(b)-4, 8))
+	p := 4
+	for i := 0; i < count; i++ {
+		if len(b) < p+8 {
+			return nil, fmt.Errorf("%w: get op %d", ErrShort, i)
+		}
+		slot := le.Uint32(b[p:])
+		klen := int(le.Uint32(b[p+4:]))
+		if klen < 0 || len(b) < p+8+klen {
+			return nil, fmt.Errorf("%w: get op %d key", ErrShort, i)
+		}
+		ops = append(ops, GetOp{Slot: slot, Key: b[p+8 : p+8+klen : p+8+klen]})
+		p += 8 + klen
+	}
+	return ops, nil
+}
+
+// EncodeGetGrants packs a TGetResults payload (carried in Msg.Value).
+func EncodeGetGrants(gs []GetGrant) []byte {
+	b := make([]byte, 4+getGrantSize*len(gs))
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(len(gs)))
+	p := 4
+	for _, g := range gs {
+		b[p] = g.Status
+		b[p+1] = g.Flags
+		le.PutUint32(b[p+2:], g.RKey)
+		le.PutUint32(b[p+6:], g.Slot)
+		le.PutUint32(b[p+10:], g.Len)
+		le.PutUint32(b[p+14:], g.KLen)
+		le.PutUint64(b[p+18:], g.Off)
+		le.PutUint64(b[p+26:], g.Seq)
+		p += getGrantSize
+	}
+	return b
+}
+
+// DecodeGetGrants unpacks a TGetResults payload.
+func DecodeGetGrants(b []byte) ([]GetGrant, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: get grant header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	if len(b) < 4+getGrantSize*count {
+		return nil, fmt.Errorf("%w: %d get grants in %d bytes", ErrShort, count, len(b))
+	}
+	gs := make([]GetGrant, count)
+	for i := range gs {
+		p := 4 + getGrantSize*i
+		gs[i] = GetGrant{
+			Status: b[p],
+			Flags:  b[p+1],
+			RKey:   le.Uint32(b[p+2:]),
+			Slot:   le.Uint32(b[p+6:]),
+			Len:    le.Uint32(b[p+10:]),
+			KLen:   le.Uint32(b[p+14:]),
+			Off:    le.Uint64(b[p+18:]),
+			Seq:    le.Uint64(b[p+26:]),
 		}
 	}
 	return gs, nil
