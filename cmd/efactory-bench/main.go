@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, ablate, sensitivity, rcommit, torture, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, ablate, sensitivity, rcommit, rebalance, torture, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	jsondir := flag.String("jsondir", "", "write each figure's raw results as BENCH_<fig>.json in this directory")
 	flag.Parse()
@@ -118,6 +118,17 @@ func main() {
 	if *fig == "rcommit" {
 		any = true
 		run("rcommit extension", func() { bench.ExtensionRCommit(os.Stdout, &par, sc) })
+	}
+	if *fig == "rebalance" {
+		any = true
+		run("rebalance", func() {
+			rs, err := bench.FigRebalance(os.Stdout, bench.DefaultRebalanceSpec(*scale == "quick"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rebalance: %v\n", err)
+				os.Exit(1)
+			}
+			save("rebalance", rs)
+		})
 	}
 	if *fig == "torture" {
 		any = true

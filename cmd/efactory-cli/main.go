@@ -8,7 +8,14 @@
 //	efactory-cli [-addr host:7420] stats [-json]
 //	efactory-cli [-addr host:7420] metrics [-json]
 //	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0]
+//	efactory-cli [-addr host:7420] map [-json]
+//	efactory-cli [-addr host:7420] migrate <pg> <target-instance>
 //	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0]
+//
+// map prints the addressed server's current epoch-versioned cluster map
+// (placement-group ownership per instance). migrate asks the addressed
+// server — which must own the named placement group — to migrate it
+// online to the target instance, and prints the cutover summary.
 //
 // metrics prints the server's per-op latency histograms (merged across
 // shards) and key gauges; -json dumps the raw telemetry snapshot. top
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,6 +100,26 @@ func main() {
 		iters := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
 		fs.Parse(args[1:])
 		runTop(cl, *interval, *iters)
+	case "map":
+		fs := flag.NewFlagSet("map", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit JSON")
+		fs.Parse(args[1:])
+		runMap(cl, *asJSON)
+	case "migrate":
+		if len(args) != 3 {
+			usage()
+		}
+		pg, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatal("migrate: bad placement group %q", args[1])
+		}
+		sum, err := cl.MigrateRPC(pg, args[2])
+		if err != nil {
+			fatal("migrate: %v", err)
+		}
+		fmt.Printf("migrated pg %d to %q: map epoch %d, %d snapshot + %d drained + %d blocked keys, %d purged, blocked for %s\n",
+			sum.PG, sum.Target, sum.Epoch,
+			sum.SnapshotKeys, sum.DrainKeys, sum.BlockedKeys, sum.Purged, sum.BlockedFor)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 10000, "operations")
@@ -104,6 +132,35 @@ func main() {
 		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *pipeline)
 	default:
 		usage()
+	}
+}
+
+// runMap prints the server's current cluster map: epoch, instances, and
+// which placement groups each instance owns.
+func runMap(cl *tcpkv.Client, asJSON bool) {
+	m, err := cl.ClusterMapRPC()
+	if err != nil {
+		fatal("map: %v (is clustering enabled? start the server with -instance)", err)
+	}
+	if asJSON {
+		blob, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fatal("map: %v", err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	fmt.Printf("epoch %d, %d placement groups, %d instances\n", m.Epoch, m.PGs, len(m.Instances))
+	owned := make(map[string][]string)
+	for pg, name := range m.Assign {
+		owned[name] = append(owned[name], fmt.Sprintf("%d", pg))
+	}
+	for _, in := range m.Instances {
+		pgs := "-"
+		if len(owned[in.Name]) > 0 {
+			pgs = strings.Join(owned[in.Name], ",")
+		}
+		fmt.Printf("  %-12s %-21s pgs %s\n", in.Name, in.Addr, pgs)
 	}
 }
 
@@ -351,7 +408,7 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pi
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|bench ...")
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|map|migrate|bench ...")
 	os.Exit(2)
 }
 

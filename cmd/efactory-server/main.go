@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420] [-instance name [-join host:7420] [-pgs 16] [-advertise host:port]]
 //
 // -bg-batch > 1 lets the background verifier group-verify and group-flush
 // up to that many contiguous objects per run; -pipeline-workers bounds the
 // concurrent in-flight RPCs served per pipelined client connection;
 // -max-get-batch caps how many keys one multi-GET request may carry.
+//
+// -instance enables the cluster placement layer: alone it bootstraps a
+// new epoch-versioned cluster map with -pgs placement groups, all owned
+// by this instance; with -join it instead joins the cluster reachable at
+// that address, owning nothing until a migration (efactory-cli migrate)
+// hands it placement groups. -advertise sets the address written into the
+// map when -addr does not name a host peers can dial.
 //
 // With -metrics-addr set, the server also serves HTTP telemetry:
 // Prometheus text on /metrics, the full JSON snapshot on /debug/vars, the
@@ -19,9 +26,11 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"efactory/internal/nvm"
@@ -39,7 +48,14 @@ func main() {
 	pipeWorkers := flag.Int("pipeline-workers", tcpkv.DefaultPipelineWorkers, "concurrent RPCs served per pipelined client connection")
 	maxGetBatch := flag.Int("max-get-batch", 0, "max keys per multi-GET request (0 = built-in default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (JSON), and /debug/pprof on this address; empty disables")
+	instance := flag.String("instance", "", "cluster instance name; enables the epoch-versioned cluster map layer")
+	join := flag.String("join", "", "address of an existing cluster member to join (requires -instance)")
+	pgs := flag.Int("pgs", 16, "placement groups when bootstrapping a new cluster map (ignored with -join)")
+	advertise := flag.String("advertise", "", "address peers and routed clients reach this server at (default: -addr, with 127.0.0.1 filled in for an empty host)")
 	flag.Parse()
+	if *join != "" && *instance == "" {
+		log.Fatalf("-join requires -instance")
+	}
 
 	cfg := tcpkv.DefaultConfig()
 	cfg.Buckets = *buckets
@@ -86,8 +102,42 @@ func main() {
 		srv.Close()
 	}()
 
+	// Bind before any cluster join so the advertised address is live by
+	// the time peers learn it from the map.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	if *instance != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = *addr
+			if strings.HasPrefix(adv, ":") {
+				adv = "127.0.0.1" + adv
+			}
+		}
+		if *join == "" {
+			srv.EnableCluster(*instance, adv, *pgs)
+			log.Printf("cluster: bootstrapped map with %d placement groups; instance %q at %s owns all", *pgs, *instance, adv)
+		} else {
+			srv.SetInstanceName(*instance, adv)
+			seed, err := tcpkv.Dial(*join)
+			if err != nil {
+				log.Fatalf("join %s: %v", *join, err)
+			}
+			m, err := seed.JoinRPC(*instance, adv)
+			seed.Close()
+			if err != nil {
+				log.Fatalf("join %s: %v", *join, err)
+			}
+			srv.SetClusterMap(m)
+			log.Printf("cluster: joined via %s as instance %q at %s (map epoch %d, %d instances); owns nothing until a migration",
+				*join, *instance, adv, m.Epoch, len(m.Instances))
+		}
+	}
+
 	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 	srv.Close()

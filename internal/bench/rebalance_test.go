@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigRebalance smoke-runs the rebalance figure at quick scale: three
+// phases reported, migrations actually shipped keys, and the converged
+// after-phase drew zero wrong-epoch rejects (FigRebalance errors on any).
+func TestFigRebalance(t *testing.T) {
+	spec := DefaultRebalanceSpec(true)
+	if testing.Short() {
+		spec.PhaseOps = 300
+	}
+	var buf bytes.Buffer
+	rs, err := FigRebalance(&buf, spec)
+	if err != nil {
+		t.Fatalf("rebalance: %v\n%s", err, buf.String())
+	}
+	if len(rs) != 3 || rs[0].Phase != "before" || rs[1].Phase != "during" || rs[2].Phase != "after" {
+		t.Fatalf("phases = %+v", rs)
+	}
+	for _, r := range rs {
+		if r.Ops == 0 || r.Mops == 0 {
+			t.Fatalf("empty phase %q: %+v", r.Phase, r)
+		}
+	}
+	if rs[1].KeysMoved == 0 {
+		t.Fatalf("migrations shipped zero keys:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "during") {
+		t.Fatalf("table missing during row:\n%s", buf.String())
+	}
+}

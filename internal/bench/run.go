@@ -55,7 +55,15 @@ type Result struct {
 	Pipeline int `json:",omitempty"`
 	// Hint marks runs reading through the client-side location/durability
 	// hint cache. Set by the multi-GET experiment only.
-	Hint    bool `json:",omitempty"`
+	Hint bool `json:",omitempty"`
+	// Phase labels one window of the rebalance experiment: "before",
+	// "during", or "after" the online migration. Set by FigRebalance only.
+	Phase string `json:",omitempty"`
+	// WrongEpoch and KeysMoved are the cluster-layer counters for a
+	// rebalance phase: rejects drawn by stale routed clients during the
+	// window, and keys the migrations shipped. Set by FigRebalance only.
+	WrongEpoch uint64 `json:",omitempty"`
+	KeysMoved  uint64 `json:",omitempty"`
 	Elapsed time.Duration
 	Mops    float64
 	Mean    time.Duration

@@ -1,0 +1,74 @@
+// Package cluster is the placement layer: it owns every mapping from a
+// key to the thing that stores it. Three levels exist, from coarse to
+// fine:
+//
+//   - key → placement group (PGOf): the unit of cluster-wide ownership
+//     and migration. A placement group (PG) is a salted hash slice of the
+//     keyspace; the ClusterMap assigns each PG to one named instance.
+//   - key → instance (Map.InstanceForKey): PG assignment looked up in an
+//     epoch-versioned Map.
+//   - key → local shard (ShardOf/ShardFor): within one instance, the
+//     engine split every transport already used. This helper moved here
+//     from internal/kv so the server-side store and both clients route
+//     through one exported function instead of three copies of the same
+//     finalizer.
+//
+// The three levels are deliberately decorrelated: BucketIndex consumes
+// the raw FNV low bits (hash % buckets), ShardOf re-mixes with a 64-bit
+// finalizer, and PGOf salts the hash before the same finalizer so that a
+// PG never maps onto a single local shard (a migrated PG's keys spread
+// across all of the target's shards, like any other traffic).
+package cluster
+
+import "efactory/internal/kv"
+
+// pgSalt decorrelates placement-group selection from shard selection.
+// Without it PGOf and ShardOf would apply the same finalizer to the same
+// hash, making PG index and shard index equal whenever PGs == Shards.
+const pgSalt = 0x9e3779b97f4a7c15
+
+// Mix64 is the 64-bit avalanche finalizer (the murmur3/splitmix tail)
+// shared by shard and placement-group routing. FNV-1a distributes its
+// low bits well but leaves the high bits nearly constant across short,
+// similar keys; the finalizer spreads every input bit across the word.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ShardOf maps a key hash to its owning local shard. The hash is
+// re-mixed first: shard routing must not reuse the raw low bits because
+// BucketIndex consumes them (hash % buckets) — that would make every
+// shard's table see only a 1/Shards-dense stripe of bucket indexes.
+func ShardOf(hash uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(Mix64(hash) % uint64(shards))
+}
+
+// ShardFor is the one key→shard helper every layer shares: the store's
+// request fan-out, the simulated client, and the TCP client all call
+// this, so their splits can never drift apart.
+func ShardFor(key []byte, shards int) int {
+	return ShardOf(kv.HashKey(key), shards)
+}
+
+// PGOf maps a key hash to its placement group. The salt keeps PG choice
+// decorrelated from both bucket choice (raw low bits) and shard choice
+// (unsalted finalizer).
+func PGOf(hash uint64, pgs int) int {
+	if pgs <= 1 {
+		return 0
+	}
+	return int(Mix64(hash^pgSalt) % uint64(pgs))
+}
+
+// PGForKey maps a key to its placement group.
+func PGForKey(key []byte, pgs int) int {
+	return PGOf(kv.HashKey(key), pgs)
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"efactory/internal/kv"
+)
+
+func TestShardOfBoundsAndSpread(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		counts := make([]int, shards)
+		for i := 0; i < 4096; i++ {
+			s := ShardOf(kv.HashKey([]byte(fmt.Sprintf("key-%d", i))), shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf out of range: %d (shards %d)", s, shards)
+			}
+			counts[s]++
+		}
+		// Sequential short keys must spread: no shard may be starved
+		// below half its fair share.
+		for s, n := range counts {
+			if n < 4096/shards/2 {
+				t.Errorf("shards=%d: shard %d got %d of 4096 keys", shards, s, n)
+			}
+		}
+	}
+}
+
+func TestShardForMatchesShardOf(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if ShardFor(key, 8) != ShardOf(kv.HashKey(key), 8) {
+			t.Fatalf("ShardFor diverged from ShardOf for %q", key)
+		}
+	}
+}
+
+func TestPGOfSpreadAndDecorrelation(t *testing.T) {
+	const pgs, n = 8, 4096
+	counts := make([]int, pgs)
+	same := 0
+	for i := 0; i < n; i++ {
+		h := kv.HashKey([]byte(fmt.Sprintf("key-%d", i)))
+		pg := PGOf(h, pgs)
+		if pg < 0 || pg >= pgs {
+			t.Fatalf("PGOf out of range: %d", pg)
+		}
+		counts[pg]++
+		if pg == ShardOf(h, pgs) {
+			same++
+		}
+	}
+	for pg, c := range counts {
+		if c < n/pgs/2 {
+			t.Errorf("PG %d starved: %d of %d keys", pg, c, n)
+		}
+	}
+	// With PGs == Shards an unsalted PGOf would agree with ShardOf on
+	// every key; the salt must push agreement down to chance (~1/pgs).
+	if same > n/pgs*2 {
+		t.Errorf("PGOf correlates with ShardOf: %d/%d keys agree", same, n)
+	}
+}
+
+func TestSingleInstanceMapOwnsEverything(t *testing.T) {
+	m := SingleInstance("a", "127.0.0.1:1", 16)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", m.Epoch)
+	}
+	for i := 0; i < 512; i++ {
+		h := kv.HashKey([]byte(fmt.Sprintf("key-%d", i)))
+		if !m.Owns("a", h) {
+			t.Fatalf("single-instance map does not own key-%d", i)
+		}
+	}
+	in, pg, ok := m.InstanceForKey([]byte("k"))
+	if !ok || in.Name != "a" || pg < 0 || pg >= 16 {
+		t.Fatalf("InstanceForKey = %+v pg=%d ok=%v", in, pg, ok)
+	}
+}
+
+func TestMapMutatorsBumpEpochAndDeepCopy(t *testing.T) {
+	m := SingleInstance("a", "addr-a", 4)
+	m2 := m.WithInstance("b", "addr-b")
+	if m2.Epoch != 2 || len(m2.Instances) != 2 {
+		t.Fatalf("WithInstance: epoch=%d instances=%d", m2.Epoch, len(m2.Instances))
+	}
+	if len(m2.OwnedPGs("b")) != 0 {
+		t.Fatal("joining instance must own nothing")
+	}
+	m3 := m2.WithAssign(2, "b")
+	if m3.Epoch != 3 || m3.Assign[2] != "b" {
+		t.Fatalf("WithAssign: epoch=%d assign=%v", m3.Epoch, m3.Assign)
+	}
+	if m2.Assign[2] != "a" || m.Epoch != 1 {
+		t.Fatal("mutators aliased the parent map")
+	}
+	if got := m3.OwnedPGs("b"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("OwnedPGs(b) = %v", got)
+	}
+	if err := m3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapEncodeDecodeRoundTrip(t *testing.T) {
+	m := SingleInstance("a", "addr-a", 8).WithInstance("b", "addr-b").WithAssign(5, "b")
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.PGs != m.PGs {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	for pg := range m.Assign {
+		if got.Assign[pg] != m.Assign[pg] {
+			t.Fatalf("assign[%d] = %q, want %q", pg, got.Assign[pg], m.Assign[pg])
+		}
+	}
+	if _, err := DecodeMap([]byte(`{"epoch":1,"pgs":2,"assign":["x","x"],"instances":[]}`)); err == nil {
+		t.Fatal("DecodeMap accepted map with unknown assignee")
+	}
+	if _, err := DecodeMap([]byte(`not json`)); err == nil {
+		t.Fatal("DecodeMap accepted garbage")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []*Map{
+		nil,
+		{Epoch: 0, PGs: 1, Assign: []string{"a"}, Instances: []Instance{{Name: "a"}}},
+		{Epoch: 1, PGs: 2, Assign: []string{"a"}, Instances: []Instance{{Name: "a"}}},
+		{Epoch: 1, PGs: 1, Assign: []string{"a"}, Instances: []Instance{{Name: "a"}, {Name: "a"}}},
+		{Epoch: 1, PGs: 1, Assign: []string{"b"}, Instances: []Instance{{Name: "a"}}},
+		{Epoch: 1, PGs: 1, Assign: []string{""}, Instances: []Instance{{Name: ""}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid map", i)
+		}
+	}
+}
+
+func TestRouterEpochGuard(t *testing.T) {
+	var r Router
+	if r.Current() != nil {
+		t.Fatal("cold router not nil")
+	}
+	m1 := SingleInstance("a", "addr", 4)
+	if !r.Install(m1) {
+		t.Fatal("install into cold cache refused")
+	}
+	// Re-offering the same epoch (or older) must be refused.
+	if r.Install(SingleInstance("a", "other", 4)) {
+		t.Fatal("stale install accepted")
+	}
+	// A wrong-epoch at the cache's own epoch keeps the map: that is the
+	// blocked-cutover window, not staleness.
+	if r.Observe(m1.Epoch) || r.Current() == nil {
+		t.Fatal("same-epoch observe dropped the map")
+	}
+	// A strictly newer epoch proves staleness and drops the cache.
+	if !r.Observe(m1.Epoch+1) || r.Current() != nil {
+		t.Fatal("newer-epoch observe kept the map")
+	}
+	m2 := m1.WithInstance("b", "addr-b")
+	if !r.Install(m2) {
+		t.Fatal("install of newer map refused")
+	}
+	r.Invalidate()
+	if r.Current() != nil {
+		t.Fatal("Invalidate kept the map")
+	}
+	st := r.Stats()
+	if st.Installs != 2 || st.Rejected != 1 || st.Invalidations != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

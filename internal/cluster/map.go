@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Instance names one server process in the cluster. Name is the stable
+// identity ownership is expressed in; Addr is where its tcpkv listener
+// currently lives.
+type Instance struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Map is the epoch-versioned cluster map: an assignment of every
+// placement group to one named instance. Maps are immutable once built —
+// every change (join, migration cutover) produces a new Map with a
+// strictly larger Epoch via the With* constructors, so "newer" is always
+// decidable by comparing epochs and a map can be shared across
+// goroutines without locks.
+//
+// Epoch rules:
+//   - Epochs only grow. An instance (or client cache) replaces its map
+//     only when offered a strictly larger epoch.
+//   - Whoever mutates the map bumps the epoch exactly once per change
+//     and installs the new map on the gaining party before the losing
+//     party, so at every instant at least one instance acks ownership of
+//     any PG under the newest epoch either side has seen.
+//   - The map is advisory for clients, authoritative for servers: a
+//     server rejects keys outside its owned PGs with StWrongEpoch and
+//     its current epoch, and clients refetch rather than argue.
+type Map struct {
+	Epoch     uint64     `json:"epoch"`
+	PGs       int        `json:"pgs"`
+	Assign    []string   `json:"assign"` // PG index -> instance name
+	Instances []Instance `json:"instances"`
+}
+
+// SingleInstance builds the epoch-1 map of a standalone clustered server:
+// one instance owning every placement group.
+func SingleInstance(name, addr string, pgs int) *Map {
+	if pgs < 1 {
+		pgs = 1
+	}
+	assign := make([]string, pgs)
+	for i := range assign {
+		assign[i] = name
+	}
+	return &Map{
+		Epoch:     1,
+		PGs:       pgs,
+		Assign:    assign,
+		Instances: []Instance{{Name: name, Addr: addr}},
+	}
+}
+
+// Validate checks internal consistency: every PG assigned, every
+// assignment naming a known instance, no duplicate names.
+func (m *Map) Validate() error {
+	if m == nil {
+		return errors.New("cluster: nil map")
+	}
+	if m.Epoch == 0 {
+		return errors.New("cluster: epoch must be >= 1")
+	}
+	if m.PGs < 1 || len(m.Assign) != m.PGs {
+		return fmt.Errorf("cluster: %d PGs but %d assignments", m.PGs, len(m.Assign))
+	}
+	seen := make(map[string]bool, len(m.Instances))
+	for _, in := range m.Instances {
+		if in.Name == "" {
+			return errors.New("cluster: instance with empty name")
+		}
+		if seen[in.Name] {
+			return fmt.Errorf("cluster: duplicate instance %q", in.Name)
+		}
+		seen[in.Name] = true
+	}
+	for pg, name := range m.Assign {
+		if !seen[name] {
+			return fmt.Errorf("cluster: PG %d assigned to unknown instance %q", pg, name)
+		}
+	}
+	return nil
+}
+
+// AddrOf returns the address of the named instance.
+func (m *Map) AddrOf(name string) (string, bool) {
+	for _, in := range m.Instances {
+		if in.Name == name {
+			return in.Addr, true
+		}
+	}
+	return "", false
+}
+
+// InstanceForPG returns the instance owning placement group pg.
+func (m *Map) InstanceForPG(pg int) (Instance, bool) {
+	if pg < 0 || pg >= len(m.Assign) {
+		return Instance{}, false
+	}
+	name := m.Assign[pg]
+	for _, in := range m.Instances {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Instance{}, false
+}
+
+// InstanceForKey routes a key: its PG, and the instance owning that PG.
+func (m *Map) InstanceForKey(key []byte) (Instance, int, bool) {
+	pg := PGForKey(key, m.PGs)
+	in, ok := m.InstanceForPG(pg)
+	return in, pg, ok
+}
+
+// Owns reports whether the named instance owns the PG of the given key
+// hash under this map.
+func (m *Map) Owns(name string, hash uint64) bool {
+	pg := PGOf(hash, m.PGs)
+	return pg < len(m.Assign) && m.Assign[pg] == name
+}
+
+// OwnedPGs lists the placement groups assigned to name.
+func (m *Map) OwnedPGs(name string) []int {
+	var pgs []int
+	for pg, owner := range m.Assign {
+		if owner == name {
+			pgs = append(pgs, pg)
+		}
+	}
+	return pgs
+}
+
+// clone deep-copies the map so With* constructors never alias a shared
+// instance's slices.
+func (m *Map) clone() *Map {
+	n := &Map{Epoch: m.Epoch, PGs: m.PGs}
+	n.Assign = append([]string(nil), m.Assign...)
+	n.Instances = append([]Instance(nil), m.Instances...)
+	return n
+}
+
+// WithInstance returns a new map at epoch+1 with the named instance
+// added (or its address updated). Assignments are unchanged: a joining
+// instance owns nothing until a migration moves PGs onto it.
+func (m *Map) WithInstance(name, addr string) *Map {
+	n := m.clone()
+	n.Epoch++
+	for i := range n.Instances {
+		if n.Instances[i].Name == name {
+			n.Instances[i].Addr = addr
+			return n
+		}
+	}
+	n.Instances = append(n.Instances, Instance{Name: name, Addr: addr})
+	return n
+}
+
+// WithAssign returns a new map at epoch+1 with pg reassigned to target.
+// This is the migration cutover step.
+func (m *Map) WithAssign(pg int, target string) *Map {
+	n := m.clone()
+	n.Epoch++
+	if pg >= 0 && pg < len(n.Assign) {
+		n.Assign[pg] = target
+	}
+	return n
+}
+
+// Encode serializes the map for the TClusterMap wire payload.
+func (m *Map) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Map has no unmarshalable fields; this cannot happen.
+		panic("cluster: encode: " + err.Error())
+	}
+	return b
+}
+
+// DecodeMap parses and validates a wire payload produced by Encode.
+func DecodeMap(b []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("cluster: decode map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

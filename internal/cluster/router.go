@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// WrongEpochError is the routed-op rejection a server returns when a key
+// falls outside its owned placement groups: the op was not applied, and
+// Epoch is the server's current map epoch. A client receiving it must
+// treat its cached map as suspect — refetch and retry — never argue.
+type WrongEpochError struct {
+	Epoch uint64
+}
+
+func (e *WrongEpochError) Error() string {
+	return fmt.Sprintf("cluster: wrong epoch (server at epoch %d)", e.Epoch)
+}
+
+// Router is the client-side epoch-guarded map cache. Like the hint cache
+// it is advisory-never-authoritative: the cached map may be arbitrarily
+// stale, correctness comes from servers rejecting misrouted ops with
+// WrongEpochError and the client refetching. Install only ever moves the
+// epoch forward; Observe drops the cache when a server proves a newer
+// epoch exists.
+type Router struct {
+	mu sync.RWMutex
+	m  *Map
+
+	// Counters (atomic; read via Stats) mirror the hint cache's style so
+	// bench and obs can report cache behavior.
+	installs      atomic.Uint64 // maps accepted by Install
+	rejected      atomic.Uint64 // stale maps refused by Install
+	invalidations atomic.Uint64 // cache drops triggered by Observe
+}
+
+// Current returns the cached map, or nil when the cache is cold or was
+// invalidated.
+func (r *Router) Current() *Map {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
+
+// Install offers a freshly fetched map. It is accepted only if the cache
+// is empty or the offered epoch is strictly larger — concurrent fetches
+// can finish out of order, and the cache must never move backwards.
+func (r *Router) Install(m *Map) bool {
+	if m == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m != nil && m.Epoch <= r.m.Epoch {
+		r.rejected.Add(1)
+		return false
+	}
+	r.m = m
+	r.installs.Add(1)
+	return true
+}
+
+// Observe records a WrongEpochError's epoch. If the server proved a
+// strictly newer epoch than the cached map, the cache is dropped (the
+// next routing decision must refetch) and Observe reports true. A
+// rejection at the cache's own epoch keeps the map: the op was refused
+// by the current owner (a migration's blocked cutover window), and the
+// right response is backoff + retry against the same map.
+func (r *Router) Observe(epoch uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil || epoch <= r.m.Epoch {
+		return false
+	}
+	r.m = nil
+	r.invalidations.Add(1)
+	return true
+}
+
+// Invalidate unconditionally drops the cached map.
+func (r *Router) Invalidate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m != nil {
+		r.m = nil
+		r.invalidations.Add(1)
+	}
+}
+
+// RouterStats is a point-in-time counter snapshot.
+type RouterStats struct {
+	Installs      uint64
+	Rejected      uint64
+	Invalidations uint64
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Installs:      r.installs.Load(),
+		Rejected:      r.rejected.Load(),
+		Invalidations: r.invalidations.Load(),
+	}
+}

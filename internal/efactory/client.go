@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"efactory/internal/cluster"
 	"efactory/internal/crc"
 	"efactory/internal/hint"
 	"efactory/internal/kv"
@@ -47,7 +48,7 @@ type shardGeom struct {
 // Client is an eFactory client: it performs PUT with the client-active
 // scheme (RPC allocation + one-sided value write) and GET with the hybrid
 // read scheme, routing each key to its owning shard by the same hash
-// split the server uses (kv.ShardOf).
+// split the server uses (cluster.ShardOf).
 type Client struct {
 	env      *sim.Env
 	par      *model.Params
@@ -254,7 +255,7 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 // mismatch from probing).
 func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err error) {
 	keyHash := kv.HashKey(key)
-	g := c.shards[kv.ShardOf(keyHash, len(c.shards))]
+	g := c.shards[cluster.ShardOf(keyHash, len(c.shards))]
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
@@ -303,7 +304,7 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 		return nil, false, nil // torn metadata; fall back
 	}
 	if c.hints != nil {
-		shard := kv.ShardOf(keyHash, len(c.shards))
+		shard := cluster.ShardOf(keyHash, len(c.shards))
 		c.hints.Insert(shard, key, hint.Entry{
 			Slot: slot, Pool: pool, Off: off, Len: totalLen,
 			KLen: h.KLen, Seq: h.Seq, Durable: true,

@@ -13,19 +13,19 @@ import (
 	"efactory/internal/wire"
 )
 
-type cluster struct {
+type simCluster struct {
 	env     *sim.Env
 	par     model.Params
 	srv     *Server
 	clients []*Client
 }
 
-func newCluster(t *testing.T, cfg Config, nClients int) *cluster {
+func newCluster(t *testing.T, cfg Config, nClients int) *simCluster {
 	t.Helper()
 	env := sim.NewEnv(7)
 	par := model.Default()
 	srv := NewServer(env, &par, cfg)
-	c := &cluster{env: env, par: par, srv: srv}
+	c := &simCluster{env: env, par: par, srv: srv}
 	for i := 0; i < nClients; i++ {
 		c.clients = append(c.clients, srv.AttachClient(fmt.Sprintf("client-%d", i)))
 	}
@@ -34,7 +34,7 @@ func newCluster(t *testing.T, cfg Config, nClients int) *cluster {
 
 // run executes fn as a simulated process, stops the server afterwards, and
 // drains the simulation.
-func (c *cluster) run(fn func(p *sim.Proc)) {
+func (c *simCluster) run(fn func(p *sim.Proc)) {
 	c.env.Go("test", func(p *sim.Proc) {
 		fn(p)
 		c.srv.Stop()

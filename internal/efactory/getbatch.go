@@ -3,6 +3,7 @@ package efactory
 import (
 	"fmt"
 
+	"efactory/internal/cluster"
 	"efactory/internal/hint"
 	"efactory/internal/kv"
 	"efactory/internal/rnic"
@@ -31,7 +32,7 @@ func (c *Client) noteLocation(key []byte, pool uint32, off uint64, tlen, klen in
 	if c.hints == nil {
 		return
 	}
-	shard := kv.ShardOf(kv.HashKey(key), len(c.shards))
+	shard := cluster.ShardFor(key, len(c.shards))
 	slot := -1
 	if prev, ok := c.hints.Peek(shard, key); ok {
 		slot = prev.Slot
@@ -46,7 +47,7 @@ func (c *Client) dropHint(key []byte) {
 	if c.hints == nil {
 		return
 	}
-	c.hints.Invalidate(kv.ShardOf(kv.HashKey(key), len(c.shards)), key)
+	c.hints.Invalidate(cluster.ShardFor(key, len(c.shards)), key)
 }
 
 // hintedRead outcomes.
@@ -64,7 +65,7 @@ const (
 // the entry's location before the usual durability/key checks.
 func (c *Client) hintedRead(p *sim.Proc, key []byte) ([]byte, int, error) {
 	keyHash := kv.HashKey(key)
-	shard := kv.ShardOf(keyHash, len(c.shards))
+	shard := cluster.ShardOf(keyHash, len(c.shards))
 	h, ok := c.hints.Lookup(shard, key)
 	if !ok {
 		return nil, hrMiss, nil
@@ -185,7 +186,7 @@ func (c *Client) GetBatch(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
 	for i, k := range keys {
 		st := &sts[i]
 		st.keyHash = kv.HashKey(k)
-		st.shard = kv.ShardOf(st.keyHash, len(c.shards))
+		st.shard = cluster.ShardOf(st.keyHash, len(c.shards))
 		st.slot = -1
 		if !optimistic {
 			st.fallback = true

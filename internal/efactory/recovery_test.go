@@ -13,7 +13,7 @@ import (
 // crashAt schedules a full node crash (NIC down + server stop) at t, runs
 // the simulation, applies the NVM eviction model, and returns a recovered
 // server in a fresh environment.
-func crashAndRecover(c *cluster, t time.Duration, survival float64) (*sim.Env, *Server, RecoveryStats) {
+func crashAndRecover(c *simCluster, t time.Duration, survival float64) (*sim.Env, *Server, RecoveryStats) {
 	c.env.After(t, func() {
 		c.srv.NIC().Crash()
 		c.srv.Stop()

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"efactory/internal/cluster"
 	"efactory/internal/fault"
 	"efactory/internal/kv"
 	"efactory/internal/model"
@@ -287,7 +288,7 @@ func (s *Server) worker(p *sim.Proc) {
 			continue
 		}
 		s.busy(p, s.par.DispatchCost)
-		shard := kv.ShardOf(kv.HashKey(m.Key), s.st.NumShards())
+		shard := cluster.ShardFor(m.Key, s.st.NumShards())
 		eng := s.st.Shard(shard)
 		switch m.Type {
 		case wire.TPut:
@@ -339,7 +340,7 @@ func (s *Server) handlePutBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
 	}
 	grants := make([]wire.PutGrant, len(ops))
 	for i, op := range ops {
-		shard := kv.ShardOf(kv.HashKey(op.Key), s.st.NumShards())
+		shard := cluster.ShardFor(op.Key, s.st.NumShards())
 		eng := s.st.Shard(shard)
 		res := eng.Put(p, op.Key, op.VLen, op.Crc)
 		if res.Status != store.StatusOK {
@@ -396,7 +397,7 @@ func (s *Server) handleGetBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
 	grants := make([]wire.GetGrant, len(ops))
 	byShard := make([][]int, s.st.NumShards())
 	for i, op := range ops {
-		sh := kv.ShardOf(kv.HashKey(op.Key), len(byShard))
+		sh := cluster.ShardFor(op.Key, len(byShard))
 		byShard[sh] = append(byShard[sh], i)
 	}
 	for sh, list := range byShard {

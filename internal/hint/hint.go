@@ -33,25 +33,35 @@ type Entry struct {
 	KLen    int    // key length recorded in the object header
 	Seq     uint64 // version sequence number
 	Durable bool   // durability flag when last observed
+	epoch   uint64 // cluster-map epoch the hint was learned under
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits      uint64 // lookups that found a cached entry
-	Misses    uint64 // lookups that found nothing
-	Stale     uint64 // cached entries invalidated after failing validation
-	Inserts   uint64 // entries stored or refreshed
-	Evictions uint64 // entries displaced by the per-shard capacity bound
+	Hits         uint64 // lookups that found a cached entry
+	Misses       uint64 // lookups that found nothing
+	Stale        uint64 // cached entries invalidated after failing validation
+	Inserts      uint64 // entries stored or refreshed
+	Evictions    uint64 // entries displaced by the per-shard capacity bound
+	EpochDropped uint64 // entries bulk-invalidated by a cluster epoch change
 }
 
 // Cache is a bounded per-shard hint cache. All methods are safe for
 // concurrent use; counters are atomic so readers under -race never
 // serialize on the shard locks.
+// A Cache is implicitly scoped to one server instance — each routed
+// client owns one cache per connection — and explicitly scoped to a
+// cluster-map epoch: every hint is stamped with the epoch it was learned
+// under, and AdvanceEpoch bulk-invalidates all hints from older epochs.
+// Hints are thus keyed by (instance, epoch, shard, key): a hint learned
+// before a migration cutover can never satisfy a lookup after it, even
+// racing inserts that straddle the epoch change.
 type Cache struct {
 	perShard int
 	shards   []cacheShard
+	epoch    atomic.Uint64 // current cluster-map epoch (0 = unclustered)
 
-	hits, misses, stale, inserts, evictions atomic.Uint64
+	hits, misses, stale, inserts, evictions, epochDropped atomic.Uint64
 }
 
 type cacheShard struct {
@@ -82,11 +92,19 @@ func (c *Cache) shard(i int) *cacheShard {
 	return &c.shards[i]
 }
 
-// Lookup returns the cached entry for key in shard, if any.
+// Lookup returns the cached entry for key in shard, if any. A hint
+// stamped with an older epoch than the cache's current one is dropped on
+// sight (an insert that raced an AdvanceEpoch) and counts as a miss.
 func (c *Cache) Lookup(shard int, key []byte) (Entry, bool) {
 	s := c.shard(shard)
+	epoch := c.epoch.Load()
 	s.mu.Lock()
 	e, ok := s.m[string(key)]
+	if ok && e.epoch != epoch {
+		delete(s.m, string(key))
+		ok = false
+		c.epochDropped.Add(1)
+	}
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
@@ -97,19 +115,26 @@ func (c *Cache) Lookup(shard int, key []byte) (Entry, bool) {
 }
 
 // Peek returns the cached entry without touching the hit/miss counters —
-// for callers refreshing a hint, not deciding a read path with it.
+// for callers refreshing a hint, not deciding a read path with it. Like
+// Lookup it refuses hints from older epochs.
 func (c *Cache) Peek(shard int, key []byte) (Entry, bool) {
 	s := c.shard(shard)
+	epoch := c.epoch.Load()
 	s.mu.Lock()
 	e, ok := s.m[string(key)]
 	s.mu.Unlock()
+	if ok && e.epoch != epoch {
+		return Entry{}, false
+	}
 	return e, ok
 }
 
-// Insert stores or refreshes key's hint. When the shard is at capacity an
-// arbitrary resident entry is evicted — random replacement is plenty for a
-// cache whose misses only cost the probe walk the hit would have skipped.
+// Insert stores or refreshes key's hint, stamping it with the cache's
+// current epoch. When the shard is at capacity an arbitrary resident
+// entry is evicted — random replacement is plenty for a cache whose
+// misses only cost the probe walk the hit would have skipped.
 func (c *Cache) Insert(shard int, key []byte, e Entry) {
+	e.epoch = c.epoch.Load()
 	s := c.shard(shard)
 	s.mu.Lock()
 	k := string(key)
@@ -123,6 +148,35 @@ func (c *Cache) Insert(shard int, key []byte, e Entry) {
 	s.m[k] = e
 	s.mu.Unlock()
 	c.inserts.Add(1)
+}
+
+// Epoch returns the cluster-map epoch the cache is currently scoped to.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// AdvanceEpoch moves the cache to a new cluster-map epoch, bulk-dropping
+// every resident hint (they were learned under placement that no longer
+// holds). Offering an older or equal epoch is a no-op — concurrent map
+// refreshes may observe epochs out of order, and the cache must never
+// move backwards. Reports whether the epoch advanced.
+func (c *Cache) AdvanceEpoch(epoch uint64) bool {
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur {
+			return false
+		}
+		if c.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := len(s.m)
+		clear(s.m)
+		s.mu.Unlock()
+		c.epochDropped.Add(uint64(n))
+	}
+	return true
 }
 
 // Invalidate drops key's hint after it failed validation (or after the
@@ -156,11 +210,12 @@ func (c *Cache) Len() int {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Stale:     c.stale.Load(),
-		Inserts:   c.inserts.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Stale:        c.stale.Load(),
+		Inserts:      c.inserts.Load(),
+		Evictions:    c.evictions.Load(),
+		EpochDropped: c.epochDropped.Load(),
 	}
 }
 
@@ -181,6 +236,9 @@ func (c *Cache) Register(reg *obs.Registry, role string) {
 		func() float64 { return float64(c.inserts.Load()) })
 	reg.AddCounter("efactory_hint_cache_evictions_total", "Hints displaced by the capacity bound.", lbl,
 		func() float64 { return float64(c.evictions.Load()) })
+	reg.AddCounter("efactory_hint_cache_epoch_invalidations_total",
+		"Hints dropped because the cluster-map epoch advanced.", lbl,
+		func() float64 { return float64(c.epochDropped.Load()) })
 	reg.AddGauge("efactory_hint_cache_entries", "Resident hints across shards.", lbl,
 		func() float64 { return float64(c.Len()) })
 }

@@ -137,3 +137,62 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("cache exceeded bound: %d", c.Len())
 	}
 }
+
+func TestEpochScoping(t *testing.T) {
+	c := hint.New(2, 64)
+	c.Insert(0, []byte("a"), hint.Entry{Slot: 1, Seq: 10})
+	c.Insert(1, []byte("b"), hint.Entry{Slot: 2, Seq: 11})
+	if _, ok := c.Lookup(0, []byte("a")); !ok {
+		t.Fatal("hint missing before epoch change")
+	}
+	// Advancing the epoch bulk-drops every resident hint.
+	if !c.AdvanceEpoch(2) {
+		t.Fatal("AdvanceEpoch(2) refused")
+	}
+	if c.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", c.Epoch())
+	}
+	if _, ok := c.Lookup(0, []byte("a")); ok {
+		t.Fatal("hint from epoch 0 survived the epoch change")
+	}
+	if _, ok := c.Peek(1, []byte("b")); ok {
+		t.Fatal("Peek served a hint from an older epoch")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("resident hints after epoch change: %d", c.Len())
+	}
+	// Older/equal epochs must be refused (out-of-order refreshes).
+	if c.AdvanceEpoch(2) || c.AdvanceEpoch(1) {
+		t.Fatal("AdvanceEpoch accepted a non-advancing epoch")
+	}
+	// New inserts are stamped with the new epoch and serve normally.
+	c.Insert(0, []byte("a"), hint.Entry{Slot: 3, Seq: 12})
+	if e, ok := c.Lookup(0, []byte("a")); !ok || e.Slot != 3 {
+		t.Fatalf("post-epoch insert not served: %+v ok=%v", e, ok)
+	}
+	st := c.Stats()
+	if st.EpochDropped < 2 {
+		t.Fatalf("EpochDropped = %d, want >= 2", st.EpochDropped)
+	}
+}
+
+func TestEpochInvalidationCounterRegistered(t *testing.T) {
+	c := hint.New(1, 8)
+	reg := obs.New("efactory", 1, []string{"noop"}, 8)
+	c.Register(reg, "client")
+	c.Insert(0, []byte("k"), hint.Entry{Slot: 1})
+	c.AdvanceEpoch(7)
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap.Counters {
+		if m.Name == "efactory_hint_cache_epoch_invalidations_total" {
+			found = true
+			if m.Value < 1 {
+				t.Fatalf("epoch-invalidation counter = %v, want >= 1", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("epoch-invalidation counter not registered")
+	}
+}

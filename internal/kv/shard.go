@@ -43,22 +43,6 @@ func (l Layout) DeviceSize() int {
 	return l.Shards * l.ShardStride()
 }
 
-// ShardOf maps a key hash to its owning shard. The hash is re-mixed with a
-// 64-bit finalizer first: FNV-1a distributes its low bits well but leaves
-// the high bits nearly constant across short, similar keys, and shard
-// routing must not reuse the raw low bits because BucketIndex consumes them
-// (hash % buckets) — that would make every shard's table see only a
-// 1/Shards-dense stripe of bucket indexes. The finalizer gives shard
-// selection a full avalanche that stays decorrelated from bucket choice.
-func ShardOf(hash uint64, shards int) int {
-	if shards <= 1 {
-		return 0
-	}
-	h := hash
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return int(h % uint64(shards))
-}
+// Key→shard routing lives in internal/cluster (cluster.ShardOf /
+// cluster.ShardFor): the placement layer owns every key→location mapping
+// so the store and both clients share one decorrelated finalizer.

@@ -1,7 +1,6 @@
 package kv
 
 import (
-	"fmt"
 	"testing"
 
 	"efactory/internal/nvm"
@@ -33,26 +32,6 @@ func TestLayoutShardsDoNotOverlap(t *testing.T) {
 		}
 		if end > l.DeviceSize() {
 			t.Errorf("shard %d ends at %d, past device size %d", s, end, l.DeviceSize())
-		}
-	}
-}
-
-func TestShardOfBoundsAndSpread(t *testing.T) {
-	for _, shards := range []int{1, 2, 3, 8} {
-		counts := make([]int, shards)
-		for i := 0; i < 4096; i++ {
-			s := ShardOf(HashKey([]byte(fmt.Sprintf("key-%d", i))), shards)
-			if s < 0 || s >= shards {
-				t.Fatalf("ShardOf out of range: %d (shards %d)", s, shards)
-			}
-			counts[s]++
-		}
-		// Sequential short keys must spread: no shard may be starved
-		// below half its fair share.
-		for s, n := range counts {
-			if n < 4096/shards/2 {
-				t.Errorf("shards=%d: shard %d got %d of 4096 keys", shards, s, n)
-			}
 		}
 	}
 }

@@ -122,8 +122,20 @@ func Gen(seed uint64, n int) []Op {
 // an error describing the first divergence (nil if none). notFound is the
 // transport's absent-key sentinel, matched with errors.Is.
 func Diff(kv KV, notFound error, ops []Op) error {
+	return DiffSteps(kv, notFound, ops, nil)
+}
+
+// DiffSteps is Diff with a hook: step (when non-nil) runs before op i is
+// replayed. Harnesses use it to fire external events — a shard
+// migration, a cache flush — at deterministic op indices, so the replay
+// exercises the event's before/during/after regimes under the same
+// lockstep oracle.
+func DiffSteps(kv KV, notFound error, ops []Op, step func(i int)) error {
 	oracle := make(map[string][]byte)
 	for i, op := range ops {
+		if step != nil {
+			step(i)
+		}
 		if err := diffOne(kv, notFound, oracle, op); err != nil {
 			return fmt.Errorf("op %d (%s): %w", i, op.Kind, err)
 		}

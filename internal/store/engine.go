@@ -10,7 +10,7 @@
 //
 // Store composes N engines into a sharded keyspace: each shard owns its
 // own device region, background cursor, and cleaner, and clients route
-// requests by the same key-hash split (kv.ShardOf).
+// requests by the same key-hash split (cluster.ShardOf).
 package store
 
 import (
@@ -104,12 +104,15 @@ const (
 )
 
 // PutResult tells the transport where the allocation landed so it can hand
-// the client a one-sided write target.
+// the client a one-sided write target. Seq is the allocated version's
+// sequence number — migration drain uses it to decide when a dirty key
+// has settled on the source.
 type PutResult struct {
 	Status Status
 	Pool   int    // data pool index within the shard
 	Off    uint64 // pool-relative object offset
 	Len    int    // total object length
+	Seq    uint64 // sequence number of the allocated version
 }
 
 // GetResult tells the transport where the durable version lives. Slot,
@@ -373,7 +376,7 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	if prePool, preOff, _, ok := kv.UnpackVPtr(pre); ok {
 		e.pools[prePool].SetNextPtr(preOff, kv.PackVPtr(pi, off, size))
 	}
-	return PutResult{Status: StatusOK, Pool: pi, Off: off, Len: size}
+	return PutResult{Status: StatusOK, Pool: pi, Off: off, Len: size, Seq: hd.Seq}
 }
 
 // Get implements the RPC side of the hybrid read scheme (GET steps 6-8 of

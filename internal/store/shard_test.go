@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"efactory/internal/cluster"
 	"efactory/internal/crc"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
@@ -52,7 +53,7 @@ func TestShardRoutingProperty(t *testing.T) {
 					val = val[:256]
 				}
 				sh := st.ShardFor(key)
-				if sh != kv.ShardOf(kv.HashKey(key), shards) {
+				if sh != cluster.ShardFor(key, shards) {
 					return false
 				}
 				eng := st.Shard(sh)

@@ -26,6 +26,9 @@ type Stats struct {
 	SlotsReleased  int // freshly claimed table slots given back after a pool-full PUT
 	Recovered      int // keys restored by startup recovery
 	RolledBack     int // keys recovered from a non-head (older) version
+	KeysExported   int // hash entries serialized for migration export
+	KeysImported   int // exported keys ingested from a migration source
+	KeysPurged     int // entries cleared after their PG migrated away
 }
 
 // Add accumulates o into s (aggregating per-shard stats).
@@ -52,6 +55,9 @@ func (s *Stats) Add(o Stats) {
 	s.SlotsReleased += o.SlotsReleased
 	s.Recovered += o.Recovered
 	s.RolledBack += o.RolledBack
+	s.KeysExported += o.KeysExported
+	s.KeysImported += o.KeysImported
+	s.KeysPurged += o.KeysPurged
 }
 
 // RecoveryStats summarizes what recovery found in the persisted image.

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"efactory/internal/cluster"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
 	"efactory/internal/obs"
@@ -63,7 +64,7 @@ func (s *Store) Shard(i int) *Engine { return s.engines[i] }
 
 // ShardFor returns the shard owning key.
 func (s *Store) ShardFor(key []byte) int {
-	return kv.ShardOf(kv.HashKey(key), len(s.engines))
+	return cluster.ShardFor(key, len(s.engines))
 }
 
 // StatsTotal aggregates every shard's counters.

@@ -8,8 +8,10 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"efactory/internal/cluster"
 	"efactory/internal/crc"
 	"efactory/internal/hint"
 	"efactory/internal/kv"
@@ -63,6 +65,12 @@ type Client struct {
 	// EnableHintCache was called). Like hybrid, configure before issuing
 	// concurrent ops; the cache itself is internally synchronized.
 	hints *hint.Cache
+
+	// epoch is the cluster-map epoch stamped on routed requests (Token
+	// field; 0 = unclustered, which every server accepts). Maintained by
+	// SetClusterEpoch, which also bulk-invalidates the hint cache — a
+	// hint learned under old placement must not survive a cutover.
+	epoch atomic.Uint64
 
 	// PureReads / FallbackReads / RPCReads mirror the simulation client's
 	// path counters. Guarded by mu while ops are in flight; read them
@@ -313,7 +321,7 @@ func Dial(addr string) (*Client, error) {
 // shardRKeysFor returns the table rkey and pool rkey base of the shard
 // owning keyHash.
 func (c *Client) shardRKeysFor(keyHash uint64) (table, poolBase uint32) {
-	sh := uint32(kv.ShardOf(keyHash, c.shards))
+	sh := uint32(cluster.ShardOf(keyHash, c.shards))
 	return c.tableRKey + rkeysPerShard*sh, c.poolRKeyBase + rkeysPerShard*sh
 }
 
@@ -327,6 +335,34 @@ func (c *Client) Close() error {
 
 // SetHybridRead toggles the hybrid read scheme.
 func (c *Client) SetHybridRead(on bool) { c.hybrid = on }
+
+// SetClusterEpoch records the cluster-map epoch routed requests should
+// carry. Forward-only; advancing it bulk-invalidates the hint cache,
+// since every resident hint was learned under placement that may no
+// longer hold.
+func (c *Client) SetClusterEpoch(epoch uint64) {
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if c.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	if c.hints != nil {
+		c.hints.AdvanceEpoch(epoch)
+	}
+}
+
+// ClusterEpoch returns the epoch routed requests currently carry.
+func (c *Client) ClusterEpoch() uint64 { return c.epoch.Load() }
+
+// wrongEpoch maps an StWrongEpoch response to the typed error routed
+// clients dispatch on, recording the server's proven epoch.
+func wrongEpoch(resp wire.Msg) error {
+	return &cluster.WrongEpochError{Epoch: uint64(resp.Token)}
+}
 
 // SetRetryPolicy installs rp; ops issued afterwards retry transient
 // transport failures (reconnecting between attempts) and bound each
@@ -494,7 +530,7 @@ func (c *Client) Put(key, value []byte) error {
 		// A retried attempt redoes the allocation RPC: the previous
 		// attempt's slot (if it was granted) is left torn and gets
 		// invalidated by background verification.
-		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Token: uint32(c.epoch.Load()), Crc: sum, Len: uint64(len(value)), Key: key})
 		if err != nil {
 			return err
 		}
@@ -502,6 +538,8 @@ func (c *Client) Put(key, value []byte) error {
 		case wire.StOK:
 		case wire.StFull:
 			return ErrServerFull
+		case wire.StWrongEpoch:
+			return wrongEpoch(resp)
 		default:
 			return fmt.Errorf("tcpkv: put status %d", resp.Status)
 		}
@@ -534,9 +572,13 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 		for i := range errs {
 			errs[i] = nil // a retried attempt regrants every slot
 		}
+		req.Token = uint32(c.epoch.Load())
 		resp, err := c.rpc(req)
 		if err != nil {
 			return err
+		}
+		if resp.Status == wire.StWrongEpoch {
+			return wrongEpoch(resp)
 		}
 		if resp.Status != wire.StOK {
 			return fmt.Errorf("tcpkv: put batch status %d", resp.Status)
@@ -641,6 +683,13 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 		}
 		e := kv.DecodeEntry(raw)
 		if e.KeyHash == 0 {
+			if c.epoch.Load() != 0 {
+				// Clustered: an empty bucket may mean the key migrated away
+				// and was purged, not that it is absent. Only the owning
+				// server may conclude NotFound — fall back to the RPC path,
+				// where a misroute surfaces as StWrongEpoch.
+				return nil, false, nil
+			}
 			return nil, false, ErrNotFound
 		}
 		if e.Free() {
@@ -671,7 +720,7 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 		return nil, false, nil
 	}
 	if c.hints != nil {
-		c.hints.Insert(kv.ShardOf(keyHash, c.shards), key, hint.Entry{
+		c.hints.Insert(cluster.ShardOf(keyHash, c.shards), key, hint.Entry{
 			Slot: slot, Pool: poolBase + uint32(entry.Mark()&1), Off: off, Len: totalLen,
 			KLen: h.KLen, Seq: h.Seq, Durable: true,
 		})
@@ -681,12 +730,15 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 
 // rpcRead is the RPC+one-sided fallback.
 func (c *Client) rpcRead(key []byte) ([]byte, error) {
-	resp, err := c.rpc(wire.Msg{Type: wire.TGet, Key: key})
+	resp, err := c.rpc(wire.Msg{Type: wire.TGet, Token: uint32(c.epoch.Load()), Key: key})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Status == wire.StNotFound {
 		return nil, ErrNotFound
+	}
+	if resp.Status == wire.StWrongEpoch {
+		return nil, wrongEpoch(resp)
 	}
 	if resp.Status != wire.StOK {
 		return nil, fmt.Errorf("tcpkv: get status %d", resp.Status)
@@ -763,10 +815,13 @@ func (c *Client) Delete(key []byte) error {
 	c.dropHint(key)
 	unknown := false // a failed attempt may have applied server-side
 	return c.retrying(func() error {
-		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Key: key})
+		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Token: uint32(c.epoch.Load()), Key: key})
 		if err != nil {
 			unknown = true
 			return err
+		}
+		if resp.Status == wire.StWrongEpoch {
+			return wrongEpoch(resp)
 		}
 		if resp.Status == wire.StNotFound {
 			if unknown {

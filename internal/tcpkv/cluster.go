@@ -1,0 +1,312 @@
+// Server side of the cluster placement layer. A tcpkv server becomes a
+// cluster instance when it is given a name and an epoch-versioned
+// cluster map (internal/cluster): from then on it is AUTHORITATIVE for
+// ownership — every routed RPC op whose key falls outside the placement
+// groups the map assigns to this instance is rejected with StWrongEpoch
+// and the server's current epoch, and the client (whose cached map is
+// advisory, like its hint cache) refetches and retries. A server whose
+// map is nil behaves exactly like a pre-cluster server: no ownership
+// checks, no new wire traffic, bit-identical behavior.
+//
+// Ownership applies to the RPC path only. One-sided READ/WRITE frames
+// model RNIC DMA and cannot be checked per-key; they stay safe because
+// migration purges moved entries from the source hash table, so a stale
+// one-sided read misses (or fails the object checks) and the client
+// falls back to the RPC path, where the wrong-epoch redirect happens.
+package tcpkv
+
+import (
+	"encoding/json"
+	"sync"
+
+	"efactory/internal/cluster"
+	"efactory/internal/kv"
+	"efactory/internal/store"
+	"efactory/internal/wire"
+)
+
+// EnableCluster names this server and installs the standalone seed map:
+// one instance (this one, reachable at addr) owning all pgs placement
+// groups at epoch 1. Call before Serve.
+func (s *Server) EnableCluster(name, addr string, pgs int) {
+	s.clMu.Lock()
+	s.clName = name
+	s.clSelf = addr
+	s.clMap = cluster.SingleInstance(name, addr, pgs)
+	s.clMu.Unlock()
+	s.registerClusterMetrics()
+}
+
+// SetInstanceName prepares a joining server: it has an identity but no
+// map until the join response (or a TClusterMapSet push) installs one.
+// With a nil map no ownership checks run, so a named-but-mapless server
+// still behaves like an unclustered one. Call before Serve.
+func (s *Server) SetInstanceName(name, addr string) {
+	s.clMu.Lock()
+	s.clName = name
+	s.clSelf = addr
+	s.clMu.Unlock()
+	s.registerClusterMetrics()
+}
+
+// InstanceName returns the cluster identity ("" when unclustered).
+func (s *Server) InstanceName() string {
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
+	return s.clName
+}
+
+// ClusterMap returns the server's current map (nil when clustering is
+// disabled or a joiner has not been given a map yet).
+func (s *Server) ClusterMap() *cluster.Map {
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
+	return s.clMap
+}
+
+// ClusterCounters returns the cluster-layer event counters: routed ops
+// rejected with StWrongEpoch, keys shipped by migrations, and completed
+// migrations. External harnesses (modelcheck, benches) assert on these —
+// e.g. that a converged client stops drawing rejects in steady state.
+func (s *Server) ClusterCounters() (wrongEpochRejects, keysMigrated, migrations uint64) {
+	return s.wrongEpoch.Load(), s.migKeysMoved.Load(), s.migDone.Load()
+}
+
+// SetClusterMap installs m if it is strictly newer than the current map
+// (or the server has none). It returns the epoch the server ends up at,
+// which is also what a TClusterMapSet response carries — the pusher
+// learns the server's view either way. Maps never move backwards.
+func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
+	if m == nil || m.Validate() != nil {
+		s.clMu.RLock()
+		defer s.clMu.RUnlock()
+		if s.clMap == nil {
+			return 0
+		}
+		return s.clMap.Epoch
+	}
+	s.clMu.Lock()
+	defer s.clMu.Unlock()
+	if s.clMap == nil || m.Epoch > s.clMap.Epoch {
+		s.clMap = m
+	}
+	return s.clMap.Epoch
+}
+
+// blockPG marks pg as refusing routed ops (the migration cutover
+// window); unblockPG lifts it. While blocked, ops on the PG get
+// StWrongEpoch at the CURRENT epoch — the client's map is not stale, so
+// it backs off and retries instead of refetching, and the retry lands
+// after cutover under the new epoch.
+func (s *Server) blockPG(pg int) {
+	s.clMu.Lock()
+	if s.clBlocked == nil {
+		s.clBlocked = make(map[int]bool)
+	}
+	s.clBlocked[pg] = true
+	s.clMu.Unlock()
+}
+
+func (s *Server) unblockPG(pg int) {
+	s.clMu.Lock()
+	delete(s.clBlocked, pg)
+	s.clMu.Unlock()
+}
+
+// unowned reports whether key must be rejected with StWrongEpoch, and
+// at which epoch. With a nil map every key is owned (clustering off).
+func (s *Server) unowned(key []byte) (epoch uint64, reject bool) {
+	s.clMu.RLock()
+	m := s.clMap
+	name := s.clName
+	var blocked bool
+	if m != nil && len(s.clBlocked) > 0 {
+		blocked = s.clBlocked[cluster.PGOf(kv.HashKey(key), m.PGs)]
+	}
+	s.clMu.RUnlock()
+	if m == nil {
+		return 0, false
+	}
+	if blocked || !m.Owns(name, kv.HashKey(key)) {
+		s.wrongEpoch.Add(1)
+		return m.Epoch, true
+	}
+	return 0, false
+}
+
+// unownedAny checks a batch: if ANY key is unowned the whole batch is
+// rejected — batches are all-or-nothing on the wire, and a split batch
+// would force per-op status plumbing through the grant arrays for an
+// event that is rare (it only happens while a client's map is stale).
+func (s *Server) unownedAny(keys [][]byte) (epoch uint64, reject bool) {
+	s.clMu.RLock()
+	m := s.clMap
+	name := s.clName
+	if m == nil {
+		s.clMu.RUnlock()
+		return 0, false
+	}
+	// The blocked-map lookups stay under the read lock: blockPG mutates
+	// the map concurrently, and a map value is not safe to read through
+	// a reference captured before the mutation.
+	for _, k := range keys {
+		h := kv.HashKey(k)
+		if (len(s.clBlocked) > 0 && s.clBlocked[cluster.PGOf(h, m.PGs)]) || !m.Owns(name, h) {
+			s.clMu.RUnlock()
+			s.wrongEpoch.Add(1)
+			return m.Epoch, true
+		}
+	}
+	s.clMu.RUnlock()
+	return 0, false
+}
+
+// migTracker records keys mutated while a migration is copying their
+// placement group, so drain rounds can re-copy exactly what changed.
+type migTracker struct {
+	accept func(hash uint64) bool
+	mu     sync.Mutex
+	dirty  map[string]struct{}
+}
+
+// note records a mutated key if it belongs to the migrating PG.
+func (t *migTracker) note(key []byte) {
+	if !t.accept(kv.HashKey(key)) {
+		return
+	}
+	t.mu.Lock()
+	t.dirty[string(key)] = struct{}{}
+	t.mu.Unlock()
+}
+
+// take swaps the dirty set out, leaving an empty one behind.
+func (t *migTracker) take() map[string]struct{} {
+	t.mu.Lock()
+	d := t.dirty
+	t.dirty = make(map[string]struct{})
+	t.mu.Unlock()
+	return d
+}
+
+// noteDirty is the write-path hook: one atomic load when no migration
+// is running, one map insert when the key is in the PG being moved.
+func (s *Server) noteDirty(key []byte) {
+	if t := s.mig.Load(); t != nil {
+		t.note(key)
+	}
+}
+
+// handleClusterMap answers TClusterMap with the current map (StError
+// when clustering is off — pre-cluster servers answer the same way via
+// handle's default arm, so clients can't tell the difference).
+func (s *Server) handleClusterMap() wire.Msg {
+	m := s.ClusterMap()
+	if m == nil {
+		return wire.Msg{Type: wire.TClusterMapResp, Status: wire.StError}
+	}
+	return wire.Msg{Type: wire.TClusterMapResp, Status: wire.StOK, Token: uint32(m.Epoch), Value: m.Encode()}
+}
+
+// handleClusterMapSet adopts the offered map if strictly newer; the
+// response Token carries the epoch the server ended at either way.
+func (s *Server) handleClusterMapSet(m wire.Msg) wire.Msg {
+	nm, err := cluster.DecodeMap(m.Value)
+	if err != nil {
+		return wire.Msg{Type: wire.TClusterMapSetResp, Status: wire.StError}
+	}
+	ep := s.SetClusterMap(nm)
+	return wire.Msg{Type: wire.TClusterMapSetResp, Status: wire.StOK, Token: uint32(ep)}
+}
+
+// handleJoin admits a new instance: epoch+1 map with the joiner added
+// (owning nothing), pushed best-effort to the other instances, returned
+// to the joiner in the response.
+func (s *Server) handleJoin(m wire.Msg) wire.Msg {
+	name, addr := string(m.Key), string(m.Value)
+	if name == "" || addr == "" {
+		return wire.Msg{Type: wire.TJoinResp, Status: wire.StError}
+	}
+	s.clMu.Lock()
+	if s.clMap == nil {
+		s.clMu.Unlock()
+		return wire.Msg{Type: wire.TJoinResp, Status: wire.StError}
+	}
+	nm := s.clMap.WithInstance(name, addr)
+	s.clMap = nm
+	s.clMu.Unlock()
+	s.pushMapToPeers(nm, name)
+	return wire.Msg{Type: wire.TJoinResp, Status: wire.StOK, Token: uint32(nm.Epoch), Value: nm.Encode()}
+}
+
+// pushMapToPeers offers nm to every other instance (best effort: a peer
+// that is down learns the epoch from its clients' traffic instead —
+// wrong-epoch redirects carry it). skip names an instance that gets the
+// map by another channel (a joiner via its response, a migration target
+// via the cutover push).
+func (s *Server) pushMapToPeers(nm *cluster.Map, skip string) {
+	s.clMu.RLock()
+	self := s.clName
+	s.clMu.RUnlock()
+	for _, in := range nm.Instances {
+		if in.Name == self || in.Name == skip {
+			continue
+		}
+		if c, err := Dial(in.Addr); err == nil {
+			c.SetClusterMapRPC(nm)
+			c.Close()
+		}
+	}
+}
+
+// handleMigIngest imports a batch of exported keys into the local
+// shards. Ownership checks deliberately do not apply: the target of a
+// migration ingests a placement group it does not own yet.
+func (s *Server) handleMigIngest(m wire.Msg) wire.Msg {
+	batch, err := decodeExportBatch(m.Value)
+	if err != nil {
+		return wire.Msg{Type: wire.TMigIngestResp, Status: wire.StError}
+	}
+	for _, ek := range batch {
+		eng := s.st.Shard(cluster.ShardFor(ek.Key, s.st.NumShards()))
+		if eng.ImportKey(nil, ek) != store.StatusOK {
+			return wire.Msg{Type: wire.TMigIngestResp, Status: wire.StFull}
+		}
+	}
+	return wire.Msg{Type: wire.TMigIngestResp, Status: wire.StOK}
+}
+
+// registerClusterMetrics exposes the placement layer's counters through
+// the store's telemetry registry (idempotent per server: the name is
+// only set once, before Serve).
+func (s *Server) registerClusterMetrics() {
+	reg := s.st.Metrics()
+	lbl := map[string]string{"role": "server"}
+	reg.AddGauge("efactory_cluster_epoch", "Current cluster-map epoch (0 = no map).", lbl,
+		func() float64 {
+			if m := s.ClusterMap(); m != nil {
+				return float64(m.Epoch)
+			}
+			return 0
+		})
+	reg.AddCounter("efactory_cluster_wrong_epoch_rejects_total",
+		"Routed ops rejected because their key is outside the owned placement groups (or blocked by a cutover).", lbl,
+		func() float64 { return float64(s.wrongEpoch.Load()) })
+	reg.AddCounter("efactory_cluster_migration_keys_total",
+		"Keys copied out by migrations this instance sourced.", lbl,
+		func() float64 { return float64(s.migKeysMoved.Load()) })
+	reg.AddCounter("efactory_cluster_migrations_total",
+		"Migrations this instance completed as the source.", lbl,
+		func() float64 { return float64(s.migDone.Load()) })
+}
+
+// decodeExportBatch parses a TMigIngest payload. The concrete type
+// lives in internal/store (ExportKey); JSON keeps the wire layer free
+// of a second hand-rolled codec for a control-plane path whose cost is
+// dominated by the value bytes either way.
+func decodeExportBatch(b []byte) ([]store.ExportKey, error) {
+	var batch []store.ExportKey
+	if err := json.Unmarshal(b, &batch); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}

@@ -1,0 +1,454 @@
+// ClusterClient routes ops across a cluster of tcpkv servers through an
+// epoch-guarded cached map (cluster.Router). The cache is advisory,
+// exactly like the hint cache: a stale map costs a misrouted op that the
+// server rejects with StWrongEpoch, after which the client refetches and
+// retries. A rejection carrying a NEWER epoch proves the map stale (drop
+// and refetch); one carrying the SAME epoch means the op hit a blocked
+// migration cutover window — the map is right, the PG is briefly
+// unavailable — so the client backs off and retries without refetching.
+package tcpkv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"efactory/internal/cluster"
+	"efactory/internal/hint"
+	"efactory/internal/store"
+	"efactory/internal/wire"
+)
+
+// ClusterMapRPC fetches the server's current cluster map.
+func (c *Client) ClusterMapRPC() (*cluster.Map, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TClusterMap})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("tcpkv: cluster map status %d", resp.Status)
+	}
+	return cluster.DecodeMap(resp.Value)
+}
+
+// SetClusterMapRPC offers the server a map; it adopts it only if
+// strictly newer. The returned epoch is the server's view afterwards.
+func (c *Client) SetClusterMapRPC(m *cluster.Map) (uint64, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TClusterMapSet, Value: m.Encode()})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != wire.StOK {
+		return 0, fmt.Errorf("tcpkv: cluster map set status %d", resp.Status)
+	}
+	return uint64(resp.Token), nil
+}
+
+// JoinRPC asks a clustered server to admit instance name at addr; the
+// returned map (epoch+1, name owning nothing) is what the joiner should
+// install on itself.
+func (c *Client) JoinRPC(name, addr string) (*cluster.Map, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TJoin, Key: []byte(name), Value: []byte(addr)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("tcpkv: join status %d", resp.Status)
+	}
+	return cluster.DecodeMap(resp.Value)
+}
+
+// MigrateRPC asks the serving instance to migrate placement group pg to
+// the named target; it blocks until cutover (or failure).
+func (c *Client) MigrateRPC(pg int, target string) (MigrationSummary, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TMigrate, Off: uint64(pg), Key: []byte(target)})
+	if err != nil {
+		return MigrationSummary{}, err
+	}
+	if resp.Status != wire.StOK {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: migrate: %s", resp.Value)
+	}
+	var sum MigrationSummary
+	if err := json.Unmarshal(resp.Value, &sum); err != nil {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: migrate summary decode: %w", err)
+	}
+	return sum, nil
+}
+
+// MigIngest ships one batch of exported keys to a migration target.
+func (c *Client) MigIngest(batch []store.ExportKey) error {
+	blob, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := c.rpc(wire.Msg{Type: wire.TMigIngest, Value: blob})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StOK {
+		return fmt.Errorf("tcpkv: ingest status %d", resp.Status)
+	}
+	return nil
+}
+
+// ccRouteAttempts bounds how many times one op re-routes after
+// wrong-epoch rejections or instance failures. A blocked cutover window
+// lasts VerifyTimeout+slack; with the capped backoff below this budget
+// rides out windows two orders of magnitude longer than the defaults.
+const ccRouteAttempts = 64
+
+// ClusterClientConfig carries the per-instance client settings a
+// ClusterClient applies to every connection it opens.
+type ClusterClientConfig struct {
+	Hybrid   bool        // hybrid read scheme on per-instance clients
+	HintCap  int         // per-shard hint cache capacity; 0 disables the cache
+	Retry    RetryPolicy // transport retry policy per instance client
+	Pipeline int         // pipeline depth (0 = DefaultPipelineDepth)
+}
+
+// DefaultClusterClientConfig enables hybrid reads and hint caching with
+// the default transport retry policy.
+func DefaultClusterClientConfig() ClusterClientConfig {
+	return ClusterClientConfig{Hybrid: true, HintCap: hint.DefaultCap, Retry: DefaultRetryPolicy()}
+}
+
+// ClusterClient is a routed client over a set of tcpkv instances.
+// Methods are safe for concurrent use.
+type ClusterClient struct {
+	cfg    ClusterClientConfig
+	router cluster.Router
+
+	mu      sync.Mutex
+	clients map[string]*Client // by instance name
+	seed    string             // bootstrap address, used while the map is cold
+
+	// WrongEpochRetries counts ops that re-routed after an StWrongEpoch
+	// rejection; MapRefreshes counts TClusterMap fetches. Read quiesced.
+	WrongEpochRetries int
+	MapRefreshes      int
+}
+
+// DialCluster bootstraps a routed client from any instance's address:
+// the seed serves the initial map, after which ops route per-key.
+func DialCluster(seed string, cfg ClusterClientConfig) (*ClusterClient, error) {
+	cc := &ClusterClient{cfg: cfg, clients: make(map[string]*Client), seed: seed}
+	if _, err := cc.currentMap(); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// Router exposes the epoch-guarded map cache (stats, tests).
+func (cc *ClusterClient) Router() *cluster.Router { return &cc.router }
+
+// Close tears down every per-instance connection.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	var first error
+	for name, c := range cc.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(cc.clients, name)
+	}
+	return first
+}
+
+// Clients returns the per-instance clients currently connected, keyed by
+// instance name (tests and stats aggregation; do not Close them).
+func (cc *ClusterClient) Clients() map[string]*Client {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make(map[string]*Client, len(cc.clients))
+	for k, v := range cc.clients {
+		out[k] = v
+	}
+	return out
+}
+
+// newClient dials and configures one per-instance connection.
+func (cc *ClusterClient) newClient(addr string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetHybridRead(cc.cfg.Hybrid)
+	if cc.cfg.HintCap > 0 {
+		c.EnableHintCache(cc.cfg.HintCap)
+	}
+	c.SetRetryPolicy(cc.cfg.Retry)
+	if cc.cfg.Pipeline > 0 {
+		if err := c.SetPipelineDepth(cc.cfg.Pipeline); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// clientFor returns (dialing lazily) the connection to instance in.
+func (cc *ClusterClient) clientFor(in cluster.Instance) (*Client, error) {
+	cc.mu.Lock()
+	c, ok := cc.clients[in.Name]
+	cc.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := cc.newClient(in.Addr)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if prev, ok := cc.clients[in.Name]; ok {
+		cc.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	cc.clients[in.Name] = c
+	cc.mu.Unlock()
+	return c, nil
+}
+
+// currentMap returns the cached map, fetching one when the cache is cold
+// or was invalidated. Fetches try every connected instance and then the
+// seed, so one dead instance cannot blind the client.
+func (cc *ClusterClient) currentMap() (*cluster.Map, error) {
+	if m := cc.router.Current(); m != nil {
+		return m, nil
+	}
+	cc.mu.Lock()
+	cc.MapRefreshes++
+	conns := make([]*Client, 0, len(cc.clients))
+	for _, c := range cc.clients {
+		conns = append(conns, c)
+	}
+	seed := cc.seed
+	cc.mu.Unlock()
+	var lastErr error
+	for _, c := range conns {
+		m, err := c.ClusterMapRPC()
+		if err == nil {
+			cc.router.Install(m)
+			return cc.router.Current(), nil
+		}
+		lastErr = err
+	}
+	// Cold cache (or every connection failed): ask the seed directly.
+	c, err := cc.newClient(seed)
+	if err != nil {
+		if lastErr == nil {
+			lastErr = err
+		}
+		return nil, fmt.Errorf("tcpkv: no cluster map: %w", lastErr)
+	}
+	m, err := c.ClusterMapRPC()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpkv: no cluster map: %w", err)
+	}
+	cc.mu.Lock()
+	if prev, ok := cc.clients[mapOwner(m, seed)]; ok && prev != c {
+		cc.mu.Unlock()
+		c.Close()
+	} else {
+		cc.clients[mapOwner(m, seed)] = c
+		cc.mu.Unlock()
+	}
+	cc.router.Install(m)
+	return cc.router.Current(), nil
+}
+
+// mapOwner names the instance living at addr under m ("" when unknown —
+// the seed moved or the map predates it).
+func mapOwner(m *cluster.Map, addr string) string {
+	for _, in := range m.Instances {
+		if in.Addr == addr {
+			return in.Name
+		}
+	}
+	return ""
+}
+
+// do routes one single-key op: resolve the key's instance under the
+// cached map, stamp the client with the map's epoch, run the op, and on
+// a wrong-epoch rejection refetch/back off and re-route. Transport
+// errors also invalidate the map (the instance may have left).
+func (cc *ClusterClient) do(key []byte, op func(c *Client) error) error {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < ccRouteAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+		}
+		m, err := cc.currentMap()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		in, _, ok := m.InstanceForKey(key)
+		if !ok {
+			lastErr = fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+			cc.router.Invalidate()
+			continue
+		}
+		c, err := cc.clientFor(in)
+		if err != nil {
+			lastErr = err
+			cc.router.Invalidate()
+			continue
+		}
+		c.SetClusterEpoch(m.Epoch)
+		err = op(c)
+		var we *cluster.WrongEpochError
+		if errors.As(err, &we) {
+			cc.noteWrongEpoch(we)
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	return lastErr
+}
+
+// noteWrongEpoch feeds a rejection into the router: a newer proven epoch
+// drops the cached map (next attempt refetches); a same-epoch rejection
+// keeps it (blocked cutover — the backoff in do rides it out).
+func (cc *ClusterClient) noteWrongEpoch(we *cluster.WrongEpochError) {
+	cc.router.Observe(we.Epoch)
+	cc.mu.Lock()
+	cc.WrongEpochRetries++
+	cc.mu.Unlock()
+}
+
+// Put stores value under key on the instance owning it.
+func (cc *ClusterClient) Put(key, value []byte) error {
+	return cc.do(key, func(c *Client) error { return c.Put(key, value) })
+}
+
+// Get fetches key's value from the instance owning it.
+func (cc *ClusterClient) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := cc.do(key, func(c *Client) error {
+		v, err := c.Get(key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Delete removes key on the instance owning it.
+func (cc *ClusterClient) Delete(key []byte) error {
+	return cc.do(key, func(c *Client) error { return c.Delete(key) })
+}
+
+// PutBatch stores the pairs, grouping ops by owning instance so each
+// group rides that instance's multi-op PUT path. Groups run
+// sequentially; keys rejected with wrong-epoch re-group under the
+// refreshed map and retry. Results are index-aligned with keys.
+func (cc *ClusterClient) PutBatch(keys, values [][]byte) []error {
+	if len(keys) != len(values) {
+		panic("tcpkv: PutBatch keys/values length mismatch")
+	}
+	errs := make([]error, len(keys))
+	pending := make([]int, len(keys))
+	for i := range pending {
+		pending[i] = i
+	}
+	cc.batched(pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, idx []int) []error {
+		k := make([][]byte, len(idx))
+		v := make([][]byte, len(idx))
+		for j, i := range idx {
+			k[j], v[j] = keys[i], values[i]
+		}
+		return c.PutBatch(k, v)
+	})
+	return errs
+}
+
+// GetBatch fetches the keys, grouped by owning instance like PutBatch.
+// values[i] is valid iff errs[i] is nil.
+func (cc *ClusterClient) GetBatch(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	pending := make([]int, len(keys))
+	for i := range pending {
+		pending[i] = i
+	}
+	cc.batched(pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, idx []int) []error {
+		k := make([][]byte, len(idx))
+		for j, i := range idx {
+			k[j] = keys[i]
+		}
+		vs, es := c.GetBatch(k)
+		for j, i := range idx {
+			vals[i] = vs[j]
+		}
+		return es
+	})
+	return vals, errs
+}
+
+// batched drives the group/run/retry loop shared by PutBatch and
+// GetBatch: group pending indices by owning instance under the current
+// map, run each group, keep wrong-epoch-rejected indices pending for
+// the next round (under a refreshed map), and write final outcomes into
+// errs.
+func (cc *ClusterClient) batched(pending []int, errs []error, keyAt func(i int) []byte, run func(c *Client, idx []int) []error) {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; attempt < ccRouteAttempts && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+		}
+		m, err := cc.currentMap()
+		if err != nil {
+			for _, i := range pending {
+				errs[i] = err
+			}
+			continue // errs are overwritten if a later round succeeds
+		}
+		groups := make(map[string][]int)
+		insts := make(map[string]cluster.Instance)
+		for _, i := range pending {
+			in, _, ok := m.InstanceForKey(keyAt(i))
+			if !ok {
+				errs[i] = fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+				continue
+			}
+			groups[in.Name] = append(groups[in.Name], i)
+			insts[in.Name] = in
+		}
+		var next []int
+		for name, idx := range groups {
+			c, err := cc.clientFor(insts[name])
+			if err != nil {
+				for _, i := range idx {
+					errs[i] = err
+				}
+				next = append(next, idx...)
+				cc.router.Invalidate()
+				continue
+			}
+			c.SetClusterEpoch(m.Epoch)
+			res := run(c, idx)
+			for j, i := range idx {
+				errs[i] = res[j]
+				var we *cluster.WrongEpochError
+				if errors.As(res[j], &we) {
+					cc.noteWrongEpoch(we)
+					next = append(next, i)
+				}
+			}
+		}
+		pending = next
+	}
+}

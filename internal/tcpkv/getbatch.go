@@ -3,6 +3,7 @@ package tcpkv
 import (
 	"fmt"
 
+	"efactory/internal/cluster"
 	"efactory/internal/hint"
 	"efactory/internal/kv"
 	"efactory/internal/wire"
@@ -29,7 +30,7 @@ func (c *Client) noteLocation(key []byte, pool uint32, off uint64, tlen, klen in
 	if c.hints == nil {
 		return
 	}
-	shard := kv.ShardOf(kv.HashKey(key), c.shards)
+	shard := cluster.ShardFor(key, c.shards)
 	slot := -1
 	if prev, ok := c.hints.Peek(shard, key); ok {
 		slot = prev.Slot
@@ -44,7 +45,7 @@ func (c *Client) dropHint(key []byte) {
 	if c.hints == nil {
 		return
 	}
-	c.hints.Invalidate(kv.ShardOf(kv.HashKey(key), c.shards), key)
+	c.hints.Invalidate(cluster.ShardFor(key, c.shards), key)
 }
 
 // hintedRead outcomes (mirrors the simulation client).
@@ -62,7 +63,7 @@ const (
 // before the usual durability/key checks.
 func (c *Client) hintedRead(key []byte) ([]byte, int, error) {
 	keyHash := kv.HashKey(key)
-	shard := kv.ShardOf(keyHash, c.shards)
+	shard := cluster.ShardOf(keyHash, c.shards)
 	h, ok := c.hints.Lookup(shard, key)
 	if !ok {
 		return nil, hrMiss, nil
@@ -208,7 +209,7 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 	for i, k := range keys {
 		st := &sts[i]
 		st.keyHash = kv.HashKey(k)
-		st.shard = kv.ShardOf(st.keyHash, c.shards)
+		st.shard = cluster.ShardOf(st.keyHash, c.shards)
 		st.table, st.poolB = c.shardRKeysFor(st.keyHash)
 		st.slot = -1
 		if !hybrid {
@@ -371,6 +372,12 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 				e := kv.DecodeEntry(mine[0][1:])
 				switch {
 				case e.KeyHash == 0:
+					if c.epoch.Load() != 0 {
+						// Clustered: absence must be confirmed by the owner
+						// (the key may have migrated away and been purged).
+						fallback(a.i)
+						continue
+					}
 					errs[a.i] = ErrNotFound
 					st.done = true
 				case e.Free():
@@ -421,9 +428,12 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 		}
 		ops[j] = wire.GetOp{Slot: slot, Key: keys[i]}
 	}
-	resp, err := c.rpc(wire.Msg{Type: wire.TGetBatch, Value: wire.EncodeGetOps(ops)})
+	resp, err := c.rpc(wire.Msg{Type: wire.TGetBatch, Token: uint32(c.epoch.Load()), Value: wire.EncodeGetOps(ops)})
 	if err != nil {
 		return err
+	}
+	if resp.Status == wire.StWrongEpoch {
+		return wrongEpoch(resp)
 	}
 	if resp.Status != wire.StOK {
 		return fmt.Errorf("tcpkv: get batch status %d", resp.Status)

@@ -1,0 +1,309 @@
+// Online shard migration: moving one placement group from this instance
+// to another while serving live traffic, with zero acknowledged-write
+// loss. The protocol has four phases:
+//
+//  1. Snapshot. A dirty-key tracker is installed FIRST, then every live
+//     object of the PG — full version chains, durability flags,
+//     tombstones, cut sequences, bit-exact (store.ExportMatching) — is
+//     streamed to the target in batched TMigIngest frames. Writes that
+//     race the snapshot land in the tracker.
+//  2. Drain. Keys dirtied since the previous pass are re-exported
+//     (store.ExportOne after a settling Get, whose verify-on-demand
+//     makes every acknowledged write durable before it travels).
+//     Imports are idempotent and monotone, so re-copies overlap safely.
+//     Rounds repeat until a pass finds the dirty set empty or the round
+//     budget is spent.
+//  3. Blocked cutover. The PG briefly refuses routed ops (StWrongEpoch
+//     at the CURRENT epoch — clients with a fresh map back off and
+//     retry rather than refetch), the source waits out VerifyTimeout so
+//     in-flight one-sided value writes either settle durable or age
+//     into invalidation (the same contract a crash enforces), and one
+//     final drain copies the remainder.
+//  4. Cutover. The epoch+1 map assigning the PG to the target is
+//     installed on the TARGET first — from that instant at least one
+//     instance acks ownership under the newest epoch — then locally
+//     (lifting the block: rejects now carry the new epoch, steering
+//     clients to refetch), then pushed best-effort to the other
+//     instances. The moved entries are purged from the source table so
+//     stale one-sided reads miss and fall back to the RPC path, where
+//     the wrong-epoch redirect takes over.
+package tcpkv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"efactory/internal/cluster"
+	"efactory/internal/kv"
+	"efactory/internal/store"
+	"efactory/internal/wire"
+)
+
+// migBatchKeys and migBatchBytes bound one TMigIngest frame: flush at
+// whichever limit is hit first (well under the 64MB frame cap).
+const (
+	migBatchKeys  = 256
+	migBatchBytes = 4 << 20
+)
+
+// migDrainRounds bounds the pre-block drain passes; a write-heavy PG
+// that never drains dry is cut over from inside the blocked window.
+const migDrainRounds = 8
+
+// MigrationSummary reports what a completed migration did; TMigrateResp
+// carries it JSON-encoded in Value.
+type MigrationSummary struct {
+	PG           int    `json:"pg"`
+	Target       string `json:"target"`
+	Epoch        uint64 `json:"epoch"` // map epoch after cutover
+	SnapshotKeys int    `json:"snapshot_keys"`
+	DrainKeys    int    `json:"drain_keys"` // keys re-copied by open drain rounds
+	DrainRounds  int    `json:"drain_rounds"`
+	BlockedKeys  int    `json:"blocked_keys"` // keys copied inside the blocked window
+	Purged       int    `json:"purged"`       // source entries cleared after cutover
+	BlockedFor   string `json:"blocked_for"`  // wall time the PG refused ops
+}
+
+// errMigrationAborted reports a migration stopped at an injected crash
+// point (Server.migCrash); the protocol state is whatever the crash
+// point implies, exactly as if the source process had died there.
+var errMigrationAborted = errors.New("tcpkv: migration aborted at crash point")
+
+// migCheckpoint asks the crash hook (if any) whether the source "dies"
+// at this protocol point.
+func (s *Server) migCheckpoint(point string) error {
+	if s.migCrash != nil && s.migCrash(point) {
+		return fmt.Errorf("%w: %s", errMigrationAborted, point)
+	}
+	return nil
+}
+
+// handleMigrate serves TMigrate: move placement group Off to the
+// instance named by Key. Synchronous — the response arrives after
+// cutover (StOK + summary) or failure (StError + message in Value).
+func (s *Server) handleMigrate(m wire.Msg) wire.Msg {
+	sum, err := s.MigratePG(int(m.Off), string(m.Key))
+	if err != nil {
+		return wire.Msg{Type: wire.TMigrateResp, Status: wire.StError, Value: []byte(err.Error())}
+	}
+	blob, _ := json.Marshal(sum)
+	return wire.Msg{Type: wire.TMigrateResp, Status: wire.StOK, Token: uint32(sum.Epoch), Value: blob}
+}
+
+// MigratePG runs the migration protocol above as the source. Exposed so
+// tests and tooling can drive a migration without a wire round trip.
+func (s *Server) MigratePG(pg int, target string) (MigrationSummary, error) {
+	s.migOne.Lock()
+	defer s.migOne.Unlock()
+
+	s.clMu.RLock()
+	m, self := s.clMap, s.clName
+	s.clMu.RUnlock()
+	if m == nil {
+		return MigrationSummary{}, errors.New("tcpkv: clustering not enabled")
+	}
+	if pg < 0 || pg >= m.PGs {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: no placement group %d (map has %d)", pg, m.PGs)
+	}
+	if m.Assign[pg] != self {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: pg %d is owned by %q, not this instance", pg, m.Assign[pg])
+	}
+	if target == self {
+		return MigrationSummary{}, errors.New("tcpkv: target is the source")
+	}
+	addr, ok := m.AddrOf(target)
+	if !ok {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: unknown target instance %q", target)
+	}
+	tc, err := Dial(addr)
+	if err != nil {
+		return MigrationSummary{}, fmt.Errorf("tcpkv: dial target: %w", err)
+	}
+	defer tc.Close()
+	tc.SetRetryPolicy(DefaultRetryPolicy())
+
+	sum := MigrationSummary{PG: pg, Target: target}
+	accept := func(hash uint64) bool { return cluster.PGOf(hash, m.PGs) == pg }
+
+	// Phase 1: tracker on BEFORE the snapshot walk, so a write racing the
+	// walk is either in the snapshot or in the dirty set (or both —
+	// imports are idempotent).
+	tracker := &migTracker{accept: accept, dirty: make(map[string]struct{})}
+	s.mig.Store(tracker)
+	defer s.mig.Store(nil)
+
+	if err := s.migCheckpoint("pre-snapshot"); err != nil {
+		return sum, err
+	}
+	if sum.SnapshotKeys, err = s.exportSnapshot(tc, accept); err != nil {
+		return sum, fmt.Errorf("tcpkv: snapshot: %w", err)
+	}
+
+	// Phase 2: open drain rounds.
+	for round := 0; round < migDrainRounds; round++ {
+		if err := s.migCheckpoint("drain"); err != nil {
+			return sum, err
+		}
+		dirty := tracker.take()
+		if len(dirty) == 0 {
+			break
+		}
+		sum.DrainRounds++
+		n, err := s.exportDirty(tc, dirty)
+		if err != nil {
+			return sum, fmt.Errorf("tcpkv: drain round %d: %w", round, err)
+		}
+		sum.DrainKeys += n
+	}
+
+	// Phase 3: blocked cutover window.
+	s.blockPG(pg)
+	blockedAt := time.Now()
+	unblock := func() { s.unblockPG(pg) }
+	defer func() { unblock() }() // re-assignable: cutover replaces it
+
+	// Barrier: wait out every mutating op that passed its ownership
+	// check before the block — once the write side is acquired, all of
+	// them have applied and landed in the dirty set, and every later op
+	// sees the block. The final drain below therefore misses nothing.
+	s.opGate.Lock()
+	s.opGate.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+
+	// Wait out the verify window: a value write granted before the block
+	// either lands (and the settling Get below persists it) or ages past
+	// VerifyTimeout (and the Get invalidates it — exactly what a crash at
+	// the same point would have done to the unfinished write).
+	slack := s.cfg.VerifyTimeout / 8
+	if slack < 2*time.Millisecond {
+		slack = 2 * time.Millisecond
+	}
+	time.Sleep(s.cfg.VerifyTimeout + slack)
+
+	if err := s.migCheckpoint("blocked"); err != nil {
+		return sum, err
+	}
+	if sum.BlockedKeys, err = s.exportDirty(tc, tracker.take()); err != nil {
+		return sum, fmt.Errorf("tcpkv: blocked drain: %w", err)
+	}
+	if err := s.migCheckpoint("pre-cutover"); err != nil {
+		return sum, err
+	}
+
+	// Phase 4: cutover. Target first — if the target refuses the new map
+	// the migration aborts with ownership unchanged (the copied data is
+	// harmless: the target never serves a PG its map does not assign it).
+	nm := m.WithAssign(pg, target)
+	if ep, err := tc.SetClusterMapRPC(nm); err != nil {
+		return sum, fmt.Errorf("tcpkv: installing map on target: %w", err)
+	} else if ep < nm.Epoch {
+		return sum, fmt.Errorf("tcpkv: target stayed at epoch %d (offered %d)", ep, nm.Epoch)
+	}
+	// From here the cutover is committed: the newest-epoch map lives on
+	// the target, so even if this process dies before purging or
+	// installing locally, the cluster's authority for the PG is the
+	// target (which holds every drained key).
+	if err := s.migCheckpoint("cutover-committed"); err != nil {
+		return sum, err
+	}
+	// Purge while the PG is still blocked locally: once stale one-sided
+	// reads can only miss here, it is safe to start redirecting clients
+	// to the target. (Purging after unblocking would leave a window
+	// where a stale read at the source returns a value the target has
+	// since overwritten.)
+	for i := 0; i < s.st.NumShards(); i++ {
+		sum.Purged += s.st.Shard(i).PurgeMatching(accept)
+	}
+	if err := s.migCheckpoint("purged"); err != nil {
+		return sum, err
+	}
+	s.SetClusterMap(nm)
+	sum.Epoch = nm.Epoch
+	unblock()
+	sum.BlockedFor = time.Since(blockedAt).String()
+	unblock = func() {} // the deferred call becomes a no-op
+
+	s.pushMapToPeers(nm, target)
+	s.migDone.Add(1)
+	return sum, nil
+}
+
+// exportSnapshot streams every live key accept matches to the target.
+// Keys are collected per shard under the engine lock and shipped after
+// it is released, so the snapshot walk never holds a shard's lock
+// across a network round trip.
+func (s *Server) exportSnapshot(tc *Client, accept func(uint64) bool) (int, error) {
+	total := 0
+	for i := 0; i < s.st.NumShards(); i++ {
+		var keys []store.ExportKey
+		s.st.Shard(i).ExportMatching(accept, func(ek store.ExportKey) bool {
+			keys = append(keys, ek)
+			s.renoteIfPending(ek)
+			return true
+		})
+		n, err := s.sendBatched(tc, keys)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// renoteIfPending puts a key back in the dirty set when its exported
+// head version is not yet durable: the client's one-sided value write
+// has not landed, so the copy that just traveled is torn, and when the
+// value does land nothing else re-marks the key (a write whose alloc
+// predates the tracker never entered it at all). Re-noting guarantees a
+// later round — at latest the final blocked drain, which runs after the
+// verify window has forced every pre-block write to settle — re-exports
+// the real state, which the importer's equal-seq durability upgrade
+// then accepts.
+func (s *Server) renoteIfPending(ek store.ExportKey) {
+	if n := len(ek.Versions); n > 0 && ek.Versions[n-1].Flags&kv.FlagDurable == 0 {
+		s.noteDirty(ek.Key)
+	}
+}
+
+// exportDirty settles and re-exports one drain round's dirty keys. The
+// settling Get runs verify-on-demand: an acknowledged write's value is
+// verified and persisted before export, so what travels is durable.
+func (s *Server) exportDirty(tc *Client, dirty map[string]struct{}) (int, error) {
+	if len(dirty) == 0 {
+		return 0, nil
+	}
+	var keys []store.ExportKey
+	for k := range dirty {
+		key := []byte(k)
+		eng := s.st.Shard(cluster.ShardFor(key, s.st.NumShards()))
+		eng.Get(nil, key) // settle: verify+persist or invalidate
+		if ek, ok := eng.ExportOne(key); ok {
+			keys = append(keys, ek)
+			s.renoteIfPending(ek)
+		}
+	}
+	return s.sendBatched(tc, keys)
+}
+
+// sendBatched ships exported keys in bounded TMigIngest frames.
+func (s *Server) sendBatched(tc *Client, keys []store.ExportKey) (int, error) {
+	sent := 0
+	for len(keys) > 0 {
+		n, bytes := 0, 0
+		for n < len(keys) && n < migBatchKeys && bytes < migBatchBytes {
+			for _, v := range keys[n].Versions {
+				bytes += len(v.Value)
+			}
+			bytes += len(keys[n].Key)
+			n++
+		}
+		if err := tc.MigIngest(keys[:n]); err != nil {
+			return sent, err
+		}
+		sent += n
+		s.migKeysMoved.Add(uint64(n))
+		keys = keys[n:]
+	}
+	return sent, nil
+}

@@ -23,7 +23,7 @@
 // With Config.Shards > 1 the keyspace splits over independent engine
 // shards — each with its own table region, pool pair, verifier goroutine,
 // and cleaner — giving real multicore parallelism; clients route by the
-// same key-hash split (kv.ShardOf). Shard s's regions are addressed as
+// same key-hash split (cluster.ShardOf). Shard s's regions are addressed as
 // rkeys 1+3*s (table) and 2+3*s, 3+3*s (pools), so a single-shard server
 // keeps the legacy rkeys 1, 2, 3.
 //
@@ -50,8 +50,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"efactory/internal/cluster"
 	"efactory/internal/fault"
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
@@ -181,6 +183,39 @@ type Server struct {
 	ln        net.Listener
 	connMu    sync.Mutex
 	conns     map[net.Conn]struct{}
+
+	// Cluster placement state (see cluster.go). A nil clMap disables the
+	// layer entirely: no ownership checks, wire behavior bit-identical to
+	// a pre-cluster server.
+	clMu      sync.RWMutex
+	clName    string       // instance identity ("" = unclustered)
+	clSelf    string       // advertised address of this instance
+	clMap     *cluster.Map // authoritative ownership; nil = disabled
+	clBlocked map[int]bool // PGs refusing routed ops mid-cutover
+
+	// mig points at the active migration's dirty-key tracker (nil when no
+	// migration is running); migOne serializes migrations per source.
+	mig    atomic.Pointer[migTracker]
+	migOne sync.Mutex
+
+	// migCrash, when non-nil, is consulted at each migration protocol
+	// checkpoint; returning true aborts the migration there, leaving
+	// whatever state the crash point implies. Torture harnesses use it to
+	// model the source process dying mid-drain or mid-cutover.
+	migCrash func(point string) bool
+
+	// opGate orders mutating RPC ops against a migration's cutover: each
+	// mutating handler holds the read side across ownership check, engine
+	// apply, and dirty-note, and the migration takes the write side once
+	// (a barrier) right after blocking the PG — so an op that passed the
+	// check before the block is guaranteed to have applied AND landed in
+	// the dirty set before the final drain exports it. Without this an
+	// acked write could slip between the last export and the purge.
+	opGate sync.RWMutex
+
+	wrongEpoch   atomic.Uint64 // routed ops rejected with StWrongEpoch
+	migKeysMoved atomic.Uint64 // keys copied out by sourced migrations
+	migDone      atomic.Uint64 // migrations completed as the source
 }
 
 // NewServer builds a server over dev, recovering any existing state (a
@@ -268,7 +303,16 @@ func (s *Server) StartCleaning() bool { return s.st.StartCleaning() }
 
 // Serve accepts and serves connections until Close.
 func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
 	s.ln = ln
+	s.connMu.Unlock()
+	select {
+	case <-s.closing:
+		// Close ran before it could see the listener; finish its job.
+		ln.Close()
+		return nil
+	default:
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -299,10 +343,10 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closing)
 		s.st.Stop()
+		s.connMu.Lock()
 		if s.ln != nil {
 			s.ln.Close()
 		}
-		s.connMu.Lock()
 		for conn := range s.conns {
 			conn.Close()
 		}
@@ -569,21 +613,37 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 			return wire.Msg{Type: wire.TMetricsResp, Status: wire.StError}
 		}
 		return wire.Msg{Type: wire.TMetricsResp, Status: wire.StOK, Value: blob}
+	case wire.TClusterMap:
+		return s.handleClusterMap()
+	case wire.TClusterMapSet:
+		return s.handleClusterMapSet(m)
+	case wire.TJoin:
+		return s.handleJoin(m)
+	case wire.TMigrate:
+		return s.handleMigrate(m)
+	case wire.TMigIngest:
+		return s.handleMigIngest(m)
 	}
 	return wire.Msg{Type: m.Type + 1, Status: wire.StError}
 }
 
 func (s *Server) shardFor(key []byte) (int, *store.Engine) {
-	sh := kv.ShardOf(kv.HashKey(key), s.st.NumShards())
+	sh := cluster.ShardFor(key, s.st.NumShards())
 	return sh, s.st.Shard(sh)
 }
 
 func (s *Server) handlePut(m wire.Msg) wire.Msg {
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
+	if ep, reject := s.unowned(m.Key); reject {
+		return wire.Msg{Type: wire.TPutResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+	}
 	sh, eng := s.shardFor(m.Key)
 	res := eng.Put(nil, m.Key, int(m.Len), m.Crc)
 	if res.Status != store.StatusOK {
 		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
 	}
+	s.noteDirty(m.Key)
 	_, poolBase := shardRKeys(sh)
 	return wire.Msg{
 		Type: wire.TPutResp, Status: wire.StOK,
@@ -600,6 +660,19 @@ func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
 	if err != nil {
 		return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError}
 	}
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
+	if len(ops) > 0 {
+		keys := make([][]byte, len(ops))
+		for i := range ops {
+			keys[i] = ops[i].Key
+		}
+		// Any unowned key rejects the whole batch: batches are
+		// all-or-nothing on the wire (see unownedAny).
+		if ep, reject := s.unownedAny(keys); reject {
+			return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+		}
+	}
 	grants := make([]wire.PutGrant, len(ops))
 	for i, op := range ops {
 		sh, eng := s.shardFor(op.Key)
@@ -608,6 +681,7 @@ func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
 			grants[i] = wire.PutGrant{Status: wire.StFull}
 			continue
 		}
+		s.noteDirty(op.Key)
 		_, poolBase := shardRKeys(sh)
 		grants[i] = wire.PutGrant{
 			Status: wire.StOK,
@@ -620,6 +694,9 @@ func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
 }
 
 func (s *Server) handleGet(m wire.Msg) wire.Msg {
+	if ep, reject := s.unowned(m.Key); reject {
+		return wire.Msg{Type: wire.TGetResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+	}
 	sh, eng := s.shardFor(m.Key)
 	res := eng.Get(nil, m.Key)
 	if res.Status != store.StatusOK {
@@ -650,10 +727,19 @@ func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
 	if len(ops) > max {
 		return wire.Msg{Type: wire.TGetResults, Status: wire.StError}
 	}
+	if len(ops) > 0 {
+		keys := make([][]byte, len(ops))
+		for i := range ops {
+			keys[i] = ops[i].Key
+		}
+		if ep, reject := s.unownedAny(keys); reject {
+			return wire.Msg{Type: wire.TGetResults, Status: wire.StWrongEpoch, Token: uint32(ep)}
+		}
+	}
 	grants := make([]wire.GetGrant, len(ops))
 	byShard := make([][]int, s.st.NumShards())
 	for i, op := range ops {
-		sh := kv.ShardOf(kv.HashKey(op.Key), len(byShard))
+		sh := cluster.ShardFor(op.Key, len(byShard))
 		byShard[sh] = append(byShard[sh], i)
 	}
 	for sh, list := range byShard {
@@ -696,10 +782,16 @@ func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
 }
 
 func (s *Server) handleDel(m wire.Msg) wire.Msg {
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
+	if ep, reject := s.unowned(m.Key); reject {
+		return wire.Msg{Type: wire.TDelResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+	}
 	_, eng := s.shardFor(m.Key)
 	if eng.Del(nil, m.Key) != store.StatusOK {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound}
 	}
+	s.noteDirty(m.Key)
 	return wire.Msg{Type: wire.TDelResp, Status: wire.StOK}
 }
 

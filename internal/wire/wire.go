@@ -88,6 +88,41 @@ const (
 	// (EncodeGetGrants), index-aligned with the request so per-key errors
 	// map back to their ops.
 	TGetResults
+	// TClusterMap requests the server's current cluster map (TCP
+	// transport). The reply's Value carries the JSON-encoded map
+	// (cluster.Map.Encode) and Token its epoch; a server without
+	// clustering enabled answers StError.
+	TClusterMap
+	// TClusterMapResp answers TClusterMap.
+	TClusterMapResp
+	// TClusterMapSet offers the server a cluster map (Value, JSON). The
+	// server adopts it only if the epoch is strictly newer than its own;
+	// the reply's Token carries the epoch the server ended up at either
+	// way. Used by migration cutover and join propagation.
+	TClusterMapSet
+	// TClusterMapSetResp answers TClusterMapSet.
+	TClusterMapSetResp
+	// TJoin asks a clustered server to admit a new instance: Key is the
+	// joiner's name, Value its address. The server bumps the epoch, adds
+	// the instance (owning no placement groups), pushes the new map to
+	// the other instances, and returns it like TClusterMapResp.
+	TJoin
+	// TJoinResp answers TJoin.
+	TJoinResp
+	// TMigrate asks the serving instance to migrate placement group Off
+	// to the instance named by Key. The call is synchronous: the reply
+	// arrives after cutover (or failure), with a JSON MigrationSummary in
+	// Value.
+	TMigrate
+	// TMigrateResp answers TMigrate.
+	TMigrateResp
+	// TMigIngest streams a batch of exported keys (store.ExportKey list,
+	// JSON in Value) from a migration source to its target, which imports
+	// them into its local shards. Ownership checks do not apply: the
+	// target ingests placement groups it does not own yet.
+	TMigIngest
+	// TMigIngestResp answers TMigIngest.
+	TMigIngestResp
 )
 
 // Status codes.
@@ -96,6 +131,13 @@ const (
 	StNotFound
 	StFull
 	StError
+	// StWrongEpoch rejects a routed op whose key lies outside the
+	// placement groups the server owns (or one blocked by a migration
+	// cutover). The op was not applied; the response's Token carries the
+	// server's current cluster-map epoch so the client can decide whether
+	// its cached map is stale (refetch) or merely blocked (back off and
+	// retry).
+	StWrongEpoch
 )
 
 // Msg is the flat message structure covering every type; unused fields are
@@ -104,7 +146,7 @@ type Msg struct {
 	Type   uint8
 	Status uint8
 	Note   uint8  // server state hints piggybacked on responses (NoteCleaning)
-	Token  uint32 // allocation token (PUT/PERSIST/IMM correlation)
+	Token  uint32 // allocation token (PUT/PERSIST/IMM correlation); on routed TCP requests (TPut/TGet/TDel/TPutBatch/TGetBatch) the client's cluster-map epoch (0 = unclustered), and on StWrongEpoch responses the server's current epoch
 	RKey   uint32 // memory region for the client's one-sided follow-up
 	Crc    uint32 // client-computed value checksum (TPut)
 	Off    uint64 // object offset within the MR

@@ -79,6 +79,37 @@ func TestAppendedTypeValuesStable(t *testing.T) {
 		t.Fatalf("wire type values shifted: TShardStats=%d TShardStatsResp=%d TMetrics=%d TMetricsResp=%d",
 			TShardStats, TShardStatsResp, TMetrics, TMetricsResp)
 	}
+	if TPutBatch != 22 || TGetResults != 25 {
+		t.Fatalf("wire type values shifted: TPutBatch=%d TGetResults=%d", TPutBatch, TGetResults)
+	}
+	if TClusterMap != 26 || TClusterMapSet != 28 || TJoin != 30 || TMigrate != 32 || TMigIngestResp != 35 {
+		t.Fatalf("wire type values shifted: TClusterMap=%d TClusterMapSet=%d TJoin=%d TMigrate=%d TMigIngestResp=%d",
+			TClusterMap, TClusterMapSet, TJoin, TMigrate, TMigIngestResp)
+	}
+	if StWrongEpoch != 4 {
+		t.Fatalf("StWrongEpoch shifted: %d", StWrongEpoch)
+	}
+}
+
+func TestEpochRidesInTokenWithoutLayoutChange(t *testing.T) {
+	// The cluster epoch travels in the existing Token field: the header
+	// layout (and so every encoded length, which the simulator's virtual
+	// clock depends on) must not change between an unclustered and a
+	// clustered request.
+	plain := Msg{Type: TGet, Key: []byte("k")}
+	routed := Msg{Type: TGet, Key: []byte("k"), Token: 7}
+	if len(plain.Encode()) != len(routed.Encode()) {
+		t.Fatal("carrying an epoch changed the encoded length")
+	}
+	got, err := Decode(routed.Encode())
+	if err != nil || got.Token != 7 {
+		t.Fatalf("epoch lost in transit: %+v err=%v", got, err)
+	}
+	rej := Msg{Type: TGetResp, Status: StWrongEpoch, Token: 9}
+	got, err = Decode(rej.Encode())
+	if err != nil || got.Status != StWrongEpoch || got.Token != 9 {
+		t.Fatalf("wrong-epoch response mangled: %+v err=%v", got, err)
+	}
 }
 
 func TestEmptyPayloadsDecodeNil(t *testing.T) {
