@@ -6,11 +6,12 @@
 //	efactory-cli [-addr host:7420] get <key>
 //	efactory-cli [-addr host:7420] del <key>
 //	efactory-cli [-addr host:7420] stats [-json]
-//	efactory-cli [-addr host:7420] metrics [-json]
-//	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0]
+//	efactory-cli [-addr host:7420] metrics [-json] [-cluster]
+//	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0] [-cluster]
+//	efactory-cli [-addr host:7420] slow [-trace id] [-json]
 //	efactory-cli [-addr host:7420] map [-json]
 //	efactory-cli [-addr host:7420] migrate <pg> <target-instance>
-//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0]
+//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0] [-trace-sample 0] [-slow-ms 0]
 //
 // map prints the addressed server's current epoch-versioned cluster map
 // (placement-group ownership per instance). migrate asks the addressed
@@ -21,9 +22,15 @@
 // shards) and key gauges; -json dumps the raw telemetry snapshot. top
 // refreshes a compact live view every interval (throughput from counter
 // deltas, latency quantiles, durability lag); -n caps the number of
-// refreshes (0 = until interrupted). bench drives a small closed-loop
+// refreshes (0 = until interrupted). With -cluster, metrics and top fan
+// out over every instance in the addressed server's cluster map and
+// merge the per-instance snapshots into one cluster-wide view. slow
+// dumps the server's retained request traces (head-sampled at clients,
+// tail-retained when slow, errored, wrong-epoch, or inside a migration
+// window) as per-span timelines. bench drives a small closed-loop
 // PUT/GET workload and prints achieved throughput and latency
-// percentiles — wall-clock numbers over real TCP, not the simulation.
+// percentiles — wall-clock numbers over real TCP, not the simulation;
+// -trace-sample N traces 1-in-N bench ops end to end.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"efactory/internal/obs"
 	"efactory/internal/stats"
 	"efactory/internal/tcpkv"
+	"efactory/internal/trace"
 )
 
 func main() {
@@ -92,14 +100,22 @@ func main() {
 	case "metrics":
 		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 		asJSON := fs.Bool("json", false, "dump the raw telemetry snapshot as JSON")
+		clusterWide := fs.Bool("cluster", false, "fan out over every instance in the cluster map and merge")
 		fs.Parse(args[1:])
-		runMetrics(cl, *asJSON)
+		runMetrics(cl, *asJSON, *clusterWide)
 	case "top":
 		fs := flag.NewFlagSet("top", flag.ExitOnError)
 		interval := fs.Duration("interval", time.Second, "refresh period")
 		iters := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+		clusterWide := fs.Bool("cluster", false, "fan out over every instance in the cluster map and merge")
 		fs.Parse(args[1:])
-		runTop(cl, *interval, *iters)
+		runTop(cl, *interval, *iters, *clusterWide)
+	case "slow":
+		fs := flag.NewFlagSet("slow", flag.ExitOnError)
+		id := fs.Uint64("trace", 0, "filter to one trace ID (0 = all retained traces)")
+		asJSON := fs.Bool("json", false, "emit raw JSON")
+		fs.Parse(args[1:])
+		runSlow(cl, *id, *asJSON)
 	case "map":
 		fs := flag.NewFlagSet("map", flag.ExitOnError)
 		asJSON := fs.Bool("json", false, "emit JSON")
@@ -128,8 +144,10 @@ func main() {
 		getBatch := fs.Int("getbatch", 1, "keys per multi-GET batch (1 = plain Get)")
 		hintCache := fs.Bool("hint-cache", false, "read through the client-side location/durability hint cache")
 		pipeline := fs.Int("pipeline", 0, "RPC pipeline depth (0 = client default)")
+		traceSample := fs.Int("trace-sample", 0, "trace 1 in N ops end to end (0 = tracing off)")
+		slowMS := fs.Int("slow-ms", 0, "client-side tail retention: keep only traces at least this slow (0 = keep every sampled trace)")
 		fs.Parse(args[1:])
-		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *pipeline)
+		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *pipeline, *traceSample, *slowMS)
 	default:
 		usage()
 	}
@@ -195,8 +213,44 @@ func runStats(cl *tcpkv.Client, asJSON bool) {
 	}
 }
 
-func runMetrics(cl *tcpkv.Client, asJSON bool) {
-	snap, err := cl.Metrics()
+// snapshotFetcher returns a function fetching one telemetry snapshot:
+// from the addressed server alone, or — with clusterWide — merged across
+// every instance in its cluster map via obs.MergeSnapshots. Fan-out
+// connections are dialed per call so top keeps working while instances
+// come and go; an unreachable instance is skipped with a note on stderr.
+func snapshotFetcher(cl *tcpkv.Client, clusterWide bool) func() (obs.Snapshot, error) {
+	if !clusterWide {
+		return cl.Metrics
+	}
+	return func() (obs.Snapshot, error) {
+		m, err := cl.ClusterMapRPC()
+		if err != nil {
+			return obs.Snapshot{}, fmt.Errorf("cluster map: %w (is clustering enabled? start the server with -instance)", err)
+		}
+		var snaps []obs.Snapshot
+		for _, in := range m.Instances {
+			pc, err := tcpkv.Dial(in.Addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: skipping %s (%s): %v\n", in.Name, in.Addr, err)
+				continue
+			}
+			snap, err := pc.Metrics()
+			pc.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: skipping %s (%s): %v\n", in.Name, in.Addr, err)
+				continue
+			}
+			snaps = append(snaps, snap)
+		}
+		if len(snaps) == 0 {
+			return obs.Snapshot{}, fmt.Errorf("no reachable instances in the %d-instance map", len(m.Instances))
+		}
+		return obs.MergeSnapshots(snaps...), nil
+	}
+}
+
+func runMetrics(cl *tcpkv.Client, asJSON, clusterWide bool) {
+	snap, err := snapshotFetcher(cl, clusterWide)()
 	if err != nil {
 		fatal("metrics: %v", err)
 	}
@@ -256,15 +310,16 @@ func counterSum(snap obs.Snapshot, name string, want map[string]string) float64 
 	return total
 }
 
-func runTop(cl *tcpkv.Client, interval time.Duration, iters int) {
-	prev, err := cl.Metrics()
+func runTop(cl *tcpkv.Client, interval time.Duration, iters int, clusterWide bool) {
+	fetch := snapshotFetcher(cl, clusterWide)
+	prev, err := fetch()
 	if err != nil {
 		fatal("top: %v", err)
 	}
 	prevT := time.Now()
 	for i := 0; iters == 0 || i < iters; i++ {
 		time.Sleep(interval)
-		snap, err := cl.Metrics()
+		snap, err := fetch()
 		if err != nil {
 			fatal("top: %v", err)
 		}
@@ -304,16 +359,43 @@ func runTop(cl *tcpkv.Client, interval time.Duration, iters int) {
 	}
 }
 
+// runSlow prints the server's retained request traces (TTraceDump RPC):
+// one header line per trace plus its per-span timeline.
+func runSlow(cl *tcpkv.Client, id uint64, asJSON bool) {
+	traces, err := cl.TraceDump(id)
+	if err != nil {
+		fatal("slow: %v", err)
+	}
+	if asJSON {
+		blob, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			fatal("slow: %v", err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	if len(traces) == 0 {
+		fmt.Println("(no retained traces)")
+		return
+	}
+	for _, tr := range traces {
+		fmt.Printf("trace %x kept=%s (%d spans)\n%s", tr.ID, tr.Why, len(tr.Spans), trace.Timeline(tr.Spans))
+	}
+}
+
 // fmtNS renders nanoseconds with time.Duration's adaptive unit.
 func fmtNS(ns float64) string {
 	return time.Duration(ns).Round(10 * time.Nanosecond).String()
 }
 
-func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pipeline int) {
+func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pipeline, traceSample, slowMS int) {
 	if pipeline > 0 {
 		if err := cl.SetPipelineDepth(pipeline); err != nil {
 			fatal("bench: set pipeline depth: %v", err)
 		}
+	}
+	if traceSample > 0 {
+		cl.EnableTracing(traceSample, uint64(slowMS)*1e6)
 	}
 	if batch < 1 {
 		batch = 1
@@ -405,10 +487,13 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pi
 		n, getDur, float64(n)/getDur.Seconds(),
 		getLat.Median(), getLat.P99(), getLat.P999(),
 		cl.PureReads, cl.HintedReads, cl.FallbackReads)
+	if tr := cl.Tracer(); tr != nil {
+		fmt.Printf("traces: %d retained client-side (efactory-cli slow for the server's view)\n", tr.Retained())
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|map|migrate|bench ...")
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|slow|map|migrate|bench ...")
 	os.Exit(2)
 }
 

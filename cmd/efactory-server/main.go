@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420] [-instance name [-join host:7420] [-pgs 16] [-advertise host:port]]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420] [-slow-ms 0] [-instance name [-join host:7420] [-pgs 16] [-advertise host:port]]
 //
 // -bg-batch > 1 lets the background verifier group-verify and group-flush
 // up to that many contiguous objects per run; -pipeline-workers bounds the
@@ -20,7 +20,10 @@
 //
 // With -metrics-addr set, the server also serves HTTP telemetry:
 // Prometheus text on /metrics, the full JSON snapshot on /debug/vars, the
-// structured trace ring on /debug/trace, and Go profiling on /debug/pprof.
+// structured trace ring on /debug/trace, the retained request traces on
+// /debug/slow (?trace=<id> filters to one trace), and Go profiling on
+// /debug/pprof. -slow-ms tail-keeps only requests at least that slow
+// (errored, wrong-epoch, and migration-window traces are kept regardless).
 package main
 
 import (
@@ -47,7 +50,8 @@ func main() {
 	bgBatch := flag.Int("bg-batch", 1, "max objects group-verified and group-flushed per background run (1 = per-object)")
 	pipeWorkers := flag.Int("pipeline-workers", tcpkv.DefaultPipelineWorkers, "concurrent RPCs served per pipelined client connection")
 	maxGetBatch := flag.Int("max-get-batch", 0, "max keys per multi-GET request (0 = built-in default)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (JSON), and /debug/pprof on this address; empty disables")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (JSON), /debug/slow (retained traces), and /debug/pprof on this address; empty disables")
+	slowMS := flag.Int("slow-ms", 0, "retain only traces whose root section took at least this many milliseconds (0 = keep every submitted trace; errored/wrong-epoch/migration traces are kept regardless)")
 	instance := flag.String("instance", "", "cluster instance name; enables the epoch-versioned cluster map layer")
 	join := flag.String("join", "", "address of an existing cluster member to join (requires -instance)")
 	pgs := flag.Int("pgs", 16, "placement groups when bootstrapping a new cluster map (ignored with -join)")
@@ -75,6 +79,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("start server: %v", err)
 	}
+	if *slowMS > 0 {
+		srv.SetTraceRetention(uint64(*slowMS) * 1e6)
+	}
 	st := srv.Stats()
 	log.Printf("efactory-server: store %s, pool %d MiB, %d buckets, %d shard(s)",
 		*store, *poolMiB, *buckets, srv.Store().NumShards())
@@ -84,7 +91,12 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		msrv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(srv.Metrics())}
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(srv.Metrics()))
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+			srv.Tracer().ServeSlow(w, r)
+		})
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			log.Printf("metrics on http://%s/metrics", *metricsAddr)
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

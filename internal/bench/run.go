@@ -29,6 +29,10 @@ type Scale struct {
 	OpsPerClient int    // measured operations per client
 	PoolSize     int    // server data pool bytes (sized to avoid cleaning)
 	Buckets      int
+	// TraceSample enables end-to-end request tracing on every eFactory
+	// client at a 1-in-N head-sampling cadence (0 = off, the default for
+	// every figure; set by the tracing-overhead leg only).
+	TraceSample int
 }
 
 // FullScale is the default for cmd/efactory-bench.
@@ -59,6 +63,9 @@ type Result struct {
 	// Phase labels one window of the rebalance experiment: "before",
 	// "during", or "after" the online migration. Set by FigRebalance only.
 	Phase string `json:",omitempty"`
+	// TraceSample is the 1-in-N tracing cadence the run used (0 = tracing
+	// off). Set by the tracing-overhead leg only.
+	TraceSample int `json:",omitempty"`
 	// WrongEpoch and KeysMoved are the cluster-layer counters for a
 	// rebalance phase: rejects drawn by stale routed clients during the
 	// window, and keys the migrations shipped. Set by FigRebalance only.
@@ -104,6 +111,13 @@ func (r *Result) captureEngine(c *Cluster) {
 func RunMixed(par *model.Params, sys System, mix ycsb.Mix, nClients, valLen int, sc Scale, seed uint64) Result {
 	env := sim.NewEnv(seed)
 	c := Build(env, par, sys, nClients, sc.Buckets, sc.PoolSize)
+	if sc.TraceSample > 0 {
+		for _, cl := range c.Clients {
+			if ec, ok := cl.(*efactory.Client); ok {
+				ec.EnableTracing(sc.TraceSample, 0)
+			}
+		}
+	}
 
 	var rec stats.Recorder
 	var start, end time.Duration

@@ -11,6 +11,7 @@ import (
 	"efactory/internal/model"
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -58,7 +59,8 @@ type Client struct {
 	buckets  int // per shard
 	hybrid   bool
 	cleaning bool
-	hints    *hint.Cache // nil unless EnableHintCache was called
+	hints    *hint.Cache   // nil unless EnableHintCache was called
+	tracer   *trace.Tracer // nil unless EnableTracing was called
 
 	Stats ClientStats
 }
@@ -129,9 +131,20 @@ func (c *Client) rpc(p *sim.Proc, req wire.Msg) (wire.Msg, error) {
 func (c *Client) Put(p *sim.Proc, key, value []byte) error {
 	c.drainNotifications()
 	c.Stats.Puts++
+	tc, tr0 := c.beginTrace("put", kv.HashKey(key))
+	err := c.putTraced(p, tc, key, value)
+	c.endTrace(tc, tr0, err)
+	return err
+}
+
+func (c *Client) putTraced(p *sim.Proc, tc *trace.Ctx, key, value []byte) error {
+	tCRC := c.nowNS()
 	p.Sleep(c.par.CRCTime(len(value))) // client computes the CRC for the request
 	sum := crc.Checksum(value)
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key})
+	tc.Add("client_crc", tCRC, c.nowNS())
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPut, Crc: sum, Len: uint64(len(value)), Key: key, Trace: tc.ID()})
+	tc.Add("alloc_rpc", tRPC, c.nowNS())
 	if err != nil {
 		return err
 	}
@@ -144,7 +157,10 @@ func (c *Client) Put(p *sim.Proc, key, value []byte) error {
 	}
 	c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
 	valOff := int(resp.Off) + kv.ValueOffset(len(key))
-	return c.ep.Write(p, value, resp.RKey, valOff)
+	tW := c.nowNS()
+	err = c.ep.Write(p, value, resp.RKey, valOff)
+	tc.Add("doorbell_write", tW, c.nowNS())
+	return err
 }
 
 // PutBatch stores len(keys) key/value pairs with one allocation RPC and
@@ -164,11 +180,27 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 	}
 	c.drainNotifications()
 	c.Stats.Puts += len(keys)
+	tc, tr0 := c.beginTrace("put_batch", kv.HashKey(keys[0]))
+	errs = c.putBatchTraced(p, tc, keys, values, errs)
+	var first error
+	for _, e := range errs {
+		if e != nil {
+			first = e
+			break
+		}
+	}
+	c.endTrace(tc, tr0, first)
+	return errs
+}
+
+func (c *Client) putBatchTraced(p *sim.Proc, tc *trace.Ctx, keys, values [][]byte, errs []error) []error {
 	ops := make([]wire.PutOp, len(keys))
+	tCRC := c.nowNS()
 	for i := range keys {
 		p.Sleep(c.par.CRCTime(len(values[i])))
 		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
 	}
+	tc.Add("client_crc", tCRC, c.nowNS())
 	fail := func(err error) []error {
 		for i := range errs {
 			if errs[i] == nil {
@@ -177,7 +209,9 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 		}
 		return errs
 	}
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops)})
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops), Trace: tc.ID()})
+	tc.Add("alloc_rpc", tRPC, c.nowNS())
 	if err != nil {
 		return fail(err)
 	}
@@ -204,9 +238,11 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 			errs[i] = fmt.Errorf("efactory: put failed with status %d", g.Status)
 		}
 	}
+	tW := c.nowNS()
 	if err := c.ep.WriteBatch(p, reqs); err != nil {
 		return fail(err)
 	}
+	tc.Add("doorbell_write", tW, c.nowNS())
 	c.Stats.BatchedPuts += len(reqs)
 	return errs
 }
@@ -219,9 +255,16 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 	c.drainNotifications()
 	c.Stats.Gets++
+	tc, tr0 := c.beginTrace("get", kv.HashKey(key))
+	val, err := c.getTraced(p, tc, key)
+	c.endTrace(tc, tr0, err)
+	return val, err
+}
+
+func (c *Client) getTraced(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, error) {
 	if c.hybrid && !c.cleaning {
 		if c.hints != nil {
-			val, verdict, err := c.hintedRead(p, key)
+			val, verdict, err := c.hintedRead(p, tc, key)
 			if err != nil {
 				return nil, err
 			}
@@ -231,11 +274,11 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 				return val, nil
 			case hrFallback:
 				c.Stats.FallbackReads++
-				return c.rpcRead(p, key)
+				return c.rpcRead(p, tc, key)
 			}
 			// hrMiss: no usable hint — run the probe walk below.
 		}
-		val, ok, err := c.pureRead(p, key)
+		val, ok, err := c.pureRead(p, tc, key)
 		if err != nil {
 			return nil, err
 		}
@@ -247,13 +290,13 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 	} else {
 		c.Stats.RPCReads++
 	}
-	return c.rpcRead(p, key)
+	return c.rpcRead(p, tc, key)
 }
 
 // pureRead attempts the pure one-sided path. ok is false when the client
 // must fall back (entry missing client-side, undurable object, or a key
 // mismatch from probing).
-func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err error) {
+func (c *Client) pureRead(p *sim.Proc, tc *trace.Ctx, key []byte) (val []byte, ok bool, err error) {
 	keyHash := kv.HashKey(key)
 	g := c.shards[cluster.ShardOf(keyHash, len(c.shards))]
 	idx := int(keyHash % uint64(c.buckets))
@@ -261,6 +304,7 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 	found := false
 	slot := -1
 	buf := make([]byte, kv.EntrySize)
+	tProbe := c.nowNS()
 	for probe := 0; probe < maxEntryProbes; probe++ {
 		bucket := (idx + probe) % c.buckets
 		if err := c.ep.Read(p, buf, g.tableRKey, bucket*kv.EntrySize); err != nil {
@@ -278,6 +322,7 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 			break
 		}
 	}
+	tc.Add("entry_probe", tProbe, c.nowNS())
 	if !found || entry.Tombstone() {
 		return nil, false, nil // fall back; server resolves authoritatively
 	}
@@ -289,9 +334,11 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 	// Entry marks equal the pool index by construction.
 	pool := g.poolRKey[entry.Mark()&1]
 	obj := make([]byte, totalLen)
+	tObj := c.nowNS()
 	if err := c.ep.Read(p, obj, pool, int(off)); err != nil {
 		return nil, false, err
 	}
+	tc.Add("object_read", tObj, c.nowNS())
 	h := kv.DecodeHeader(obj)
 	if h.Magic != kv.Magic || !h.Valid() || !h.Durable() {
 		return nil, false, nil // step 4 failed: not completely durable
@@ -315,8 +362,10 @@ func (c *Client) pureRead(p *sim.Proc, key []byte) (val []byte, ok bool, err err
 
 // rpcRead is the RPC+RDMA read scheme: the server returns the location of
 // a durable, intact version; the client fetches it one-sidedly.
-func (c *Client) rpcRead(p *sim.Proc, key []byte) ([]byte, error) {
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TGet, Key: key})
+func (c *Client) rpcRead(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, error) {
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TGet, Key: key, Trace: tc.ID()})
+	tc.Add("get_rpc", tRPC, c.nowNS())
 	if err != nil {
 		return nil, err
 	}
@@ -327,9 +376,11 @@ func (c *Client) rpcRead(p *sim.Proc, key []byte) ([]byte, error) {
 		return nil, fmt.Errorf("efactory: get failed with status %d", resp.Status)
 	}
 	obj := make([]byte, resp.Len)
+	tObj := c.nowNS()
 	if err := c.ep.Read(p, obj, resp.RKey, int(resp.Off)); err != nil {
 		return nil, err
 	}
+	tc.Add("object_read", tObj, c.nowNS())
 	h := kv.DecodeHeader(obj)
 	vo := kv.ValueOffset(h.KLen)
 	if h.Magic != kv.Magic || vo+h.VLen > len(obj) {
@@ -345,12 +396,13 @@ func (c *Client) rpcRead(p *sim.Proc, key []byte) ([]byte, error) {
 func (c *Client) Delete(p *sim.Proc, key []byte) error {
 	c.drainNotifications()
 	c.dropHint(key)
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TDel, Key: key})
-	if err != nil {
-		return err
+	tc, tr0 := c.beginTrace("del", kv.HashKey(key))
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TDel, Key: key, Trace: tc.ID()})
+	tc.Add("del_rpc", tRPC, c.nowNS())
+	if err == nil && resp.Status == wire.StNotFound {
+		err = ErrNotFound
 	}
-	if resp.Status == wire.StNotFound {
-		return ErrNotFound
-	}
-	return nil
+	c.endTrace(tc, tr0, err)
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"efactory/internal/kv"
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -63,7 +64,7 @@ const (
 // speculative bytes are accepted only if the entry still names that exact
 // location; if the entry points elsewhere the object is re-fetched from
 // the entry's location before the usual durability/key checks.
-func (c *Client) hintedRead(p *sim.Proc, key []byte) ([]byte, int, error) {
+func (c *Client) hintedRead(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, int, error) {
 	keyHash := kv.HashKey(key)
 	shard := cluster.ShardOf(keyHash, len(c.shards))
 	h, ok := c.hints.Lookup(shard, key)
@@ -82,10 +83,12 @@ func (c *Client) hintedRead(p *sim.Proc, key []byte) ([]byte, int, error) {
 	}
 	ebuf := make([]byte, kv.EntrySize)
 	obj := make([]byte, h.Len)
+	tRead := c.nowNS()
 	err := c.ep.ReadBatch(p, []rnic.ReadReq{
 		{Dst: ebuf, RKey: g.tableRKey, Off: slot * kv.EntrySize},
 		{Dst: obj, RKey: h.Pool, Off: int(h.Off)},
 	})
+	tc.Add("doorbell_read", tRead, c.nowNS())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -106,9 +109,11 @@ func (c *Client) hintedRead(p *sim.Proc, key []byte) ([]byte, int, error) {
 		// entry names the current location — fetch that instead.
 		c.hints.Invalidate(shard, key)
 		obj = make([]byte, tlen)
+		tRefetch := c.nowNS()
 		if err := c.ep.Read(p, obj, pool, int(off)); err != nil {
 			return nil, 0, err
 		}
+		tc.Add("object_read", tRefetch, c.nowNS())
 	}
 	hd := kv.DecodeHeader(obj)
 	if hd.Magic != kv.Magic || !hd.Valid() || !hd.Durable() {
@@ -180,6 +185,23 @@ func (c *Client) GetBatch(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
 	c.drainNotifications()
 	c.Stats.Gets += len(keys)
 	c.Stats.BatchedGets += len(keys)
+	tc, tr0 := c.beginTrace("get_batch", kv.HashKey(keys[0]))
+	vals, errs = c.getBatchTraced(p, tc, keys, vals, errs)
+	var first error
+	for _, e := range errs {
+		if e != nil && e != ErrNotFound {
+			first = e
+			break
+		}
+	}
+	c.endTrace(tc, tr0, first)
+	return vals, errs
+}
+
+// getBatchTraced is GetBatch's body, with the request's trace context
+// (nil when unsampled) threaded through each doorbell round and the RPC
+// fallback.
+func (c *Client) getBatchTraced(p *sim.Proc, tc *trace.Ctx, keys [][]byte, vals [][]byte, errs []error) ([][]byte, []error) {
 
 	optimistic := c.hybrid && !c.cleaning
 	sts := make([]gbState, len(keys))
@@ -291,6 +313,7 @@ func (c *Client) GetBatch(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
 		if len(reqs) == 0 {
 			break
 		}
+		tRead := c.nowNS()
 		if err := c.ep.ReadBatch(p, reqs); err != nil {
 			for i := range sts {
 				if !sts[i].done && errs[i] == nil {
@@ -300,6 +323,7 @@ func (c *Client) GetBatch(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
 			}
 			return vals, errs
 		}
+		tc.Add("doorbell_read", tRead, c.nowNS())
 		for _, i := range acted {
 			st := &sts[i]
 			switch st.phase {
@@ -360,12 +384,12 @@ func (c *Client) GetBatch(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
 			}
 		}
 	}
-	return c.getBatchRPC(p, keys, sts, vals, errs)
+	return c.getBatchRPC(p, tc, keys, sts, vals, errs)
 }
 
 // getBatchRPC resolves every not-yet-done key of a GetBatch with one
 // TGetBatch request and one doorbell chain of object READs for the grants.
-func (c *Client) getBatchRPC(p *sim.Proc, keys [][]byte, sts []gbState, vals [][]byte, errs []error) ([][]byte, []error) {
+func (c *Client) getBatchRPC(p *sim.Proc, tc *trace.Ctx, keys [][]byte, sts []gbState, vals [][]byte, errs []error) ([][]byte, []error) {
 	var fbIdx []int
 	for i := range sts {
 		if !sts[i].done {
@@ -391,7 +415,9 @@ func (c *Client) getBatchRPC(p *sim.Proc, keys [][]byte, sts []gbState, vals [][
 		}
 		return vals, errs
 	}
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TGetBatch, Value: wire.EncodeGetOps(ops)})
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TGetBatch, Value: wire.EncodeGetOps(ops), Trace: tc.ID()})
+	tc.Add("get_rpc", tRPC, c.nowNS())
 	if err != nil {
 		return fail(err)
 	}
@@ -419,12 +445,14 @@ func (c *Client) getBatchRPC(p *sim.Proc, keys [][]byte, sts []gbState, vals [][
 			errs[i] = fmt.Errorf("efactory: get failed with status %d", g.Status)
 		}
 	}
+	tRead := c.nowNS()
 	if err := c.ep.ReadBatch(p, reqs); err != nil {
 		for _, j := range rIdx {
 			errs[fbIdx[j]] = err
 		}
 		return vals, errs
 	}
+	tc.Add("doorbell_read", tRead, c.nowNS())
 	for _, j := range rIdx {
 		i, g := fbIdx[j], grants[j]
 		obj := sts[i].obj

@@ -13,6 +13,7 @@ import (
 	"efactory/internal/rnic"
 	"efactory/internal/sim"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -69,7 +70,15 @@ func (k *simSink) Charge(h any, op store.Op, n int) {
 	if op.Foreground() {
 		k.busy += int64(d)
 	}
-	h.(*sim.Proc).Sleep(d)
+	proc(h).Sleep(d)
+}
+
+// proc recovers the acting simulation process from an engine handle,
+// which may be wrapped with a trace context (trace.H) on traced
+// requests.
+func proc(h any) *sim.Proc {
+	ph, _ := trace.Unwrap(h)
+	return ph.(*sim.Proc)
 }
 
 // Server is the eFactory server node: NVM device, the sharded storage
@@ -92,6 +101,8 @@ type Server struct {
 	srq     *sim.Queue[rnic.Message]
 	clients []*rnic.Endpoint
 	stopped bool
+
+	tracer *trace.Tracer // server-side retained-span store
 }
 
 // NewServer builds a server on a fresh NVM device, registers its memory
@@ -105,6 +116,10 @@ func NewServer(env *sim.Env, par *model.Params, cfg Config) *Server {
 	}
 	dev := nvm.New(cfg.DeviceSize())
 	s := &Server{env: env, par: par, cfg: cfg, dev: dev}
+	// The server never head-samples on its own: it traces exactly the
+	// requests whose frames carry a client-minted ID, and retains every
+	// one of them (threshold 0) in the bounded store.
+	s.tracer = trace.NewTracer(0, 0)
 	s.nic = rnic.NewNIC(env, par, "efactory-server")
 	s.srq = s.nic.EnableSRQ()
 	s.initStore()
@@ -134,11 +149,11 @@ func (s *Server) initStore() store.RecoveryStats {
 			s.env.Go("efactory-cleaner", func(p *sim.Proc) { fn(p) })
 		},
 		CleanerWait: func(h any) bool {
-			h.(*sim.Proc).Sleep(s.par.BGIdlePoll)
+			proc(h).Sleep(s.par.BGIdlePoll)
 			return true
 		},
-		OnCleanStart: func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanStart) },
-		OnCleanEnd:   func(h any) { s.broadcast(h.(*sim.Proc), wire.TCleanEnd) },
+		OnCleanStart: func(h any) { s.broadcast(proc(h), wire.TCleanStart) },
+		OnCleanEnd:   func(h any) { s.broadcast(proc(h), wire.TCleanEnd) },
 	}
 	st, rst, err := store.New(dev, s.cfg.storeConfig(), deps)
 	if err != nil {
@@ -231,6 +246,10 @@ func (s *Server) ShardStats() []store.Stats { return s.st.ShardStats() }
 // latency here and wall-clock latency on the TCP server.
 func (s *Server) Metrics() *obs.Registry { return s.st.Metrics() }
 
+// Tracer returns the server's retained-span store: the server-side
+// spans of every traced request it served.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // Stop shuts down the server's processes (end of an experiment).
 func (s *Server) Stop() {
 	s.stopped = true
@@ -290,19 +309,51 @@ func (s *Server) worker(p *sim.Proc) {
 		s.busy(p, s.par.DispatchCost)
 		shard := cluster.ShardFor(m.Key, s.st.NumShards())
 		eng := s.st.Shard(shard)
+		// A traced frame opens a server-side root span; engine calls see
+		// the wrapped handle and attach their section spans to it.
+		var h any = p
+		tc := trace.NewCtx(m.Trace)
+		t0 := uint64(s.env.Now())
+		if tc != nil {
+			tc.Root("server_"+serverOpName(m.Type), t0, 0)
+			tc.SetRoot(0, "", kv.HashKey(m.Key))
+			h = trace.Wrap(p, tc)
+		}
 		switch m.Type {
 		case wire.TPut:
-			s.handlePut(p, msg.From, shard, eng, m)
+			s.handlePut(p, h, msg.From, shard, eng, m)
 		case wire.TPutBatch:
-			s.handlePutBatch(p, msg.From, m)
+			s.handlePutBatch(p, h, msg.From, m)
 		case wire.TGet:
-			s.handleGet(p, msg.From, shard, eng, m)
+			s.handleGet(p, h, msg.From, shard, eng, m)
 		case wire.TGetBatch:
-			s.handleGetBatch(p, msg.From, m)
+			s.handleGetBatch(p, h, msg.From, m)
 		case wire.TDel:
-			s.handleDel(p, msg.From, eng, m)
+			s.handleDel(p, h, msg.From, eng, m)
+		}
+		if tc != nil {
+			end := uint64(s.env.Now())
+			tc.SetRoot(end, "ok", 0)
+			s.tracer.Submit(tc, end-t0)
 		}
 	}
+}
+
+// serverOpName names a server root span after its request type.
+func serverOpName(t uint8) string {
+	switch t {
+	case wire.TPut:
+		return "put"
+	case wire.TPutBatch:
+		return "put_batch"
+	case wire.TGet:
+		return "get"
+	case wire.TGetBatch:
+		return "get_batch"
+	case wire.TDel:
+		return "del"
+	}
+	return "op"
 }
 
 func (s *Server) reply(p *sim.Proc, to *rnic.Endpoint, eng *store.Engine, m wire.Msg) {
@@ -313,8 +364,8 @@ func (s *Server) reply(p *sim.Proc, to *rnic.Endpoint, eng *store.Engine, m wire
 	_ = to.Send(p, m.Encode())
 }
 
-func (s *Server) handlePut(p *sim.Proc, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
-	res := eng.Put(p, m.Key, int(m.Len), m.Crc)
+func (s *Server) handlePut(p *sim.Proc, h any, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
+	res := eng.Put(h, m.Key, int(m.Len), m.Crc)
 	if res.Status != store.StatusOK {
 		s.reply(p, from, eng, wire.Msg{Type: wire.TPutResp, Status: wire.StFull})
 		return
@@ -332,7 +383,7 @@ func (s *Server) handlePut(p *sim.Proc, from *rnic.Endpoint, shard int, eng *sto
 // per-message recv/dispatch/send costs were paid once by the caller, so
 // the marginal cost of each extra op is just its engine work. Ops route
 // to their owning shards individually — a batch may span shards.
-func (s *Server) handlePutBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+func (s *Server) handlePutBatch(p *sim.Proc, h any, from *rnic.Endpoint, m wire.Msg) {
 	ops, err := wire.DecodePutOps(m.Value)
 	if err != nil {
 		s.replyAny(p, from, wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError})
@@ -342,7 +393,7 @@ func (s *Server) handlePutBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
 	for i, op := range ops {
 		shard := cluster.ShardFor(op.Key, s.st.NumShards())
 		eng := s.st.Shard(shard)
-		res := eng.Put(p, op.Key, op.VLen, op.Crc)
+		res := eng.Put(h, op.Key, op.VLen, op.Crc)
 		if res.Status != store.StatusOK {
 			grants[i] = wire.PutGrant{Status: wire.StFull}
 			continue
@@ -367,8 +418,8 @@ func (s *Server) replyAny(p *sim.Proc, to *rnic.Endpoint, m wire.Msg) {
 	_ = to.Send(p, m.Encode())
 }
 
-func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
-	res := eng.Get(p, m.Key)
+func (s *Server) handleGet(p *sim.Proc, h any, from *rnic.Endpoint, shard int, eng *store.Engine, m wire.Msg) {
+	res := eng.Get(h, m.Key)
 	if res.Status != store.StatusOK {
 		s.reply(p, from, eng, wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound})
 		return
@@ -388,7 +439,7 @@ func (s *Server) handleGet(p *sim.Proc, from *rnic.Endpoint, shard int, eng *sto
 // batch; client-learned slots pass through as engine lookup hints. The
 // reply carries index-aligned grants, each with the resolved slot, version
 // sequence, and durability flag so clients can warm their hint caches.
-func (s *Server) handleGetBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
+func (s *Server) handleGetBatch(p *sim.Proc, h any, from *rnic.Endpoint, m wire.Msg) {
 	ops, err := wire.DecodeGetOps(m.Value)
 	if err != nil {
 		s.replyAny(p, from, wire.Msg{Type: wire.TGetResults, Status: wire.StError})
@@ -413,7 +464,7 @@ func (s *Server) handleGetBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
 				slots[j] = int(ops[i].Slot)
 			}
 		}
-		for j, res := range s.st.Shard(sh).GetBatch(p, keys, slots) {
+		for j, res := range s.st.Shard(sh).GetBatch(h, keys, slots) {
 			i := list[j]
 			if res.Status != store.StatusOK {
 				grants[i] = wire.GetGrant{Status: wire.StNotFound}
@@ -438,8 +489,8 @@ func (s *Server) handleGetBatch(p *sim.Proc, from *rnic.Endpoint, m wire.Msg) {
 	s.replyAny(p, from, wire.Msg{Type: wire.TGetResults, Status: wire.StOK, Value: wire.EncodeGetGrants(grants)})
 }
 
-func (s *Server) handleDel(p *sim.Proc, from *rnic.Endpoint, eng *store.Engine, m wire.Msg) {
-	if eng.Del(p, m.Key) != store.StatusOK {
+func (s *Server) handleDel(p *sim.Proc, h any, from *rnic.Endpoint, eng *store.Engine, m wire.Msg) {
+	if eng.Del(h, m.Key) != store.StatusOK {
 		s.reply(p, from, eng, wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound})
 		return
 	}

@@ -1,0 +1,55 @@
+package efactory
+
+import (
+	"efactory/internal/trace"
+)
+
+// EnableTracing samples 1-in-sampleEvery of this client's ops into
+// propagated request traces: the client records its own sections (CRC,
+// allocation RPC, doorbell chains) on virtual time, the trace ID rides
+// the wire, and the server's engine sections join the same trace.
+// Finished traces pass the tail-retention rules (root duration >=
+// slowNS; slowNS 0 retains every sampled trace) into a bounded store
+// read via Tracer. sampleEvery <= 0 disables tracing (the default):
+// no IDs are minted, no wire bytes are added, and timings are
+// bit-identical to an untraced client.
+func (c *Client) EnableTracing(sampleEvery int, slowNS uint64) {
+	c.tracer = trace.NewTracer(sampleEvery, slowNS)
+}
+
+// Tracer returns the client's retained-trace store (nil when tracing
+// was never enabled).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
+
+func (c *Client) nowNS() uint64 { return uint64(c.env.Now()) }
+
+// beginTrace head-samples one client op. On the sampled path it opens
+// the root span (left un-ended until endTrace) and returns the context
+// and start time; on the common path it returns (nil, 0) and every
+// downstream trace call is a no-op.
+func (c *Client) beginTrace(name string, keyHash uint64) (*trace.Ctx, uint64) {
+	tc := trace.NewCtx(c.tracer.Sample())
+	if tc == nil {
+		return nil, 0
+	}
+	t0 := c.nowNS()
+	tc.Root(name, t0, 0)
+	tc.SetRoot(0, "", keyHash)
+	return tc, t0
+}
+
+// endTrace closes the root span with the op's outcome and submits the
+// trace for tail retention.
+func (c *Client) endTrace(tc *trace.Ctx, t0 uint64, err error) {
+	if tc == nil {
+		return
+	}
+	end := c.nowNS()
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		tc.Mark("error")
+	}
+	tc.SetRoot(end, outcome, 0)
+	c.tracer.Submit(tc, end-t0)
+}

@@ -1,0 +1,177 @@
+// End-to-end request tracing on the simulated RDMA transport: spans are
+// recorded in virtual time, so coverage assertions are deterministic —
+// the same seed always yields the same spans with the same durations.
+package efactory
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"efactory/internal/sim"
+	"efactory/internal/trace"
+)
+
+// coverage returns what fraction of the root span's duration is covered
+// by the union of its direct children's intervals.
+func coverage(t *testing.T, spans []trace.Span) float64 {
+	t.Helper()
+	var root *trace.Span
+	for i := range spans {
+		if spans[i].Parent == 0 {
+			root = &spans[i]
+			break
+		}
+	}
+	if root == nil {
+		t.Fatal("trace has no root span")
+	}
+	dur := root.EndNS - root.StartNS
+	if dur == 0 {
+		t.Fatal("root span has zero duration")
+	}
+	type iv struct{ s, e uint64 }
+	var ivs []iv
+	for _, s := range spans {
+		if s.Parent != root.ID {
+			continue
+		}
+		lo, hi := s.StartNS, s.EndNS
+		if lo < root.StartNS {
+			lo = root.StartNS
+		}
+		if hi > root.EndNS {
+			hi = root.EndNS
+		}
+		if hi > lo {
+			ivs = append(ivs, iv{lo, hi})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var covered, end uint64
+	for _, v := range ivs {
+		if v.s > end {
+			end = v.s
+		}
+		if v.e > end {
+			covered += v.e - end
+			end = v.e
+		}
+	}
+	return float64(covered) / float64(dur)
+}
+
+// TestTraceSpansCoverClientLatency is the tracing acceptance test: with
+// 1-in-1 sampling, a batched GET yields one trace whose client-side child
+// sections account for at least 95% of the measured client latency, and
+// the same trace ID is retained server-side with engine spans attached.
+func TestTraceSpansCoverClientLatency(t *testing.T) {
+	c := newCluster(t, DefaultConfig(), 1)
+	c.clients[0].EnableTracing(1, 0)
+	c.run(func(p *sim.Proc) {
+		cl := c.clients[0]
+		keys := make([][]byte, 8)
+		vals := make([][]byte, 8)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("trace-key-%02d", i))
+			vals[i] = []byte(fmt.Sprintf("trace-val-%02d-xxxxxxxxxxxxxxxx", i))
+		}
+		for i := range keys {
+			if err := cl.Put(p, keys[i], vals[i]); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		if _, errs := cl.GetBatch(p, keys); errs != nil {
+			for _, err := range errs {
+				if err != nil {
+					t.Fatalf("getbatch: %v", err)
+				}
+			}
+		}
+	})
+
+	var gb *trace.Trace
+	for _, tr := range c.clients[0].Tracer().Dump(0) {
+		tr := tr
+		if len(tr.Spans) > 0 && tr.Spans[0].Name == "get_batch" {
+			gb = &tr
+		}
+	}
+	if gb == nil {
+		t.Fatal("no get_batch trace retained client-side")
+	}
+	if cov := coverage(t, gb.Spans); cov < 0.95 {
+		t.Fatalf("client sections cover %.1f%% of get_batch latency, want >= 95%%\n%s",
+			cov*100, trace.Timeline(gb.Spans))
+	}
+
+	// Trace IDs must have crossed the wire: a batched GET that resolves
+	// purely one-sided never sends an RPC, but every PUT does — the
+	// server must have retained those IDs with engine sections recorded
+	// under its own root span.
+	propagated := 0
+	for _, ctr := range c.clients[0].Tracer().Dump(0) {
+		if len(ctr.Spans) == 0 || ctr.Spans[0].Name != "put" {
+			continue
+		}
+		srvSide := c.srv.Tracer().Dump(ctr.ID)
+		if len(srvSide) == 0 {
+			t.Fatalf("server retained no trace for put id %x", ctr.ID)
+		}
+		hasEngine := false
+		for _, s := range srvSide[0].Spans {
+			if s.Parent != 0 && s.Name != "" {
+				hasEngine = true
+			}
+		}
+		if !hasEngine {
+			t.Fatalf("server trace %x has no engine sections:\n%s", ctr.ID, trace.Timeline(srvSide[0].Spans))
+		}
+		propagated++
+	}
+	if propagated != 8 {
+		t.Fatalf("%d put traces propagated to the server, want 8", propagated)
+	}
+
+	// Every client op was sampled at 1-in-1: 8 puts + 1 batched get.
+	if got := c.clients[0].Tracer().Retained(); got != 9 {
+		t.Fatalf("client retained %d traces, want 9", got)
+	}
+}
+
+// TestTracingVirtualTimeCost pins the cost contract: tracing reads the
+// clock but never charges it, so the only virtual-time cost of a traced
+// run is the modeled transmission of the 8-byte wire trailer — well
+// under 0.1% here — and traced runs stay fully deterministic.
+func TestTracingVirtualTimeCost(t *testing.T) {
+	run := func(sample int) (end uint64) {
+		c := newCluster(t, DefaultConfig(), 1)
+		if sample > 0 {
+			c.clients[0].EnableTracing(sample, 0)
+		}
+		c.run(func(p *sim.Proc) {
+			cl := c.clients[0]
+			for i := 0; i < 32; i++ {
+				key := []byte(fmt.Sprintf("vt-%02d", i%8))
+				if err := cl.Put(p, key, []byte("value-payload-xxxxxxxx")); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+				if _, err := cl.Get(p, key); err != nil {
+					t.Fatalf("get: %v", err)
+				}
+			}
+			end = uint64(p.Now())
+		})
+		return end
+	}
+	off, on := run(0), run(1)
+	if on < off {
+		t.Fatalf("traced run finished earlier than untraced: %d < %d", on, off)
+	}
+	if delta := on - off; float64(delta)/float64(off) > 0.001 {
+		t.Fatalf("tracing cost %dns of %dns virtual time (> 0.1%%)", delta, off)
+	}
+	if again := run(1); again != on {
+		t.Fatalf("traced run is not deterministic: %d vs %d", again, on)
+	}
+}

@@ -27,6 +27,33 @@ import (
 type Oracle struct {
 	mu   sync.Mutex
 	keys map[string]*keyHist
+
+	// spanDump, when set, renders the retained trace spans touching a
+	// key; violations append its output so a failing torture run shows
+	// WHAT the system was doing to the key around the inconsistency, not
+	// just that the recovered bytes are wrong.
+	spanDump func(key string) string
+}
+
+// SetSpanDump installs the per-key span-timeline renderer appended to
+// violation messages (harnesses wire it to trace.Tracer.SpansForKey +
+// trace.Timeline). Call before the workload starts.
+func (o *Oracle) SetSpanDump(dump func(key string) string) {
+	o.mu.Lock()
+	o.spanDump = dump
+	o.mu.Unlock()
+}
+
+// withSpans appends the key's span timeline to a violation message.
+func (o *Oracle) withSpans(key string, violation string) string {
+	if violation == "" || o.spanDump == nil {
+		return violation
+	}
+	d := o.spanDump(key)
+	if d == "" {
+		return violation
+	}
+	return violation + "\nspan timeline for key:\n" + d
 }
 
 type evKind uint8
@@ -125,12 +152,12 @@ func (o *Oracle) ObserveGet(key, value []byte, found bool) string {
 	h.events = append(h.events,
 		event{kind: evDurable, value: append([]byte(nil), value...)})
 	if !acceptable[string(value)] {
-		return fmt.Sprintf("key %q: live GET returned %.40q, not an acknowledged value since the last DELETE", key, value)
+		return o.withSpans(string(key), fmt.Sprintf("key %q: live GET returned %.40q, not an acknowledged value since the last DELETE", key, value))
 	}
 	// Version monotonicity is put order: once some version was observed
 	// durable, no strictly older version may ever be served again.
 	if curPut >= 0 && prevDurPut >= 0 && curPut < prevDurPut {
-		return fmt.Sprintf("key %q: live GET regressed to %.40q, older than a previously observed-durable version", key, value)
+		return o.withSpans(string(key), fmt.Sprintf("key %q: live GET regressed to %.40q, older than a previously observed-durable version", key, value))
 	}
 	return ""
 }
@@ -229,8 +256,8 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 		got, found := get(k)
 		switch {
 		case !found && !allowAbsent:
-			violations = append(violations, fmt.Sprintf(
-				"key %q: observed-durable value lost (recovered absent, want %s)", k, valueSet(acceptable)))
+			violations = append(violations, o.withSpans(k, fmt.Sprintf(
+				"key %q: observed-durable value lost (recovered absent, want %s)", k, valueSet(acceptable))))
 		case found && !acceptable[string(got)]:
 			kind := "torn or unknown value"
 			if deleted && o.valueBeforeLastDel(h, got) {
@@ -238,8 +265,8 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 			} else if durPut >= 0 && o.valueInWindowBefore(window, durPut, got) {
 				kind = "version regressed past an observed-durable version"
 			}
-			violations = append(violations, fmt.Sprintf(
-				"key %q: %s: recovered %.40q, want %s", k, kind, got, valueSet(acceptable)))
+			violations = append(violations, o.withSpans(k, fmt.Sprintf(
+				"key %q: %s: recovered %.40q, want %s", k, kind, got, valueSet(acceptable))))
 		}
 	}
 	return violations

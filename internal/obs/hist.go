@@ -58,9 +58,10 @@ func bucketIndex(ns uint64) int {
 // deterministic simulator. The zero value is ready to use. Histograms must
 // not be copied after first use.
 type Histogram struct {
-	count  atomic.Uint64
-	sum    atomic.Uint64
-	counts [NumBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sum       atomic.Uint64
+	counts    [NumBuckets]atomic.Uint64
+	exemplars [NumBuckets]atomic.Uint64 // trace ID of the last traced sample per bucket
 }
 
 // Observe records one duration in nanoseconds.
@@ -68,6 +69,20 @@ func (h *Histogram) Observe(ns uint64) {
 	h.counts[bucketIndex(ns)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
+}
+
+// ObserveTraced records one duration and attaches traceID as the
+// bucket's exemplar (last writer wins), so a histogram tail bucket can
+// name a concrete retained trace to go look at. traceID 0 degrades to a
+// plain Observe.
+func (h *Histogram) ObserveTraced(ns, traceID uint64) {
+	i := bucketIndex(ns)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	if traceID != 0 {
+		h.exemplars[i].Store(traceID)
+	}
 }
 
 // Count returns the number of observations.
@@ -83,6 +98,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]uint64, NumBuckets)
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
 }
@@ -93,6 +114,7 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 	for i := range h.counts {
 		h.counts[i].Store(0)
+		h.exemplars[i].Store(0)
 	}
 }
 
@@ -100,12 +122,14 @@ func (h *Histogram) Reset() {
 // always has NumBuckets elements, aligned with Bounds() plus the overflow
 // bucket, so snapshots from any source merge element-wise.
 type HistSnapshot struct {
-	Count  uint64   `json:"count"`
-	SumNS  uint64   `json:"sum_ns"`
-	Counts []uint64 `json:"counts,omitempty"`
+	Count     uint64   `json:"count"`
+	SumNS     uint64   `json:"sum_ns"`
+	Counts    []uint64 `json:"counts,omitempty"`
+	Exemplars []uint64 `json:"exemplars,omitempty"` // per-bucket trace IDs (0 = none)
 }
 
-// Merge folds o into s (e.g. aggregating shards).
+// Merge folds o into s (e.g. aggregating shards). o's exemplars win
+// where both sides have one (last merged = most recently seen source).
 func (s *HistSnapshot) Merge(o HistSnapshot) {
 	s.Count += o.Count
 	s.SumNS += o.SumNS
@@ -120,6 +144,30 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 			s.Counts[i] += o.Counts[i]
 		}
 	}
+	if len(o.Exemplars) == 0 {
+		return
+	}
+	if len(s.Exemplars) == 0 {
+		s.Exemplars = make([]uint64, NumBuckets)
+	}
+	for i := range s.Exemplars {
+		if i < len(o.Exemplars) && o.Exemplars[i] != 0 {
+			s.Exemplars[i] = o.Exemplars[i]
+		}
+	}
+}
+
+// MergeHist folds any number of histogram snapshots — typically the same
+// op's histogram fetched from every instance of a cluster — into one.
+// The fixed bucket geometry makes this plain element-wise addition, so
+// merging N instances' histograms is equivalent to having replayed every
+// sample into a single histogram.
+func MergeHist(hs ...HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
 }
 
 // Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by

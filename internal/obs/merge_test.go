@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`quo"te`, `quo\"te`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`all"three\of` + "\nthem", `all\"three\\of\nthem`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapedLabelsRender(t *testing.T) {
+	r := New("efactory", 1, []string{"put"}, 4)
+	r.AddGauge("efactory_weird", "", map[string]string{"path": `C:\dir` + "\n\"x\""}, func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `efactory_weird{path="C:\\dir\n\"x\""} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("rendered output missing escaped label line %q:\n%s", want, b.String())
+	}
+}
+
+// TestClusterSeriesNamesGolden pins the first-class cluster series names:
+// dashboards and the CI smoke test scrape these exact strings.
+func TestClusterSeriesNamesGolden(t *testing.T) {
+	r := New("efactory", 1, []string{"put"}, 4)
+	r.Observe(0, 0, 1000)
+	r.AddGauge("efactory_cluster_epoch", "Current cluster-map epoch.", nil, func() float64 { return 3 })
+	r.AddCounter("efactory_wrong_epoch_rejects_total", "Routed ops rejected with StWrongEpoch.", nil, func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	golden := []string{
+		"# TYPE efactory_op_latency_ns histogram",
+		`efactory_op_latency_ns_bucket{shard="0",op="put",le="1024"} 1`,
+		`efactory_op_latency_ns_count{shard="0",op="put"} 1`,
+		"# TYPE efactory_cluster_epoch gauge",
+		"efactory_cluster_epoch 3",
+		"# TYPE efactory_wrong_epoch_rejects_total counter",
+		"efactory_wrong_epoch_rejects_total 7",
+		"efactory_trace_events_total 0",
+	}
+	for _, want := range golden {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestMergeHistEqualsReplay checks the cluster-merge contract under
+// testing/quick: merging per-instance histogram snapshots is equivalent
+// to replaying every sample into one histogram.
+func TestMergeHistEqualsReplay(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(split)%6 // 2..7 instances
+		parts := make([]*Histogram, n)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		var whole Histogram
+		for i := 0; i < 500; i++ {
+			ns := uint64(rng.Int63n(int64(1) << uint(6+rng.Intn(34))))
+			parts[rng.Intn(n)].Observe(ns)
+			whole.Observe(ns)
+		}
+		snaps := make([]HistSnapshot, n)
+		for i, p := range parts {
+			snaps[i] = p.Snapshot()
+		}
+		merged := MergeHist(snaps...)
+		want := whole.Snapshot()
+		if merged.Count != want.Count || merged.SumNS != want.SumNS {
+			return false
+		}
+		for i := range want.Counts {
+			if merged.Counts[i] != want.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeHistExemplarsSurvive(t *testing.T) {
+	var a, b Histogram
+	a.ObserveTraced(100, 0xa1)
+	b.ObserveTraced(100, 0xb2)
+	b.ObserveTraced(1<<20, 0xb3)
+	m := MergeHist(a.Snapshot(), b.Snapshot())
+	if m.Count != 3 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Exemplars == nil {
+		t.Fatal("merged snapshot lost exemplars")
+	}
+	if got := m.Exemplars[bucketIndex(100)]; got != 0xb2 {
+		t.Fatalf("shared bucket exemplar = %x, want last-merged b2", got)
+	}
+	if got := m.Exemplars[bucketIndex(1<<20)]; got != 0xb3 {
+		t.Fatalf("tail bucket exemplar = %x, want b3", got)
+	}
+}
+
+func TestMergeSnapshotsFoldsInstances(t *testing.T) {
+	mk := func(instance string, n int) Snapshot {
+		r := New("efactory", 2, []string{"put", "get"}, 4)
+		r.SetInstance(instance)
+		for i := 0; i < n; i++ {
+			r.Observe(i%2, 0, 500)
+		}
+		r.AddCounter("efactory_wrong_epoch_rejects_total", "", nil, func() float64 { return float64(n) })
+		return r.Snapshot()
+	}
+	a, b := mk("a", 3), mk("b", 5)
+	m := MergeSnapshots(a, b)
+	if got := m.MergedOp("put"); got.Count != 8 {
+		t.Fatalf("merged put count = %d, want 8", got.Count)
+	}
+	if len(m.Shards) != 4 {
+		t.Fatalf("merged shard rows = %d, want 4 (2 instances x 2 shards)", len(m.Shards))
+	}
+	if v, ok := m.CounterValue("efactory_wrong_epoch_rejects_total", nil); !ok || v != 8 {
+		t.Fatalf("merged reject counter = %v (ok=%v), want 8", v, ok)
+	}
+}
+
+func TestRingEventsCarryInstanceAndEpoch(t *testing.T) {
+	r := New("efactory", 1, []string{"put"}, 4)
+	r.Trace(Event{Op: "before"})
+	r.SetInstance("a")
+	r.SetEpoch(2)
+	r.Trace(Event{Op: "after"})
+	r.Trace(Event{Op: "own", Instance: "x", Epoch: 9})
+	ev := r.Ring().Dump()
+	if len(ev) != 3 {
+		t.Fatalf("ring holds %d events", len(ev))
+	}
+	if ev[0].Instance != "" || ev[0].Epoch != 0 {
+		t.Fatalf("pre-cluster event stamped: %+v", ev[0])
+	}
+	if ev[1].Instance != "a" || ev[1].Epoch != 2 {
+		t.Fatalf("event not stamped: %+v", ev[1])
+	}
+	if ev[2].Instance != "x" || ev[2].Epoch != 9 {
+		t.Fatalf("event's own identity overwritten: %+v", ev[2])
+	}
+}

@@ -16,6 +16,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry holds one subsystem's metrics: a [shards][ops] histogram
@@ -26,6 +27,9 @@ type Registry struct {
 	shards  int
 	hists   []Histogram // flat [shard*len(opNames) + op]
 	ring    *Ring
+
+	instance atomic.Pointer[string] // stamped onto ring events (nil = unclustered)
+	epoch    atomic.Uint64          // cluster-map epoch stamped onto ring events
 
 	mu       sync.Mutex // guards metric registration only
 	gauges   []metric
@@ -76,8 +80,30 @@ func (r *Registry) Observe(shard, op int, ns uint64) {
 	r.hists[shard*len(r.opNames)+op].Observe(ns)
 }
 
-// Trace appends a structured trace event.
-func (r *Registry) Trace(e Event) { r.ring.Append(e) }
+// SetInstance names the deployment this registry observes. Every ring
+// event appended afterwards carries the name, so rings dumped from
+// different cluster instances stay attributable after they are merged.
+func (r *Registry) SetInstance(name string) { r.instance.Store(&name) }
+
+// SetEpoch records the current cluster-map epoch; subsequent ring events
+// carry it. Call on every map install so events straddling a migration
+// are attributable to the map they were served under.
+func (r *Registry) SetEpoch(epoch uint64) { r.epoch.Store(epoch) }
+
+// Trace appends a structured trace event, stamping the registry's
+// instance name and cluster epoch onto it (when set and the event does
+// not already carry its own).
+func (r *Registry) Trace(e Event) {
+	if e.Instance == "" {
+		if p := r.instance.Load(); p != nil {
+			e.Instance = *p
+		}
+	}
+	if e.Epoch == 0 {
+		e.Epoch = r.epoch.Load()
+	}
+	r.ring.Append(e)
+}
 
 // AddGauge registers a gauge evaluated at scrape/snapshot time. labels may
 // be nil; the map is retained, not copied.
@@ -152,6 +178,27 @@ func (s Snapshot) MergedOp(op string) HistSnapshot {
 		if h, ok := sh[op]; ok {
 			out.Merge(h)
 		}
+	}
+	return out
+}
+
+// MergeSnapshots folds snapshots from several instances into one view:
+// shard histogram maps are concatenated (shard indices become per-source
+// rows, so MergedOp folds across every instance), gauges and counters
+// are concatenated (GaugeValue/CounterValue already sum duplicates), and
+// trace totals add. Ops and bucket geometry are taken from the first
+// snapshot with any; mixed geometries are the caller's bug.
+func MergeSnapshots(ss ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range ss {
+		if out.Ops == nil && s.Ops != nil {
+			out.Ops = s.Ops
+			out.BucketsNS = s.BucketsNS
+		}
+		out.Shards = append(out.Shards, s.Shards...)
+		out.Gauges = append(out.Gauges, s.Gauges...)
+		out.Counters = append(out.Counters, s.Counters...)
+		out.TraceTotal += s.TraceTotal
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -82,9 +83,37 @@ func formatLabels(labels map[string]string) string {
 		if i > 0 {
 			out += ","
 		}
-		out += k + "=\"" + labels[k] + "\""
+		out += k + "=\"" + escapeLabel(labels[k]) + "\""
 	}
 	return out + "}"
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline must be escaped; every
+// other byte passes through. Instance names and file paths routinely
+// reach labels, so this is not hypothetical.
+func escapeLabel(v string) string {
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			var b strings.Builder
+			b.Grow(len(v) + 4)
+			b.WriteString(v[:i])
+			for ; i < len(v); i++ {
+				switch v[i] {
+				case '\\':
+					b.WriteString(`\\`)
+				case '"':
+					b.WriteString(`\"`)
+				case '\n':
+					b.WriteString(`\n`)
+				default:
+					b.WriteByte(v[i])
+				}
+			}
+			return b.String()
+		}
+	}
+	return v
 }
 
 // Handler serves the registry over HTTP:

@@ -7,12 +7,14 @@ import "sync"
 // failures, cleaning boundaries), not the per-op hot path, so a mutex-
 // guarded ring is cheap enough and dumps are exact.
 type Event struct {
-	TimeNS  uint64 `json:"t_ns"`          // sink clock (virtual or wall)
-	Shard   int    `json:"shard"`         // owning shard
-	Op      string `json:"op"`            // operation that produced the event
-	Outcome string `json:"outcome"`       // what happened
-	KeyHash uint64 `json:"key_hash"`      // hash of the key involved (0 if none)
-	Seq     uint64 `json:"seq,omitempty"` // version sequence number (0 if none)
+	TimeNS   uint64 `json:"t_ns"`               // sink clock (virtual or wall)
+	Shard    int    `json:"shard"`              // owning shard
+	Op       string `json:"op"`                 // operation that produced the event
+	Outcome  string `json:"outcome"`            // what happened
+	KeyHash  uint64 `json:"key_hash"`           // hash of the key involved (0 if none)
+	Seq      uint64 `json:"seq,omitempty"`      // version sequence number (0 if none)
+	Instance string `json:"instance,omitempty"` // cluster instance name ("" unclustered)
+	Epoch    uint64 `json:"epoch,omitempty"`    // cluster-map epoch at append time (0 = no map)
 }
 
 // Ring is a bounded ring buffer of trace events: the newest capacity events

@@ -286,7 +286,7 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
-	defer func() { e.observe(mopPut, t0) }()
+	defer func() { e.observeMop(h, mopPut, t0) }()
 	e.stats.Puts++
 	pi, pool := e.writePool()
 	size := kv.ObjectSize(len(key), vlen)
@@ -352,11 +352,11 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 			e.stats.SlotsReleased++
 		}
 		e.stats.AllocFailures++
-		e.observe(int(OpAlloc), tAlloc)
+		e.observeH(h, int(OpAlloc), tAlloc)
 		e.trace("put", "pool_full", keyHash, hd.Seq)
 		return PutResult{Status: StatusFull}
 	}
-	e.observe(int(OpAlloc), tAlloc)
+	e.observeH(h, int(OpAlloc), tAlloc)
 
 	e.table.SetLoc(idx, slot, kv.PackLoc(off, size))
 	if en.Tombstone() {
@@ -387,7 +387,7 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
-	defer func() { e.observe(mopGet, t0) }()
+	defer func() { e.observeMop(h, mopGet, t0) }()
 	return e.getLocked(h, key, -1)
 }
 
@@ -408,7 +408,7 @@ func (e *Engine) GetBatch(h any, keys [][]byte, slots []int) []GetResult {
 			hint = slots[i]
 		}
 		res[i] = e.getLocked(h, key, hint)
-		e.observe(mopGet, t0)
+		e.observeMop(h, mopGet, t0)
 	}
 	return res
 }
@@ -435,7 +435,7 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 	if !found {
 		idx, en, found = e.table.Lookup(keyHash)
 	}
-	e.observe(int(OpLookup), t0)
+	e.observeH(h, int(OpLookup), t0)
 	if !found || en.Tombstone() {
 		return GetResult{Status: StatusNotFound}
 	}
@@ -449,7 +449,7 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 		tScan := e.sink.Now()
 		e.sink.Charge(h, OpGetScan, 0) // header fetch + durability check
 		hd := pool.Header(off)
-		e.observe(int(OpGetScan), tScan)
+		e.observeH(h, int(OpGetScan), tScan)
 		if hd.Magic != kv.Magic {
 			break
 		}
@@ -468,10 +468,10 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 				// Ablation mode: re-verify despite the flag.
 				tCRC := e.sink.Now()
 				e.sink.Charge(h, OpCRC, hd.VLen)
-				e.observe(int(OpCRC), tCRC)
+				e.observeH(h, int(OpCRC), tCRC)
 				tFlush := e.sink.Now()
 				e.sink.Charge(h, OpFlushClean, totalLen)
-				e.observe(int(OpFlushClean), tFlush)
+				e.observeH(h, int(OpFlushClean), tFlush)
 				e.stats.GetVerified++
 				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
 					Slot: idx, Seq: hd.Seq, Durable: true}
@@ -481,13 +481,13 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 			e.sink.Charge(h, OpCRC, hd.VLen)
 			e.valScratch = pool.ReadValueInto(e.valScratch, off, hd.KLen, hd.VLen)
 			match := crc.Checksum(e.valScratch) == hd.CRC
-			e.observe(int(OpCRC), tCRC)
+			e.observeH(h, int(OpCRC), tCRC)
 			if match {
 				tFlush := e.sink.Now()
 				e.sink.Charge(h, OpFlush, totalLen)
 				pool.FlushObject(off, hd.KLen, hd.VLen)
 				pool.SetFlags(off, hd.Flags|kv.FlagDurable)
-				e.observe(int(OpFlush), tFlush)
+				e.observeH(h, int(OpFlush), tFlush)
 				if first {
 					e.stats.GetVerified++
 				} else {
@@ -519,11 +519,11 @@ func (e *Engine) Del(h any, key []byte) Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
-	defer func() { e.observe(mopDel, t0) }()
+	defer func() { e.observeMop(h, mopDel, t0) }()
 	e.stats.Dels++
 	e.sink.Charge(h, OpLookup, 0)
 	idx, en, found := e.table.Lookup(kv.HashKey(key))
-	e.observe(int(OpLookup), t0)
+	e.observeH(h, int(OpLookup), t0)
 	if !found || en.Tombstone() {
 		return StatusNotFound
 	}

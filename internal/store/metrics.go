@@ -5,6 +5,7 @@ import (
 
 	"efactory/internal/kv"
 	"efactory/internal/obs"
+	"efactory/internal/trace"
 )
 
 // Metric op indexes. The first numOps entries coincide with the CostSink
@@ -49,6 +50,34 @@ const traceRingCap = 4096
 // native work is not).
 func (e *Engine) observe(op int, t0 uint64) {
 	e.obs.Observe(e.shard, op, e.sink.Now()-t0)
+}
+
+// observeH is observe for sections attributable to one request: when the
+// request is traced (h carries a trace.Ctx), the section also records a
+// span — same clock, same boundaries as the histogram sample — and the
+// trace ID becomes the histogram bucket's exemplar. Untraced requests
+// pay one type assertion and take the plain path.
+func (e *Engine) observeH(h any, op int, t0 uint64) {
+	_, tc := trace.Unwrap(h)
+	if tc == nil {
+		e.observe(op, t0)
+		return
+	}
+	now := e.sink.Now()
+	e.obs.Hist(e.shard, op).ObserveTraced(now-t0, tc.TraceID)
+	tc.AddSpan(trace.Span{Name: e.obs.OpNames()[op], Shard: e.shard, StartNS: t0, EndNS: now})
+}
+
+// observeMop is observeH for the whole-request put/get/del histograms:
+// exemplar only, no span — the transport's root span already covers the
+// request, and a duplicate would double-count coverage.
+func (e *Engine) observeMop(h any, op int, t0 uint64) {
+	_, tc := trace.Unwrap(h)
+	if tc == nil {
+		e.observe(op, t0)
+		return
+	}
+	e.obs.Hist(e.shard, op).ObserveTraced(e.sink.Now()-t0, tc.TraceID)
 }
 
 // trace appends a structured event to the store's trace ring.

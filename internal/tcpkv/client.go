@@ -16,6 +16,7 @@ import (
 	"efactory/internal/hint"
 	"efactory/internal/kv"
 	"efactory/internal/obs"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -86,6 +87,10 @@ type Client struct {
 	// client's RetryPolicy.
 	Retries    int
 	Reconnects int
+
+	// tracer mints and retains request traces (nil unless EnableTracing
+	// was called).
+	tracer *trace.Tracer
 }
 
 // pipe is one pipelined RPC connection: a writer goroutine serializes
@@ -525,12 +530,25 @@ func (c *Client) bump(field *int) {
 // Put stores value under key: checksum, allocation RPC, one-sided value
 // write — no durability round trip (asynchronous durability).
 func (c *Client) Put(key, value []byte) error {
+	tc, t0 := c.beginTrace("put", kv.HashKey(key))
+	err := c.putCtx(tc, key, value)
+	c.endTrace(tc, t0, err)
+	return err
+}
+
+// putCtx is Put's body under a caller-owned trace context (nil =
+// untraced); ClusterClient threads its routed-op context through here.
+func (c *Client) putCtx(tc *trace.Ctx, key, value []byte) error {
+	tCRC := traceNow(tc)
 	sum := crc.Checksum(value)
+	tc.Add("client_crc", tCRC, traceNow(tc))
 	return c.retrying(func() error {
 		// A retried attempt redoes the allocation RPC: the previous
 		// attempt's slot (if it was granted) is left torn and gets
 		// invalidated by background verification.
-		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Token: uint32(c.epoch.Load()), Crc: sum, Len: uint64(len(value)), Key: key})
+		tRPC := traceNow(tc)
+		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Crc: sum, Len: uint64(len(value)), Key: key})
+		tc.Add("alloc_rpc", tRPC, traceNow(tc))
 		if err != nil {
 			return err
 		}
@@ -544,7 +562,10 @@ func (c *Client) Put(key, value []byte) error {
 			return fmt.Errorf("tcpkv: put status %d", resp.Status)
 		}
 		c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
-		return c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
+		tW := traceNow(tc)
+		err = c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
+		tc.Add("doorbell_write", tW, traceNow(tc))
+		return err
 	})
 }
 
@@ -559,21 +580,37 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 	if len(keys) != len(values) {
 		panic("tcpkv: PutBatch keys/values length mismatch")
 	}
-	errs := make([]error, len(keys))
 	if len(keys) == 0 {
-		return errs
+		return make([]error, 0)
 	}
+	tc, t0 := c.beginTrace("put_batch", kv.HashKey(keys[0]))
+	errs := c.putBatchCtx(tc, keys, values)
+	ferr := error(nil)
+	for i := 0; ferr == nil && i < len(errs); i++ {
+		ferr = errs[i]
+	}
+	c.endTrace(tc, t0, ferr)
+	return errs
+}
+
+// putBatchCtx is PutBatch's body under a caller-owned trace context.
+func (c *Client) putBatchCtx(tc *trace.Ctx, keys, values [][]byte) []error {
+	errs := make([]error, len(keys))
+	tCRC := traceNow(tc)
 	ops := make([]wire.PutOp, len(keys))
 	for i := range keys {
 		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
 	}
-	req := wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops)}
+	tc.Add("client_crc", tCRC, traceNow(tc))
+	req := wire.Msg{Type: wire.TPutBatch, Trace: tc.ID(), Value: wire.EncodePutOps(ops)}
 	err := c.retrying(func() error {
 		for i := range errs {
 			errs[i] = nil // a retried attempt regrants every slot
 		}
 		req.Token = uint32(c.epoch.Load())
+		tRPC := traceNow(tc)
 		resp, err := c.rpc(req)
+		tc.Add("alloc_rpc", tRPC, traceNow(tc))
 		if err != nil {
 			return err
 		}
@@ -603,7 +640,10 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 				errs[i] = fmt.Errorf("tcpkv: put status %d", g.Status)
 			}
 		}
-		return c.writeBatch(frames)
+		tW := traceNow(tc)
+		werr := c.writeBatch(frames)
+		tc.Add("doorbell_write", tW, traceNow(tc))
+		return werr
 	})
 	if err != nil {
 		for i := range errs {
@@ -617,11 +657,19 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 
 // Get fetches key's value with the hybrid read scheme.
 func (c *Client) Get(key []byte) ([]byte, error) {
+	tc, t0 := c.beginTrace("get", kv.HashKey(key))
+	out, err := c.getCtx(tc, key)
+	c.endTrace(tc, t0, err)
+	return out, err
+}
+
+// getCtx is Get's body under a caller-owned trace context.
+func (c *Client) getCtx(tc *trace.Ctx, key []byte) ([]byte, error) {
 	var out []byte
 	err := c.retrying(func() error {
 		if c.hybrid {
 			if c.hints != nil {
-				val, verdict, err := c.hintedRead(key)
+				val, verdict, err := c.hintedRead(tc, key)
 				if err != nil {
 					return err
 				}
@@ -632,7 +680,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 					return nil
 				case hrFallback:
 					c.bump(&c.FallbackReads)
-					val, err := c.rpcRead(key)
+					val, err := c.rpcRead(tc, key)
 					if err != nil {
 						return err
 					}
@@ -641,7 +689,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 				}
 				// hrMiss: no usable hint — run the probe walk below.
 			}
-			val, ok, err := c.pureRead(key)
+			val, ok, err := c.pureRead(tc, key)
 			if err != nil {
 				return err
 			}
@@ -654,7 +702,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 		} else {
 			c.bump(&c.RPCReads)
 		}
-		val, err := c.rpcRead(key)
+		val, err := c.rpcRead(tc, key)
 		if err != nil {
 			return err
 		}
@@ -668,13 +716,14 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 }
 
 // pureRead is the optimistic one-sided path; ok is false on fallback.
-func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
+func (c *Client) pureRead(tc *trace.Ctx, key []byte) (val []byte, ok bool, err error) {
 	keyHash := kv.HashKey(key)
 	tableRKey, poolBase := c.shardRKeysFor(keyHash)
 	idx := int(keyHash % uint64(c.buckets))
 	var entry kv.Entry
 	found := false
 	slot := -1
+	tProbe := traceNow(tc)
 	for probe := 0; probe < 4; probe++ {
 		bucket := (idx + probe) % c.buckets
 		raw, err := c.read(tableRKey, uint64(bucket*kv.EntrySize), kv.EntrySize)
@@ -700,11 +749,14 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 			break
 		}
 	}
+	tc.Add("entry_probe", tProbe, traceNow(tc))
 	if !found || entry.Tombstone() || entry.Current() == 0 {
 		return nil, false, nil
 	}
 	off, totalLen, _ := kv.UnpackLoc(entry.Current())
+	tObj := traceNow(tc)
 	obj, err := c.read(poolBase+uint32(entry.Mark()&1), off, totalLen)
+	tc.Add("object_read", tObj, traceNow(tc))
 	if err != nil {
 		return nil, false, err
 	}
@@ -729,8 +781,10 @@ func (c *Client) pureRead(key []byte) (val []byte, ok bool, err error) {
 }
 
 // rpcRead is the RPC+one-sided fallback.
-func (c *Client) rpcRead(key []byte) ([]byte, error) {
-	resp, err := c.rpc(wire.Msg{Type: wire.TGet, Token: uint32(c.epoch.Load()), Key: key})
+func (c *Client) rpcRead(tc *trace.Ctx, key []byte) ([]byte, error) {
+	tRPC := traceNow(tc)
+	resp, err := c.rpc(wire.Msg{Type: wire.TGet, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Key: key})
+	tc.Add("get_rpc", tRPC, traceNow(tc))
 	if err != nil {
 		return nil, err
 	}
@@ -743,7 +797,9 @@ func (c *Client) rpcRead(key []byte) ([]byte, error) {
 	if resp.Status != wire.StOK {
 		return nil, fmt.Errorf("tcpkv: get status %d", resp.Status)
 	}
+	tObj := traceNow(tc)
 	obj, err := c.read(resp.RKey, resp.Off, int(resp.Len))
+	tc.Add("object_read", tObj, traceNow(tc))
 	if err != nil {
 		return nil, err
 	}
@@ -812,10 +868,20 @@ func (c *Client) Metrics() (obs.Snapshot, error) {
 
 // Delete removes key.
 func (c *Client) Delete(key []byte) error {
+	tc, t0 := c.beginTrace("del", kv.HashKey(key))
+	err := c.delCtx(tc, key)
+	c.endTrace(tc, t0, err)
+	return err
+}
+
+// delCtx is Delete's body under a caller-owned trace context.
+func (c *Client) delCtx(tc *trace.Ctx, key []byte) error {
 	c.dropHint(key)
 	unknown := false // a failed attempt may have applied server-side
 	return c.retrying(func() error {
-		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Token: uint32(c.epoch.Load()), Key: key})
+		tRPC := traceNow(tc)
+		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Key: key})
+		tc.Add("del_rpc", tRPC, traceNow(tc))
 		if err != nil {
 			unknown = true
 			return err

@@ -34,6 +34,9 @@ func (s *Server) EnableCluster(name, addr string, pgs int) {
 	s.clSelf = addr
 	s.clMap = cluster.SingleInstance(name, addr, pgs)
 	s.clMu.Unlock()
+	reg := s.st.Metrics()
+	reg.SetInstance(name)
+	reg.SetEpoch(1)
 	s.registerClusterMetrics()
 }
 
@@ -46,6 +49,7 @@ func (s *Server) SetInstanceName(name, addr string) {
 	s.clName = name
 	s.clSelf = addr
 	s.clMu.Unlock()
+	s.st.Metrics().SetInstance(name)
 	s.registerClusterMetrics()
 }
 
@@ -89,6 +93,9 @@ func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
 	defer s.clMu.Unlock()
 	if s.clMap == nil || m.Epoch > s.clMap.Epoch {
 		s.clMap = m
+		// Structured trace events recorded from here on carry the new
+		// epoch, so a ring dump shows exactly when the instance moved.
+		s.st.Metrics().SetEpoch(m.Epoch)
 	}
 	return s.clMap.Epoch
 }
@@ -234,6 +241,7 @@ func (s *Server) handleJoin(m wire.Msg) wire.Msg {
 	nm := s.clMap.WithInstance(name, addr)
 	s.clMap = nm
 	s.clMu.Unlock()
+	s.st.Metrics().SetEpoch(nm.Epoch)
 	s.pushMapToPeers(nm, name)
 	return wire.Msg{Type: wire.TJoinResp, Status: wire.StOK, Token: uint32(nm.Epoch), Value: nm.Encode()}
 }
@@ -275,22 +283,14 @@ func (s *Server) handleMigIngest(m wire.Msg) wire.Msg {
 	return wire.Msg{Type: wire.TMigIngestResp, Status: wire.StOK}
 }
 
-// registerClusterMetrics exposes the placement layer's counters through
-// the store's telemetry registry (idempotent per server: the name is
-// only set once, before Serve).
+// registerClusterMetrics exposes the placement layer's migration
+// counters through the store's telemetry registry (idempotent per
+// server: the name is only set once, before Serve). The epoch gauge and
+// wrong-epoch reject counter are first-class: NewServer registers them
+// on every server, clustered or not.
 func (s *Server) registerClusterMetrics() {
 	reg := s.st.Metrics()
 	lbl := map[string]string{"role": "server"}
-	reg.AddGauge("efactory_cluster_epoch", "Current cluster-map epoch (0 = no map).", lbl,
-		func() float64 {
-			if m := s.ClusterMap(); m != nil {
-				return float64(m.Epoch)
-			}
-			return 0
-		})
-	reg.AddCounter("efactory_cluster_wrong_epoch_rejects_total",
-		"Routed ops rejected because their key is outside the owned placement groups (or blocked by a cutover).", lbl,
-		func() float64 { return float64(s.wrongEpoch.Load()) })
 	reg.AddCounter("efactory_cluster_migration_keys_total",
 		"Keys copied out by migrations this instance sourced.", lbl,
 		func() float64 { return float64(s.migKeysMoved.Load()) })

@@ -17,7 +17,9 @@ import (
 
 	"efactory/internal/cluster"
 	"efactory/internal/hint"
+	"efactory/internal/kv"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -128,7 +130,26 @@ type ClusterClient struct {
 	// rejection; MapRefreshes counts TClusterMap fetches. Read quiesced.
 	WrongEpochRetries int
 	MapRefreshes      int
+
+	// tracer mints one trace per routed op; the same ID follows the op
+	// through re-routes, so a trace that crossed instances (wrong-epoch
+	// redirect, migration) reads as one timeline. Nil unless
+	// EnableTracing was called.
+	tracer *trace.Tracer
 }
+
+// EnableTracing samples 1-in-sampleEvery routed ops into propagated
+// traces (see Client.EnableTracing); route retries and wrong-epoch
+// redirects appear as spans and retention marks on the SAME trace even
+// when the op lands on a different instance per attempt. Configure
+// before issuing concurrent ops.
+func (cc *ClusterClient) EnableTracing(sampleEvery int, slowNS uint64) {
+	cc.tracer = trace.NewTracer(sampleEvery, slowNS)
+}
+
+// Tracer returns the routed client's retained-trace store (nil when
+// tracing was never enabled).
+func (cc *ClusterClient) Tracer() *trace.Tracer { return cc.tracer }
 
 // DialCluster bootstraps a routed client from any instance's address:
 // the seed serves the initial map, after which ops route per-key.
@@ -277,12 +298,23 @@ func mapOwner(m *cluster.Map, addr string) string {
 // cached map, stamp the client with the map's epoch, run the op, and on
 // a wrong-epoch rejection refetch/back off and re-route. Transport
 // errors also invalidate the map (the instance may have left).
-func (cc *ClusterClient) do(key []byte, op func(c *Client) error) error {
+func (cc *ClusterClient) do(name string, key []byte, op func(c *Client, tc *trace.Ctx) error) error {
+	tc, t0 := beginOp(cc.tracer, name, kv.HashKey(key))
+	err := cc.doCtx(tc, key, op)
+	endOp(cc.tracer, tc, t0, err)
+	return err
+}
+
+func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc *trace.Ctx) error) error {
 	backoff := 2 * time.Millisecond
 	var lastErr error
 	for attempt := 0; attempt < ccRouteAttempts; attempt++ {
 		if attempt > 0 {
+			// The route_retry span covers the backoff sleep: the gap
+			// between a rejected attempt and the re-routed one.
+			tRetry := traceNow(tc)
 			time.Sleep(backoff)
+			tc.Add("route_retry", tRetry, traceNow(tc))
 			if backoff *= 2; backoff > 50*time.Millisecond {
 				backoff = 50 * time.Millisecond
 			}
@@ -305,7 +337,7 @@ func (cc *ClusterClient) do(key []byte, op func(c *Client) error) error {
 			continue
 		}
 		c.SetClusterEpoch(m.Epoch)
-		err = op(c)
+		err = op(c, tc)
 		var we *cluster.WrongEpochError
 		if errors.As(err, &we) {
 			cc.noteWrongEpoch(we)
@@ -329,14 +361,14 @@ func (cc *ClusterClient) noteWrongEpoch(we *cluster.WrongEpochError) {
 
 // Put stores value under key on the instance owning it.
 func (cc *ClusterClient) Put(key, value []byte) error {
-	return cc.do(key, func(c *Client) error { return c.Put(key, value) })
+	return cc.do("put", key, func(c *Client, tc *trace.Ctx) error { return c.putCtx(tc, key, value) })
 }
 
 // Get fetches key's value from the instance owning it.
 func (cc *ClusterClient) Get(key []byte) ([]byte, error) {
 	var out []byte
-	err := cc.do(key, func(c *Client) error {
-		v, err := c.Get(key)
+	err := cc.do("get", key, func(c *Client, tc *trace.Ctx) error {
+		v, err := c.getCtx(tc, key)
 		out = v
 		return err
 	})
@@ -345,7 +377,7 @@ func (cc *ClusterClient) Get(key []byte) ([]byte, error) {
 
 // Delete removes key on the instance owning it.
 func (cc *ClusterClient) Delete(key []byte) error {
-	return cc.do(key, func(c *Client) error { return c.Delete(key) })
+	return cc.do("del", key, func(c *Client, tc *trace.Ctx) error { return c.delCtx(tc, key) })
 }
 
 // PutBatch stores the pairs, grouping ops by owning instance so each
@@ -361,15 +393,36 @@ func (cc *ClusterClient) PutBatch(keys, values [][]byte) []error {
 	for i := range pending {
 		pending[i] = i
 	}
-	cc.batched(pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, idx []int) []error {
+	tc, t0 := beginOp(cc.tracer, "put_batch", batchHash(keys))
+	cc.batched(tc, pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, tc *trace.Ctx, idx []int) []error {
 		k := make([][]byte, len(idx))
 		v := make([][]byte, len(idx))
 		for j, i := range idx {
 			k[j], v[j] = keys[i], values[i]
 		}
-		return c.PutBatch(k, v)
+		return c.putBatchCtx(tc, k, v)
 	})
+	endOp(cc.tracer, tc, t0, firstErr(errs))
 	return errs
+}
+
+// batchHash is the key hash a batch op's root span carries (first key).
+func batchHash(keys [][]byte) uint64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	return kv.HashKey(keys[0])
+}
+
+// firstErr returns the first consequential error of a batch (NotFound
+// is an outcome, not a failure).
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil && e != ErrNotFound {
+			return e
+		}
+	}
+	return nil
 }
 
 // GetBatch fetches the keys, grouped by owning instance like PutBatch.
@@ -381,17 +434,19 @@ func (cc *ClusterClient) GetBatch(keys [][]byte) ([][]byte, []error) {
 	for i := range pending {
 		pending[i] = i
 	}
-	cc.batched(pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, idx []int) []error {
+	tc, t0 := beginOp(cc.tracer, "get_batch", batchHash(keys))
+	cc.batched(tc, pending, errs, func(i int) []byte { return keys[i] }, func(c *Client, tc *trace.Ctx, idx []int) []error {
 		k := make([][]byte, len(idx))
 		for j, i := range idx {
 			k[j] = keys[i]
 		}
-		vs, es := c.GetBatch(k)
+		vs, es := c.getBatchCtx(tc, k)
 		for j, i := range idx {
 			vals[i] = vs[j]
 		}
 		return es
 	})
+	endOp(cc.tracer, tc, t0, firstErr(errs))
 	return vals, errs
 }
 
@@ -400,11 +455,13 @@ func (cc *ClusterClient) GetBatch(keys [][]byte) ([][]byte, []error) {
 // map, run each group, keep wrong-epoch-rejected indices pending for
 // the next round (under a refreshed map), and write final outcomes into
 // errs.
-func (cc *ClusterClient) batched(pending []int, errs []error, keyAt func(i int) []byte, run func(c *Client, idx []int) []error) {
+func (cc *ClusterClient) batched(tc *trace.Ctx, pending []int, errs []error, keyAt func(i int) []byte, run func(c *Client, tc *trace.Ctx, idx []int) []error) {
 	backoff := 2 * time.Millisecond
 	for attempt := 0; attempt < ccRouteAttempts && len(pending) > 0; attempt++ {
 		if attempt > 0 {
+			tRetry := traceNow(tc)
 			time.Sleep(backoff)
+			tc.Add("route_retry", tRetry, traceNow(tc))
 			if backoff *= 2; backoff > 50*time.Millisecond {
 				backoff = 50 * time.Millisecond
 			}
@@ -439,7 +496,7 @@ func (cc *ClusterClient) batched(pending []int, errs []error, keyAt func(i int) 
 				continue
 			}
 			c.SetClusterEpoch(m.Epoch)
-			res := run(c, idx)
+			res := run(c, tc, idx)
 			for j, i := range idx {
 				errs[i] = res[j]
 				var we *cluster.WrongEpochError

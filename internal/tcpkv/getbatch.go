@@ -6,6 +6,7 @@ import (
 	"efactory/internal/cluster"
 	"efactory/internal/hint"
 	"efactory/internal/kv"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -61,7 +62,7 @@ const (
 // speculative bytes are accepted only if the entry still names that exact
 // location; otherwise the object is re-fetched from where the entry points
 // before the usual durability/key checks.
-func (c *Client) hintedRead(key []byte) ([]byte, int, error) {
+func (c *Client) hintedRead(tc *trace.Ctx, key []byte) ([]byte, int, error) {
 	keyHash := kv.HashKey(key)
 	shard := cluster.ShardOf(keyHash, c.shards)
 	h, ok := c.hints.Lookup(shard, key)
@@ -78,10 +79,12 @@ func (c *Client) hintedRead(key []byte) ([]byte, int, error) {
 	if slot < 0 {
 		slot = int(keyHash % uint64(c.buckets)) // probe-0 guess
 	}
+	tRead := traceNow(tc)
 	resps, err := c.osExchange([][]byte{
 		osReadFrame(tableRKey, uint64(slot*kv.EntrySize), kv.EntrySize),
 		osReadFrame(h.Pool, h.Off, h.Len),
 	})
+	tc.Add("doorbell_read", tRead, traceNow(tc))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -107,7 +110,10 @@ func (c *Client) hintedRead(key []byte) ([]byte, int, error) {
 		// The key moved; the speculative bytes are a stale version. The
 		// entry names the current location — fetch that instead.
 		c.hints.Invalidate(shard, key)
-		if obj, err = c.read(pool, off, tlen); err != nil {
+		tObj := traceNow(tc)
+		obj, err = c.read(pool, off, tlen)
+		tc.Add("object_read", tObj, traceNow(tc))
+		if err != nil {
 			return nil, 0, err
 		}
 	}
@@ -175,17 +181,31 @@ type tgbState struct {
 // failure reached). The whole batch retries together under the client's
 // RetryPolicy.
 func (c *Client) GetBatch(keys [][]byte) ([][]byte, []error) {
+	if len(keys) == 0 {
+		return make([][]byte, 0), make([]error, 0)
+	}
+	tc, t0 := c.beginTrace("get_batch", kv.HashKey(keys[0]))
+	vals, errs := c.getBatchCtx(tc, keys)
+	ferr := error(nil)
+	for i := 0; ferr == nil && i < len(errs); i++ {
+		if errs[i] != nil && errs[i] != ErrNotFound {
+			ferr = errs[i]
+		}
+	}
+	c.endTrace(tc, t0, ferr)
+	return vals, errs
+}
+
+// getBatchCtx is GetBatch's body under a caller-owned trace context.
+func (c *Client) getBatchCtx(tc *trace.Ctx, keys [][]byte) ([][]byte, []error) {
 	vals := make([][]byte, len(keys))
 	errs := make([]error, len(keys))
-	if len(keys) == 0 {
-		return vals, errs
-	}
 	done := make([]bool, len(keys))
 	err := c.retrying(func() error {
 		for i := range keys {
 			vals[i], errs[i], done[i] = nil, nil, false
 		}
-		return c.getBatchOnce(keys, vals, errs, done)
+		return c.getBatchOnce(tc, keys, vals, errs, done)
 	})
 	if err != nil {
 		for i := range keys {
@@ -200,7 +220,7 @@ func (c *Client) GetBatch(keys [][]byte) ([][]byte, []error) {
 // getBatchOnce runs one attempt of a GetBatch. Transport failures return
 // an error (the retry layer redials and replays the whole batch);
 // per-key protocol outcomes land in vals/errs/done.
-func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done []bool) error {
+func (c *Client) getBatchOnce(tc *trace.Ctx, keys [][]byte, vals [][]byte, errs []error, done []bool) error {
 	c.mu.Lock()
 	c.BatchedGets += len(keys)
 	c.mu.Unlock()
@@ -316,7 +336,9 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 		if len(frames) == 0 {
 			break
 		}
+		tRead := traceNow(tc)
 		resps, err := c.osExchange(frames)
+		tc.Add("doorbell_read", tRead, traceNow(tc))
 		if err != nil {
 			return err
 		}
@@ -428,7 +450,9 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 		}
 		ops[j] = wire.GetOp{Slot: slot, Key: keys[i]}
 	}
-	resp, err := c.rpc(wire.Msg{Type: wire.TGetBatch, Token: uint32(c.epoch.Load()), Value: wire.EncodeGetOps(ops)})
+	tRPC := traceNow(tc)
+	resp, err := c.rpc(wire.Msg{Type: wire.TGetBatch, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Value: wire.EncodeGetOps(ops)})
+	tc.Add("get_rpc", tRPC, traceNow(tc))
 	if err != nil {
 		return err
 	}
@@ -462,7 +486,9 @@ func (c *Client) getBatchOnce(keys [][]byte, vals [][]byte, errs []error, done [
 	if len(frames) == 0 {
 		return nil
 	}
+	tRead := traceNow(tc)
 	resps, err := c.osExchange(frames)
+	tc.Add("doorbell_read", tRead, traceNow(tc))
 	if err != nil {
 		return err
 	}

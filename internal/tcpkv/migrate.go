@@ -38,6 +38,7 @@ import (
 	"efactory/internal/cluster"
 	"efactory/internal/kv"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -127,6 +128,26 @@ func (s *Server) MigratePG(pg int, target string) (MigrationSummary, error) {
 	sum := MigrationSummary{PG: pg, Target: target}
 	accept := func(hash uint64) bool { return cluster.PGOf(hash, m.PGs) == pg }
 
+	// Every migration gets a trace unconditionally (Mint bypasses
+	// sampling): one root span plus a child per protocol phase, retained
+	// under why="migration" so /debug/slow shows where a slow or aborted
+	// run spent its time.
+	nowNS := func() uint64 { return uint64(time.Now().UnixNano()) }
+	mt := trace.NewCtx(s.tracer.Mint())
+	migT0 := nowNS()
+	mt.Root("migrate_pg", migT0, 0)
+	mt.Mark("migration")
+	defer func() {
+		end := nowNS()
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		mt.SetRoot(end, outcome, 0)
+		mt.Stamp(self, sum.Epoch)
+		s.tracer.Submit(mt, end-migT0)
+	}()
+
 	// Phase 1: tracker on BEFORE the snapshot walk, so a write racing the
 	// walk is either in the snapshot or in the dirty set (or both —
 	// imports are idempotent).
@@ -134,16 +155,19 @@ func (s *Server) MigratePG(pg int, target string) (MigrationSummary, error) {
 	s.mig.Store(tracker)
 	defer s.mig.Store(nil)
 
-	if err := s.migCheckpoint("pre-snapshot"); err != nil {
+	if err = s.migCheckpoint("pre-snapshot"); err != nil {
 		return sum, err
 	}
+	tSnap := nowNS()
 	if sum.SnapshotKeys, err = s.exportSnapshot(tc, accept); err != nil {
-		return sum, fmt.Errorf("tcpkv: snapshot: %w", err)
+		err = fmt.Errorf("tcpkv: snapshot: %w", err)
+		return sum, err
 	}
+	mt.Add("mig_snapshot", tSnap, nowNS())
 
 	// Phase 2: open drain rounds.
 	for round := 0; round < migDrainRounds; round++ {
-		if err := s.migCheckpoint("drain"); err != nil {
+		if err = s.migCheckpoint("drain"); err != nil {
 			return sum, err
 		}
 		dirty := tracker.take()
@@ -151,15 +175,19 @@ func (s *Server) MigratePG(pg int, target string) (MigrationSummary, error) {
 			break
 		}
 		sum.DrainRounds++
-		n, err := s.exportDirty(tc, dirty)
-		if err != nil {
-			return sum, fmt.Errorf("tcpkv: drain round %d: %w", round, err)
+		tRound := nowNS()
+		var n int
+		if n, err = s.exportDirty(tc, dirty); err != nil {
+			err = fmt.Errorf("tcpkv: drain round %d: %w", round, err)
+			return sum, err
 		}
+		mt.Add("mig_drain", tRound, nowNS())
 		sum.DrainKeys += n
 	}
 
 	// Phase 3: blocked cutover window.
 	s.blockPG(pg)
+	tBlocked := nowNS()
 	blockedAt := time.Now()
 	unblock := func() { s.unblockPG(pg) }
 	defer func() { unblock() }() // re-assignable: cutover replaces it
@@ -181,41 +209,49 @@ func (s *Server) MigratePG(pg int, target string) (MigrationSummary, error) {
 	}
 	time.Sleep(s.cfg.VerifyTimeout + slack)
 
-	if err := s.migCheckpoint("blocked"); err != nil {
+	if err = s.migCheckpoint("blocked"); err != nil {
 		return sum, err
 	}
 	if sum.BlockedKeys, err = s.exportDirty(tc, tracker.take()); err != nil {
-		return sum, fmt.Errorf("tcpkv: blocked drain: %w", err)
-	}
-	if err := s.migCheckpoint("pre-cutover"); err != nil {
+		err = fmt.Errorf("tcpkv: blocked drain: %w", err)
 		return sum, err
 	}
+	if err = s.migCheckpoint("pre-cutover"); err != nil {
+		return sum, err
+	}
+	mt.Add("mig_blocked", tBlocked, nowNS())
 
 	// Phase 4: cutover. Target first — if the target refuses the new map
 	// the migration aborts with ownership unchanged (the copied data is
 	// harmless: the target never serves a PG its map does not assign it).
 	nm := m.WithAssign(pg, target)
-	if ep, err := tc.SetClusterMapRPC(nm); err != nil {
-		return sum, fmt.Errorf("tcpkv: installing map on target: %w", err)
+	tCut := nowNS()
+	if ep, eerr := tc.SetClusterMapRPC(nm); eerr != nil {
+		err = fmt.Errorf("tcpkv: installing map on target: %w", eerr)
+		return sum, err
 	} else if ep < nm.Epoch {
-		return sum, fmt.Errorf("tcpkv: target stayed at epoch %d (offered %d)", ep, nm.Epoch)
+		err = fmt.Errorf("tcpkv: target stayed at epoch %d (offered %d)", ep, nm.Epoch)
+		return sum, err
 	}
 	// From here the cutover is committed: the newest-epoch map lives on
 	// the target, so even if this process dies before purging or
 	// installing locally, the cluster's authority for the PG is the
 	// target (which holds every drained key).
-	if err := s.migCheckpoint("cutover-committed"); err != nil {
+	if err = s.migCheckpoint("cutover-committed"); err != nil {
 		return sum, err
 	}
+	mt.Add("mig_cutover", tCut, nowNS())
 	// Purge while the PG is still blocked locally: once stale one-sided
 	// reads can only miss here, it is safe to start redirecting clients
 	// to the target. (Purging after unblocking would leave a window
 	// where a stale read at the source returns a value the target has
 	// since overwritten.)
+	tPurge := nowNS()
 	for i := 0; i < s.st.NumShards(); i++ {
 		sum.Purged += s.st.Shard(i).PurgeMatching(accept)
 	}
-	if err := s.migCheckpoint("purged"); err != nil {
+	mt.Add("mig_purge", tPurge, nowNS())
+	if err = s.migCheckpoint("purged"); err != nil {
 		return sum, err
 	}
 	s.SetClusterMap(nm)

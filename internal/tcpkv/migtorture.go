@@ -15,6 +15,7 @@ import (
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 )
 
 // migTorturePGs is the placement-group count of the migration torture
@@ -171,7 +172,21 @@ func runMigrationTorture(tc fault.Config, abortAt string) (fault.Result, error) 
 		return fault.Result{}, err
 	}
 
+	// Trace every routed op (and the migration run itself, via Mint) so an
+	// oracle violation prints the key's timeline across both instances.
+	cc.EnableTracing(1, 0)
+	ccTr, aTr, bTr := cc.Tracer(), srvA.Tracer(), srvB.Tracer()
+
 	oracle := fault.NewOracle()
+	oracle.SetSpanDump(func(key string) string {
+		h := kv.HashKey([]byte(key))
+		spans := append(ccTr.SpansForKey(h), aTr.SpansForKey(h)...)
+		spans = append(spans, bTr.SpansForKey(h)...)
+		if len(spans) == 0 {
+			return ""
+		}
+		return trace.Timeline(spans)
+	})
 	rng := rand.New(rand.NewPCG(tc.Seed, 0x319_0c3a4))
 	var violations []string
 	migErr := make(chan error, 1)

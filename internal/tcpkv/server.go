@@ -59,6 +59,7 @@ import (
 	"efactory/internal/nvm"
 	"efactory/internal/obs"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -216,6 +217,11 @@ type Server struct {
 	wrongEpoch   atomic.Uint64 // routed ops rejected with StWrongEpoch
 	migKeysMoved atomic.Uint64 // keys copied out by sourced migrations
 	migDone      atomic.Uint64 // migrations completed as the source
+
+	// tracer retains the server-side spans of traced requests (frames
+	// whose trailer carries a client-minted trace ID) and of migration
+	// runs. Served at /debug/slow and over TTraceDump.
+	tracer *trace.Tracer
 }
 
 // NewServer builds a server over dev, recovering any existing state (a
@@ -245,6 +251,9 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 		dev:     dev,
 		closing: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
+		// Servers never head-sample: they trace exactly the requests whose
+		// frames carry an ID, and retain all of them (threshold 0).
+		tracer: trace.NewTracer(0, 0),
 	}
 	deps := store.Deps{
 		Spawn: func(name string, fn func(h any)) {
@@ -274,6 +283,20 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 	}
 	s.st = st
 	s.layout = st.Layout()
+	// Cluster state is first-class telemetry even on an unclustered
+	// server: epoch 0 / zero rejects say "placement layer idle" instead
+	// of the series not existing.
+	reg := st.Metrics()
+	reg.AddGauge("efactory_cluster_epoch", "Current cluster-map epoch (0 = no map installed).", nil,
+		func() float64 {
+			if m := s.ClusterMap(); m != nil {
+				return float64(m.Epoch)
+			}
+			return 0
+		})
+	reg.AddCounter("efactory_wrong_epoch_rejects_total",
+		"Routed ops rejected with StWrongEpoch (key outside owned placement groups, or PG blocked mid-cutover).", nil,
+		func() float64 { return float64(s.wrongEpoch.Load()) })
 	for i := 0; i < st.NumShards(); i++ {
 		s.wg.Add(1)
 		go s.background(st.Shard(i))
@@ -293,6 +316,11 @@ func (s *Server) ShardStats() []Stats { return s.st.ShardStats() }
 // Metrics returns the engine's telemetry registry (histograms, gauges,
 // counters, trace ring). Serve it over HTTP with obs.Handler.
 func (s *Server) Metrics() *obs.Registry { return s.st.Metrics() }
+
+// Tracer returns the server's retained-span store: server-side spans of
+// every traced request plus migration-phase spans. Serve it over HTTP
+// with trace.Tracer.ServeSlow.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Cleaning reports whether log cleaning is in progress on any shard.
 func (s *Server) Cleaning() bool { return s.st.Cleaning() }
@@ -576,8 +604,68 @@ func shardRKeys(sh int) (table, poolBase uint32) {
 	return uint32(rkeyTable + rkeysPerShard*sh), uint32(rkeyPoolBase + rkeysPerShard*sh)
 }
 
-// handle processes one RPC.
+// handle processes one RPC, opening a server-side root span when the
+// request frame carried a trace ID.
 func (s *Server) handle(m wire.Msg) wire.Msg {
+	tc := trace.NewCtx(m.Trace)
+	if tc == nil {
+		return s.dispatch(nil, m)
+	}
+	t0 := uint64(time.Now().UnixNano())
+	tc.Root("server_"+rpcName(m.Type), t0, 0)
+	if len(m.Key) > 0 {
+		tc.SetRoot(0, "", kv.HashKey(m.Key))
+	}
+	resp := s.dispatch(trace.Wrap(nil, tc), m)
+	end := uint64(time.Now().UnixNano())
+	outcome := "ok"
+	switch resp.Status {
+	case wire.StWrongEpoch:
+		outcome = "wrong_epoch"
+		tc.Mark("wrong_epoch")
+	case wire.StError:
+		outcome = "error"
+		tc.Mark("error")
+	}
+	if s.mig.Load() != nil {
+		tc.Mark("migration")
+	}
+	tc.SetRoot(end, outcome, 0)
+	s.clMu.RLock()
+	name := s.clName
+	var epoch uint64
+	if s.clMap != nil {
+		epoch = s.clMap.Epoch
+	}
+	s.clMu.RUnlock()
+	if name == "" {
+		name = "server"
+	}
+	tc.Stamp(name, epoch)
+	s.tracer.Submit(tc, end-t0)
+	return resp
+}
+
+// rpcName names a server root span after its request type.
+func rpcName(t uint8) string {
+	switch t {
+	case wire.TPut:
+		return "put"
+	case wire.TPutBatch:
+		return "put_batch"
+	case wire.TGet:
+		return "get"
+	case wire.TGetBatch:
+		return "get_batch"
+	case wire.TDel:
+		return "del"
+	}
+	return "op"
+}
+
+// dispatch routes one RPC to its handler; h is the engine handle (nil,
+// or trace-wrapped for traced requests).
+func (s *Server) dispatch(h any, m wire.Msg) wire.Msg {
 	switch m.Type {
 	case wire.THello:
 		return wire.Msg{
@@ -586,15 +674,15 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 			Len: uint64(s.cfg.Buckets), Off: uint64(s.layout.Shards),
 		}
 	case wire.TPut:
-		return s.handlePut(m)
+		return s.handlePut(h, m)
 	case wire.TPutBatch:
-		return s.handlePutBatch(m)
+		return s.handlePutBatch(h, m)
 	case wire.TGet:
-		return s.handleGet(m)
+		return s.handleGet(h, m)
 	case wire.TGetBatch:
-		return s.handleGetBatch(m)
+		return s.handleGetBatch(h, m)
 	case wire.TDel:
-		return s.handleDel(m)
+		return s.handleDel(h, m)
 	case wire.TStats:
 		blob, err := json.Marshal(s.Stats())
 		if err != nil {
@@ -623,6 +711,12 @@ func (s *Server) handle(m wire.Msg) wire.Msg {
 		return s.handleMigrate(m)
 	case wire.TMigIngest:
 		return s.handleMigIngest(m)
+	case wire.TTraceDump:
+		blob, err := json.Marshal(s.tracer.Dump(m.Off))
+		if err != nil {
+			return wire.Msg{Type: wire.TTraceDumpResp, Status: wire.StError}
+		}
+		return wire.Msg{Type: wire.TTraceDumpResp, Status: wire.StOK, Value: blob}
 	}
 	return wire.Msg{Type: m.Type + 1, Status: wire.StError}
 }
@@ -632,14 +726,14 @@ func (s *Server) shardFor(key []byte) (int, *store.Engine) {
 	return sh, s.st.Shard(sh)
 }
 
-func (s *Server) handlePut(m wire.Msg) wire.Msg {
+func (s *Server) handlePut(h any, m wire.Msg) wire.Msg {
 	s.opGate.RLock()
 	defer s.opGate.RUnlock()
 	if ep, reject := s.unowned(m.Key); reject {
 		return wire.Msg{Type: wire.TPutResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
 	}
 	sh, eng := s.shardFor(m.Key)
-	res := eng.Put(nil, m.Key, int(m.Len), m.Crc)
+	res := eng.Put(h, m.Key, int(m.Len), m.Crc)
 	if res.Status != store.StatusOK {
 		return wire.Msg{Type: wire.TPutResp, Status: wire.StFull}
 	}
@@ -655,7 +749,7 @@ func (s *Server) handlePut(m wire.Msg) wire.Msg {
 // message and one response: the recv/dispatch/send overhead is paid once
 // per batch instead of once per object. Ops route to their owning shards
 // individually, so a batch may span shards.
-func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
+func (s *Server) handlePutBatch(h any, m wire.Msg) wire.Msg {
 	ops, err := wire.DecodePutOps(m.Value)
 	if err != nil {
 		return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError}
@@ -676,7 +770,7 @@ func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
 	grants := make([]wire.PutGrant, len(ops))
 	for i, op := range ops {
 		sh, eng := s.shardFor(op.Key)
-		res := eng.Put(nil, op.Key, op.VLen, op.Crc)
+		res := eng.Put(h, op.Key, op.VLen, op.Crc)
 		if res.Status != store.StatusOK {
 			grants[i] = wire.PutGrant{Status: wire.StFull}
 			continue
@@ -693,12 +787,12 @@ func (s *Server) handlePutBatch(m wire.Msg) wire.Msg {
 	return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StOK, Value: wire.EncodePutGrants(grants)}
 }
 
-func (s *Server) handleGet(m wire.Msg) wire.Msg {
+func (s *Server) handleGet(h any, m wire.Msg) wire.Msg {
 	if ep, reject := s.unowned(m.Key); reject {
 		return wire.Msg{Type: wire.TGetResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
 	}
 	sh, eng := s.shardFor(m.Key)
-	res := eng.Get(nil, m.Key)
+	res := eng.Get(h, m.Key)
 	if res.Status != store.StatusOK {
 		return wire.Msg{Type: wire.TGetResp, Status: wire.StNotFound}
 	}
@@ -715,7 +809,7 @@ func (s *Server) handleGet(m wire.Msg) wire.Msg {
 // through as engine lookup hints. Grants come back index-aligned with the
 // ops and carry the resolved slot, version sequence, and durability flag
 // so clients can warm their hint caches.
-func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
+func (s *Server) handleGetBatch(h any, m wire.Msg) wire.Msg {
 	ops, err := wire.DecodeGetOps(m.Value)
 	if err != nil {
 		return wire.Msg{Type: wire.TGetResults, Status: wire.StError}
@@ -756,7 +850,7 @@ func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
 			}
 		}
 		_, poolBase := shardRKeys(sh)
-		for j, res := range s.st.Shard(sh).GetBatch(nil, keys, slots) {
+		for j, res := range s.st.Shard(sh).GetBatch(h, keys, slots) {
 			i := list[j]
 			if res.Status != store.StatusOK {
 				grants[i] = wire.GetGrant{Status: wire.StNotFound}
@@ -781,14 +875,14 @@ func (s *Server) handleGetBatch(m wire.Msg) wire.Msg {
 	return wire.Msg{Type: wire.TGetResults, Status: wire.StOK, Value: wire.EncodeGetGrants(grants)}
 }
 
-func (s *Server) handleDel(m wire.Msg) wire.Msg {
+func (s *Server) handleDel(h any, m wire.Msg) wire.Msg {
 	s.opGate.RLock()
 	defer s.opGate.RUnlock()
 	if ep, reject := s.unowned(m.Key); reject {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
 	}
 	_, eng := s.shardFor(m.Key)
-	if eng.Del(nil, m.Key) != store.StatusOK {
+	if eng.Del(h, m.Key) != store.StatusOK {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound}
 	}
 	s.noteDirty(m.Key)

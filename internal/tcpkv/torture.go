@@ -11,8 +11,10 @@ import (
 
 	"efactory/internal/crc"
 	"efactory/internal/fault"
+	"efactory/internal/kv"
 	"efactory/internal/nvm"
 	"efactory/internal/store"
+	"efactory/internal/trace"
 	"efactory/internal/wire"
 )
 
@@ -106,8 +108,21 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 		// inside hinted one-sided reads and their RPC fallbacks too.
 		cl.EnableHintCache(0)
 	}
+	// Trace every op and retain all of them: when the oracle flags a
+	// violation, the span store holds the offending key's full timeline.
+	// The tracer refs stay readable after Close — retention is in-memory.
+	cl.EnableTracing(1, 0)
+	clTr, srvTr := cl.Tracer(), srv.Tracer()
 
 	oracle := fault.NewOracle()
+	oracle.SetSpanDump(func(key string) string {
+		h := kv.HashKey([]byte(key))
+		spans := append(clTr.SpansForKey(h), srvTr.SpansForKey(h)...)
+		if len(spans) == 0 {
+			return ""
+		}
+		return trace.Timeline(spans)
+	})
 	rng := rand.New(rand.NewPCG(tc.Seed, 0xfa17_707e))
 	var violations []string
 

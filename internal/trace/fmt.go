@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders spans as a readable per-section forensic record, one
+// line per span, sorted as given (SpansForKey already sorts by start).
+// Times are printed relative to the earliest start so virtual-clock and
+// wall-clock traces read the same way.
+func Timeline(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no retained spans)"
+	}
+	t0 := spans[0].StartNS
+	for _, s := range spans {
+		if s.StartNS < t0 {
+			t0 = s.StartNS
+		}
+	}
+	var b strings.Builder
+	for _, s := range spans {
+		inst := s.Instance
+		if inst == "" {
+			inst = "client"
+		}
+		fmt.Fprintf(&b, "  trace %x span %d/%d %-16s %-10s shard %d +%dns..+%dns (%dns)",
+			s.Trace, s.Parent, s.ID, s.Name, inst, s.Shard,
+			s.StartNS-t0, s.EndNS-t0, s.EndNS-s.StartNS)
+		if s.Outcome != "" {
+			fmt.Fprintf(&b, " outcome=%s", s.Outcome)
+		}
+		if s.Epoch != 0 {
+			fmt.Fprintf(&b, " epoch=%d", s.Epoch)
+		}
+		if s.KeyHash != 0 {
+			fmt.Fprintf(&b, " key=%x", s.KeyHash)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

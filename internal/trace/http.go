@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// ServeSlow serves the retained-trace store as JSON: an array of Trace,
+// oldest first. ?trace=<id> (decimal) filters to one trace ID. Mounted
+// at /debug/slow on the server's metrics mux.
+func (t *Tracer) ServeSlow(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if v := r.URL.Query().Get("trace"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		id = n
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	traces := t.Dump(id)
+	if traces == nil {
+		traces = []Trace{}
+	}
+	json.NewEncoder(w).Encode(traces)
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceTrailerRoundTrip(t *testing.T) {
+	f := func(traceID uint64, key, value []byte) bool {
+		m := Msg{Type: TPut, Key: key, Value: value, Trace: traceID}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Trace == traceID && bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUntracedFramesBitIdentical pins the compatibility contract: a zero
+// trace ID adds no wire bytes and clears NoteTraced, so frames from a
+// pre-tracing client (or a client with tracing off) are byte-for-byte
+// what they always were.
+func TestUntracedFramesBitIdentical(t *testing.T) {
+	plain := Msg{Type: TGet, Key: []byte("k"), Note: NoteCleaning}
+	zeroed := plain
+	zeroed.Trace = 0
+	if !bytes.Equal(plain.Encode(), zeroed.Encode()) {
+		t.Fatal("Trace=0 changed the encoding")
+	}
+	// A stray NoteTraced bit without a trailer must not survive encoding.
+	dirty := plain
+	dirty.Note |= NoteTraced
+	got, err := Decode(dirty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note&NoteTraced != 0 || got.Trace != 0 {
+		t.Fatalf("stray NoteTraced leaked: note=%x trace=%x", got.Note, got.Trace)
+	}
+}
+
+func TestTracedFrameCarriesEightExtraBytes(t *testing.T) {
+	m := Msg{Type: TPut, Key: []byte("key"), Value: []byte("val")}
+	traced := m
+	traced.Trace = 0xdead_beef
+	pb, tb := m.Encode(), traced.Encode()
+	if len(tb) != len(pb)+8 {
+		t.Fatalf("traced frame is %d bytes, untraced %d; want +8", len(tb), len(pb))
+	}
+	got, err := Decode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != 0xdead_beef || got.Note&NoteTraced != 0 {
+		t.Fatalf("decode: trace=%x note=%x", got.Trace, got.Note)
+	}
+}
+
+func TestTraceDumpTypesStable(t *testing.T) {
+	// Appended-only type values: changing these breaks mixed-version
+	// clusters.
+	if TTraceDump != 36 || TTraceDumpResp != 37 {
+		t.Fatalf("trace dump type values moved: %d/%d", TTraceDump, TTraceDumpResp)
+	}
+	m := Msg{Type: TTraceDump, Off: 42}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TTraceDump || got.Off != 42 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

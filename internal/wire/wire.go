@@ -123,6 +123,13 @@ const (
 	TMigIngest
 	// TMigIngestResp answers TMigIngest.
 	TMigIngestResp
+	// TTraceDump requests the server's retained-trace store (the traces
+	// tail-retention kept: slow, errored, wrong-epoch, migration-window).
+	// Off optionally filters to one trace ID (0 = all). The reply carries
+	// a JSON []trace.Trace in Value.
+	TTraceDump
+	// TTraceDumpResp answers TTraceDump.
+	TTraceDumpResp
 )
 
 // Status codes.
@@ -152,6 +159,7 @@ type Msg struct {
 	Off    uint64 // object offset within the MR
 	Len    uint64 // total object length (TGetResp) or value length (TPut)
 	KLen   uint32 // key length of the located object (TGetResp)
+	Trace  uint64 // trace ID of a sampled request (0 = untraced); rides an optional trailer, not the fixed header
 	Key    []byte
 	Value  []byte
 }
@@ -160,17 +168,34 @@ type Msg struct {
 // it must use the RPC+RDMA read scheme until TCleanEnd (§4.4).
 const NoteCleaning uint8 = 1 << 0
 
+// NoteTraced in Msg.Note marks a frame carrying the optional 8-byte
+// trace-ID trailer after Value. Untraced frames (the overwhelming
+// majority at any sane sampling rate) set neither the bit nor the
+// trailer, so their encoding is bit-identical to the pre-tracing wire
+// format and old peers interoperate untraced.
+const NoteTraced uint8 = 1 << 1
+
 const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 4 // fixed fields + key/value lengths
 
 // ErrShort indicates a truncated or corrupt message.
 var ErrShort = errors.New("wire: short message")
 
-// Encode serializes m.
+// traceTrailerLen is the optional trace-ID trailer after Value,
+// present iff Note has NoteTraced set.
+const traceTrailerLen = 8
+
+// Encode serializes m. A nonzero Trace appends the 8-byte trailer and
+// sets NoteTraced; a zero Trace clears the bit, so the two stay in sync
+// regardless of what the caller left in Note.
 func (m *Msg) Encode() []byte {
-	b := make([]byte, headerLen+len(m.Key)+len(m.Value))
+	extra := 0
+	if m.Trace != 0 {
+		extra = traceTrailerLen
+	}
+	b := make([]byte, headerLen+len(m.Key)+len(m.Value)+extra)
 	b[0] = m.Type
 	b[1] = m.Status
-	b[2] = m.Note
+	b[2] = m.Note &^ NoteTraced
 	le := binary.LittleEndian
 	le.PutUint32(b[3:], m.Token)
 	le.PutUint32(b[7:], m.RKey)
@@ -182,6 +207,10 @@ func (m *Msg) Encode() []byte {
 	le.PutUint32(b[39:], uint32(len(m.Value)))
 	copy(b[headerLen:], m.Key)
 	copy(b[headerLen+len(m.Key):], m.Value)
+	if extra != 0 {
+		b[2] |= NoteTraced
+		le.PutUint64(b[len(b)-traceTrailerLen:], m.Trace)
+	}
 	return b
 }
 
@@ -204,14 +233,25 @@ func Decode(b []byte) (Msg, error) {
 	}
 	klen := int(le.Uint32(b[35:]))
 	vlen := int(le.Uint32(b[39:]))
-	if len(b) != headerLen+klen+vlen {
-		return Msg{}, fmt.Errorf("%w: want %d+%d+%d, have %d", ErrShort, headerLen, klen, vlen, len(b))
+	extra := 0
+	if m.Note&NoteTraced != 0 {
+		extra = traceTrailerLen
+	}
+	if klen < 0 || vlen < 0 || len(b) != headerLen+klen+vlen+extra {
+		return Msg{}, fmt.Errorf("%w: want %d+%d+%d+%d, have %d", ErrShort, headerLen, klen, vlen, extra, len(b))
 	}
 	if klen > 0 {
 		m.Key = b[headerLen : headerLen+klen : headerLen+klen]
 	}
 	if vlen > 0 {
-		m.Value = b[headerLen+klen:]
+		m.Value = b[headerLen+klen : headerLen+klen+vlen : headerLen+klen+vlen]
+	}
+	if extra != 0 {
+		m.Note &^= NoteTraced
+		m.Trace = le.Uint64(b[len(b)-traceTrailerLen:])
+		if m.Trace == 0 {
+			return Msg{}, fmt.Errorf("%w: traced frame with zero trace id", ErrShort)
+		}
 	}
 	return m, nil
 }
