@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, trace, ablate, sensitivity, rcommit, rebalance, torture, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, trace, ablate, sensitivity, rcommit, rebalance, failover, torture, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	jsondir := flag.String("jsondir", "", "write each figure's raw results as BENCH_<fig>.json in this directory")
 	flag.Parse()
@@ -131,6 +131,17 @@ func main() {
 				os.Exit(1)
 			}
 			save("rebalance", rs)
+		})
+	}
+	if *fig == "failover" {
+		any = true
+		run("failover", func() {
+			rs, err := bench.FigFailover(os.Stdout, bench.DefaultFailoverSpec(*scale == "quick"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+				os.Exit(1)
+			}
+			save("failover", rs)
 		})
 	}
 	if *fig == "torture" {

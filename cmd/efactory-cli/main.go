@@ -11,12 +11,17 @@
 //	efactory-cli [-addr host:7420] slow [-trace id] [-json]
 //	efactory-cli [-addr host:7420] map [-json]
 //	efactory-cli [-addr host:7420] migrate <pg> <target-instance>
+//	efactory-cli [-addr host:7420] promote <dead-instance>
 //	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0] [-trace-sample 0] [-slow-ms 0]
 //
 // map prints the addressed server's current epoch-versioned cluster map
-// (placement-group ownership per instance). migrate asks the addressed
-// server — which must own the named placement group — to migrate it
-// online to the target instance, and prints the cutover summary.
+// (placement-group ownership and backup assignments per instance).
+// migrate asks the addressed server — which must own the named placement
+// group — to migrate it online to the target instance, and prints the
+// cutover summary. promote asks the addressed server to fail over from a
+// dead primary: it takes ownership of every placement group it backs up
+// for that instance under a bumped map epoch, after settling its mirrored
+// log tail.
 //
 // metrics prints the server's per-op latency histograms (merged across
 // shards) and key gauges; -json dumps the raw telemetry snapshot. top
@@ -136,6 +141,15 @@ func main() {
 		fmt.Printf("migrated pg %d to %q: map epoch %d, %d snapshot + %d drained + %d blocked keys, %d purged, blocked for %s\n",
 			sum.PG, sum.Target, sum.Epoch,
 			sum.SnapshotKeys, sum.DrainKeys, sum.BlockedKeys, sum.Purged, sum.BlockedFor)
+	case "promote":
+		if len(args) != 2 {
+			usage()
+		}
+		epoch, err := cl.PromoteRPC(args[1])
+		if err != nil {
+			fatal("promote: %v", err)
+		}
+		fmt.Printf("promoted: took over every pg backed up for %q, map epoch now %d\n", args[1], epoch)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fs.Int("n", 10000, "operations")
@@ -170,15 +184,23 @@ func runMap(cl *tcpkv.Client, asJSON bool) {
 	}
 	fmt.Printf("epoch %d, %d placement groups, %d instances\n", m.Epoch, m.PGs, len(m.Instances))
 	owned := make(map[string][]string)
+	backs := make(map[string][]string)
 	for pg, name := range m.Assign {
 		owned[name] = append(owned[name], fmt.Sprintf("%d", pg))
+		for _, b := range m.BackupsFor(pg) {
+			backs[b] = append(backs[b], fmt.Sprintf("%d", pg))
+		}
 	}
 	for _, in := range m.Instances {
 		pgs := "-"
 		if len(owned[in.Name]) > 0 {
 			pgs = strings.Join(owned[in.Name], ",")
 		}
-		fmt.Printf("  %-12s %-21s pgs %s\n", in.Name, in.Addr, pgs)
+		line := fmt.Sprintf("  %-12s %-21s pgs %s", in.Name, in.Addr, pgs)
+		if len(backs[in.Name]) > 0 {
+			line += fmt.Sprintf("  (backup for pgs %s)", strings.Join(backs[in.Name], ","))
+		}
+		fmt.Println(line)
 	}
 }
 
@@ -493,7 +515,7 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pi
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|slow|map|migrate|bench ...")
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|slow|map|migrate|promote|bench ...")
 	os.Exit(2)
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420] [-slow-ms 0] [-instance name [-join host:7420] [-pgs 16] [-advertise host:port]]
+//	efactory-server [-addr :7420] [-store /path/store.nvm] [-pool 64MiB] [-buckets 16384] [-shards 1] [-bg-batch 1] [-pipeline-workers 4] [-max-get-batch 1024] [-metrics-addr :9420] [-slow-ms 0] [-instance name [-join host:7420] [-pgs 16] [-advertise host:port] [-replicas 1]]
 //
 // -bg-batch > 1 lets the background verifier group-verify and group-flush
 // up to that many contiguous objects per run; -pipeline-workers bounds the
@@ -56,9 +56,13 @@ func main() {
 	join := flag.String("join", "", "address of an existing cluster member to join (requires -instance)")
 	pgs := flag.Int("pgs", 16, "placement groups when bootstrapping a new cluster map (ignored with -join)")
 	advertise := flag.String("advertise", "", "address peers and routed clients reach this server at (default: -addr, with 127.0.0.1 filled in for an empty host)")
+	replicas := flag.Int("replicas", 1, "replication factor per placement group (1 = unreplicated; N>1 mirrors every durability commit to N-1 backups before it is acknowledged)")
 	flag.Parse()
 	if *join != "" && *instance == "" {
 		log.Fatalf("-join requires -instance")
+	}
+	if *replicas > 1 && *instance == "" {
+		log.Fatalf("-replicas requires -instance (replication rides the cluster map)")
 	}
 
 	cfg := tcpkv.DefaultConfig()
@@ -68,6 +72,7 @@ func main() {
 	cfg.BGBatch = *bgBatch
 	cfg.PipelineWorkers = *pipeWorkers
 	cfg.MaxGetBatch = *maxGetBatch
+	cfg.Replicas = *replicas
 
 	dev, err := nvm.OpenFile(*store, cfg.DeviceSize())
 	if err != nil {
@@ -130,7 +135,8 @@ func main() {
 		}
 		if *join == "" {
 			srv.EnableCluster(*instance, adv, *pgs)
-			log.Printf("cluster: bootstrapped map with %d placement groups; instance %q at %s owns all", *pgs, *instance, adv)
+			log.Printf("cluster: bootstrapped map with %d placement groups (replication factor %d); instance %q at %s owns all",
+				*pgs, *replicas, *instance, adv)
 		} else {
 			srv.SetInstanceName(*instance, adv)
 			seed, err := tcpkv.Dial(*join)

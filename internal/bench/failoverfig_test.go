@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigFailover smoke-runs the failover figure at quick scale: three
+// phases reported, the backup really mirrored and was promoted, and the
+// post-failover steady state served without a single error (FigFailover
+// errors on any).
+func TestFigFailover(t *testing.T) {
+	spec := DefaultFailoverSpec(true)
+	if testing.Short() {
+		spec.PhaseOps = 300
+	}
+	var buf bytes.Buffer
+	rs, err := FigFailover(&buf, spec)
+	if err != nil {
+		t.Fatalf("failover: %v\n%s", err, buf.String())
+	}
+	if len(rs) != 3 || rs[0].Phase != "before" || rs[1].Phase != "during" || rs[2].Phase != "after" {
+		t.Fatalf("phases = %+v", rs)
+	}
+	for _, r := range rs {
+		if r.Ops == 0 {
+			t.Fatalf("empty phase %q: %+v", r.Phase, r)
+		}
+	}
+	if rs[0].Errors != 0 || rs[2].Errors != 0 {
+		t.Fatalf("steady phases drew errors:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "during") {
+		t.Fatalf("table missing during row:\n%s", buf.String())
+	}
+}

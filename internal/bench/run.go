@@ -71,6 +71,9 @@ type Result struct {
 	// window, and keys the migrations shipped. Set by FigRebalance only.
 	WrongEpoch uint64 `json:",omitempty"`
 	KeysMoved  uint64 `json:",omitempty"`
+	// Errors counts ops that failed after exhausting the routed client's
+	// retries — the unavailability window. Set by FigFailover only.
+	Errors  int `json:",omitempty"`
 	Elapsed time.Duration
 	Mops    float64
 	Mean    time.Duration

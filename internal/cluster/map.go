@@ -36,6 +36,18 @@ type Map struct {
 	PGs       int        `json:"pgs"`
 	Assign    []string   `json:"assign"` // PG index -> instance name
 	Instances []Instance `json:"instances"`
+
+	// Backups is the ordered replica set per PG beyond the primary in
+	// Assign: Backups[pg] lists the instances mirroring that group's
+	// writes, in promotion order (a failover promotes the first live
+	// backup). Nil or empty means the PG is unreplicated — the zero value
+	// keeps pre-replication maps byte-identical on the wire.
+	Backups [][]string `json:"backups,omitempty"`
+
+	// ReplicationFactor is the copies-per-PG target (primary included)
+	// the cluster converges to as instances join; 0 or 1 means
+	// replication is off.
+	ReplicationFactor int `json:"rf,omitempty"`
 }
 
 // SingleInstance builds the epoch-1 map of a standalone clustered server:
@@ -81,6 +93,26 @@ func (m *Map) Validate() error {
 	for pg, name := range m.Assign {
 		if !seen[name] {
 			return fmt.Errorf("cluster: PG %d assigned to unknown instance %q", pg, name)
+		}
+	}
+	if len(m.Backups) > 0 {
+		if len(m.Backups) != m.PGs {
+			return fmt.Errorf("cluster: %d PGs but %d backup sets", m.PGs, len(m.Backups))
+		}
+		for pg, bs := range m.Backups {
+			dup := make(map[string]bool, len(bs))
+			for _, name := range bs {
+				if !seen[name] {
+					return fmt.Errorf("cluster: PG %d backup names unknown instance %q", pg, name)
+				}
+				if name == m.Assign[pg] {
+					return fmt.Errorf("cluster: PG %d lists its primary %q as a backup", pg, name)
+				}
+				if dup[name] {
+					return fmt.Errorf("cluster: PG %d lists backup %q twice", pg, name)
+				}
+				dup[name] = true
+			}
 		}
 	}
 	return nil
@@ -135,13 +167,46 @@ func (m *Map) OwnedPGs(name string) []int {
 	return pgs
 }
 
+// BackupsFor returns the ordered backups of placement group pg (nil when
+// the PG is unreplicated).
+func (m *Map) BackupsFor(pg int) []string {
+	if pg < 0 || pg >= len(m.Backups) {
+		return nil
+	}
+	return m.Backups[pg]
+}
+
+// Replicated reports whether any PG carries at least one backup.
+func (m *Map) Replicated() bool {
+	for _, bs := range m.Backups {
+		if len(bs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // clone deep-copies the map so With* constructors never alias a shared
 // instance's slices.
 func (m *Map) clone() *Map {
-	n := &Map{Epoch: m.Epoch, PGs: m.PGs}
+	n := &Map{Epoch: m.Epoch, PGs: m.PGs, ReplicationFactor: m.ReplicationFactor}
 	n.Assign = append([]string(nil), m.Assign...)
 	n.Instances = append([]Instance(nil), m.Instances...)
+	if m.Backups != nil {
+		n.Backups = make([][]string, len(m.Backups))
+		for i, bs := range m.Backups {
+			n.Backups[i] = append([]string(nil), bs...)
+		}
+	}
 	return n
+}
+
+// ensureBackups grows the backup table to PGs entries (on a clone; never
+// on a shared map).
+func (m *Map) ensureBackups() {
+	for len(m.Backups) < m.PGs {
+		m.Backups = append(m.Backups, nil)
+	}
 }
 
 // WithInstance returns a new map at epoch+1 with the named instance
@@ -167,6 +232,74 @@ func (m *Map) WithAssign(pg int, target string) *Map {
 	n.Epoch++
 	if pg >= 0 && pg < len(n.Assign) {
 		n.Assign[pg] = target
+	}
+	return n
+}
+
+// WithBackup returns a new map at epoch+1 with name appended to pg's
+// ordered backup set (no-op clone if it is already the primary or a
+// backup). This is the replication attach step: the epoch bump makes the
+// primary's mirror obligation visible cluster-wide.
+func (m *Map) WithBackup(pg int, name string) *Map {
+	n := m.clone()
+	n.Epoch++
+	if pg < 0 || pg >= n.PGs || n.Assign[pg] == name {
+		return n
+	}
+	n.ensureBackups()
+	for _, b := range n.Backups[pg] {
+		if b == name {
+			return n
+		}
+	}
+	n.Backups[pg] = append(n.Backups[pg], name)
+	return n
+}
+
+// WithoutBackup returns a new map at epoch+1 with name removed from pg's
+// backup set. This is the demotion step a primary takes when a backup
+// stops acking mirror appends: shrinking the replica set is the only way
+// to keep acking writes without lying about the quorum.
+func (m *Map) WithoutBackup(pg int, name string) *Map {
+	n := m.clone()
+	n.Epoch++
+	if pg < 0 || pg >= len(n.Backups) {
+		return n
+	}
+	bs := n.Backups[pg][:0]
+	for _, b := range n.Backups[pg] {
+		if b != name {
+			bs = append(bs, b)
+		}
+	}
+	n.Backups[pg] = bs
+	return n
+}
+
+// WithPromotion returns a new map at epoch+1 with pg's primary replaced
+// by the named backup: to becomes the owner, leaves the backup set, and
+// the dead ex-primary is dropped from it too (it rejoins, if ever, as a
+// fresh backup). The epoch bump is the whole failover protocol from the
+// clients' view — their next misrouted op draws StWrongEpoch and the
+// refetch lands on the promoted instance.
+func (m *Map) WithPromotion(pg int, to string) *Map {
+	old := ""
+	if pg >= 0 && pg < len(m.Assign) {
+		old = m.Assign[pg]
+	}
+	n := m.WithoutBackup(pg, to)
+	if pg < 0 || pg >= len(n.Assign) {
+		return n
+	}
+	n.Assign[pg] = to
+	if pg < len(n.Backups) && old != "" {
+		bs := n.Backups[pg][:0]
+		for _, b := range n.Backups[pg] {
+			if b != old {
+				bs = append(bs, b)
+			}
+		}
+		n.Backups[pg] = bs
 	}
 	return n
 }

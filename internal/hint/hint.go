@@ -154,10 +154,13 @@ func (c *Cache) Insert(shard int, key []byte, e Entry) {
 func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
 
 // AdvanceEpoch moves the cache to a new cluster-map epoch, bulk-dropping
-// every resident hint (they were learned under placement that no longer
-// holds). Offering an older or equal epoch is a no-op — concurrent map
-// refreshes may observe epochs out of order, and the cache must never
-// move backwards. Reports whether the epoch advanced.
+// every hint learned under older placement. Offering an older or equal
+// epoch is a no-op — concurrent map refreshes may observe epochs out of
+// order, and the cache must never move backwards. Reports whether the
+// epoch advanced. The sweep is delegated to InvalidateAll, which
+// compares each entry's stamped epoch under its shard lock: a hint a
+// racing reader inserted under the NEW epoch is kept, where an
+// unconditional clear would clobber it.
 func (c *Cache) AdvanceEpoch(epoch uint64) bool {
 	for {
 		cur := c.epoch.Load()
@@ -168,15 +171,33 @@ func (c *Cache) AdvanceEpoch(epoch uint64) bool {
 			break
 		}
 	}
+	c.InvalidateAll()
+	return true
+}
+
+// InvalidateAll is the bulk-invalidation barrier of an epoch advance: it
+// drops every resident hint stamped with an epoch older than the cache's
+// current one. It is idempotent under concurrency — each entry is judged
+// against the current epoch under its shard lock, so two barriers racing
+// (concurrent wrong-epoch rejections advancing to the same epoch) do the
+// same deletions once between them, and entries inserted under the
+// current epoch mid-sweep survive. Lookup lazily drops stragglers a
+// concurrent insert-at-old-epoch might leave behind.
+func (c *Cache) InvalidateAll() {
+	epoch := c.epoch.Load()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n := len(s.m)
-		clear(s.m)
+		n := 0
+		for k, e := range s.m {
+			if e.epoch < epoch {
+				delete(s.m, k)
+				n++
+			}
+		}
 		s.mu.Unlock()
 		c.epochDropped.Add(uint64(n))
 	}
-	return true
 }
 
 // Invalidate drops key's hint after it failed validation (or after the

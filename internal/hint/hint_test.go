@@ -196,3 +196,62 @@ func TestEpochInvalidationCounterRegistered(t *testing.T) {
 		t.Fatal("epoch-invalidation counter not registered")
 	}
 }
+
+// TestInvalidateAllKeepsCurrentEpochEntries pins the barrier semantics
+// behind AdvanceEpoch: only entries stamped with an epoch older than the
+// cache's current one are dropped, so a hint a racing reader inserted
+// under the NEW epoch survives the sweep (the old unconditional clear
+// clobbered it), and replaying the barrier — as concurrent wrong-epoch
+// rejections do — is an exact no-op.
+func TestInvalidateAllKeepsCurrentEpochEntries(t *testing.T) {
+	c := hint.New(1, 8)
+	c.Insert(0, []byte("old"), hint.Entry{Slot: 1})
+	if !c.AdvanceEpoch(5) {
+		t.Fatal("AdvanceEpoch(5) refused")
+	}
+	if _, ok := c.Peek(0, []byte("old")); ok {
+		t.Fatal("stale-epoch entry survived the advance")
+	}
+	c.Insert(0, []byte("new"), hint.Entry{Slot: 2}) // stamped with epoch 5
+	before := c.Stats().EpochDropped
+	c.InvalidateAll() // a concurrent reject replaying the same barrier
+	c.InvalidateAll() // and another
+	if _, ok := c.Peek(0, []byte("new")); !ok {
+		t.Fatal("current-epoch entry clobbered by the barrier")
+	}
+	if d := c.Stats().EpochDropped - before; d != 0 {
+		t.Fatalf("idempotent barrier dropped %d entries", d)
+	}
+}
+
+// TestInvalidateAllConcurrentRejects hammers the barrier from goroutines
+// racing inserts and epoch advances (the shape of a burst of wrong-epoch
+// rejections during a failover). Run under -race; afterwards one final
+// advance must leave the cache empty — nothing leaks past its epoch.
+func TestInvalidateAllConcurrentRejects(t *testing.T) {
+	c := hint.New(4, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				switch i % 3 {
+				case 0:
+					c.Insert(i%4, []byte(fmt.Sprintf("g%dk%d", g, i)), hint.Entry{Slot: i})
+				case 1:
+					c.InvalidateAll()
+				default:
+					c.AdvanceEpoch(c.Epoch() + 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !c.AdvanceEpoch(c.Epoch() + 1) {
+		t.Fatal("final advance refused")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("%d entries survived an epoch advance past every insert", n)
+	}
+}

@@ -60,13 +60,23 @@ func (e *Engine) BGStep(h any, pi int) bool {
 	match := crc.Checksum(e.valScratch) == hd.CRC
 	e.observe(int(OpBGCRC), tCRC)
 	if match {
+		okObj, mirrored := e.mirrorVersion(h, pi, off, hd)
+		if !okObj || !mirrored {
+			// Pool recycled during the mirror window, or no quorum: leave
+			// the cursor parked — mirror appends are idempotent, so the
+			// next pass re-verifies and re-offers the record.
+			return false
+		}
 		tFlush := e.sink.Now()
 		e.sink.Charge(h, OpBGFlush, size)
 		if pool != e.pools[pi] {
 			return false
 		}
 		pool.FlushObject(off, hd.KLen, hd.VLen)
-		pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+		// Re-read the flags at set time: the cleaner may have marked the
+		// object FlagTrans during the mirror's unlock window, and OR-ing
+		// the stale pre-window flags back would clear that mark.
+		pool.SetFlags(off, pool.Header(off).Flags|kv.FlagDurable)
 		e.observe(int(OpBGFlush), tFlush)
 		e.stats.BGVerified++
 		e.bgCursor[pi] += size
@@ -170,6 +180,14 @@ func (e *Engine) BGBatch(h any, pi, max int) int {
 				continue
 			}
 			break // value still in flight: stall the scan here
+		}
+		okObj, mirrored := e.mirrorVersion(h, pi, off, hd)
+		if !okObj {
+			recycled = true
+			break
+		}
+		if !mirrored {
+			break // no quorum: stall here like an in-flight value
 		}
 		if len(run) == 0 {
 			runStart = off

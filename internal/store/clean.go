@@ -195,7 +195,10 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 		if stagedHdr.Seq > hd.Seq {
 			switch e.ensureDurableLocked(h, 1-pi, stagedOff) {
 			case durYes:
-				pool.SetFlags(off, hd.Flags|kv.FlagTrans)
+				// Re-read the flags: the mirror inside ensureDurableLocked
+				// may have dropped the lock, and a BG/GET verify could have
+				// flagged this version durable during the window.
+				pool.SetFlags(off, pool.Header(off).Flags|kv.FlagTrans)
 				e.stats.CleanDropped++
 				return true
 			case durInFlight:
@@ -210,6 +213,15 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 		e.stats.CleanDropped++
 		return true // dead write; an older version may still be migrated later
 	case durInFlight:
+		return false
+	}
+	// The mirror inside ensureDurableLocked may have dropped the engine
+	// lock; the entry looked up above can be stale — the key may have been
+	// deleted, re-put, or written directly to the new pool (merging) during
+	// the window, and staging over that state would regress the head. If
+	// anything moved, retry the whole attempt: the version is flagged
+	// durable now, so the re-run revalidates without another window.
+	if idx2, en2, found2 := e.table.Lookup(kv.HashKey(key)); !found2 || idx2 != idx || en2 != en {
 		return false
 	}
 	hd = pool.Header(off) // re-read: ensureDurableLocked set the flag
@@ -245,7 +257,12 @@ func (e *Engine) tryMigrate(h any, pi int, off uint64) bool {
 // ensureDurableLocked verifies and persists the version at off if
 // possible: durYes once the durability flag is set, durDead if the version
 // is (or just became) invalid, durInFlight if the CRC mismatches but the
-// verify timeout has not elapsed. Callers hold mu.
+// verify timeout has not elapsed — or if the version is intact but its
+// mirror did not reach a quorum yet (the flag may only be set once the
+// record is quorum-durable, exactly like the GET and BG flag sites; a
+// cleaner-flagged record is one-sided-readable the same instant). Callers
+// hold mu; the mirror drops it, so on return the caller may only trust
+// offsets when the verdict is durYes.
 func (e *Engine) ensureDurableLocked(h any, pi int, off uint64) int {
 	pool := e.pools[pi]
 	hd := pool.Header(off)
@@ -261,11 +278,19 @@ func (e *Engine) ensureDurableLocked(h any, pi int, off uint64) int {
 	match := crc.Checksum(val) == hd.CRC
 	e.observe(int(OpBGCRC), tCRC)
 	if match {
+		okObj, mirrored := e.mirrorVersion(h, pi, off, hd)
+		if !okObj || !mirrored {
+			// Pool recycled under the unlock window, or no quorum: either
+			// way the flag stays clear and a later pass retries.
+			return durInFlight
+		}
 		size := kv.ObjectSize(hd.KLen, hd.VLen)
 		tFlush := e.sink.Now()
 		e.sink.Charge(h, OpBGFlush, size)
 		pool.FlushObject(off, hd.KLen, hd.VLen)
-		pool.SetFlags(off, hd.Flags|kv.FlagDurable)
+		// Re-read the flags at set time: another flag site may have run
+		// during the mirror's unlock window.
+		pool.SetFlags(off, pool.Header(off).Flags|kv.FlagDurable)
 		e.observe(int(OpBGFlush), tFlush)
 		return durYes
 	}

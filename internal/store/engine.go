@@ -76,6 +76,25 @@ type Deps struct {
 	// client notifications from them). Either may be nil.
 	OnCleanStart func(h any)
 	OnCleanEnd   func(h any)
+	// Mirror, when non-nil, must make the verified version in rec durable
+	// on the replica set BEFORE the engine persists its durability flag:
+	// the flag⇒durable invariant generalizes to flag⇒quorum-durable, so
+	// no flag may be set until the record would survive this node's
+	// death. It is called WITHOUT the engine lock held (it does network
+	// I/O); a false return leaves the flag clear — the version stays
+	// valid-but-unverified and a later pass retries. Nil keeps the
+	// single-node behavior bit-identical.
+	Mirror func(h any, rec ExportKey) bool
+	// MirrorNeeded, when non-nil, reports whether key currently has any
+	// replicas Mirror must reach. A false return lets the engine set the
+	// durability flag WITHOUT dropping its lock around Mirror — the
+	// unreplicated fast path keeps single-node interleavings identical to
+	// an engine with no Mirror at all. Skipped flags are safe across a
+	// later backup attach because the attach snapshot exports every
+	// already-flagged version: a flag set under the backup-free map
+	// completes before the attach's export can run. Nil means Mirror is
+	// always consulted.
+	MirrorNeeded func(key []byte) bool
 }
 
 func (d *Deps) fillDefaults() {
@@ -483,19 +502,34 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 			match := crc.Checksum(e.valScratch) == hd.CRC
 			e.observeH(h, int(OpCRC), tCRC)
 			if match {
-				tFlush := e.sink.Now()
-				e.sink.Charge(h, OpFlush, totalLen)
-				pool.FlushObject(off, hd.KLen, hd.VLen)
-				pool.SetFlags(off, hd.Flags|kv.FlagDurable)
-				e.observeH(h, int(OpFlush), tFlush)
-				if first {
-					e.stats.GetVerified++
-				} else {
-					e.stats.GetRolledBack++
-					e.trace("get", "rolled_back", keyHash, hd.Seq)
+				okObj, mirrored := e.mirrorVersion(h, pi, off, hd)
+				if !okObj {
+					// The cleaner recycled this pool while the engine lock
+					// was dropped around the mirror call: restart from the
+					// table lookup.
+					return e.getLocked(h, key, -1)
 				}
-				return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
-					Slot: idx, Seq: hd.Seq, Durable: true}
+				if mirrored {
+					tFlush := e.sink.Now()
+					e.sink.Charge(h, OpFlush, totalLen)
+					pool.FlushObject(off, hd.KLen, hd.VLen)
+					// Re-read the flags: the cleaner may have set FlagTrans
+					// during the mirror's unlock window, and OR-ing the stale
+					// pre-window flags back would clear that mark.
+					pool.SetFlags(off, pool.Header(off).Flags|kv.FlagDurable)
+					e.observeH(h, int(OpFlush), tFlush)
+					if first {
+						e.stats.GetVerified++
+					} else {
+						e.stats.GetRolledBack++
+						e.trace("get", "rolled_back", keyHash, hd.Seq)
+					}
+					return GetResult{Status: StatusOK, Pool: pi, Off: off, Len: totalLen, KLen: hd.KLen,
+						Slot: idx, Seq: hd.Seq, Durable: true}
+				}
+				// No quorum: the version is intact but may not be served as
+				// durable — walk back like an in-flight value and let a
+				// later pass retry the mirror.
 			}
 			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
 				pool.SetFlags(off, hd.Flags&^kv.FlagValid)

@@ -43,7 +43,8 @@ type Client struct {
 	// mu guards connection state, the retry policy, and the counters —
 	// not op I/O, which proceeds concurrently on the pipe.
 	mu        sync.Mutex
-	retry     RetryPolicy // zero value: single attempt, no deadlines
+	retry     RetryPolicy       // zero value: single attempt, no deadlines
+	jitter    func(int64) int64 // backoff random source; nil = process-wide (tests seed it)
 	pipeDepth int
 	gen       uint64 // bumped per reconnect; concurrent retriers share one redial
 	pipe      *pipe
@@ -876,25 +877,37 @@ func (c *Client) Delete(key []byte) error {
 
 // delCtx is Delete's body under a caller-owned trace context.
 func (c *Client) delCtx(tc *trace.Ctx, key []byte) error {
+	var st delRetryState
+	return c.delCtxState(tc, key, &st)
+}
+
+// delCtxState runs the DELETE with caller-owned at-least-once state, so
+// a routed caller re-trying against a different instance after a
+// failover keeps the ambiguity accumulated here (a DEL acked nowhere but
+// applied somewhere must map a later not-found to success).
+func (c *Client) delCtxState(tc *trace.Ctx, key []byte, st *delRetryState) error {
 	c.dropHint(key)
-	unknown := false // a failed attempt may have applied server-side
 	return c.retrying(func() error {
 		tRPC := traceNow(tc)
 		resp, err := c.rpc(wire.Msg{Type: wire.TDel, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Key: key})
 		tc.Add("del_rpc", tRPC, traceNow(tc))
 		if err != nil {
-			unknown = true
+			st.noteUnknown()
 			return err
 		}
-		if resp.Status == wire.StWrongEpoch {
+		switch resp.Status {
+		case wire.StWrongEpoch:
 			return wrongEpoch(resp)
+		case wire.StNotFound:
+			return st.mapNotFound()
+		case wire.StOK:
+			return nil
+		default:
+			// The server applied the delete locally but could not
+			// acknowledge it (e.g. the tombstone missed its replication
+			// quorum): outcome unknown cluster-wide, retry elsewhere.
+			st.noteUnknown()
+			return fmt.Errorf("%w: del status %d", ErrRetryable, resp.Status)
 		}
-		if resp.Status == wire.StNotFound {
-			if unknown {
-				return nil // an earlier attempt's delete landed
-			}
-			return ErrNotFound
-		}
-		return nil
 	})
 }

@@ -29,10 +29,17 @@ import (
 // one instance (this one, reachable at addr) owning all pgs placement
 // groups at epoch 1. Call before Serve.
 func (s *Server) EnableCluster(name, addr string, pgs int) {
+	m := cluster.SingleInstance(name, addr, pgs)
+	if s.cfg.Replicas > 1 {
+		// The seed map carries the replication target; joiners are
+		// attached as backups (replAttach) until every PG has
+		// cfg.Replicas copies.
+		m.ReplicationFactor = s.cfg.Replicas
+	}
 	s.clMu.Lock()
 	s.clName = name
 	s.clSelf = addr
-	s.clMap = cluster.SingleInstance(name, addr, pgs)
+	s.clMap = m
 	s.clMu.Unlock()
 	reg := s.st.Metrics()
 	reg.SetInstance(name)
@@ -80,6 +87,14 @@ func (s *Server) ClusterCounters() (wrongEpochRejects, keysMigrated, migrations 
 // (or the server has none). It returns the epoch the server ends up at,
 // which is also what a TClusterMapSet response carries — the pusher
 // learns the server's view either way. Maps never move backwards.
+//
+// Installing a map that takes PGs away from this instance — a deposed
+// primary learning it was failed over — also purges the lost groups'
+// entries, asynchronously, after an opGate barrier has flushed every op
+// approved under the old map: stale one-sided readers then miss here
+// and fall back to the routed path, where the wrong-epoch redirect
+// steers them to the new owner. (Migration sources purge synchronously
+// inside their blocked window; this purge finds nothing there.)
 func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
 	if m == nil || m.Validate() != nil {
 		s.clMu.RLock()
@@ -90,14 +105,42 @@ func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
 		return s.clMap.Epoch
 	}
 	s.clMu.Lock()
-	defer s.clMu.Unlock()
+	var lost []int
 	if s.clMap == nil || m.Epoch > s.clMap.Epoch {
+		if s.clMap != nil && s.clName != "" {
+			for _, pg := range s.clMap.OwnedPGs(s.clName) {
+				if pg < len(m.Assign) && m.Assign[pg] != s.clName {
+					lost = append(lost, pg)
+				}
+			}
+		}
 		s.clMap = m
 		// Structured trace events recorded from here on carry the new
 		// epoch, so a ring dump shows exactly when the instance moved.
 		s.st.Metrics().SetEpoch(m.Epoch)
 	}
-	return s.clMap.Epoch
+	ep := s.clMap.Epoch
+	s.clMu.Unlock()
+	if len(lost) > 0 {
+		// Async: the caller may be a mutating handler holding the opGate
+		// read side (a DELETE whose mirror append just got deposed), and
+		// the barrier below takes the write side.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.opGate.Lock()
+			s.opGate.Unlock() //nolint:staticcheck // barrier: old-map ops applied
+			set := make(map[int]bool, len(lost))
+			for _, pg := range lost {
+				set[pg] = true
+			}
+			accept := func(hash uint64) bool { return set[cluster.PGOf(hash, m.PGs)] }
+			for i := 0; i < s.st.NumShards(); i++ {
+				s.st.Shard(i).PurgeMatching(accept)
+			}
+		}()
+	}
+	return ep
 }
 
 // blockPG marks pg as refusing routed ops (the migration cutover
@@ -243,6 +286,16 @@ func (s *Server) handleJoin(m wire.Msg) wire.Msg {
 	s.clMu.Unlock()
 	s.st.Metrics().SetEpoch(nm.Epoch)
 	s.pushMapToPeers(nm, name)
+	if nm.ReplicationFactor >= 2 {
+		// Attach the joiner as a backup to under-replicated PGs this
+		// instance primaries. Asynchronous: the joiner needs its join
+		// response (and its listener) before it can ingest a snapshot.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.replAttach(name)
+		}()
+	}
 	return wire.Msg{Type: wire.TJoinResp, Status: wire.StOK, Token: uint32(nm.Epoch), Value: nm.Encode()}
 }
 
@@ -297,6 +350,24 @@ func (s *Server) registerClusterMetrics() {
 	reg.AddCounter("efactory_cluster_migrations_total",
 		"Migrations this instance completed as the source.", lbl,
 		func() float64 { return float64(s.migDone.Load()) })
+	reg.AddGauge("efactory_repl_lag",
+		"Mirror appends currently awaiting backup acks.", lbl,
+		func() float64 { return float64(s.replPending.Load()) })
+	reg.AddCounter("efactory_repl_appends_total",
+		"Replicated commit records shipped to backups.", lbl,
+		func() float64 { return float64(s.replAppends.Load()) })
+	reg.AddCounter("efactory_repl_append_failures_total",
+		"Mirror appends that failed at the transport (each demotes the backup).", lbl,
+		func() float64 { return float64(s.replFailures.Load()) })
+	reg.AddCounter("efactory_repl_demotions_total",
+		"Backups dropped from replica sets after append failures.", lbl,
+		func() float64 { return float64(s.replDemotions.Load()) })
+	reg.AddCounter("efactory_repl_promotions_total",
+		"Failover promotions completed on this instance.", lbl,
+		func() float64 { return float64(s.replPromotions.Load()) })
+	reg.AddCounter("efactory_repl_ingested_total",
+		"Replicated commit records ingested as a backup.", lbl,
+		func() float64 { return float64(s.replIngested.Load()) })
 }
 
 // decodeExportBatch parses a TMigIngest payload. The concrete type

@@ -95,11 +95,75 @@ func (c *Client) MigIngest(batch []store.ExportKey) error {
 	return nil
 }
 
+// ReplAppend ships replicated commit records to a backup under the
+// sender's map epoch. A *cluster.WrongEpochError return means the
+// backup holds a strictly newer map — the sender is deposed and must
+// stop flagging writes durable until it adopts it.
+func (c *Client) ReplAppend(batch []store.ExportKey, epoch uint64) error {
+	blob, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := c.rpc(wire.Msg{Type: wire.TReplAppend, Token: uint32(epoch), Value: blob})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StOK:
+		return nil
+	case wire.StWrongEpoch:
+		return &cluster.WrongEpochError{Epoch: uint64(resp.Token)}
+	default:
+		return fmt.Errorf("tcpkv: repl append status %d", resp.Status)
+	}
+}
+
+// ReplPull fetches every record the serving replica holds in placement
+// group pg (promotion reconciliation).
+func (c *Client) ReplPull(pg int) ([]store.ExportKey, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TReplPull, Off: uint64(pg)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StOK {
+		return nil, fmt.Errorf("tcpkv: repl pull status %d", resp.Status)
+	}
+	return decodeExportBatch(resp.Value)
+}
+
+// PromoteRPC asks the serving instance to fail over from the named dead
+// primary, taking ownership of every PG it backs up for it. Returns the
+// map epoch after the promotion.
+func (c *Client) PromoteRPC(dead string) (uint64, error) {
+	resp, err := c.rpc(wire.Msg{Type: wire.TPromote, Key: []byte(dead)})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != wire.StOK {
+		return 0, fmt.Errorf("tcpkv: promote: %s", resp.Value)
+	}
+	return uint64(resp.Token), nil
+}
+
 // ccRouteAttempts bounds how many times one op re-routes after
 // wrong-epoch rejections or instance failures. A blocked cutover window
 // lasts VerifyTimeout+slack; with the capped backoff below this budget
 // rides out windows two orders of magnitude longer than the defaults.
 const ccRouteAttempts = 64
+
+// ccStaleRounds bounds consecutive rounds in which the routed instance
+// rejects with an epoch OLDER than the map that routed there. Refetching
+// cannot advance past a map the client already holds, so without this
+// bound a deposed instance that never learned its successor would eat
+// the whole attempt budget; instead the op fails fast with ErrRouteStale
+// (retryable — the promoted instance usually pushes its map shortly).
+const ccStaleRounds = 8
+
+// Route-retry backoff bounds (decorrelated jitter, see jitteredBackoff).
+const (
+	ccRouteBackoff    = 2 * time.Millisecond
+	ccRouteMaxBackoff = 50 * time.Millisecond
+)
 
 // ClusterClientConfig carries the per-instance client settings a
 // ClusterClient applies to every connection it opens.
@@ -125,6 +189,7 @@ type ClusterClient struct {
 	mu      sync.Mutex
 	clients map[string]*Client // by instance name
 	seed    string             // bootstrap address, used while the map is cold
+	lastMap *cluster.Map       // last map ever installed; map-refetch fallback when the seed died
 
 	// WrongEpochRetries counts ops that re-routed after an StWrongEpoch
 	// rejection; MapRefreshes counts TClusterMap fetches. Read quiesced.
@@ -234,9 +299,52 @@ func (cc *ClusterClient) clientFor(in cluster.Instance) (*Client, error) {
 	return c, nil
 }
 
+// install records m as the freshest map seen: the router serves it to
+// routing, and lastMap remembers it past invalidation so a refetch can
+// still reach the cluster after the seed instance died.
+func (cc *ClusterClient) install(m *cluster.Map) {
+	cc.router.Install(m)
+	cc.mu.Lock()
+	if cc.lastMap == nil || m.Epoch >= cc.lastMap.Epoch {
+		cc.lastMap = m
+	}
+	cc.mu.Unlock()
+}
+
+// adoptClient caches c under an instance name unless a connection is
+// already registered there (then c is closed and the incumbent kept).
+func (cc *ClusterClient) adoptClient(name string, c *Client) {
+	cc.mu.Lock()
+	if prev, ok := cc.clients[name]; ok && prev != c {
+		cc.mu.Unlock()
+		c.Close()
+		return
+	}
+	cc.clients[name] = c
+	cc.mu.Unlock()
+}
+
+// dropClient severs a connection that just failed mid-op, so the next
+// route attempt redials (or routes elsewhere) instead of reusing a pipe
+// to a dead instance. Concurrent ops sharing the connection fail
+// transiently and re-route the same way.
+func (cc *ClusterClient) dropClient(c *Client) {
+	cc.mu.Lock()
+	for name, cur := range cc.clients {
+		if cur == c {
+			delete(cc.clients, name)
+			break
+		}
+	}
+	cc.mu.Unlock()
+	c.Close()
+}
+
 // currentMap returns the cached map, fetching one when the cache is cold
-// or was invalidated. Fetches try every connected instance and then the
-// seed, so one dead instance cannot blind the client.
+// or was invalidated. Fetches try every connected instance, then every
+// address the last-known map listed, then the seed — so neither one dead
+// instance nor specifically the dead SEED can blind the client: after a
+// primary crash the survivors named in the stale map still answer.
 func (cc *ClusterClient) currentMap() (*cluster.Map, error) {
 	if m := cc.router.Current(); m != nil {
 		return m, nil
@@ -248,17 +356,44 @@ func (cc *ClusterClient) currentMap() (*cluster.Map, error) {
 		conns = append(conns, c)
 	}
 	seed := cc.seed
+	last := cc.lastMap
 	cc.mu.Unlock()
 	var lastErr error
 	for _, c := range conns {
 		m, err := c.ClusterMapRPC()
 		if err == nil {
-			cc.router.Install(m)
+			cc.install(m)
 			return cc.router.Current(), nil
+		}
+		if transient(err) {
+			// Dead pipe: deregister it now, or the fallback dial below
+			// would adopt-lose to the stale incumbent under its name.
+			cc.dropClient(c)
 		}
 		lastErr = err
 	}
-	// Cold cache (or every connection failed): ask the seed directly.
+	// Every live connection failed: dial fresh to each instance the last
+	// installed map named. Connections above may be stale pipes to dead
+	// instances; this pass reaches survivors we never dialed.
+	if last != nil {
+		for _, in := range last.Instances {
+			c, err := cc.newClient(in.Addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			m, err := c.ClusterMapRPC()
+			if err != nil {
+				c.Close()
+				lastErr = err
+				continue
+			}
+			cc.adoptClient(in.Name, c)
+			cc.install(m)
+			return cc.router.Current(), nil
+		}
+	}
+	// Cold cache (or every known instance failed): ask the seed directly.
 	c, err := cc.newClient(seed)
 	if err != nil {
 		if lastErr == nil {
@@ -271,15 +406,8 @@ func (cc *ClusterClient) currentMap() (*cluster.Map, error) {
 		c.Close()
 		return nil, fmt.Errorf("tcpkv: no cluster map: %w", err)
 	}
-	cc.mu.Lock()
-	if prev, ok := cc.clients[mapOwner(m, seed)]; ok && prev != c {
-		cc.mu.Unlock()
-		c.Close()
-	} else {
-		cc.clients[mapOwner(m, seed)] = c
-		cc.mu.Unlock()
-	}
-	cc.router.Install(m)
+	cc.adoptClient(mapOwner(m, seed), c)
+	cc.install(m)
 	return cc.router.Current(), nil
 }
 
@@ -306,7 +434,8 @@ func (cc *ClusterClient) do(name string, key []byte, op func(c *Client, tc *trac
 }
 
 func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc *trace.Ctx) error) error {
-	backoff := 2 * time.Millisecond
+	backoff := ccRouteBackoff
+	staleRounds := 0
 	var lastErr error
 	for attempt := 0; attempt < ccRouteAttempts; attempt++ {
 		if attempt > 0 {
@@ -315,9 +444,7 @@ func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc 
 			tRetry := traceNow(tc)
 			time.Sleep(backoff)
 			tc.Add("route_retry", tRetry, traceNow(tc))
-			if backoff *= 2; backoff > 50*time.Millisecond {
-				backoff = 50 * time.Millisecond
-			}
+			backoff = jitteredBackoff(backoff, ccRouteBackoff, ccRouteMaxBackoff, nil)
 		}
 		m, err := cc.currentMap()
 		if err != nil {
@@ -341,6 +468,25 @@ func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc 
 		var we *cluster.WrongEpochError
 		if errors.As(err, &we) {
 			cc.noteWrongEpoch(we)
+			if we.Epoch < m.Epoch {
+				// The instance proved an epoch OLDER than the map that
+				// routed us there: a refetch cannot advance past a map
+				// the client already holds, so looping is pointless.
+				if staleRounds++; staleRounds >= ccStaleRounds {
+					return fmt.Errorf("%w: instance %s at epoch %d, map at epoch %d", ErrRouteStale, in.Name, we.Epoch, m.Epoch)
+				}
+			} else {
+				staleRounds = 0
+			}
+			lastErr = err
+			continue
+		}
+		if transient(err) || errors.Is(err, ErrRetryable) {
+			// The instance died mid-op, or applied without acknowledging:
+			// sever its pipe, suspect the map, and re-route — after a
+			// failover the key's new owner is one refetch away.
+			cc.dropClient(c)
+			cc.router.Invalidate()
 			lastErr = err
 			continue
 		}
@@ -375,9 +521,14 @@ func (cc *ClusterClient) Get(key []byte) ([]byte, error) {
 	return out, err
 }
 
-// Delete removes key on the instance owning it.
+// Delete removes key on the instance owning it. One delRetryState spans
+// every route attempt: a DEL whose first attempt died against the old
+// primary but applied there stays "outcome unknown" when the retry lands
+// on the promoted backup, so a not-found answer there reports success
+// (the tombstone mirrored before the crash) instead of ErrNotFound.
 func (cc *ClusterClient) Delete(key []byte) error {
-	return cc.do("del", key, func(c *Client, tc *trace.Ctx) error { return c.delCtx(tc, key) })
+	var st delRetryState
+	return cc.do("del", key, func(c *Client, tc *trace.Ctx) error { return c.delCtxState(tc, key, &st) })
 }
 
 // PutBatch stores the pairs, grouping ops by owning instance so each
@@ -456,15 +607,14 @@ func (cc *ClusterClient) GetBatch(keys [][]byte) ([][]byte, []error) {
 // the next round (under a refreshed map), and write final outcomes into
 // errs.
 func (cc *ClusterClient) batched(tc *trace.Ctx, pending []int, errs []error, keyAt func(i int) []byte, run func(c *Client, tc *trace.Ctx, idx []int) []error) {
-	backoff := 2 * time.Millisecond
+	backoff := ccRouteBackoff
+	staleRounds := 0
 	for attempt := 0; attempt < ccRouteAttempts && len(pending) > 0; attempt++ {
 		if attempt > 0 {
 			tRetry := traceNow(tc)
 			time.Sleep(backoff)
 			tc.Add("route_retry", tRetry, traceNow(tc))
-			if backoff *= 2; backoff > 50*time.Millisecond {
-				backoff = 50 * time.Millisecond
-			}
+			backoff = jitteredBackoff(backoff, ccRouteBackoff, ccRouteMaxBackoff, nil)
 		}
 		m, err := cc.currentMap()
 		if err != nil {
@@ -485,6 +635,7 @@ func (cc *ClusterClient) batched(tc *trace.Ctx, pending []int, errs []error, key
 			insts[in.Name] = in
 		}
 		var next []int
+		staleRound := false
 		for name, idx := range groups {
 			c, err := cc.clientFor(insts[name])
 			if err != nil {
@@ -497,14 +648,40 @@ func (cc *ClusterClient) batched(tc *trace.Ctx, pending []int, errs []error, key
 			}
 			c.SetClusterEpoch(m.Epoch)
 			res := run(c, tc, idx)
+			dropped := false
 			for j, i := range idx {
 				errs[i] = res[j]
 				var we *cluster.WrongEpochError
-				if errors.As(res[j], &we) {
+				switch {
+				case errors.As(res[j], &we):
 					cc.noteWrongEpoch(we)
+					if we.Epoch < m.Epoch {
+						staleRound = true
+					}
+					next = append(next, i)
+				case transient(res[j]) || errors.Is(res[j], ErrRetryable):
+					// Instance failure mid-group: sever once, re-route the
+					// whole group's failed indices under a fresh map.
+					if !dropped {
+						dropped = true
+						cc.dropClient(c)
+						cc.router.Invalidate()
+					}
 					next = append(next, i)
 				}
 			}
+		}
+		// Same stale-instance bound as doCtx: rounds rejected at an epoch
+		// older than the routing map cannot converge by refetching.
+		if staleRound {
+			if staleRounds++; staleRounds >= ccStaleRounds {
+				for _, i := range next {
+					errs[i] = fmt.Errorf("%w: %v", ErrRouteStale, errs[i])
+				}
+				return
+			}
+		} else {
+			staleRounds = 0
 		}
 		pending = next
 	}

@@ -10,21 +10,88 @@ package tcpkv
 import (
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"syscall"
 	"time"
 )
 
+// ErrRetryable classifies server responses that left the op unapplied or
+// unacknowledged — e.g. a DELETE whose tombstone missed its replication
+// quorum. Unlike protocol outcomes (ErrNotFound) it is safe and
+// necessary to retry, possibly on a different instance after a failover;
+// the routed client re-routes on it like a transport failure.
+var ErrRetryable = errors.New("tcpkv: retryable server error")
+
+// ErrRouteStale reports that routing made no progress: an instance kept
+// rejecting ops with an epoch OLDER than the map that routed there, so
+// refetching cannot converge (the cluster is mid-failover, or the cached
+// map points at a deposed instance that never learned its successor).
+// Retryable — by the time the caller retries, the promoted instance has
+// usually pushed its map.
+var ErrRouteStale = errors.New("tcpkv: routing stalled on a stale instance")
+
+// delRetryState carries a DELETE's at-least-once ambiguity across
+// attempts — including re-routes to a different instance after a
+// failover. Once any attempt ends without revealing whether the server
+// applied the op (transport error, or an unacknowledged quorum
+// failure), a later StNotFound means an earlier attempt's delete landed
+// and maps to success, not ErrNotFound. The rule lives here, once, so
+// the single-connection retry loop and the routed client's failover
+// re-route can never drift apart: ClusterClient.Delete threads ONE
+// state through every route attempt.
+type delRetryState struct {
+	unknown bool
+}
+
+// noteUnknown records an attempt whose server-side effect is unknown.
+func (d *delRetryState) noteUnknown() { d.unknown = true }
+
+// mapNotFound resolves a not-found outcome under the at-least-once rule.
+func (d *delRetryState) mapNotFound() error {
+	if d.unknown {
+		return nil // an earlier attempt's delete landed
+	}
+	return ErrNotFound
+}
+
+// jitteredBackoff returns the next retry delay under decorrelated
+// jitter: uniform in [base, 3*prev], capped at max (when max > 0).
+// Plain doubling synchronizes every client that failed together — after
+// a failover they all hammer the promoted primary on the same schedule;
+// the decorrelated draw keeps the herd spread while still backing off
+// exponentially in expectation. intn is the random source (nil uses the
+// process-wide one); tests inject a seeded source for determinism.
+func jitteredBackoff(prev, base, max time.Duration, intn func(int64) int64) time.Duration {
+	if base <= 0 {
+		return prev
+	}
+	if intn == nil {
+		intn = rand.Int63n
+	}
+	d := base
+	if span := 3*prev - base; span > 0 {
+		d = base + time.Duration(intn(int64(span)))
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
 // RetryPolicy governs how the client reacts to transient transport
 // failures (connection resets, timeouts, truncated response frames): each
-// op is retried on a fresh pair of connections with exponential backoff.
+// op is retried on a fresh pair of connections with exponential backoff
+// under decorrelated jitter (see jitteredBackoff), so clients that failed
+// together do not retry in lock-step against a recovering server.
 // Retried ops are at-least-once — a lost response frame does not reveal
 // whether the server applied the op, so a retried PUT may write twice and
 // a retried DELETE may find the key already gone (the client maps that to
-// success, not ErrNotFound, when a prior attempt's outcome was unknown).
+// success, not ErrNotFound, when a prior attempt's outcome was unknown;
+// the rule is delRetryState and survives re-routing across a failover).
 type RetryPolicy struct {
 	Attempts   int           // total tries per op; <= 1 means no retry
-	Backoff    time.Duration // delay before the first retry, doubling after
+	Backoff    time.Duration // delay before the first retry; later delays drawn from [Backoff, 3*prev]
 	MaxBackoff time.Duration // backoff cap (0 = uncapped)
 	Timeout    time.Duration // per-attempt I/O deadline (0 = none)
 }
@@ -121,10 +188,7 @@ func (c *Client) retrying(do func() error) error {
 			c.mu.Unlock()
 			if backoff > 0 {
 				time.Sleep(backoff)
-				backoff *= 2
-				if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
-					backoff = rp.MaxBackoff
-				}
+				backoff = jitteredBackoff(backoff, rp.Backoff, rp.MaxBackoff, c.jitter)
 			}
 			var rerr error
 			if gen, rerr = c.reconnect(gen); rerr != nil {

@@ -124,3 +124,24 @@ func TestClientTimeoutRecoversFromStalledRead(t *testing.T) {
 		t.Fatal("stall schedule never triggered a timeout retry")
 	}
 }
+
+// TestDeleteRetryRule pins the at-least-once DELETE rule encoded once in
+// delRetryState and shared by the single-connection retry loop and the
+// routed client's cross-failover re-route: a fresh state surfaces
+// not-found as ErrNotFound; once any attempt's outcome is unknown (the
+// delete may have applied server-side), not-found maps to success — and
+// the rule stays sticky across however many further attempts follow,
+// including attempts against a different instance after a failover.
+func TestDeleteRetryRule(t *testing.T) {
+	var st delRetryState
+	if err := st.mapNotFound(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fresh state must surface ErrNotFound, got %v", err)
+	}
+	st.noteUnknown()
+	if err := st.mapNotFound(); err != nil {
+		t.Fatalf("unknown outcome must map not-found to success, got %v", err)
+	}
+	if err := st.mapNotFound(); err != nil {
+		t.Fatalf("rule must stay sticky across later attempts, got %v", err)
+	}
+}

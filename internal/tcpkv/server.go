@@ -127,6 +127,13 @@ type Config struct {
 	// MaxGetBatch caps how many ops one TGetBatch request may carry; larger
 	// batches are rejected with StError. 0 means DefaultMaxGetBatch.
 	MaxGetBatch int
+	// Replicas is the copies-per-PG target (primary included) a clustered
+	// server seeds its map with: joining instances are attached as backups
+	// until every PG has this many copies, and every durability flag
+	// becomes a quorum commit across the replica set. 0 or 1 disables
+	// replication (single-copy behavior, bit-identical to pre-replication
+	// servers).
+	Replicas int
 	// FaultPlan, when non-nil, wires the crash-point injection subsystem
 	// (internal/fault): the device and the engines' cost sink are wrapped
 	// so every cost charge and every flush/drain counts a boundary, and
@@ -218,6 +225,24 @@ type Server struct {
 	migKeysMoved atomic.Uint64 // keys copied out by sourced migrations
 	migDone      atomic.Uint64 // migrations completed as the source
 
+	// Replication state (see repl.go). replPeers holds one ordered append
+	// channel per backup this primary mirrors to; replDemoteMu serializes
+	// replica-set shrinks so concurrent verifier goroutines cannot revive
+	// each other's demotion with a stale base map.
+	replMu       sync.Mutex
+	replPeers    map[string]*replPeer
+	replDemoteMu sync.Mutex
+	// replCrash, when non-nil, is consulted at each replication protocol
+	// point; returning true makes the protocol behave as if the process
+	// died there. Failover torture harnesses only.
+	replCrash      func(point string) bool
+	replPending    atomic.Int64  // mirror appends awaiting backup acks
+	replAppends    atomic.Uint64 // records shipped to backups
+	replFailures   atomic.Uint64 // append transport failures
+	replDemotions  atomic.Uint64 // backups dropped from replica sets
+	replPromotions atomic.Uint64 // promotions completed on this instance
+	replIngested   atomic.Uint64 // records ingested as a backup
+
 	// tracer retains the server-side spans of traced requests (frames
 	// whose trailer carries a client-minted trace ID) and of migration
 	// runs. Served at /debug/slow and over TTraceDump.
@@ -271,6 +296,12 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 				return true
 			}
 		},
+		// Every durability flag is a quorum commit when the key's PG
+		// carries backups; with no cluster map (or no backups) the
+		// MirrorNeeded fast path keeps the flag set under the engine lock,
+		// bit-identical to an unreplicated server.
+		Mirror:       s.replMirror,
+		MirrorNeeded: s.replicatedPG,
 	}
 	if cfg.FaultPlan != nil {
 		// Every engine cost charge becomes a crash boundary; the wall
@@ -379,6 +410,15 @@ func (s *Server) Close() error {
 			conn.Close()
 		}
 		s.connMu.Unlock()
+		s.replMu.Lock()
+		for _, p := range s.replPeers {
+			// Close without taking p.mu: an in-flight append must error
+			// out rather than park Close behind a peer round trip.
+			if c := p.c.Swap(nil); c != nil {
+				c.Close()
+			}
+		}
+		s.replMu.Unlock()
 	})
 	s.wg.Wait()
 	return nil
@@ -659,6 +699,10 @@ func rpcName(t uint8) string {
 		return "get_batch"
 	case wire.TDel:
 		return "del"
+	case wire.TReplAppend:
+		return "repl_append"
+	case wire.TPromote:
+		return "promote"
 	}
 	return "op"
 }
@@ -711,6 +755,12 @@ func (s *Server) dispatch(h any, m wire.Msg) wire.Msg {
 		return s.handleMigrate(m)
 	case wire.TMigIngest:
 		return s.handleMigIngest(m)
+	case wire.TReplAppend:
+		return s.handleReplAppend(m)
+	case wire.TReplPull:
+		return s.handleReplPull(m)
+	case wire.TPromote:
+		return s.handlePromote(m)
 	case wire.TTraceDump:
 		blob, err := json.Marshal(s.tracer.Dump(m.Off))
 		if err != nil {
@@ -886,6 +936,13 @@ func (s *Server) handleDel(h any, m wire.Msg) wire.Msg {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StNotFound}
 	}
 	s.noteDirty(m.Key)
+	if !s.mirrorDelete(h, eng, m.Key) {
+		// The tombstone is not quorum-durable, so the DELETE cannot be
+		// acknowledged: answering StError leaves the op pending — a crash
+		// of this primary now must not resurrect an acked delete, and an
+		// unacked one makes no promise.
+		return wire.Msg{Type: wire.TDelResp, Status: wire.StError}
+	}
 	return wire.Msg{Type: wire.TDelResp, Status: wire.StOK}
 }
 

@@ -188,7 +188,7 @@ func TestSpansForKey(t *testing.T) {
 	tr := NewTracer(1, 0)
 	for i, kh := range []uint64{0xaa, 0xbb, 0xaa} {
 		c := NewCtx(tr.Mint())
-		c.Root("op", uint64(10 * i), uint64(10*i)+5)
+		c.Root("op", uint64(10*i), uint64(10*i)+5)
 		c.SetRoot(0, "", kh)
 		c.Add("child", uint64(10*i)+1, uint64(10*i)+2)
 		tr.Submit(c, 5)

@@ -130,6 +130,32 @@ const (
 	TTraceDump
 	// TTraceDumpResp answers TTraceDump.
 	TTraceDumpResp
+	// TReplAppend streams replicated commit records (store.ExportKey
+	// list, JSON in Value — the TMigIngest payload) from a PG's primary
+	// to one of its backups, which imports them. Token carries the
+	// primary's cluster-map epoch; a backup that has adopted a newer map
+	// answers StWrongEpoch with its own epoch, which deposes the sender —
+	// it must stop flagging writes durable until it refetches.
+	TReplAppend
+	// TReplAck answers TReplAppend. Only an StOK ack counts toward the
+	// quorum that lets the primary persist a durability flag.
+	TReplAck
+	// TPromote asks the addressed backup to take over the PGs whose
+	// primary (named in Key) died: reconcile its mirrored tail, pull
+	// missed records from the surviving backups, install an epoch+1 map
+	// owning those PGs, and push it to peers. The response Token carries
+	// the resulting epoch.
+	TPromote
+	// TPromoteResp answers TPromote.
+	TPromoteResp
+	// TReplPull asks a replica for every record it holds in placement
+	// group Off (JSON []store.ExportKey in the response Value). A newly
+	// promoted primary pulls from the other surviving backups so a write
+	// acked by a quorum that did not include it is recovered before the
+	// promotion commits.
+	TReplPull
+	// TReplPullResp answers TReplPull.
+	TReplPullResp
 )
 
 // Status codes.
