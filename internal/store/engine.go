@@ -532,7 +532,17 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 				// later pass retry the mirror.
 			}
 			if e.sink.Now()-hd.CreatedAt > uint64(e.cfg.VerifyTimeout) {
-				pool.SetFlags(off, hd.Flags&^kv.FlagValid)
+				// Re-read the flags before invalidating: a concurrent
+				// BG/verify pass may have reached quorum and set
+				// FlagDurable (or the cleaner FlagTrans) during the
+				// mirror's unlock window above, and writing the stale
+				// pre-window flags back would destroy an acknowledged
+				// write.
+				cur := pool.Header(off).Flags
+				if cur&kv.FlagDurable != 0 {
+					continue // serve it via the durable fast path
+				}
+				pool.SetFlags(off, cur&^kv.FlagValid)
 				e.stats.GetInvalidated++
 				e.trace("get", "invalidated", keyHash, hd.Seq)
 			}

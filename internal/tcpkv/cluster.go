@@ -130,9 +130,24 @@ func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
 			defer s.wg.Done()
 			s.opGate.Lock()
 			s.opGate.Unlock() //nolint:staticcheck // barrier: old-map ops applied
+			// Re-check each purge decision against the map that is current
+			// NOW, not the one that triggered it: while this goroutine
+			// waited on the barrier the instance may have been re-attached
+			// as a replica of a lost PG (snapshot already ingested), and a
+			// stale purge would leave a backup the map counts toward
+			// quorum holding none of the PG's records.
+			s.clMu.RLock()
+			cur, name := s.clMap, s.clName
+			s.clMu.RUnlock()
 			set := make(map[int]bool, len(lost))
 			for _, pg := range lost {
+				if replicaOf(cur, name, pg) {
+					continue
+				}
 				set[pg] = true
+			}
+			if len(set) == 0 {
+				return
 			}
 			accept := func(hash uint64) bool { return set[cluster.PGOf(hash, m.PGs)] }
 			for i := 0; i < s.st.NumShards(); i++ {
@@ -141,6 +156,23 @@ func (s *Server) SetClusterMap(m *cluster.Map) uint64 {
 		}()
 	}
 	return ep
+}
+
+// replicaOf reports whether m lists name as a replica — primary or
+// backup — of placement group pg.
+func replicaOf(m *cluster.Map, name string, pg int) bool {
+	if m == nil || pg < 0 || pg >= len(m.Assign) {
+		return false
+	}
+	if m.Assign[pg] == name {
+		return true
+	}
+	for _, b := range m.BackupsFor(pg) {
+		if b == name {
+			return true
+		}
+	}
+	return false
 }
 
 // blockPG marks pg as refusing routed ops (the migration cutover

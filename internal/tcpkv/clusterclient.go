@@ -104,18 +104,23 @@ func (c *Client) ReplAppend(batch []store.ExportKey, epoch uint64) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.rpc(wire.Msg{Type: wire.TReplAppend, Token: uint32(epoch), Value: blob})
-	if err != nil {
-		return err
-	}
-	switch resp.Status {
-	case wire.StOK:
-		return nil
-	case wire.StWrongEpoch:
-		return &cluster.WrongEpochError{Epoch: uint64(resp.Token)}
-	default:
-		return fmt.Errorf("tcpkv: repl append status %d", resp.Status)
-	}
+	// Under the retry loop: imports are idempotent, so a replayed append
+	// is safe, and a transient transport blip gets the policy's quick
+	// retry instead of immediately demoting a healthy backup.
+	return c.retrying(func() error {
+		resp, err := c.rpc(wire.Msg{Type: wire.TReplAppend, Token: uint32(epoch), Value: blob})
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case wire.StOK:
+			return nil
+		case wire.StWrongEpoch:
+			return &cluster.WrongEpochError{Epoch: uint64(resp.Token)}
+		default:
+			return fmt.Errorf("tcpkv: repl append status %d", resp.Status)
+		}
+	})
 }
 
 // ReplPull fetches every record the serving replica holds in placement

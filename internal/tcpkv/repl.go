@@ -138,8 +138,9 @@ func (s *Server) replicatedPG(key []byte) bool {
 // reports whether the caller may persist a durability flag (or ack a
 // DELETE): true when the record is quorum-durable — counting this
 // instance, and counting demotions, which shrink the set rather than
-// fail the quorum — false when a backup proved this instance is no
-// longer the PG's primary under the newest epoch.
+// fail the quorum (a failure that cannot demote leaves the backup in
+// the set, counted against the quorum) — false when a backup proved
+// this instance is no longer the PG's primary under the newest epoch.
 func (s *Server) replicate(h any, rec store.ExportKey) bool {
 	s.clMu.RLock()
 	m, name := s.clMap, s.clName
@@ -176,7 +177,13 @@ func (s *Server) replicate(h any, rec store.ExportKey) bool {
 			}
 			return false
 		case replFailed:
-			s.demoteBackup(pg, b)
+			if !s.demoteBackup(pg, b) {
+				// The set could not be shrunk (this instance was deposed
+				// mid-replicate, or clustering vanished): the backup stays
+				// a live replica the record did not reach, so it counts
+				// against the quorum instead of out of it.
+				live++
+			}
 		}
 	}
 	if tc != nil {
@@ -280,12 +287,21 @@ func replRetryPolicy() RetryPolicy {
 // learns the epoch from wrong-epoch redirects). Serialized so two
 // verifier goroutines demoting concurrently cannot revive each other's
 // removal with a stale base map.
-func (s *Server) demoteBackup(pg int, name string) {
+//
+// It reports whether the backup is out of pg's replica set under a map
+// this instance still owns (removed here, or already removed by another
+// sender). False means the set could not be shrunk — this instance was
+// deposed mid-replicate, and a non-owner must not strip a healthy backup
+// from the real owner's set — so the failed backup still counts against
+// the caller's quorum.
+func (s *Server) demoteBackup(pg int, name string) bool {
 	s.replDemoteMu.Lock()
 	defer s.replDemoteMu.Unlock()
-	m := s.ClusterMap()
-	if m == nil {
-		return
+	s.clMu.RLock()
+	m, self := s.clMap, s.clName
+	s.clMu.RUnlock()
+	if m == nil || pg >= len(m.Assign) || m.Assign[pg] != self {
+		return false
 	}
 	present := false
 	for _, b := range m.BackupsFor(pg) {
@@ -295,12 +311,13 @@ func (s *Server) demoteBackup(pg int, name string) {
 		}
 	}
 	if !present {
-		return // another sender already demoted it
+		return true // another sender already demoted it
 	}
 	nm := m.WithoutBackup(pg, name)
 	s.SetClusterMap(nm)
 	s.replDemotions.Add(1)
 	s.pushMapToPeers(nm, name)
+	return true
 }
 
 // handleReplAppend ingests mirrored records as a backup. The sender's
