@@ -12,7 +12,7 @@
 //	efactory-cli [-addr host:7420] map [-json]
 //	efactory-cli [-addr host:7420] migrate <pg> <target-instance>
 //	efactory-cli [-addr host:7420] promote <dead-instance>
-//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-pipeline 0] [-trace-sample 0] [-slow-ms 0]
+//	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-adaptive] [-pipeline 0] [-trace-sample 0] [-slow-ms 0]
 //
 // map prints the addressed server's current epoch-versioned cluster map
 // (placement-group ownership and backup assignments per instance).
@@ -157,11 +157,12 @@ func main() {
 		batch := fs.Int("batch", 1, "keys per multi-op PUT batch (1 = plain Put)")
 		getBatch := fs.Int("getbatch", 1, "keys per multi-GET batch (1 = plain Get)")
 		hintCache := fs.Bool("hint-cache", false, "read through the client-side location/durability hint cache")
+		adaptive := fs.Bool("adaptive", false, "enable adaptive hybrid reads: preemptively take the RPC path for freshly-written keys the verifier cannot have flagged durable yet")
 		pipeline := fs.Int("pipeline", 0, "RPC pipeline depth (0 = client default)")
 		traceSample := fs.Int("trace-sample", 0, "trace 1 in N ops end to end (0 = tracing off)")
 		slowMS := fs.Int("slow-ms", 0, "client-side tail retention: keep only traces at least this slow (0 = keep every sampled trace)")
 		fs.Parse(args[1:])
-		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *pipeline, *traceSample, *slowMS)
+		runBench(cl, *n, *vlen, *batch, *getBatch, *hintCache, *adaptive, *pipeline, *traceSample, *slowMS)
 	default:
 		usage()
 	}
@@ -410,7 +411,7 @@ func fmtNS(ns float64) string {
 	return time.Duration(ns).Round(10 * time.Nanosecond).String()
 }
 
-func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pipeline, traceSample, slowMS int) {
+func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache, adaptive bool, pipeline, traceSample, slowMS int) {
 	if pipeline > 0 {
 		if err := cl.SetPipelineDepth(pipeline); err != nil {
 			fatal("bench: set pipeline depth: %v", err)
@@ -427,6 +428,9 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pi
 	}
 	if hintCache {
 		cl.EnableHintCache(0)
+	}
+	if adaptive {
+		cl.EnableAdaptive()
 	}
 	val := make([]byte, vlen)
 	for i := range val {
@@ -509,6 +513,9 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache bool, pi
 		n, getDur, float64(n)/getDur.Seconds(),
 		getLat.Median(), getLat.P99(), getLat.P999(),
 		cl.PureReads, cl.HintedReads, cl.FallbackReads)
+	if adaptive {
+		fmt.Printf("adaptive: %d reads preemptively routed to RPC\n", cl.AdaptivePreempts)
+	}
 	if tr := cl.Tracer(); tr != nil {
 		fmt.Printf("traces: %d retained client-side (efactory-cli slow for the server's view)\n", tr.Retained())
 	}

@@ -1,0 +1,143 @@
+// Package adapt provides deterministic load-adaptive control for the
+// write hot path and the hybrid read scheme.
+//
+// Three knobs tracked the offered load by hand in earlier figures: the
+// client's PutBatch coalescing width, its pipeline depth, and the
+// server's background-verifier batch size. This package closes the loop:
+// an AIMD controller maps sampled queue pressure to width and depth, a
+// pure function maps the durability-lag gauge to the BG batch size, and
+// a per-object predictor decides when the optimistic half of a hybrid
+// read is a waste (the object cannot be durable yet) and preemptively
+// takes the RPC path.
+//
+// Everything here is driven by caller-supplied samples and op counts —
+// no wall-clock, no randomness — so simulated figures remain
+// bit-reproducible and the controller can be unit-tested exactly.
+package adapt
+
+import "efactory/internal/obs"
+
+// Config bounds the controller. The zero value selects the defaults
+// noted on each field.
+type Config struct {
+	MinWidth int // smallest PutBatch width (default 1)
+	MaxWidth int // largest PutBatch width (default 64)
+	MinDepth int // smallest pipeline depth (default 1)
+	MaxDepth int // largest pipeline depth (default 32)
+	// DecayStreak is how many consecutive low-pressure samples it takes
+	// to halve the width (default 4): growth is immediate so bursts are
+	// absorbed within a round or two, decay is damped so a brief lull
+	// inside a burst does not collapse the batch.
+	DecayStreak int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinWidth <= 0 {
+		c.MinWidth = 1
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 64
+	}
+	if c.MaxWidth < c.MinWidth {
+		c.MaxWidth = c.MinWidth
+	}
+	if c.MinDepth <= 0 {
+		c.MinDepth = 1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 32
+	}
+	if c.MaxDepth < c.MinDepth {
+		c.MaxDepth = c.MinDepth
+	}
+	if c.DecayStreak <= 0 {
+		c.DecayStreak = 4
+	}
+	return c
+}
+
+// Controller adapts the client's batching knobs to observed queue
+// pressure. It is not safe for concurrent use; each client owns one.
+type Controller struct {
+	cfg       Config
+	width     int
+	depth     int
+	lowStreak int
+	samples   int
+}
+
+// New returns a controller starting at the minimum width and depth: an
+// idle client pays zero batching latency until load proves otherwise.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, width: cfg.MinWidth, depth: cfg.MinDepth}
+}
+
+// ObserveLoad feeds one scheduling round's signals: pending is how many
+// operations are queued waiting to be issued, inflight how many are
+// outstanding on the wire. Growth is multiplicative (a burst doubles the
+// width each round until the backlog fits), decay is damped (DecayStreak
+// consecutive low-pressure rounds halve it).
+func (c *Controller) ObserveLoad(pending, inflight int) {
+	c.samples++
+	pressure := pending + inflight
+	switch {
+	case pressure >= 2*c.width:
+		c.width = min(c.width*2, c.cfg.MaxWidth)
+		c.lowStreak = 0
+	case pressure <= c.width/2:
+		c.lowStreak++
+		if c.lowStreak >= c.cfg.DecayStreak {
+			c.width = max(c.width/2, c.cfg.MinWidth)
+			c.lowStreak = 0
+		}
+	default:
+		c.lowStreak = 0
+	}
+	// Depth follows the number of batches the backlog would split into:
+	// enough parallelism to keep the pipe full, no more.
+	want := 1
+	if c.width > 0 {
+		want = (pressure + c.width - 1) / c.width
+	}
+	c.depth = min(max(want, c.cfg.MinDepth), c.cfg.MaxDepth)
+}
+
+// Register exposes the controller's current knobs as gauges on r, so a
+// run's metrics snapshot records where the control loop settled. Gauges
+// read the controller without synchronization — sample them quiesced or
+// from the proc driving the controller.
+func (c *Controller) Register(r *obs.Registry, labels map[string]string) {
+	r.AddGauge("efactory_adaptive_batch_width", "Client PutBatch coalescing width chosen by the load-adaptive controller.", labels,
+		func() float64 { return float64(c.width) })
+	r.AddGauge("efactory_adaptive_pipe_depth", "Client pipeline depth chosen by the load-adaptive controller.", labels,
+		func() float64 { return float64(c.depth) })
+}
+
+// BatchWidth returns the current PutBatch coalescing width.
+func (c *Controller) BatchWidth() int { return c.width }
+
+// PipeDepth returns the current pipeline depth.
+func (c *Controller) PipeDepth() int { return c.depth }
+
+// Samples returns how many load observations the controller has seen.
+func (c *Controller) Samples() int { return c.samples }
+
+// BGSize maps a durability-lag backlog (bytes not yet verified) to a
+// background batch size in [1, max]: an idle shard verifies one object
+// at a time, minimizing each fresh write's time to durability, while a
+// backlogged shard coalesces up to max objects per lock acquisition.
+// step is the backlog that buys one more object of batch.
+func BGSize(backlogBytes, step, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	if step <= 0 {
+		step = 1
+	}
+	b := 1 + backlogBytes/step
+	if b > max {
+		b = max
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package adapt
+
+import "testing"
+
+// TestControllerBurstGrowth: a standing backlog must drive the width to
+// its cap within a handful of rounds (multiplicative growth), and the
+// depth must track the number of batches the backlog splits into.
+func TestControllerBurstGrowth(t *testing.T) {
+	c := New(Config{})
+	if c.BatchWidth() != 1 || c.PipeDepth() != 1 {
+		t.Fatalf("idle start: width=%d depth=%d, want 1/1", c.BatchWidth(), c.PipeDepth())
+	}
+	rounds := 0
+	for c.BatchWidth() < 64 {
+		c.ObserveLoad(512, 0)
+		rounds++
+		if rounds > 20 {
+			t.Fatalf("width stuck at %d after %d rounds", c.BatchWidth(), rounds)
+		}
+	}
+	if rounds > 7 {
+		t.Fatalf("growth took %d rounds, want multiplicative (<=7)", rounds)
+	}
+	c.ObserveLoad(512, 0)
+	if d := c.PipeDepth(); d != 8 {
+		t.Fatalf("depth=%d with 512 pending at width 64, want 8", d)
+	}
+}
+
+// TestControllerDecayDamped: a single idle round must NOT shrink the
+// width (a lull inside a burst), but a sustained idle run must walk it
+// back down to the minimum.
+func TestControllerDecayDamped(t *testing.T) {
+	c := New(Config{DecayStreak: 4})
+	for i := 0; i < 8; i++ {
+		c.ObserveLoad(512, 0)
+	}
+	if c.BatchWidth() != 64 {
+		t.Fatalf("setup: width=%d, want 64", c.BatchWidth())
+	}
+	// Lull shorter than the streak, then pressure again: no decay.
+	for i := 0; i < 3; i++ {
+		c.ObserveLoad(0, 0)
+	}
+	if c.BatchWidth() != 64 {
+		t.Fatalf("width decayed to %d after a 3-round lull, want 64", c.BatchWidth())
+	}
+	c.ObserveLoad(512, 64)
+	if c.BatchWidth() != 64 {
+		t.Fatalf("width=%d after pressure resumed, want 64", c.BatchWidth())
+	}
+	// Sustained idle: decays all the way back.
+	for i := 0; i < 64; i++ {
+		c.ObserveLoad(0, 0)
+	}
+	if c.BatchWidth() != 1 {
+		t.Fatalf("width=%d after sustained idle, want 1", c.BatchWidth())
+	}
+	if c.PipeDepth() != 1 {
+		t.Fatalf("depth=%d after sustained idle, want 1", c.PipeDepth())
+	}
+}
+
+// TestControllerSteadyStateHolds: pressure matching the current width
+// neither grows nor decays.
+func TestControllerSteadyStateHolds(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 6; i++ {
+		c.ObserveLoad(256, 0)
+	}
+	w := c.BatchWidth()
+	for i := 0; i < 100; i++ {
+		c.ObserveLoad(w, 0)
+	}
+	if c.BatchWidth() != w {
+		t.Fatalf("width drifted from %d to %d under steady load", w, c.BatchWidth())
+	}
+}
+
+func TestControllerClamps(t *testing.T) {
+	c := New(Config{MinWidth: 2, MaxWidth: 8, MinDepth: 2, MaxDepth: 4})
+	for i := 0; i < 32; i++ {
+		c.ObserveLoad(1<<20, 1<<10)
+	}
+	if c.BatchWidth() != 8 || c.PipeDepth() != 4 {
+		t.Fatalf("width/depth=%d/%d, want clamped 8/4", c.BatchWidth(), c.PipeDepth())
+	}
+	for i := 0; i < 256; i++ {
+		c.ObserveLoad(0, 0)
+	}
+	if c.BatchWidth() != 2 || c.PipeDepth() != 2 {
+		t.Fatalf("width/depth=%d/%d, want floors 2/2", c.BatchWidth(), c.PipeDepth())
+	}
+}
+
+func TestBGSize(t *testing.T) {
+	cases := []struct {
+		backlog, step, max, want int
+	}{
+		{0, 2048, 16, 1},
+		{2048, 2048, 16, 2},
+		{1 << 20, 2048, 16, 16}, // clamped
+		{5000, 2048, 16, 3},
+		{1 << 20, 2048, 1, 1}, // max<=1 disables
+		{1 << 20, 0, 16, 16},  // degenerate step
+	}
+	for _, tc := range cases {
+		if got := BGSize(tc.backlog, tc.step, tc.max); got != tc.want {
+			t.Errorf("BGSize(%d,%d,%d)=%d, want %d", tc.backlog, tc.step, tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestPredictorPreemptsFreshPut: a read issued right after a PUT of the
+// same key must preempt; an unrelated key must not; the same key read
+// again beyond the horizon must not.
+func TestPredictorPreemptsFreshPut(t *testing.T) {
+	p := NewReadPredictor()
+	p.NotePut(42)
+	if !p.Preempt(42) {
+		t.Fatal("fresh PUT not preempted")
+	}
+	if p.Preempt(7) {
+		t.Fatal("unwritten key preempted")
+	}
+	// Advance the clock past the horizon.
+	for i := 0; i < p.Horizon()+1; i++ {
+		p.Preempt(7)
+	}
+	if p.Preempt(42) {
+		t.Fatal("stale PUT still preempted past horizon")
+	}
+}
+
+// TestPredictorHorizonAdapts: fallbacks double the horizon; a long run
+// of pure reads narrows it back.
+func TestPredictorHorizonAdapts(t *testing.T) {
+	p := NewReadPredictor()
+	h0 := p.Horizon()
+	p.ObserveFallback()
+	if p.Horizon() != 2*h0 {
+		t.Fatalf("horizon=%d after fallback, want %d", p.Horizon(), 2*h0)
+	}
+	for i := 0; i < 20; i++ {
+		p.ObserveFallback()
+	}
+	if p.Horizon() != 1<<16 {
+		t.Fatalf("horizon=%d, want capped at %d", p.Horizon(), 1<<16)
+	}
+	before := p.Horizon()
+	for i := 0; i < 64; i++ {
+		p.ObservePure()
+	}
+	if p.Horizon() != before-1 {
+		t.Fatalf("horizon=%d after a pure-read run, want %d", p.Horizon(), before-1)
+	}
+}

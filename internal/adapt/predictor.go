@@ -1,0 +1,95 @@
+package adapt
+
+// predictorSlots sizes the direct-mapped recent-PUT table. A collision
+// only skews a heuristic (a read preempts, or probes, when it need not
+// have), never correctness, so a small fixed table keeps the predictor
+// allocation-free.
+const predictorSlots = 1024
+
+// ReadPredictor decides per object whether the optimistic one-sided
+// half of a hybrid read is worth issuing. A value written moments ago
+// cannot have its durability flag set yet — the background verifier has
+// not reached it — so the optimistic fetch is guaranteed to bounce to
+// the RPC path, paying one wasted round trip. The predictor remembers
+// recent PUTs in a direct-mapped table and routes reads that land
+// within the durability horizon straight to RPC.
+//
+// The horizon is measured in client operations (deterministic, no
+// clocks) and adapts to the observed verify latency: a fallback on a
+// read the predictor let through means the horizon is too short (the
+// verifier is slower than assumed), so it doubles; a run of pure-read
+// successes means it may be too long, so it decays by one per
+// shrinkStreak successes. It is not safe for concurrent use.
+type ReadPredictor struct {
+	horizon  uint64 // ops after a PUT during which reads preempt
+	min, max uint64
+	clock    uint64 // advances once per observed op
+	good     int    // pure-read successes since last shrink
+	shrink   int    // successes needed to shrink horizon by one
+
+	puts [predictorSlots]struct {
+		hash uint64 // key hash (0 = empty)
+		at   uint64 // clock value at the PUT
+	}
+
+	// Stats.
+	Preempts  int // reads routed straight to RPC
+	Fallbacks int // optimistic reads that bounced anyway
+}
+
+// NewReadPredictor returns a predictor with a small initial horizon.
+func NewReadPredictor() *ReadPredictor {
+	return &ReadPredictor{horizon: 16, min: 4, max: 1 << 16, shrink: 64}
+}
+
+// NotePut records that keyHash was just written.
+func (p *ReadPredictor) NotePut(keyHash uint64) {
+	p.clock++
+	s := &p.puts[keyHash%predictorSlots]
+	s.hash = keyHash
+	s.at = p.clock
+}
+
+// Preempt reports whether a read of keyHash should skip the optimistic
+// fetch and go straight to RPC.
+func (p *ReadPredictor) Preempt(keyHash uint64) bool {
+	p.clock++
+	s := &p.puts[keyHash%predictorSlots]
+	if s.hash != keyHash || s.at == 0 {
+		return false
+	}
+	if p.clock-s.at <= p.horizon {
+		p.Preempts++
+		return true
+	}
+	return false
+}
+
+// ObserveFallback records that an optimistic read the predictor let
+// through bounced to RPC: the durability horizon was too short.
+func (p *ReadPredictor) ObserveFallback() {
+	p.Fallbacks++
+	p.good = 0
+	if h := p.horizon * 2; h <= p.max {
+		p.horizon = h
+	} else {
+		p.horizon = p.max
+	}
+}
+
+// ObservePure records a successful pure one-sided read; a long run of
+// them slowly narrows the horizon so preemption does not outlive a
+// faster verifier.
+func (p *ReadPredictor) ObservePure() {
+	p.good++
+	if p.good >= p.shrink {
+		p.good = 0
+		if p.horizon > p.min {
+			p.horizon--
+		}
+	}
+}
+
+// Horizon exposes the current durability horizon (in ops) for tests and
+// gauges.
+func (p *ReadPredictor) Horizon() int { return int(p.horizon) }

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"efactory/internal/model"
+)
+
+// TestHotpathAdaptiveMatchesBestStatic is the figure's acceptance claim,
+// checked deterministically at quick scale: across every arrival leg the
+// load-adaptive dispatcher's throughput stays within a small tolerance of
+// the best static batch width for that leg, and on the bursty leg —
+// where no single static width fits both the burst and the idle window —
+// it strictly beats the unbatched static default.
+func TestHotpathAdaptiveMatchesBestStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulated sweep")
+	}
+	par := model.Default()
+	results := FigHotpath(io.Discard, &par, QuickScale())
+
+	byLeg := map[string]map[int]Result{} // leg -> static width -> result
+	adaptive := map[string]Result{}
+	for _, r := range results {
+		if r.Adaptive {
+			adaptive[r.Leg] = r
+			continue
+		}
+		if byLeg[r.Leg] == nil {
+			byLeg[r.Leg] = map[int]Result{}
+		}
+		byLeg[r.Leg][r.Batch] = r
+	}
+
+	for leg, statics := range byLeg {
+		ad, ok := adaptive[leg]
+		if !ok {
+			t.Fatalf("leg %s: no adaptive run in figure output", leg)
+		}
+		best := 0.0
+		bestW := 0
+		for w, r := range statics {
+			if r.Mops > best {
+				best, bestW = r.Mops, w
+			}
+		}
+		if ad.Mops < 0.95*best {
+			t.Errorf("leg %s: adaptive %.3f Mops < 95%% of best static (width %d, %.3f Mops)",
+				leg, ad.Mops, bestW, best)
+		}
+	}
+
+	// The bursty leg is the one the controller exists for: static width 1
+	// drowns in per-op rounds during each burst, while wide static widths
+	// pay linger during the idle tail. Adaptive must clearly beat the
+	// unbatched default there, not just match it.
+	bursty := adaptive["uniform/bursty"]
+	w1 := byLeg["uniform/bursty"][1]
+	if bursty.Mops < 1.2*w1.Mops {
+		t.Errorf("bursty leg: adaptive %.3f Mops not >= 1.2x static width 1 (%.3f Mops)",
+			bursty.Mops, w1.Mops)
+	}
+	if bursty.Batch <= 1 {
+		t.Errorf("bursty leg: adaptive controller never grew past width %d", bursty.Batch)
+	}
+}
+
+// TestHotpathDeterministic pins the sim-reproducibility contract the
+// figure relies on: the same seed and scale give bit-identical results.
+func TestHotpathDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two simulated runs")
+	}
+	par := model.Default()
+	leg := hotpathLegs()[0]
+	sc := QuickScale()
+	a := RunHotpath(&par, leg, 0, 64, 400, sc, 7)
+	b := RunHotpath(&par, leg, 0, 64, 400, sc, 7)
+	if a.Mops != b.Mops || a.Elapsed != b.Elapsed || a.P99 != b.P99 {
+		t.Fatalf("adaptive hotpath run not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -63,6 +63,12 @@ type Result struct {
 	// Phase labels one window of the rebalance experiment: "before",
 	// "during", or "after" the online migration. Set by FigRebalance only.
 	Phase string `json:",omitempty"`
+	// Leg names the arrival pattern of a hot-path run ("uniform/sat",
+	// "uniform/bursty", ...); Adaptive marks the runs where the
+	// load-adaptive controller picked the batch width (Batch then records
+	// the peak width it reached). Set by FigHotpath only.
+	Leg      string `json:",omitempty"`
+	Adaptive bool   `json:",omitempty"`
 	// TraceSample is the 1-in-N tracing cadence the run used (0 = tracing
 	// off). Set by the tracing-overhead leg only.
 	TraceSample int `json:",omitempty"`

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"efactory/internal/adapt"
 	"efactory/internal/cluster"
 	"efactory/internal/crc"
 	"efactory/internal/hint"
@@ -28,15 +29,16 @@ const maxEntryProbes = 4
 
 // ClientStats counts client-side path choices.
 type ClientStats struct {
-	Puts          int
-	Gets          int
-	BatchedPuts   int // PUTs carried by doorbell-batched PutBatch chains
-	BatchedGets   int // GETs carried by doorbell-batched GetBatch chains
-	PureReads     int // GETs satisfied entirely one-sidedly
-	HintedReads   int // pure reads whose probe walk was skipped by a hint hit
-	FallbackReads int // GETs that fell back to RPC after an undurable fetch
-	RPCReads      int // GETs that went straight to RPC (cleaning / no hybrid)
-	Notifications int // clean-start/end notifications processed
+	Puts             int
+	Gets             int
+	BatchedPuts      int // PUTs carried by doorbell-batched PutBatch chains
+	BatchedGets      int // GETs carried by doorbell-batched GetBatch chains
+	PureReads        int // GETs satisfied entirely one-sidedly
+	HintedReads      int // pure reads whose probe walk was skipped by a hint hit
+	FallbackReads    int // GETs that fell back to RPC after an undurable fetch
+	RPCReads         int // GETs that went straight to RPC (cleaning / no hybrid)
+	AdaptivePreempts int // GETs the read predictor routed straight to RPC
+	Notifications    int // clean-start/end notifications processed
 }
 
 // shardGeom is one shard's one-sided addressing info: the rkeys of its
@@ -62,13 +64,59 @@ type Client struct {
 	hints    *hint.Cache   // nil unless EnableHintCache was called
 	tracer   *trace.Tracer // nil unless EnableTracing was called
 
+	// pred, when non-nil (EnableAdaptive), preemptively routes reads of
+	// recently-written objects straight to RPC instead of wasting the
+	// optimistic one-sided fetch on a value whose durability flag cannot
+	// be set yet. Off by default, keeping figures bit-identical.
+	pred *adapt.ReadPredictor
+
+	// Scratch buffers reused across operations, keeping the simulated
+	// hot paths allocation-free on the host heap (rnic.Send copies the
+	// payload, so reuse is safe the moment Send returns). A Client is
+	// driven by a single sim proc — the harnesses attach one Client per
+	// worker — so nothing else observes the scratch mid-operation.
+	enc      []byte          // rpc request encoding
+	ops      []wire.PutOp    // PutBatch op headers
+	opsBuf   []byte          // encoded TPutBatch payload
+	grants   []wire.PutGrant // decoded TPutBatchResp payload
+	reqs     []rnic.WriteReq // doorbell-batched WRITE chain
+	entryBuf []byte          // one hash-table entry (pure read probe)
+	objBuf   []byte          // one object (pure read / RPC read fetch)
+
 	Stats ClientStats
+}
+
+// predObserve feeds a hybrid-read outcome (pure success or fallback)
+// back to the predictor's horizon estimator.
+func (c *Client) predObserve(pure bool) {
+	if c.pred == nil {
+		return
+	}
+	if pure {
+		c.pred.ObservePure()
+	} else {
+		c.pred.ObserveFallback()
+	}
+}
+
+// scratchObj returns the client's object buffer resized to n bytes.
+func (c *Client) scratchObj(n int) []byte {
+	if cap(c.objBuf) < n {
+		c.objBuf = make([]byte, n)
+	}
+	return c.objBuf[:n]
 }
 
 // SetHybridRead toggles the hybrid read scheme. Disabling it yields the
 // "eFactory w/o hr" configuration from the paper's factor analysis (§6.1):
 // every GET uses the RPC+RDMA path.
 func (c *Client) SetHybridRead(on bool) { c.hybrid = on }
+
+// EnableAdaptive turns on per-object adaptive hybrid reads: a read of an
+// object this client wrote within the predictor's durability horizon
+// skips the optimistic one-sided fetch (the durability flag cannot be
+// set yet) and goes straight to RPC.
+func (c *Client) EnableAdaptive() { c.pred = adapt.NewReadPredictor() }
 
 // drainNotifications consumes any queued clean-start/end notifications
 // without blocking, so a client that only issues one-sided reads still
@@ -104,7 +152,8 @@ func (c *Client) handleAsync(raw rnic.Message) bool {
 // rpc sends a request and blocks until the matching response, handling any
 // notifications that arrive in between.
 func (c *Client) rpc(p *sim.Proc, req wire.Msg) (wire.Msg, error) {
-	if err := c.ep.Send(p, req.Encode()); err != nil {
+	c.enc = req.AppendEncode(c.enc[:0])
+	if err := c.ep.Send(p, c.enc); err != nil {
 		return wire.Msg{}, err
 	}
 	for {
@@ -156,6 +205,9 @@ func (c *Client) putTraced(p *sim.Proc, tc *trace.Ctx, key, value []byte) error 
 		return fmt.Errorf("efactory: put failed with status %d", resp.Status)
 	}
 	c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
+	if c.pred != nil {
+		c.pred.NotePut(kv.HashKey(key))
+	}
 	valOff := int(resp.Off) + kv.ValueOffset(len(key))
 	tW := c.nowNS()
 	err = c.ep.Write(p, value, resp.RKey, valOff)
@@ -194,12 +246,13 @@ func (c *Client) PutBatch(p *sim.Proc, keys, values [][]byte) []error {
 }
 
 func (c *Client) putBatchTraced(p *sim.Proc, tc *trace.Ctx, keys, values [][]byte, errs []error) []error {
-	ops := make([]wire.PutOp, len(keys))
+	ops := c.ops[:0]
 	tCRC := c.nowNS()
 	for i := range keys {
 		p.Sleep(c.par.CRCTime(len(values[i])))
-		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
+		ops = append(ops, wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]})
 	}
+	c.ops = ops
 	tc.Add("client_crc", tCRC, c.nowNS())
 	fail := func(err error) []error {
 		for i := range errs {
@@ -209,8 +262,9 @@ func (c *Client) putBatchTraced(p *sim.Proc, tc *trace.Ctx, keys, values [][]byt
 		}
 		return errs
 	}
+	c.opsBuf = wire.AppendPutOps(c.opsBuf[:0], ops)
 	tRPC := c.nowNS()
-	resp, err := c.rpc(p, wire.Msg{Type: wire.TPutBatch, Value: wire.EncodePutOps(ops), Trace: tc.ID()})
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TPutBatch, Value: c.opsBuf, Trace: tc.ID()})
 	tc.Add("alloc_rpc", tRPC, c.nowNS())
 	if err != nil {
 		return fail(err)
@@ -218,15 +272,19 @@ func (c *Client) putBatchTraced(p *sim.Proc, tc *trace.Ctx, keys, values [][]byt
 	if resp.Status != wire.StOK {
 		return fail(fmt.Errorf("efactory: put batch failed with status %d", resp.Status))
 	}
-	grants, err := wire.DecodePutGrants(resp.Value)
+	c.grants, err = wire.DecodePutGrantsInto(resp.Value, c.grants)
+	grants := c.grants
 	if err != nil || len(grants) != len(keys) {
 		return fail(fmt.Errorf("efactory: malformed put batch response: %v", err))
 	}
-	reqs := make([]rnic.WriteReq, 0, len(keys))
+	reqs := c.reqs[:0]
 	for i, g := range grants {
 		switch g.Status {
 		case wire.StOK:
 			c.noteLocation(keys[i], g.RKey, g.Off, int(g.Len), len(keys[i]), 0, false)
+			if c.pred != nil {
+				c.pred.NotePut(kv.HashKey(keys[i]))
+			}
 			reqs = append(reqs, rnic.WriteReq{
 				Src:  values[i],
 				RKey: g.RKey,
@@ -238,6 +296,7 @@ func (c *Client) putBatchTraced(p *sim.Proc, tc *trace.Ctx, keys, values [][]byt
 			errs[i] = fmt.Errorf("efactory: put failed with status %d", g.Status)
 		}
 	}
+	c.reqs = reqs
 	tW := c.nowNS()
 	if err := c.ep.WriteBatch(p, reqs); err != nil {
 		return fail(err)
@@ -263,6 +322,12 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, error) {
 
 func (c *Client) getTraced(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, error) {
 	if c.hybrid && !c.cleaning {
+		if c.pred != nil && c.pred.Preempt(kv.HashKey(key)) {
+			// Written within the durability horizon: the optimistic
+			// fetch would bounce, so take the authoritative path now.
+			c.Stats.AdaptivePreempts++
+			return c.rpcRead(p, tc, key)
+		}
 		if c.hints != nil {
 			val, verdict, err := c.hintedRead(p, tc, key)
 			if err != nil {
@@ -271,9 +336,11 @@ func (c *Client) getTraced(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, erro
 			switch verdict {
 			case hrHit:
 				c.Stats.PureReads++
+				c.predObserve(true)
 				return val, nil
 			case hrFallback:
 				c.Stats.FallbackReads++
+				c.predObserve(false)
 				return c.rpcRead(p, tc, key)
 			}
 			// hrMiss: no usable hint — run the probe walk below.
@@ -284,9 +351,11 @@ func (c *Client) getTraced(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, erro
 		}
 		if ok {
 			c.Stats.PureReads++
+			c.predObserve(true)
 			return val, nil
 		}
 		c.Stats.FallbackReads++
+		c.predObserve(false)
 	} else {
 		c.Stats.RPCReads++
 	}
@@ -303,7 +372,10 @@ func (c *Client) pureRead(p *sim.Proc, tc *trace.Ctx, key []byte) (val []byte, o
 	var entry kv.Entry
 	found := false
 	slot := -1
-	buf := make([]byte, kv.EntrySize)
+	if c.entryBuf == nil {
+		c.entryBuf = make([]byte, kv.EntrySize)
+	}
+	buf := c.entryBuf
 	tProbe := c.nowNS()
 	for probe := 0; probe < maxEntryProbes; probe++ {
 		bucket := (idx + probe) % c.buckets
@@ -333,7 +405,7 @@ func (c *Client) pureRead(p *sim.Proc, tc *trace.Ctx, key []byte) (val []byte, o
 	off, totalLen, _ := kv.UnpackLoc(loc)
 	// Entry marks equal the pool index by construction.
 	pool := g.poolRKey[entry.Mark()&1]
-	obj := make([]byte, totalLen)
+	obj := c.scratchObj(int(totalLen))
 	tObj := c.nowNS()
 	if err := c.ep.Read(p, obj, pool, int(off)); err != nil {
 		return nil, false, err
@@ -375,7 +447,7 @@ func (c *Client) rpcRead(p *sim.Proc, tc *trace.Ctx, key []byte) ([]byte, error)
 	if resp.Status != wire.StOK {
 		return nil, fmt.Errorf("efactory: get failed with status %d", resp.Status)
 	}
-	obj := make([]byte, resp.Len)
+	obj := c.scratchObj(int(resp.Len))
 	tObj := c.nowNS()
 	if err := c.ep.Read(p, obj, resp.RKey, int(resp.Off)); err != nil {
 		return nil, err

@@ -129,12 +129,14 @@ func RunSimTorture(tc fault.Config) (fault.Result, error) {
 				}
 				vals, errs := cl.GetBatch(p, keys)
 				if !plan.Tripped() {
+					// Concurrent in-batch reads: observe as one batch so
+					// duplicate fan keys may resolve in either order.
+					found := make([]bool, len(keys))
 					for i := range keys {
-						if errs[i] == nil {
-							if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
-								violations = append(violations, "live: "+v)
-							}
-						}
+						found[i] = errs[i] == nil
+					}
+					for _, v := range oracle.ObserveGetBatch(keys, vals, found) {
+						violations = append(violations, "live: "+v)
 					}
 				}
 			default: // DEL

@@ -137,6 +137,52 @@ func (o *Oracle) ObserveGet(key, value []byte, found bool) string {
 		return ""
 	}
 	h := o.hist(key)
+	return o.observeLocked(key, value, lastDurablePutIdx(windowAfterLastDel(h.events)))
+}
+
+// ObserveGetBatch records and checks the results of one multi-key GET
+// batch. Per-key rules match ObserveGet with one difference: the reads
+// inside a batch are concurrent with each other, so when the same key
+// appears at several indices the observations may legally resolve in
+// either order — one index can be served from the batch's early
+// optimistic one-sided snapshot while another falls back to the RPC path
+// and picks up a version verified mid-batch. Each observation is
+// therefore checked against the key's monotonicity watermark as of the
+// batch's START; all observations then raise the watermark together for
+// whatever follows the batch. found[i] marks indices that returned a
+// value; violations come back prefixed with nothing (callers add their
+// own "live:" tag).
+func (o *Oracle) ObserveGetBatch(keys, values [][]byte, found []bool) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pre := make(map[string]int, len(keys))
+	for _, k := range keys {
+		if _, ok := pre[string(k)]; !ok {
+			h := o.hist(k)
+			pre[string(k)] = lastDurablePutIdx(windowAfterLastDel(h.events))
+		}
+	}
+	var violations []string
+	for i, k := range keys {
+		if !found[i] {
+			continue
+		}
+		if v := o.observeLocked(k, values[i], pre[string(k)]); v != "" {
+			violations = append(violations, v)
+		}
+	}
+	return violations
+}
+
+// observeLocked records value as observed-durable for key and checks it
+// for acceptability and version monotonicity against prevDurPut, the
+// watermark (a window PUT index from lastDurablePutIdx) the observation
+// must not regress below. Callers hold o.mu. Appending evDurable events
+// between the watermark snapshot and this call is safe: durable events
+// never shift PUT indices (appends only) and never move the
+// window-after-last-DELETE boundary.
+func (o *Oracle) observeLocked(key, value []byte, prevDurPut int) string {
+	h := o.hist(key)
 	window := windowAfterLastDel(h.events)
 	acceptable := make(map[string]bool)
 	curPut := -1
@@ -148,7 +194,6 @@ func (o *Oracle) ObserveGet(key, value []byte, found bool) string {
 			}
 		}
 	}
-	prevDurPut := lastDurablePutIdx(window)
 	h.events = append(h.events,
 		event{kind: evDurable, value: append([]byte(nil), value...)})
 	if !acceptable[string(value)] {

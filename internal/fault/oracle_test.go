@@ -151,3 +151,57 @@ func TestOracleLiveRegressionCaught(t *testing.T) {
 		t.Fatalf("recovery to v1 after observed v2 must be flagged, got %v", vs)
 	}
 }
+
+func TestOracleBatchDuplicateKeysEitherOrder(t *testing.T) {
+	// Duplicate keys inside one GET batch are concurrent reads: one index
+	// may be served from an early optimistic snapshot (older version) and
+	// another from an RPC fallback that picked up a version verified
+	// mid-batch (newer). Seeing [newer, older] in index order is legal.
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.PutAcked([]byte("k"), []byte("v2"), true)
+	keys := [][]byte{[]byte("k"), []byte("k")}
+	vals := [][]byte{[]byte("v2"), []byte("v1")}
+	if vs := o.ObserveGetBatch(keys, vals, []bool{true, true}); len(vs) != 0 {
+		t.Fatalf("concurrent in-batch [v2, v1] must be legal, got %v", vs)
+	}
+	// But the batch still raises the watermark to the newest observation:
+	// a LATER read serving v1 again is a genuine regression.
+	if v := o.ObserveGet([]byte("k"), []byte("v1"), true); v == "" || !strings.Contains(v, "regressed") {
+		t.Fatalf("post-batch regression to v1 must be flagged, got %q", v)
+	}
+}
+
+func TestOracleBatchStillCatchesRegression(t *testing.T) {
+	// A batch begun AFTER a newer version was observed durable must not
+	// serve the older one at any index: the pre-batch watermark applies.
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	o.PutAcked([]byte("k"), []byte("v2"), true)
+	if v := o.ObserveGet([]byte("k"), []byte("v2"), true); v != "" {
+		t.Fatalf("observing v2 is legal, got %s", v)
+	}
+	keys := [][]byte{[]byte("k")}
+	vals := [][]byte{[]byte("v1")}
+	vs := o.ObserveGetBatch(keys, vals, []bool{true})
+	if len(vs) != 1 || !strings.Contains(vs[0], "regressed") {
+		t.Fatalf("batch regression below pre-batch watermark must be flagged, got %v", vs)
+	}
+}
+
+func TestOracleBatchTornValueCaught(t *testing.T) {
+	// Acceptability (torn/unknown values, resurrection) is still checked
+	// per index inside a batch; only the monotonicity watermark relaxes.
+	o := NewOracle()
+	o.PutAcked([]byte("k"), []byte("v1"), true)
+	keys := [][]byte{[]byte("k"), []byte("k")}
+	vals := [][]byte{[]byte("v1"), []byte("garbage")}
+	vs := o.ObserveGetBatch(keys, vals, []bool{true, true})
+	if len(vs) != 1 || !strings.Contains(vs[0], "not an acknowledged value") {
+		t.Fatalf("torn in-batch value must be flagged, got %v", vs)
+	}
+	// Not-found indices are skipped, never flagged.
+	if vs := o.ObserveGetBatch([][]byte{[]byte("k")}, [][]byte{nil}, []bool{false}); len(vs) != 0 {
+		t.Fatalf("not-found index must be skipped, got %v", vs)
+	}
+}

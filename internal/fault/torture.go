@@ -230,6 +230,9 @@ func RunStore(cfg Config) (Result, error) {
 					continue
 				}
 				geng := st.Shard(sh)
+				// Engine.GetBatch resolves reads sequentially under one
+				// lock, so per-index ObserveGet (stronger than the
+				// concurrent-batch ObserveGetBatch) is exact here.
 				for i, gr := range geng.GetBatch(nil, group, nil) {
 					if !plan.Tripped() && gr.Status == store.StatusOK {
 						pool := geng.Pool(gr.Pool)

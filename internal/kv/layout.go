@@ -133,9 +133,23 @@ func KeyOffset() int { return HeaderSize }
 // key is klen bytes.
 func ValueOffset(klen int) int { return HeaderSize + pad8(klen) }
 
-// WriteHeader stores (volatile) an encoded header at pool offset off.
+// WriteHeader stores (volatile) an encoded header at pool offset off. It
+// writes word-by-word through Write8, the mirror of ReadHeader's
+// buffer-free form: header writes sit on the PUT allocation path, and an
+// encode buffer would escape through the Device interface and cost one
+// heap allocation per PUT. Every word is 8-aligned because objects are
+// line-aligned; the pad, reserved, and trailing words are written zero,
+// exactly as the buffer encoding left them.
 func WriteHeader(dev nvm.Device, base int, off uint64, h *Header) {
-	dev.Write(base+int(off), EncodeHeader(h))
+	a := base + int(off)
+	dev.Write8(a+offPrePtr, h.PrePtr)
+	dev.Write8(a+offNextPtr, h.NextPtr)
+	dev.Write8(a+offSeq, h.Seq)
+	dev.Write8(a+offCreatedAt, h.CreatedAt)
+	dev.Write8(a+offCRC, uint64(h.CRC)|uint64(uint32(h.KLen))<<32)
+	dev.Write8(a+offVLen, uint64(uint32(h.VLen))|uint64(h.Flags)<<32)
+	dev.Write8(a+offMagic, uint64(h.Magic))
+	dev.Write8(a+offMagic+8, 0)
 }
 
 // ReadHeader loads a header from pool offset off through the coherent

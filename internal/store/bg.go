@@ -1,6 +1,7 @@
 package store
 
 import (
+	"efactory/internal/adapt"
 	"efactory/internal/crc"
 	"efactory/internal/kv"
 )
@@ -121,6 +122,7 @@ func (e *Engine) BGBatch(h any, pi, max int) int {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastBGBatch = max
 	processed := 0
 	run := e.bgRun[:0]
 	var runStart, runEnd uint64
@@ -233,17 +235,15 @@ const adaptiveBatchStep = 2048
 // efactory_durability_lag_bytes gauge) to a batch size in [1, max]: an
 // idle shard verifies one object at a time, minimizing each fresh write's
 // time to durability, while a backlogged shard coalesces up to max
-// objects per lock acquisition, maximizing drain throughput.
+// objects per lock acquisition, maximizing drain throughput. The mapping
+// itself lives in internal/adapt with the rest of the load-adaptive
+// control laws.
 func (e *Engine) AdaptiveBGBatch(max int) int {
 	if max <= 1 {
 		return 1
 	}
 	backlog, _ := e.DurabilityLag()
-	b := 1 + backlog/adaptiveBatchStep
-	if b > max {
-		b = max
-	}
-	return b
+	return adapt.BGSize(backlog, adaptiveBatchStep, max)
 }
 
 // bgSuperseded reports whether the version at off in pool pi is no longer

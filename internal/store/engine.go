@@ -172,6 +172,10 @@ type Engine struct {
 	stopped  bool
 	stats    Stats
 
+	// lastBGBatch is the adaptive batch cap the most recent BGBatch call
+	// ran with — the efactory_bg_batch_width gauge (guarded by mu).
+	lastBGBatch int
+
 	// Scratch buffers for the hot GET/BGStep paths (guarded by mu). They
 	// never outlive a yield point: each is consumed (CRC, hash) before the
 	// next Charge, so cooperative interleavings cannot clobber live data.
@@ -306,6 +310,43 @@ func (e *Engine) Put(h any, key []byte, vlen int, crcv uint32) PutResult {
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
 	defer func() { e.observeMop(h, mopPut, t0) }()
+	return e.putLocked(h, key, vlen, crcv)
+}
+
+// PutOp is one allocation request of a PutBatch: the store-level twin of
+// wire.PutOp, kept separate so the engine stays transport-agnostic.
+type PutOp struct {
+	Key  []byte
+	VLen int
+	Crc  uint32
+}
+
+// PutBatch applies several allocations under ONE lock acquisition — the
+// run-to-completion write twin of GetBatch. Per-op relocking made a
+// shard-grouped multi-PUT pay len(ops) mutex round trips plus cache-line
+// bouncing for work that is contiguous anyway; here the group runs to
+// completion while other shards proceed in parallel. res, when it has the
+// capacity, is reused as the result backing so callers with a scratch
+// slice keep the hot path alloc-free. Results index-align with ops.
+func (e *Engine) PutBatch(h any, ops []PutOp, res []PutResult) []PutResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.PutBatches++
+	if cap(res) >= len(ops) {
+		res = res[:len(ops)]
+	} else {
+		res = make([]PutResult, len(ops))
+	}
+	for i, op := range ops {
+		t0 := e.sink.Now()
+		res[i] = e.putLocked(h, op.Key, op.VLen, op.Crc)
+		e.observeMop(h, mopPut, t0)
+	}
+	return res
+}
+
+// putLocked is the shared body of Put and PutBatch. Callers hold mu.
+func (e *Engine) putLocked(h any, key []byte, vlen int, crcv uint32) PutResult {
 	e.stats.Puts++
 	pi, pool := e.writePool()
 	size := kv.ObjectSize(len(key), vlen)

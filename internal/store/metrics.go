@@ -175,6 +175,12 @@ func (s *Store) registerMetrics() {
 			func() float64 { b, _ := e.DurabilityLag(); return float64(b) })
 		r.AddGauge("efactory_durability_lag_oldest_ns", "Age (sink clock) of the oldest still-unverified object at a verifier cursor.", lbl,
 			func() float64 { _, a := e.DurabilityLag(); return float64(a) })
+		r.AddGauge("efactory_bg_batch_width", "Adaptive batch cap the most recent background run used (lag-driven, see adapt.BGSize).", lbl,
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return float64(e.lastBGBatch)
+			})
 
 		counter := func(name, help string, labels map[string]string, get func(Stats) int) {
 			r.AddCounter(name, help, labels, func() float64 { return float64(get(e.Stats())) })
@@ -193,6 +199,7 @@ func (s *Store) registerMetrics() {
 		counter("efactory_get_outcomes_total", "RPC-path GET resolutions.", outLbl("rolled_back"), func(st Stats) int { return st.GetRolledBack })
 		counter("efactory_get_outcomes_total", "RPC-path GET resolutions.", outLbl("invalidated"), func(st Stats) int { return st.GetInvalidated })
 		counter("efactory_get_batches_total", "Multi-key GetBatch calls handled (one lock acquisition each).", lbl, func(st Stats) int { return st.GetBatches })
+		counter("efactory_put_batches_total", "Multi-op PutBatch calls handled (one lock acquisition each).", lbl, func(st Stats) int { return st.PutBatches })
 		counter("efactory_hinted_lookups_total", "Slot-hinted lookup outcomes.", outLbl("hit"), func(st Stats) int { return st.HintedLookups })
 		counter("efactory_hinted_lookups_total", "Slot-hinted lookup outcomes.", outLbl("stale"), func(st Stats) int { return st.HintedStale })
 		counter("efactory_bg_objects_total", "Background verifier outcomes.", outLbl("verified"), func(st Stats) int { return st.BGVerified })

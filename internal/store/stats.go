@@ -12,6 +12,7 @@ type Stats struct {
 	GetRolledBack  int // RPC gets answered from a previous version
 	GetInvalidated int // versions invalidated on the GET path after VerifyTimeout
 	GetBatches     int // multi-key GetBatch calls (one lock acquisition each)
+	PutBatches     int // multi-op PutBatch calls (one lock acquisition each)
 	HintedLookups  int // lookups resolved from a client slot hint
 	HintedStale    int // client slot hints that no longer matched their key
 	BGVerified     int // objects verified+persisted by the background thread
@@ -41,6 +42,7 @@ func (s *Stats) Add(o Stats) {
 	s.GetRolledBack += o.GetRolledBack
 	s.GetInvalidated += o.GetInvalidated
 	s.GetBatches += o.GetBatches
+	s.PutBatches += o.PutBatches
 	s.HintedLookups += o.HintedLookups
 	s.HintedStale += o.HintedStale
 	s.BGVerified += o.BGVerified

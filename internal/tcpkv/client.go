@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"efactory/internal/adapt"
 	"efactory/internal/cluster"
 	"efactory/internal/crc"
 	"efactory/internal/hint"
@@ -51,8 +52,10 @@ type Client struct {
 	osConn    net.Conn
 
 	// osMu serializes the one-sided channel: its frames are lock-step
-	// request/response (or a batched burst of them).
-	osMu sync.Mutex
+	// request/response (or a batched burst of them). osAck is the reused
+	// ack-frame read buffer, guarded by osMu.
+	osMu  sync.Mutex
+	osAck []byte
 
 	tableRKey    uint32 // shard 0's table rkey; shard s adds rkeysPerShard*s
 	poolRKeyBase uint32 // shard 0's pools; shard s pool i is poolRKeyBase + rkeysPerShard*s + i
@@ -67,6 +70,13 @@ type Client struct {
 	// EnableHintCache was called). Like hybrid, configure before issuing
 	// concurrent ops; the cache itself is internally synchronized.
 	hints *hint.Cache
+
+	// pred, when non-nil (EnableAdaptive), preemptively routes reads of
+	// recently-written objects straight to RPC instead of wasting the
+	// optimistic one-sided fetch on a value whose durability flag cannot
+	// be set yet. Guarded by mu (the predictor itself is not
+	// synchronized). Configure before issuing concurrent ops.
+	pred *adapt.ReadPredictor
 
 	// epoch is the cluster-map epoch stamped on routed requests (Token
 	// field; 0 = unclustered, which every server accepts). Maintained by
@@ -84,6 +94,9 @@ type Client struct {
 	// reads whose probe walk was skipped by a hint-cache hit.
 	BatchedGets int
 	HintedReads int
+	// AdaptivePreempts counts GETs the read predictor routed straight to
+	// RPC (EnableAdaptive only).
+	AdaptivePreempts int
 	// Retries and Reconnects count recovery actions taken under the
 	// client's RetryPolicy.
 	Retries    int
@@ -113,13 +126,43 @@ type pipe struct {
 }
 
 type pipeFrame struct {
-	seq     uint32
-	payload []byte
+	frame []byte // [len][seq][msg], fully encoded by the caller
 }
 
 type pipeResult struct {
-	payload []byte
+	payload []byte  // response message bytes (after the seq echo)
+	raw     *[]byte // pooled backing of payload; release via releaseResp
 	err     error
+}
+
+// callSlot is one pooled RPC call context: the request-frame scratch the
+// writer sends as-is (zero copies on the write side) and the reusable
+// completion channel. Slots live in a package-level pool rather than on
+// the pipe, so scratch reuse survives reconnect generations — a client
+// that redials keeps its warmed buffers.
+type callSlot struct {
+	frame []byte
+	ch    chan pipeResult
+}
+
+var callSlotPool = sync.Pool{New: func() any {
+	return &callSlot{frame: make([]byte, 0, 512), ch: make(chan pipeResult, 1)}
+}}
+
+// begin resets the slot's frame to the 8-byte [len][seq] placeholder the
+// pipe fills in at send time; the caller appends the encoded message.
+func (cs *callSlot) begin() {
+	var hdr [8]byte
+	cs.frame = append(cs.frame[:0], hdr[:]...)
+}
+
+// releaseResp returns a response buffer received from a callSlot
+// exchange to the frame pool. Callers must be done with every byte that
+// aliases it (Msg.Key/Value from wire.Decode included).
+func releaseResp(bp *[]byte) {
+	if bp != nil {
+		frameBufPool.Put(bp)
+	}
 }
 
 func newPipe(conn net.Conn, depth int, timeout func() time.Duration) *pipe {
@@ -150,13 +193,14 @@ func (p *pipe) writer() {
 		case <-p.done:
 			return
 		case f := <-p.wq:
-			buf := make([]byte, 8+len(f.payload))
-			binary.BigEndian.PutUint32(buf, uint32(4+len(f.payload)))
-			binary.BigEndian.PutUint32(buf[4:], f.seq)
-			copy(buf[8:], f.payload)
+			// f.frame is the caller's slot scratch, already fully framed;
+			// the caller keeps the slot checked out until its response
+			// arrives (which the server cannot send before this Write
+			// completes), so writing it directly is race-free and the
+			// write side copies nothing.
 			dl := attemptDeadline{set: p.conn.SetWriteDeadline, d: p.timeout()}
 			if err := dl.guard(func() error {
-				_, err := p.conn.Write(buf)
+				_, err := p.conn.Write(f.frame)
 				return err
 			}); err != nil {
 				p.fail(err)
@@ -172,12 +216,16 @@ func (p *pipe) writer() {
 // per call in call(), where a caller that stops waiting kills the pipe.
 func (p *pipe) reader() {
 	for {
-		raw, err := readFrame(p.conn)
+		bp := frameBufPool.Get().(*[]byte)
+		raw, err := readFrameInto(p.conn, *bp)
 		if err != nil {
+			frameBufPool.Put(bp)
 			p.fail(err)
 			return
 		}
+		*bp = raw[:0] // keep any growth in the pooled backing
 		if len(raw) < 4 {
+			frameBufPool.Put(bp)
 			p.fail(errors.New("tcpkv: short pipelined frame"))
 			return
 		}
@@ -187,7 +235,9 @@ func (p *pipe) reader() {
 		delete(p.pending, seq)
 		p.mu.Unlock()
 		if ch != nil {
-			ch <- pipeResult{payload: raw[4:]}
+			ch <- pipeResult{payload: raw[4:], raw: bp}
+		} else {
+			frameBufPool.Put(bp)
 		}
 	}
 }
@@ -222,34 +272,43 @@ func (p *pipe) forget(seq uint32) {
 	p.mu.Unlock()
 }
 
-// call issues one RPC and waits for its response. The sequence number is
-// the call's identity on the shared connection: an op retried after a
-// failure re-enters a fresh pipe under a fresh sequence, so acknowledged
-// sequences are never replayed.
-func (p *pipe) call(payload []byte) ([]byte, error) {
+// call issues one RPC from a prepared slot and waits for its response.
+// cs.frame must hold the 8-byte [len][seq] placeholder (callSlot.begin)
+// followed by the encoded message; call fills the placeholder. The
+// sequence number is the call's identity on the shared connection: an op
+// retried after a failure re-enters a fresh pipe under a fresh sequence,
+// so acknowledged sequences are never replayed.
+//
+// clean reports whether the slot completed its exchange (a result —
+// success or error — was received on cs.ch): only then may the caller
+// return cs to the pool. On the timeout/shutdown paths the writer or
+// reader may still touch the slot's frame or channel, so the slot must
+// be abandoned to the GC.
+func (p *pipe) call(cs *callSlot) (r pipeResult, clean bool) {
 	select {
 	case p.sem <- struct{}{}:
 	case <-p.done:
-		return nil, p.failure()
+		return pipeResult{err: p.failure()}, false
 	}
 	defer func() { <-p.sem }()
 
-	ch := make(chan pipeResult, 1)
 	p.mu.Lock()
 	if p.err != nil {
 		p.mu.Unlock()
-		return nil, p.err
+		return pipeResult{err: p.err}, false
 	}
 	p.seq++
 	seq := p.seq
-	p.pending[seq] = ch
+	p.pending[seq] = cs.ch
 	p.mu.Unlock()
+	binary.BigEndian.PutUint32(cs.frame, uint32(len(cs.frame)-4))
+	binary.BigEndian.PutUint32(cs.frame[4:], seq)
 
 	select {
-	case p.wq <- pipeFrame{seq: seq, payload: payload}:
+	case p.wq <- pipeFrame{frame: cs.frame}:
 	case <-p.done:
 		p.forget(seq)
-		return nil, p.failure()
+		return pipeResult{err: p.failure()}, false
 	}
 
 	var expired <-chan time.Time
@@ -259,15 +318,15 @@ func (p *pipe) call(payload []byte) ([]byte, error) {
 		expired = t.C
 	}
 	select {
-	case r := <-ch:
-		return r.payload, r.err
+	case r := <-cs.ch:
+		return r, true
 	case <-expired:
 		// This sequence has no waiter anymore; the connection can no
 		// longer be trusted to stay in sync, so fail everything over
 		// together and let the retry path redial.
 		p.forget(seq)
 		p.fail(os.ErrDeadlineExceeded)
-		return nil, os.ErrDeadlineExceeded
+		return pipeResult{err: os.ErrDeadlineExceeded}, false
 	}
 }
 
@@ -422,15 +481,38 @@ func (c *Client) reconnect(genSeen uint64) (uint64, error) {
 
 // rpc performs one request/response over the pipelined channel. Concurrent
 // callers share the connection; responses demultiplex by sequence number.
+// The decoded Msg may alias the response buffer, which is left to the GC —
+// hot paths that can bound the response's lifetime use rpcShared instead.
 func (c *Client) rpc(req wire.Msg) (wire.Msg, error) {
+	m, _, err := c.rpcShared(&req)
+	return m, err
+}
+
+// rpcShared is rpc for callers that finish with the response before
+// their next operation: the returned Msg aliases the returned pooled
+// buffer, which the caller gives back via releaseResp once every aliased
+// byte (Key/Value) is dead. A nil buffer is safe to release.
+func (c *Client) rpcShared(req *wire.Msg) (wire.Msg, *[]byte, error) {
 	c.mu.Lock()
 	p := c.pipe
 	c.mu.Unlock()
-	raw, err := p.call(req.Encode())
-	if err != nil {
-		return wire.Msg{}, err
+	cs := callSlotPool.Get().(*callSlot)
+	cs.begin()
+	cs.frame = req.AppendEncode(cs.frame)
+	r, clean := p.call(cs)
+	if clean {
+		callSlotPool.Put(cs)
 	}
-	return wire.Decode(raw)
+	if r.err != nil {
+		releaseResp(r.raw)
+		return wire.Msg{}, nil, r.err
+	}
+	m, err := wire.Decode(r.payload)
+	if err != nil {
+		releaseResp(r.raw)
+		return wire.Msg{}, nil, err
+	}
+	return m, r.raw, nil
 }
 
 // osExchange writes the given one-sided frames back-to-back and then reads
@@ -502,7 +584,11 @@ func (c *Client) read(rkey uint32, off uint64, length int) ([]byte, error) {
 
 // write performs a one-sided WRITE of data at (rkey, off).
 func (c *Client) write(rkey uint32, off uint64, data []byte) error {
-	return c.writeBatch([][]byte{osWriteFrame(rkey, off, data)})
+	bs := burstScratchPool.Get().(*burstScratch)
+	bs.buf = osAppendWrite(bs.buf[:0], rkey, off, data)
+	err := c.osWriteBurst(bs.buf, 1)
+	burstScratchPool.Put(bs)
+	return err
 }
 
 // writeBatch posts every WRITE frame before waiting on any completion.
@@ -522,9 +608,108 @@ func (c *Client) writeBatch(frames [][]byte) error {
 	return nil
 }
 
+// burstScratch is a pooled builder for pre-framed one-sided WRITE
+// bursts; pooled package-wide so the warmed buffer survives reconnects.
+type burstScratch struct{ buf []byte }
+
+var burstScratchPool = sync.Pool{New: func() any {
+	return &burstScratch{buf: make([]byte, 0, 4096)}
+}}
+
+// osAppendWrite appends one framed one-sided WRITE (length prefix
+// included) to buf, so a doorbell burst becomes a single contiguous
+// buffer written with one syscall.
+func osAppendWrite(buf []byte, rkey uint32, off uint64, data []byte) []byte {
+	var hdr [21]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(17+len(data)))
+	hdr[4] = opWrite
+	binary.BigEndian.PutUint32(hdr[5:], rkey)
+	binary.BigEndian.PutUint64(hdr[9:], off)
+	binary.BigEndian.PutUint32(hdr[17:], uint32(len(data)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...)
+}
+
+// osWriteBurst writes a pre-framed burst of n one-sided WRITEs with one
+// syscall and consumes one ack frame per write. The ack buffer is
+// per-client scratch guarded by osMu.
+func (c *Client) osWriteBurst(burst []byte, n int) error {
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	conn := c.osConn
+	dl := attemptDeadline{set: conn.SetDeadline, d: c.retry.Timeout}
+	c.mu.Unlock()
+	c.osMu.Lock()
+	defer c.osMu.Unlock()
+	return dl.guard(func() error {
+		if _, err := conn.Write(burst); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			r, err := readFrameInto(conn, c.osAck)
+			if err != nil {
+				return err
+			}
+			c.osAck = r[:0]
+			if len(r) < 1 || r[0] != 1 {
+				return errors.New("tcpkv: one-sided write NAK")
+			}
+		}
+		return nil
+	})
+}
+
 func (c *Client) bump(field *int) {
 	c.mu.Lock()
 	*field++
+	c.mu.Unlock()
+}
+
+// EnableAdaptive turns on per-object adaptive hybrid reads: a read of an
+// object written within the predictor's durability horizon skips the
+// optimistic one-sided fetch (which would bounce off the unset
+// durability flag) and goes straight to RPC. Off by default — figures
+// and tests that pin the classic hybrid path stay bit-identical.
+// Configure before issuing concurrent ops.
+func (c *Client) EnableAdaptive() {
+	c.pred = adapt.NewReadPredictor()
+}
+
+// predNotePut records a completed PUT with the read predictor.
+func (c *Client) predNotePut(keyHash uint64) {
+	if c.pred == nil {
+		return
+	}
+	c.mu.Lock()
+	c.pred.NotePut(keyHash)
+	c.mu.Unlock()
+}
+
+// predPreempt asks the read predictor whether to skip the optimistic
+// fetch for keyHash.
+func (c *Client) predPreempt(keyHash uint64) bool {
+	if c.pred == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pred.Preempt(keyHash)
+}
+
+// predObserve feeds a hybrid-read outcome (pure success or fallback)
+// back to the predictor's horizon estimator.
+func (c *Client) predObserve(pure bool) {
+	if c.pred == nil {
+		return
+	}
+	c.mu.Lock()
+	if pure {
+		c.pred.ObservePure()
+	} else {
+		c.pred.ObserveFallback()
+	}
 	c.mu.Unlock()
 }
 
@@ -548,11 +733,14 @@ func (c *Client) putCtx(tc *trace.Ctx, key, value []byte) error {
 		// attempt's slot (if it was granted) is left torn and gets
 		// invalidated by background verification.
 		tRPC := traceNow(tc)
-		resp, err := c.rpc(wire.Msg{Type: wire.TPut, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Crc: sum, Len: uint64(len(value)), Key: key})
+		req := wire.Msg{Type: wire.TPut, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Crc: sum, Len: uint64(len(value)), Key: key}
+		resp, raw, err := c.rpcShared(&req)
 		tc.Add("alloc_rpc", tRPC, traceNow(tc))
 		if err != nil {
 			return err
 		}
+		// TPutResp carries scalars only — nothing aliases the buffer.
+		releaseResp(raw)
 		switch resp.Status {
 		case wire.StOK:
 		case wire.StFull:
@@ -563,6 +751,7 @@ func (c *Client) putCtx(tc *trace.Ctx, key, value []byte) error {
 			return fmt.Errorf("tcpkv: put status %d", resp.Status)
 		}
 		c.noteLocation(key, resp.RKey, resp.Off, int(resp.Len), len(key), 0, false)
+		c.predNotePut(kv.HashKey(key))
 		tW := traceNow(tc)
 		err = c.write(resp.RKey, resp.Off+uint64(kv.ValueOffset(len(key))), value)
 		tc.Add("doorbell_write", tW, traceNow(tc))
@@ -578,14 +767,27 @@ func (c *Client) putCtx(tc *trace.Ctx, key, value []byte) error {
 // one entry per op, in order: nil, ErrServerFull, or a transport error
 // shared by every op the failure reached.
 func (c *Client) PutBatch(keys, values [][]byte) []error {
+	return c.PutBatchInto(keys, values, nil)
+}
+
+// PutBatchInto is PutBatch with a caller-owned error slice: when errs
+// has the capacity it is resliced and returned, so a steady-state caller
+// (a closed-loop load driver, a benchmark) reuses one slice for its
+// whole run and the batch write path allocates nothing.
+func (c *Client) PutBatchInto(keys, values [][]byte, errs []error) []error {
 	if len(keys) != len(values) {
 		panic("tcpkv: PutBatch keys/values length mismatch")
 	}
+	if cap(errs) >= len(keys) {
+		errs = errs[:len(keys)]
+	} else {
+		errs = make([]error, len(keys))
+	}
 	if len(keys) == 0 {
-		return make([]error, 0)
+		return errs
 	}
 	tc, t0 := c.beginTrace("put_batch", kv.HashKey(keys[0]))
-	errs := c.putBatchCtx(tc, keys, values)
+	c.putBatchCtx(tc, keys, values, errs)
 	ferr := error(nil)
 	for i := 0; ferr == nil && i < len(errs); i++ {
 		ferr = errs[i]
@@ -594,55 +796,83 @@ func (c *Client) PutBatch(keys, values [][]byte) []error {
 	return errs
 }
 
+// putBatchScratch holds one PutBatch call's reusable buffers: the op
+// list, its encoded payload, the decoded grants, and the one-sided WRITE
+// burst. Pooled package-wide, so the warmed buffers survive reconnects
+// and concurrent batches each check out their own.
+type putBatchScratch struct {
+	ops    []wire.PutOp
+	opsBuf []byte
+	grants []wire.PutGrant
+	wbuf   []byte
+}
+
+var putBatchScratchPool = sync.Pool{New: func() any { return &putBatchScratch{} }}
+
 // putBatchCtx is PutBatch's body under a caller-owned trace context.
-func (c *Client) putBatchCtx(tc *trace.Ctx, keys, values [][]byte) []error {
-	errs := make([]error, len(keys))
+// errs must be len(keys) long; it is filled in place.
+func (c *Client) putBatchCtx(tc *trace.Ctx, keys, values [][]byte, errs []error) {
+	sc := putBatchScratchPool.Get().(*putBatchScratch)
+	defer putBatchScratchPool.Put(sc)
 	tCRC := traceNow(tc)
-	ops := make([]wire.PutOp, len(keys))
+	ops := sc.ops[:0]
 	for i := range keys {
-		ops[i] = wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]}
+		ops = append(ops, wire.PutOp{Crc: crc.Checksum(values[i]), VLen: len(values[i]), Key: keys[i]})
 	}
+	sc.ops = ops
 	tc.Add("client_crc", tCRC, traceNow(tc))
-	req := wire.Msg{Type: wire.TPutBatch, Trace: tc.ID(), Value: wire.EncodePutOps(ops)}
+	sc.opsBuf = wire.AppendPutOps(sc.opsBuf[:0], ops)
+	req := wire.Msg{Type: wire.TPutBatch, Trace: tc.ID(), Value: sc.opsBuf}
 	err := c.retrying(func() error {
 		for i := range errs {
 			errs[i] = nil // a retried attempt regrants every slot
 		}
 		req.Token = uint32(c.epoch.Load())
 		tRPC := traceNow(tc)
-		resp, err := c.rpc(req)
+		resp, raw, err := c.rpcShared(&req)
 		tc.Add("alloc_rpc", tRPC, traceNow(tc))
 		if err != nil {
 			return err
 		}
 		if resp.Status == wire.StWrongEpoch {
+			releaseResp(raw)
 			return wrongEpoch(resp)
 		}
 		if resp.Status != wire.StOK {
+			releaseResp(raw)
 			return fmt.Errorf("tcpkv: put batch status %d", resp.Status)
 		}
-		grants, err := wire.DecodePutGrants(resp.Value)
-		if err != nil {
-			return fmt.Errorf("tcpkv: malformed put batch response: %w", err)
+		grants, gerr := wire.DecodePutGrantsInto(resp.Value, sc.grants)
+		if gerr == nil {
+			sc.grants = grants
+		}
+		// Grants are scalar copies — the response buffer is now free.
+		releaseResp(raw)
+		if gerr != nil {
+			return fmt.Errorf("tcpkv: malformed put batch response: %w", gerr)
 		}
 		if len(grants) != len(keys) {
 			return fmt.Errorf("tcpkv: put batch returned %d grants for %d ops", len(grants), len(keys))
 		}
-		frames := make([][]byte, 0, len(keys))
+		wbuf := sc.wbuf[:0]
+		n := 0
 		for i, g := range grants {
 			switch g.Status {
 			case wire.StOK:
 				c.noteLocation(keys[i], g.RKey, g.Off, int(g.Len), len(keys[i]), 0, false)
+				c.predNotePut(kv.HashKey(keys[i]))
 				off := g.Off + uint64(kv.ValueOffset(len(keys[i])))
-				frames = append(frames, osWriteFrame(g.RKey, off, values[i]))
+				wbuf = osAppendWrite(wbuf, g.RKey, off, values[i])
+				n++
 			case wire.StFull:
 				errs[i] = ErrServerFull
 			default:
 				errs[i] = fmt.Errorf("tcpkv: put status %d", g.Status)
 			}
 		}
+		sc.wbuf = wbuf
 		tW := traceNow(tc)
-		werr := c.writeBatch(frames)
+		werr := c.osWriteBurst(wbuf, n)
 		tc.Add("doorbell_write", tW, traceNow(tc))
 		return werr
 	})
@@ -653,7 +883,6 @@ func (c *Client) putBatchCtx(tc *trace.Ctx, keys, values [][]byte) []error {
 			}
 		}
 	}
-	return errs
 }
 
 // Get fetches key's value with the hybrid read scheme.
@@ -668,6 +897,18 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 func (c *Client) getCtx(tc *trace.Ctx, key []byte) ([]byte, error) {
 	var out []byte
 	err := c.retrying(func() error {
+		if c.hybrid && c.predPreempt(kv.HashKey(key)) {
+			// The object was written within the durability horizon: the
+			// optimistic fetch would bounce, so spend the round trip on
+			// the authoritative path directly.
+			c.bump(&c.AdaptivePreempts)
+			val, err := c.rpcRead(tc, key)
+			if err != nil {
+				return err
+			}
+			out = val
+			return nil
+		}
 		if c.hybrid {
 			if c.hints != nil {
 				val, verdict, err := c.hintedRead(tc, key)
@@ -677,10 +918,12 @@ func (c *Client) getCtx(tc *trace.Ctx, key []byte) ([]byte, error) {
 				switch verdict {
 				case hrHit:
 					c.bump(&c.PureReads)
+					c.predObserve(true)
 					out = val
 					return nil
 				case hrFallback:
 					c.bump(&c.FallbackReads)
+					c.predObserve(false)
 					val, err := c.rpcRead(tc, key)
 					if err != nil {
 						return err
@@ -696,10 +939,12 @@ func (c *Client) getCtx(tc *trace.Ctx, key []byte) ([]byte, error) {
 			}
 			if ok {
 				c.bump(&c.PureReads)
+				c.predObserve(true)
 				out = val
 				return nil
 			}
 			c.bump(&c.FallbackReads)
+			c.predObserve(false)
 		} else {
 			c.bump(&c.RPCReads)
 		}

@@ -556,7 +556,9 @@ func (cc *ClusterClient) PutBatch(keys, values [][]byte) []error {
 		for j, i := range idx {
 			k[j], v[j] = keys[i], values[i]
 		}
-		return c.putBatchCtx(tc, k, v)
+		be := make([]error, len(idx))
+		c.putBatchCtx(tc, k, v, be)
+		return be
 	})
 	endOp(cc.tracer, tc, t0, firstErr(errs))
 	return errs

@@ -10,7 +10,7 @@ import (
 // migration one: pools big enough that the backup never refuses an
 // append, cleaning still forced on the primary mid-run.
 func failoverTortureConfig() fault.Config {
-	return fault.Config{Ops: 60, CleanEvery: 25, Buckets: 256, PoolSize: 256 << 10}
+	return fault.Config{Ops: 60, CleanEvery: 25, Buckets: 256, PoolSize: 256 << 10, VerifyTimeout: raceScale(tcpVerifyTimeout)}
 }
 
 // TestFailoverTortureCountingRun sanity-checks the no-crash run: the

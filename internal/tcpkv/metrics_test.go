@@ -27,6 +27,15 @@ func applyTraffic(t *testing.T, cl *Client, n int) {
 			t.Fatalf("get %d: %v", i, err)
 		}
 	}
+	// A DELETE always takes the RPC path, so the lookup section gets a
+	// sample even when every GET above resolved purely one-sided (the
+	// verifier can outpace a slow client, e.g. under the race detector).
+	if err := cl.Put([]byte("m-del"), val); err != nil {
+		t.Fatalf("put m-del: %v", err)
+	}
+	if err := cl.Delete([]byte("m-del")); err != nil {
+		t.Fatalf("del m-del: %v", err)
+	}
 }
 
 func TestMetricsRPC(t *testing.T) {

@@ -11,7 +11,7 @@ import (
 // abort the migration, not crash it), cleaning still forced on the
 // source mid-run.
 func migTortureConfig() fault.Config {
-	return fault.Config{Ops: 60, CleanEvery: 25, Buckets: 256, PoolSize: 256 << 10}
+	return fault.Config{Ops: 60, CleanEvery: 25, Buckets: 256, PoolSize: 256 << 10, VerifyTimeout: raceScale(tcpVerifyTimeout)}
 }
 
 // TestMigrationTortureCountingRun sanity-checks the no-crash run: the

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tcpkv
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package tcpkv
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-budget tests skip under it because the race runtime's own
+// per-operation bookkeeping allocates.
+const raceEnabled = true

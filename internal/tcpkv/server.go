@@ -461,25 +461,56 @@ func writeFrame(conn net.Conn, payload []byte) error {
 
 // readFrame receives one length-prefixed frame.
 func readFrame(conn net.Conn) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	return readFrameInto(conn, nil)
+}
+
+// readFrameInto receives one length-prefixed frame into buf's backing
+// array (growing it when too small), so sequential receive loops reuse
+// one buffer once it has seen their peak frame size. The returned slice
+// aliases buf's backing; callers pass it back on the next call.
+func readFrameInto(conn net.Conn, buf []byte) ([]byte, error) {
+	// The length prefix is staged in the destination buffer rather than a
+	// local array: a local would escape through the net.Conn interface
+	// and cost a heap allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(conn, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr))
 	if n > 64<<20 {
 		return nil, fmt.Errorf("tcpkv: oversized frame (%d bytes)", n)
 	}
-	buf := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(conn, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
-// serveRPC is the two-sided channel: the request-processing loop.
+// frameBufPool recycles request-frame buffers on the pipelined channel,
+// where frame ownership passes from the read loop to a worker (so a
+// single per-connection buffer cannot be reused in place).
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// serveRPC is the two-sided channel: the request-processing loop. The
+// request buffer, handler scratch, and response frame are all reused
+// across requests, so steady-state handling allocates nothing.
 func (s *Server) serveRPC(conn net.Conn) {
+	var (
+		raw  []byte
+		out  = make([]byte, 0, 4096)
+		sc   handlerScratch
+		err  error
+		zero [4]byte
+	)
 	for {
-		raw, err := readFrame(conn)
+		raw, err = readFrameInto(conn, raw)
 		if err != nil {
 			return
 		}
@@ -487,24 +518,24 @@ func (s *Server) serveRPC(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := s.handle(m)
+		resp := s.handle(m, &sc)
 		if s.Cleaning() {
 			resp.Note |= wire.NoteCleaning
 		}
+		// Frame: 4-byte length prefix + encoded message, one Write.
+		out = append(out[:0], zero[:]...)
+		out = resp.AppendEncode(out)
+		binary.BigEndian.PutUint32(out, uint32(len(out)-4))
 		if drop, partial := s.cfg.NetFaults.NextFrame(); drop {
 			// The op was applied; only its response is lost — the client
 			// cannot distinguish this from a server crash after commit and
 			// must treat a retried op as possibly already applied.
 			if partial {
-				payload := resp.Encode()
-				buf := make([]byte, 4+len(payload))
-				binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-				copy(buf[4:], payload)
-				conn.Write(buf[:4+(len(payload)+1)/2])
+				conn.Write(out[:4+(len(out)-4+1)/2])
 			}
 			return // cut the connection
 		}
-		if err := writeFrame(conn, resp.Encode()); err != nil {
+		if _, err := conn.Write(out); err != nil {
 			return
 		}
 	}
@@ -522,63 +553,101 @@ func (s *Server) servePipelined(conn net.Conn) {
 	if workers <= 0 {
 		workers = DefaultPipelineWorkers
 	}
-	sem := make(chan struct{}, workers)
+	// Persistent workers instead of a goroutine per request: the spawn,
+	// its closure, and its response buffer were three allocations per op
+	// on the hot path. Each worker owns a handler scratch and a response
+	// frame buffer for its connection lifetime; request frames come from
+	// frameBufPool and go back once the response is encoded.
+	jobs := make(chan pipeJob, workers)
 	var (
 		wmu sync.Mutex
 		wg  sync.WaitGroup
 	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var sc handlerScratch
+			out := make([]byte, 0, 4096)
+			var zero [8]byte
+			for job := range jobs {
+				resp := s.handle(job.m, &sc)
+				if s.Cleaning() {
+					resp.Note |= wire.NoteCleaning
+				}
+				// Frame: 4-byte length + 4-byte seq echo + message.
+				out = append(out[:0], zero[:]...)
+				out = resp.AppendEncode(out)
+				binary.BigEndian.PutUint32(out, uint32(len(out)-4))
+				binary.BigEndian.PutUint32(out[4:], job.seq)
+				// The response no longer references the request frame
+				// (AppendEncode copied any aliased key/value bytes).
+				*job.raw = (*job.raw)[:0]
+				frameBufPool.Put(job.raw)
+				wmu.Lock()
+				if drop, partial := s.cfg.NetFaults.NextFrame(); drop {
+					// The op was applied; only its response is lost. Cut
+					// the connection so the client fails everything in
+					// flight over to a fresh one.
+					if partial {
+						conn.Write(out[:4+(len(out)-4+1)/2])
+					}
+					conn.Close()
+				} else if _, err := conn.Write(out); err != nil {
+					conn.Close()
+				}
+				wmu.Unlock()
+			}
+		}()
+	}
 	defer wg.Wait() // workers finish before serveConn closes the socket
+	defer close(jobs)
 	for {
-		raw, err := readFrame(conn)
+		bp := frameBufPool.Get().(*[]byte)
+		raw, err := readFrameInto(conn, *bp)
 		if err != nil {
+			frameBufPool.Put(bp)
 			return
 		}
+		*bp = raw[:0] // keep any growth in the pooled backing
 		if len(raw) < 4 {
+			frameBufPool.Put(bp)
 			return
 		}
 		seq := binary.BigEndian.Uint32(raw)
 		m, err := wire.Decode(raw[4:])
 		if err != nil {
+			frameBufPool.Put(bp)
 			return
 		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			resp := s.handle(m)
-			if s.Cleaning() {
-				resp.Note |= wire.NoteCleaning
-			}
-			payload := resp.Encode()
-			buf := make([]byte, 8+len(payload))
-			binary.BigEndian.PutUint32(buf, uint32(4+len(payload)))
-			binary.BigEndian.PutUint32(buf[4:], seq)
-			copy(buf[8:], payload)
-			wmu.Lock()
-			defer wmu.Unlock()
-			if drop, partial := s.cfg.NetFaults.NextFrame(); drop {
-				// The op was applied; only its response is lost. Cut the
-				// connection so the client fails everything in flight over
-				// to a fresh one.
-				if partial {
-					conn.Write(buf[:4+(4+len(payload)+1)/2])
-				}
-				conn.Close()
-				return
-			}
-			if _, err := conn.Write(buf); err != nil {
-				conn.Close()
-			}
-		}()
+		jobs <- pipeJob{seq: seq, m: m, raw: bp}
 	}
+}
+
+// pipeJob hands one decoded pipelined request from the read loop to a
+// worker. m's Key/Value alias raw's backing; the worker returns raw to
+// frameBufPool after encoding the response.
+type pipeJob struct {
+	seq uint32
+	m   wire.Msg
+	raw *[]byte
 }
 
 // serveOneSided is the RNIC-emulation channel: READ/WRITE frames touch the
 // device directly, bypassing the request loop.
 func (s *Server) serveOneSided(conn net.Conn) {
+	// One-sided frames are strictly sequential per connection, so one
+	// request buffer and one response buffer serve the whole session.
+	var (
+		raw []byte
+		out = make([]byte, 0, 4096)
+		err error
+	)
+	// Pre-framed single-status replies (4-byte length prefix + 1 byte).
+	ack := [5]byte{0, 0, 0, 1, 1}
+	nak := [5]byte{0, 0, 0, 1, 0}
 	for {
-		raw, err := readFrame(conn)
+		raw, err = readFrameInto(conn, raw)
 		if err != nil {
 			return
 		}
@@ -591,7 +660,7 @@ func (s *Server) serveOneSided(conn net.Conn) {
 		length := int(binary.BigEndian.Uint32(raw[13:]))
 		base, size, ok := s.region(rkey)
 		if !ok || off < 0 || length < 0 || off+length > size {
-			writeFrame(conn, []byte{0}) // NAK
+			conn.Write(nak[:])
 			continue
 		}
 		switch op {
@@ -599,20 +668,25 @@ func (s *Server) serveOneSided(conn net.Conn) {
 			if d := s.cfg.NetFaults.NextRead(); d > 0 {
 				time.Sleep(d) // a stalled RNIC read completion
 			}
-			out := make([]byte, 1+length)
-			out[0] = 1
-			s.dev.Read(base+off, out[1:])
-			if err := writeFrame(conn, out); err != nil {
+			// Frame: 4-byte length + status + data, one Write.
+			if cap(out) < 5+length {
+				out = make([]byte, 0, 5+length)
+			}
+			out = out[:5+length]
+			binary.BigEndian.PutUint32(out, uint32(1+length))
+			out[4] = 1
+			s.dev.Read(base+off, out[5:])
+			if _, err := conn.Write(out); err != nil {
 				return
 			}
 		case opWrite:
 			data := raw[17:]
 			if len(data) != length {
-				writeFrame(conn, []byte{0})
+				conn.Write(nak[:])
 				continue
 			}
 			s.dev.Write(base+off, data)
-			if err := writeFrame(conn, []byte{1}); err != nil {
+			if _, err := conn.Write(ack[:]); err != nil {
 				return
 			}
 		default:
@@ -644,19 +718,34 @@ func shardRKeys(sh int) (table, poolBase uint32) {
 	return uint32(rkeyTable + rkeysPerShard*sh), uint32(rkeyPoolBase + rkeysPerShard*sh)
 }
 
+// handlerScratch holds the reusable buffers one request-processing
+// loop (a serveRPC connection or one pipelined worker) threads through
+// the hot handlers, so steady-state PUT/GET traffic allocates nothing.
+// The response Msg returned by a handler may alias these buffers; the
+// caller must finish encoding it before handling the next request.
+type handlerScratch struct {
+	putOps   []wire.PutOp
+	keys     [][]byte
+	grants   []wire.PutGrant
+	byShard  [][]int
+	shardOps []store.PutOp
+	shardRes []store.PutResult
+	payload  []byte // encoded response payload (Msg.Value)
+}
+
 // handle processes one RPC, opening a server-side root span when the
 // request frame carried a trace ID.
-func (s *Server) handle(m wire.Msg) wire.Msg {
+func (s *Server) handle(m wire.Msg, sc *handlerScratch) wire.Msg {
 	tc := trace.NewCtx(m.Trace)
 	if tc == nil {
-		return s.dispatch(nil, m)
+		return s.dispatch(nil, m, sc)
 	}
 	t0 := uint64(time.Now().UnixNano())
 	tc.Root("server_"+rpcName(m.Type), t0, 0)
 	if len(m.Key) > 0 {
 		tc.SetRoot(0, "", kv.HashKey(m.Key))
 	}
-	resp := s.dispatch(trace.Wrap(nil, tc), m)
+	resp := s.dispatch(trace.Wrap(nil, tc), m, sc)
 	end := uint64(time.Now().UnixNano())
 	outcome := "ok"
 	switch resp.Status {
@@ -708,8 +797,9 @@ func rpcName(t uint8) string {
 }
 
 // dispatch routes one RPC to its handler; h is the engine handle (nil,
-// or trace-wrapped for traced requests).
-func (s *Server) dispatch(h any, m wire.Msg) wire.Msg {
+// or trace-wrapped for traced requests), sc the caller's reusable
+// buffers (only the hot handlers use it).
+func (s *Server) dispatch(h any, m wire.Msg, sc *handlerScratch) wire.Msg {
 	switch m.Type {
 	case wire.THello:
 		return wire.Msg{
@@ -720,7 +810,7 @@ func (s *Server) dispatch(h any, m wire.Msg) wire.Msg {
 	case wire.TPut:
 		return s.handlePut(h, m)
 	case wire.TPutBatch:
-		return s.handlePutBatch(h, m)
+		return s.handlePutBatch(h, m, sc)
 	case wire.TGet:
 		return s.handleGet(h, m)
 	case wire.TGetBatch:
@@ -797,44 +887,76 @@ func (s *Server) handlePut(h any, m wire.Msg) wire.Msg {
 
 // handlePutBatch allocates every op in a multi-op PUT with one received
 // message and one response: the recv/dispatch/send overhead is paid once
-// per batch instead of once per object. Ops route to their owning shards
-// individually, so a batch may span shards.
-func (s *Server) handlePutBatch(h any, m wire.Msg) wire.Msg {
-	ops, err := wire.DecodePutOps(m.Value)
+// per batch instead of once per object. Ops are grouped by owning shard
+// so each shard's engine takes its lock once per batch (run-to-completion
+// write application, mirroring handleGetBatch); grants come back
+// index-aligned with the ops. Every buffer comes from sc, so the steady
+// state allocates nothing.
+func (s *Server) handlePutBatch(h any, m wire.Msg, sc *handlerScratch) wire.Msg {
+	ops, err := wire.DecodePutOpsInto(m.Value, sc.putOps)
 	if err != nil {
 		return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StError}
 	}
+	sc.putOps = ops
 	s.opGate.RLock()
 	defer s.opGate.RUnlock()
 	if len(ops) > 0 {
-		keys := make([][]byte, len(ops))
+		keys := sc.keys[:0]
 		for i := range ops {
-			keys[i] = ops[i].Key
+			keys = append(keys, ops[i].Key)
 		}
+		sc.keys = keys
 		// Any unowned key rejects the whole batch: batches are
 		// all-or-nothing on the wire (see unownedAny).
 		if ep, reject := s.unownedAny(keys); reject {
 			return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
 		}
 	}
-	grants := make([]wire.PutGrant, len(ops))
-	for i, op := range ops {
-		sh, eng := s.shardFor(op.Key)
-		res := eng.Put(h, op.Key, op.VLen, op.Crc)
-		if res.Status != store.StatusOK {
-			grants[i] = wire.PutGrant{Status: wire.StFull}
+	ns := s.st.NumShards()
+	if cap(sc.byShard) < ns {
+		sc.byShard = make([][]int, ns)
+	}
+	byShard := sc.byShard[:ns]
+	for sh := range byShard {
+		byShard[sh] = byShard[sh][:0]
+	}
+	for i := range ops {
+		sh := cluster.ShardFor(ops[i].Key, ns)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	if cap(sc.grants) < len(ops) {
+		sc.grants = make([]wire.PutGrant, len(ops))
+	}
+	grants := sc.grants[:len(ops)]
+	for sh, list := range byShard {
+		if len(list) == 0 {
 			continue
 		}
-		s.noteDirty(op.Key)
+		sops := sc.shardOps[:0]
+		for _, i := range list {
+			sops = append(sops, store.PutOp{Key: ops[i].Key, VLen: ops[i].VLen, Crc: ops[i].Crc})
+		}
+		sc.shardOps = sops
+		res := s.st.Shard(sh).PutBatch(h, sops, sc.shardRes)
+		sc.shardRes = res
 		_, poolBase := shardRKeys(sh)
-		grants[i] = wire.PutGrant{
-			Status: wire.StOK,
-			RKey:   poolBase + uint32(res.Pool),
-			Off:    res.Off,
-			Len:    uint32(res.Len),
+		for j, r := range res {
+			i := list[j]
+			if r.Status != store.StatusOK {
+				grants[i] = wire.PutGrant{Status: wire.StFull}
+				continue
+			}
+			s.noteDirty(ops[i].Key)
+			grants[i] = wire.PutGrant{
+				Status: wire.StOK,
+				RKey:   poolBase + uint32(r.Pool),
+				Off:    r.Off,
+				Len:    uint32(r.Len),
+			}
 		}
 	}
-	return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StOK, Value: wire.EncodePutGrants(grants)}
+	sc.payload = wire.AppendPutGrants(sc.payload[:0], grants)
+	return wire.Msg{Type: wire.TPutBatchResp, Status: wire.StOK, Value: sc.payload}
 }
 
 func (s *Server) handleGet(h any, m wire.Msg) wire.Msg {

@@ -34,9 +34,20 @@ func smallConfig() Config {
 	return Config{
 		Buckets:       1024,
 		PoolSize:      4 << 20,
-		VerifyTimeout: 20 * time.Millisecond,
+		VerifyTimeout: raceScale(20 * time.Millisecond),
 		BGInterval:    100 * time.Microsecond,
 	}
+}
+
+// raceScale stretches a wall-clock timeout when the race detector is
+// compiled in: the instrumented build runs the client-active write path
+// an order of magnitude slower, and a VerifyTimeout sized for normal
+// builds then invalidates writes that are merely slow, not torn.
+func raceScale(d time.Duration) time.Duration {
+	if raceEnabled {
+		return d * 20
+	}
+	return d
 }
 
 func TestPutGetDeleteRoundTrip(t *testing.T) {

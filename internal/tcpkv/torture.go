@@ -173,12 +173,16 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 			}
 			vals, errs := cl.GetBatch(keys)
 			if !plan.Tripped() {
+				// The batch's reads are concurrent: observe them as one
+				// batch so duplicate fan keys resolving in either order
+				// (optimistic snapshot vs mid-batch RPC fallback) are not
+				// misread as a version regression.
+				found := make([]bool, len(keys))
 				for i := range keys {
-					if errs[i] == nil {
-						if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
-							violations = append(violations, "live: "+v)
-						}
-					}
+					found[i] = errs[i] == nil
+				}
+				for _, v := range oracle.ObserveGetBatch(keys, vals, found) {
+					violations = append(violations, "live: "+v)
 				}
 			}
 		default: // DEL

@@ -10,7 +10,10 @@ import (
 // tens of milliseconds (real sockets, real file I/O, server restart), so
 // the workload is short and sweep points are subsampled.
 func tcpTortureConfig() fault.Config {
-	return fault.Config{Ops: 50, CleanEvery: 25}
+	// VerifyTimeout is wall-clock over TCP: stretch it under the race
+	// detector (raceScale) so a merely slow client-active write is never
+	// invalidated as torn mid-sweep.
+	return fault.Config{Ops: 50, CleanEvery: 25, VerifyTimeout: raceScale(tcpVerifyTimeout)}
 }
 
 // TestTCPTortureCountingRun sanity-checks the measuring run: no crash, no
@@ -39,7 +42,7 @@ func TestTCPTortureCountingRun(t *testing.T) {
 // it from there even though the mark bit never flipped. No injection — the
 // plain run plus restart is the repro.
 func TestTCPTortureMidCleaningShutdown(t *testing.T) {
-	res, err := RunTCPTorture(fault.Config{Seed: 1, Ops: 40, CleanEvery: 14})
+	res, err := RunTCPTorture(fault.Config{Seed: 1, Ops: 40, CleanEvery: 14, VerifyTimeout: raceScale(tcpVerifyTimeout)})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -214,30 +214,7 @@ const traceTrailerLen = 8
 // sets NoteTraced; a zero Trace clears the bit, so the two stay in sync
 // regardless of what the caller left in Note.
 func (m *Msg) Encode() []byte {
-	extra := 0
-	if m.Trace != 0 {
-		extra = traceTrailerLen
-	}
-	b := make([]byte, headerLen+len(m.Key)+len(m.Value)+extra)
-	b[0] = m.Type
-	b[1] = m.Status
-	b[2] = m.Note &^ NoteTraced
-	le := binary.LittleEndian
-	le.PutUint32(b[3:], m.Token)
-	le.PutUint32(b[7:], m.RKey)
-	le.PutUint32(b[11:], m.Crc)
-	le.PutUint64(b[15:], m.Off)
-	le.PutUint64(b[23:], m.Len)
-	le.PutUint32(b[31:], m.KLen)
-	le.PutUint32(b[35:], uint32(len(m.Key)))
-	le.PutUint32(b[39:], uint32(len(m.Value)))
-	copy(b[headerLen:], m.Key)
-	copy(b[headerLen+len(m.Key):], m.Value)
-	if extra != 0 {
-		b[2] |= NoteTraced
-		le.PutUint64(b[len(b)-traceTrailerLen:], m.Trace)
-	}
-	return b
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
 }
 
 // Decode parses a message produced by Encode.
@@ -301,32 +278,24 @@ type PutGrant struct {
 
 // EncodePutOps packs a TPutBatch payload (carried in Msg.Value).
 func EncodePutOps(ops []PutOp) []byte {
-	n := 4
-	for _, op := range ops {
-		n += 12 + len(op.Key)
-	}
-	b := make([]byte, n)
-	le := binary.LittleEndian
-	le.PutUint32(b, uint32(len(ops)))
-	p := 4
-	for _, op := range ops {
-		le.PutUint32(b[p:], op.Crc)
-		le.PutUint32(b[p+4:], uint32(op.VLen))
-		le.PutUint32(b[p+8:], uint32(len(op.Key)))
-		copy(b[p+12:], op.Key)
-		p += 12 + len(op.Key)
-	}
-	return b
+	return AppendPutOps(make([]byte, 0, PutOpsSize(ops)), ops)
 }
 
 // DecodePutOps unpacks a TPutBatch payload.
 func DecodePutOps(b []byte) ([]PutOp, error) {
+	return decodePutOps(b, nil)
+}
+
+// decodePutOps is the shared body of DecodePutOps and DecodePutOpsInto.
+func decodePutOps(b []byte, ops []PutOp) ([]PutOp, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: batch header", ErrShort)
 	}
 	le := binary.LittleEndian
 	count := int(le.Uint32(b))
-	ops := make([]PutOp, 0, capHint(count, len(b)-4, 12))
+	if cap(ops) == 0 {
+		ops = make([]PutOp, 0, capHint(count, len(b)-4, 12))
+	}
 	p := 4
 	for i := 0; i < count; i++ {
 		if len(b) < p+12 {
@@ -346,22 +315,17 @@ func DecodePutOps(b []byte) ([]PutOp, error) {
 
 // EncodePutGrants packs a TPutBatchResp payload (carried in Msg.Value).
 func EncodePutGrants(gs []PutGrant) []byte {
-	b := make([]byte, 4+17*len(gs))
-	le := binary.LittleEndian
-	le.PutUint32(b, uint32(len(gs)))
-	p := 4
-	for _, g := range gs {
-		b[p] = g.Status
-		le.PutUint32(b[p+1:], g.RKey)
-		le.PutUint64(b[p+5:], g.Off)
-		le.PutUint32(b[p+13:], g.Len)
-		p += 17
-	}
-	return b
+	return AppendPutGrants(make([]byte, 0, PutGrantsSize(gs)), gs)
 }
 
 // DecodePutGrants unpacks a TPutBatchResp payload.
 func DecodePutGrants(b []byte) ([]PutGrant, error) {
+	return decodePutGrants(b, nil)
+}
+
+// decodePutGrants is the shared body of DecodePutGrants and
+// DecodePutGrantsInto.
+func decodePutGrants(b []byte, gs []PutGrant) ([]PutGrant, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: grant header", ErrShort)
 	}
@@ -370,15 +334,14 @@ func DecodePutGrants(b []byte) ([]PutGrant, error) {
 	if len(b) < 4+17*count {
 		return nil, fmt.Errorf("%w: %d grants in %d bytes", ErrShort, count, len(b))
 	}
-	gs := make([]PutGrant, count)
-	for i := range gs {
+	for i := 0; i < count; i++ {
 		p := 4 + 17*i
-		gs[i] = PutGrant{
+		gs = append(gs, PutGrant{
 			Status: b[p],
 			RKey:   le.Uint32(b[p+1:]),
 			Off:    le.Uint64(b[p+5:]),
 			Len:    le.Uint32(b[p+13:]),
-		}
+		})
 	}
 	return gs, nil
 }
@@ -440,31 +403,24 @@ const getGrantSize = 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
 
 // EncodeGetOps packs a TGetBatch payload (carried in Msg.Value).
 func EncodeGetOps(ops []GetOp) []byte {
-	n := 4
-	for _, op := range ops {
-		n += 8 + len(op.Key)
-	}
-	b := make([]byte, n)
-	le := binary.LittleEndian
-	le.PutUint32(b, uint32(len(ops)))
-	p := 4
-	for _, op := range ops {
-		le.PutUint32(b[p:], op.Slot)
-		le.PutUint32(b[p+4:], uint32(len(op.Key)))
-		copy(b[p+8:], op.Key)
-		p += 8 + len(op.Key)
-	}
-	return b
+	return AppendGetOps(make([]byte, 0, GetOpsSize(ops)), ops)
 }
 
 // DecodeGetOps unpacks a TGetBatch payload.
 func DecodeGetOps(b []byte) ([]GetOp, error) {
+	return decodeGetOps(b, nil)
+}
+
+// decodeGetOps is the shared body of DecodeGetOps and DecodeGetOpsInto.
+func decodeGetOps(b []byte, ops []GetOp) ([]GetOp, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: get batch header", ErrShort)
 	}
 	le := binary.LittleEndian
 	count := int(le.Uint32(b))
-	ops := make([]GetOp, 0, capHint(count, len(b)-4, 8))
+	if cap(ops) == 0 {
+		ops = make([]GetOp, 0, capHint(count, len(b)-4, 8))
+	}
 	p := 4
 	for i := 0; i < count; i++ {
 		if len(b) < p+8 {
@@ -483,26 +439,17 @@ func DecodeGetOps(b []byte) ([]GetOp, error) {
 
 // EncodeGetGrants packs a TGetResults payload (carried in Msg.Value).
 func EncodeGetGrants(gs []GetGrant) []byte {
-	b := make([]byte, 4+getGrantSize*len(gs))
-	le := binary.LittleEndian
-	le.PutUint32(b, uint32(len(gs)))
-	p := 4
-	for _, g := range gs {
-		b[p] = g.Status
-		b[p+1] = g.Flags
-		le.PutUint32(b[p+2:], g.RKey)
-		le.PutUint32(b[p+6:], g.Slot)
-		le.PutUint32(b[p+10:], g.Len)
-		le.PutUint32(b[p+14:], g.KLen)
-		le.PutUint64(b[p+18:], g.Off)
-		le.PutUint64(b[p+26:], g.Seq)
-		p += getGrantSize
-	}
-	return b
+	return AppendGetGrants(make([]byte, 0, GetGrantsSize(gs)), gs)
 }
 
 // DecodeGetGrants unpacks a TGetResults payload.
 func DecodeGetGrants(b []byte) ([]GetGrant, error) {
+	return decodeGetGrants(b, nil)
+}
+
+// decodeGetGrants is the shared body of DecodeGetGrants and
+// DecodeGetGrantsInto.
+func decodeGetGrants(b []byte, gs []GetGrant) ([]GetGrant, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: get grant header", ErrShort)
 	}
@@ -511,10 +458,9 @@ func DecodeGetGrants(b []byte) ([]GetGrant, error) {
 	if len(b) < 4+getGrantSize*count {
 		return nil, fmt.Errorf("%w: %d get grants in %d bytes", ErrShort, count, len(b))
 	}
-	gs := make([]GetGrant, count)
-	for i := range gs {
+	for i := 0; i < count; i++ {
 		p := 4 + getGrantSize*i
-		gs[i] = GetGrant{
+		gs = append(gs, GetGrant{
 			Status: b[p],
 			Flags:  b[p+1],
 			RKey:   le.Uint32(b[p+2:]),
@@ -523,7 +469,7 @@ func DecodeGetGrants(b []byte) ([]GetGrant, error) {
 			KLen:   le.Uint32(b[p+14:]),
 			Off:    le.Uint64(b[p+18:]),
 			Seq:    le.Uint64(b[p+26:]),
-		}
+		})
 	}
 	return gs, nil
 }

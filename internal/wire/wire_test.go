@@ -124,3 +124,83 @@ func TestEmptyPayloadsDecodeNil(t *testing.T) {
 		t.Fatal("empty payloads should decode as nil")
 	}
 }
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	msgs := []Msg{
+		{Type: TPut, Token: 7, Crc: 0xdead, Len: 64, Key: []byte("k1"), Value: []byte("payload")},
+		{Type: TGetResp, Status: StOK, RKey: 9, Off: 1 << 20, Len: 96, KLen: 2},
+		{Type: TPut, Trace: 0x1234567890, Key: []byte("traced")},
+		{Type: TDelResp},
+	}
+	scratch := make([]byte, 0, 256)
+	for _, m := range msgs {
+		want := m.Encode()
+		if got := m.EncodedSize(); got != len(want) {
+			t.Fatalf("EncodedSize=%d, want %d", got, len(want))
+		}
+		scratch = scratch[:0]
+		scratch = m.AppendEncode(scratch)
+		if string(scratch) != string(want) {
+			t.Fatalf("AppendEncode differs from Encode for type %d", m.Type)
+		}
+		// Appending after existing bytes must leave the prefix intact.
+		pre := append([]byte{}, "prefix"...)
+		out := m.AppendEncode(pre)
+		if string(out[:6]) != "prefix" || string(out[6:]) != string(want) {
+			t.Fatalf("AppendEncode with prefix corrupted the buffer")
+		}
+	}
+}
+
+func TestAppendBatchPayloadsMatchEncode(t *testing.T) {
+	ops := []PutOp{{Crc: 1, VLen: 10, Key: []byte("a")}, {Crc: 2, VLen: 20, Key: []byte("bb")}}
+	if got, want := string(AppendPutOps(nil, ops)), string(EncodePutOps(ops)); got != want {
+		t.Fatalf("AppendPutOps differs from EncodePutOps")
+	}
+	if PutOpsSize(ops) != len(EncodePutOps(ops)) {
+		t.Fatalf("PutOpsSize mismatch")
+	}
+	grants := []PutGrant{{Status: StOK, RKey: 3, Off: 99, Len: 55}, {Status: StFull}}
+	if got, want := string(AppendPutGrants(nil, grants)), string(EncodePutGrants(grants)); got != want {
+		t.Fatalf("AppendPutGrants differs from EncodePutGrants")
+	}
+	gops := []GetOp{{Slot: NoSlot, Key: []byte("x")}, {Slot: 4, Key: []byte("yy")}}
+	if got, want := string(AppendGetOps(nil, gops)), string(EncodeGetOps(gops)); got != want {
+		t.Fatalf("AppendGetOps differs from EncodeGetOps")
+	}
+	ggrants := []GetGrant{{Status: StOK, Flags: GrantDurable, RKey: 1, Slot: 2, Len: 3, KLen: 4, Off: 5, Seq: 6}}
+	if got, want := string(AppendGetGrants(nil, ggrants)), string(EncodeGetGrants(ggrants)); got != want {
+		t.Fatalf("AppendGetGrants differs from EncodeGetGrants")
+	}
+}
+
+func TestDecodeIntoReusesBacking(t *testing.T) {
+	ops := []PutOp{{Crc: 1, VLen: 10, Key: []byte("a")}, {Crc: 2, VLen: 20, Key: []byte("bb")}}
+	payload := EncodePutOps(ops)
+	scratch := make([]PutOp, 0, 8)
+	out, err := DecodePutOpsInto(payload, scratch)
+	if err != nil || len(out) != 2 || &out[0] != &scratch[:1][0] {
+		t.Fatalf("DecodePutOpsInto must fill the provided backing: %v %d", err, len(out))
+	}
+	// Second decode reuses the same backing from [:0].
+	out2, err := DecodePutOpsInto(payload, out)
+	if err != nil || &out2[0] != &out[:1][0] {
+		t.Fatalf("repeat DecodePutOpsInto must not reallocate")
+	}
+	grants := []PutGrant{{Status: StOK, Off: 7}}
+	gp := EncodePutGrants(grants)
+	gscratch := make([]PutGrant, 0, 4)
+	gout, err := DecodePutGrantsInto(gp, gscratch)
+	if err != nil || len(gout) != 1 || gout[0].Off != 7 {
+		t.Fatalf("DecodePutGrantsInto: %v %+v", err, gout)
+	}
+	ggp := EncodeGetGrants([]GetGrant{{Status: StOK, Seq: 9}})
+	ggout, err := DecodeGetGrantsInto(ggp, make([]GetGrant, 0, 4))
+	if err != nil || len(ggout) != 1 || ggout[0].Seq != 9 {
+		t.Fatalf("DecodeGetGrantsInto: %v %+v", err, ggout)
+	}
+	gosOut, err := DecodeGetOpsInto(EncodeGetOps([]GetOp{{Slot: 3, Key: []byte("k")}}), make([]GetOp, 0, 4))
+	if err != nil || len(gosOut) != 1 || gosOut[0].Slot != 3 {
+		t.Fatalf("DecodeGetOpsInto: %v %+v", err, gosOut)
+	}
+}
