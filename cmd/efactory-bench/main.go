@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, hotpath, trace, ablate, sensitivity, rcommit, rebalance, failover, torture, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 9a-9d, 9, 10, 11, batch, getbatch, hotpath, trace, txn, ablate, sensitivity, rcommit, rebalance, failover, torture, or all")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	jsondir := flag.String("jsondir", "", "write each figure's raw results as BENCH_<fig>.json in this directory")
 	flag.Parse()
@@ -113,6 +113,9 @@ func main() {
 	}
 	if want("trace") {
 		run("tracing overhead", func() { save("trace", bench.FigTrace(os.Stdout, &par, sc)) })
+	}
+	if want("txn") {
+		run("txn commit sweep", func() { save("txn", bench.FigTxn(os.Stdout, &par, sc)) })
 	}
 	if want("ablate") {
 		run("ablations", func() { bench.Ablations(os.Stdout, &par, sc) })

@@ -5,6 +5,8 @@
 //	efactory-cli [-addr host:7420] put <key> <value>
 //	efactory-cli [-addr host:7420] get <key>
 //	efactory-cli [-addr host:7420] del <key>
+//	efactory-cli [-addr host:7420] txn put <key>=<value> [<key>=<value> ...]
+//	efactory-cli [-addr host:7420] txn get <key> [<key> ...]
 //	efactory-cli [-addr host:7420] stats [-json]
 //	efactory-cli [-addr host:7420] metrics [-json] [-cluster]
 //	efactory-cli [-addr host:7420] top [-interval 1s] [-n 0] [-cluster]
@@ -13,6 +15,11 @@
 //	efactory-cli [-addr host:7420] migrate <pg> <target-instance>
 //	efactory-cli [-addr host:7420] promote <dead-instance>
 //	efactory-cli [-addr host:7420] bench [-n 10000] [-vlen 256] [-batch 1] [-getbatch 1] [-hint-cache] [-adaptive] [-pipeline 0] [-trace-sample 0] [-slow-ms 0]
+//
+// txn put commits every pair atomically (all keys become visible
+// together, or none do — the commit is refused whole if any key is not
+// owned by the addressed server); txn get reads every key at one
+// consistent snapshot cut across shards.
 //
 // map prints the addressed server's current epoch-versioned cluster map
 // (placement-group ownership and backup assignments per instance).
@@ -97,6 +104,48 @@ func main() {
 			fatal("del: %v", err)
 		}
 		fmt.Println("OK")
+	case "txn":
+		if len(args) < 3 {
+			usage()
+		}
+		switch args[1] {
+		case "put":
+			keys := make([][]byte, 0, len(args)-2)
+			vals := make([][]byte, 0, len(args)-2)
+			for _, pair := range args[2:] {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || k == "" {
+					fatal("txn put: want key=value, got %q", pair)
+				}
+				keys = append(keys, []byte(k))
+				vals = append(vals, []byte(v))
+			}
+			id, errs := cl.TxnCommit(keys, vals)
+			for i, err := range errs {
+				if err != nil {
+					fatal("txn put %s: %v", keys[i], err)
+				}
+			}
+			fmt.Printf("committed txn %d (%d keys)\n", id, len(keys))
+		case "get":
+			keys := make([][]byte, len(args)-2)
+			for i, a := range args[2:] {
+				keys[i] = []byte(a)
+			}
+			vals, errs := cl.TxnRead(keys)
+			for i := range keys {
+				switch {
+				case errors.Is(errs[i], tcpkv.ErrNotFound):
+					fmt.Printf("%s: (not found)\n", keys[i])
+				case errs[i] != nil:
+					fatal("txn get %s: %v", keys[i], errs[i])
+				default:
+					fmt.Printf("%s: %s\n", keys[i], vals[i])
+				}
+			}
+		default:
+			usage()
+		}
 	case "stats":
 		fs := flag.NewFlagSet("stats", flag.ExitOnError)
 		asJSON := fs.Bool("json", false, "emit JSON")
@@ -522,7 +571,7 @@ func runBench(cl *tcpkv.Client, n, vlen, batch, getBatch int, hintCache, adaptiv
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|stats|metrics|top|slow|map|migrate|promote|bench ...")
+	fmt.Fprintln(os.Stderr, "usage: efactory-cli [-addr host:port] put|get|del|txn|stats|metrics|top|slow|map|migrate|promote|bench ...")
 	os.Exit(2)
 }
 

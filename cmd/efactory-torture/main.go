@@ -7,7 +7,7 @@
 // Usage:
 //
 //	efactory-torture [-transport store|sim|tcp|all] [-seeds n] [-points k]
-//	                 [-ops n] [-keys n] [-survival f] [-get-batch]
+//	                 [-ops n] [-keys n] [-survival f] [-get-batch] [-txn]
 //
 // -points <= 0 sweeps every boundary (store and sim transports only; the
 // wall-clock tcp transport is capped). Exits 1 if any crash point leaves
@@ -30,6 +30,7 @@ func main() {
 	keys := flag.Int("keys", 0, "hot keyset size (0 = harness default)")
 	survival := flag.Float64("survival", 0, "fraction of unflushed dirty lines surviving each crash (0 = strict power failure)")
 	getBatch := flag.Bool("get-batch", true, "also sweep a leg whose GETs go through batched multi-GET + hint cache")
+	txnLeg := flag.Bool("txn", true, "also sweep a leg with multi-key transactional commits and snapshot reads")
 	flag.Parse()
 
 	spec := bench.TortureSpec{
@@ -38,6 +39,7 @@ func main() {
 		Keys:     *keys,
 		Survival: *survival,
 		GetBatch: *getBatch,
+		Txn:      *txnLeg,
 	}
 	switch *transport {
 	case "all":

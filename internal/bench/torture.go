@@ -30,6 +30,7 @@ type TortureSpec struct {
 	BGBatch    int // background verification batch size (<= 1: per-object)
 	Survival   float64
 	GetBatch   bool // also sweep a leg whose GETs go through batched multi-GET + hint cache
+	Txn        bool // also sweep a leg with multi-key commits and snapshot reads
 }
 
 // DefaultTortureSpec returns the sweep shape used by -fig torture: quick
@@ -43,6 +44,7 @@ func DefaultTortureSpec(quick bool) TortureSpec {
 			Points:     25,
 			Ops:        40,
 			GetBatch:   true,
+			Txn:        true,
 		}
 	}
 	return TortureSpec{
@@ -51,6 +53,7 @@ func DefaultTortureSpec(quick bool) TortureSpec {
 		Points:     0, // every boundary (store, sim); tcp capped
 		Ops:        60,
 		GetBatch:   true,
+		Txn:        true,
 	}
 }
 
@@ -104,6 +107,14 @@ func Torture(w io.Writer, spec TortureSpec) int {
 				label string
 				cfg   fault.Config
 			}{tr + "+gb", gb})
+		}
+		if spec.Txn {
+			tx := cfg
+			tx.Txn = true
+			legs = append(legs, struct {
+				label string
+				cfg   fault.Config
+			}{tr + "+txn", tx})
 		}
 		for _, leg := range legs {
 			sr, err := fault.Sweep(run, leg.cfg, spec.Seeds, points)

@@ -14,6 +14,7 @@ import (
 	"efactory/internal/sim"
 	"efactory/internal/store"
 	"efactory/internal/trace"
+	"efactory/internal/txn"
 	"efactory/internal/wire"
 )
 
@@ -93,6 +94,7 @@ type Server struct {
 	nic  *rnic.NIC
 	dev  *nvm.Memory
 	st   *store.Store
+	txn  *txn.Manager
 	sink *simSink
 
 	tableMR []*rnic.MR
@@ -160,6 +162,10 @@ func (s *Server) initStore() store.RecoveryStats {
 		panic("efactory: " + err.Error())
 	}
 	s.st = st
+	// The commit lock is a no-op for the same reason the engine locks are:
+	// the commit section never yields, so the scheduler cannot interleave
+	// another process inside it.
+	s.txn = txn.NewManager(st, nopLocker{})
 	l := st.Layout()
 	s.tableMR = make([]*rnic.MR, l.Shards)
 	s.poolMR = make([][2]*rnic.MR, l.Shards)
@@ -330,6 +336,10 @@ func (s *Server) worker(p *sim.Proc) {
 			s.handleGetBatch(p, h, msg.From, m)
 		case wire.TDel:
 			s.handleDel(p, h, msg.From, eng, m)
+		case wire.TTxnCommit:
+			s.handleTxnCommit(p, h, msg.From, m)
+		case wire.TTxnRead:
+			s.handleTxnRead(p, h, msg.From, m)
 		}
 		if tc != nil {
 			end := uint64(s.env.Now())
@@ -352,6 +362,10 @@ func serverOpName(t uint8) string {
 		return "get_batch"
 	case wire.TDel:
 		return "del"
+	case wire.TTxnCommit:
+		return "txn_commit"
+	case wire.TTxnRead:
+		return "txn_read"
 	}
 	return "op"
 }
@@ -496,6 +510,71 @@ func (s *Server) handleDel(p *sim.Proc, h any, from *rnic.Endpoint, eng *store.E
 	}
 	s.reply(p, from, eng, wire.Msg{Type: wire.TDelResp, Status: wire.StOK})
 }
+
+// wireStatus maps an engine status to its wire code.
+func wireStatus(st store.Status) uint8 {
+	switch st {
+	case store.StatusOK:
+		return wire.StOK
+	case store.StatusNotFound:
+		return wire.StNotFound
+	case store.StatusFull:
+		return wire.StFull
+	}
+	return wire.StError
+}
+
+// handleTxnCommit applies a multi-key transaction: the ops arrive in one
+// doorbell-grouped message (values inline — staging is server-driven,
+// there is no one-sided write phase), the manager stages and commits
+// them, and the reply carries the transaction id plus index-aligned
+// per-op statuses.
+func (s *Server) handleTxnCommit(p *sim.Proc, h any, from *rnic.Endpoint, m wire.Msg) {
+	ops, err := wire.DecodeTxnOps(m.Value)
+	if err != nil {
+		s.replyAny(p, from, wire.Msg{Type: wire.TTxnCommitResp, Status: wire.StError})
+		return
+	}
+	keys := make([][]byte, len(ops))
+	vals := make([][]byte, len(ops))
+	for i, op := range ops {
+		keys[i], vals[i] = op.Key, op.Value
+	}
+	id, per, st := s.txn.Commit(h, keys, vals)
+	sts := make([]uint8, len(per))
+	for i, pst := range per {
+		sts[i] = wireStatus(pst)
+	}
+	s.replyAny(p, from, wire.Msg{
+		Type: wire.TTxnCommitResp, Status: wireStatus(st),
+		Off: id, Value: wire.EncodeTxnStatuses(sts),
+	})
+}
+
+// handleTxnRead serves a snapshot-isolated multi-key read: every key is
+// resolved at one cut pinned across shards. Values return inline (the
+// RPC read path) — the server already walked to the snapshot's version,
+// so there is no durable-location grant for a one-sided follow-up.
+func (s *Server) handleTxnRead(p *sim.Proc, h any, from *rnic.Endpoint, m wire.Msg) {
+	ops, err := wire.DecodeGetOps(m.Value)
+	if err != nil {
+		s.replyAny(p, from, wire.Msg{Type: wire.TTxnReadResp, Status: wire.StError})
+		return
+	}
+	keys := make([][]byte, len(ops))
+	for i, op := range ops {
+		keys[i] = op.Key
+	}
+	res := s.txn.SnapshotGet(h, keys)
+	rs := make([]wire.TxnResult, len(res))
+	for i, r := range res {
+		rs[i] = wire.TxnResult{Status: wireStatus(r.Status), Seq: r.Seq, Value: r.Value}
+	}
+	s.replyAny(p, from, wire.Msg{Type: wire.TTxnReadResp, Status: wire.StOK, Value: wire.EncodeTxnResults(rs)})
+}
+
+// Txn exposes the transaction manager (tests and tortures).
+func (s *Server) Txn() *txn.Manager { return s.txn }
 
 // broadcast notifies every connected client (cleaning start/end).
 func (s *Server) broadcast(p *sim.Proc, typ uint8) {

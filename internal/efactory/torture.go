@@ -115,6 +115,44 @@ func RunSimTorture(tc fault.Config) (fault.Result, error) {
 				} else if err == nil && resp.Status == wire.StOK {
 					oracle.PutAcked(key, val, false)
 				}
+			case kind >= 72 && kind < 85 && tc.Txn: // TXN: snapshot reads and multi-key commits
+				// Both sub-choice draws happen unconditionally so boundary
+				// numbering stays identical across crash points.
+				snap := rng.IntN(4) == 0
+				n := 2 + rng.IntN(fault.TxnMaxOps-1)
+				if n > tc.Keys {
+					n = tc.Keys // commits require distinct keys
+				}
+				keys := make([][]byte, n)
+				for j := range keys {
+					keys[j] = []byte(fmt.Sprintf("key-%02d", (keyIdx+j)%tc.Keys))
+				}
+				if snap {
+					vals, errs := cl.TxnRead(p, keys)
+					if !plan.Tripped() {
+						for i := range keys {
+							if errs[i] == nil {
+								if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
+									violations = append(violations, "live: "+v)
+								}
+							}
+						}
+					}
+					break
+				}
+				vals := make([][]byte, n)
+				for j := range keys {
+					vals[j] = fault.WorkloadValue(tc.Seed, string(keys[j]), op, tc.ValueLen)
+				}
+				id, errs := cl.TxnCommit(p, keys, vals)
+				switch {
+				case plan.Tripped():
+					// The crash landed inside the commit: the whole
+					// transaction may be in or out, never partial.
+					oracle.TxnPending(id, keys, vals)
+				case errs[0] == nil:
+					oracle.TxnCommitted(id, keys, vals)
+				}
 			case kind < 85 && !tc.GetBatch: // GET: hybrid read, observes durability
 				got, err := cl.Get(p, key)
 				if !plan.Tripped() && err == nil {

@@ -91,3 +91,45 @@ func TestSimTortureSweepGetBatch(t *testing.T) {
 		t.Fatalf("sweep ran only %d runs", sr.Runs)
 	}
 }
+
+// TestSimTortureSweepTxn reruns the sim sweep with the transactional
+// workload leg: multi-key commits (one doorbell-grouped RPC) and snapshot
+// reads over the wire, so crash points land inside staging, the commit
+// record, the visibility flips, and the commit response path.
+func TestSimTortureSweepTxn(t *testing.T) {
+	cfg := simTortureConfig()
+	cfg.Txn = true
+	points := 0 // every boundary
+	if testing.Short() {
+		points = 15
+	}
+	sr, err := fault.Sweep(RunSimTorture, cfg, []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
+
+// TestSimTortureTxnCoverage: the sim txn leg must actually commit and
+// snapshot-read through the server's transaction manager.
+func TestSimTortureTxnCoverage(t *testing.T) {
+	cfg := simTortureConfig()
+	cfg.Txn = true
+	cfg.Seed = 5
+	cfg.Ops = 120
+	res, err := RunSimTorture(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Stats.TxnCommits == 0 || res.Stats.TxnReads == 0 {
+		t.Errorf("txn leg coverage too thin: %+v", res.Stats)
+	}
+}

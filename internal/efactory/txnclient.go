@@ -1,0 +1,111 @@
+package efactory
+
+import (
+	"fmt"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/sim"
+	"efactory/internal/wire"
+)
+
+// ErrTxnAborted is returned for every op of a transaction the server
+// rejected for a reason other than pool/table pressure (which maps to
+// ErrServerFull): the transaction applied none of its ops.
+var ErrTxnAborted = fmt.Errorf("efactory: transaction aborted")
+
+// TxnCommit commits keys[i] -> vals[i] atomically: all ops become
+// visible together or none do. The ops travel in one doorbell-grouped
+// message (values inline — staging is server-driven) and the commit is a
+// single RPC. It returns the transaction id and per-op errors
+// index-aligned with keys; on failure every op carries the abort reason,
+// because no op of a failed transaction is applied.
+func (c *Client) TxnCommit(p *sim.Proc, keys, vals [][]byte) (uint64, []error) {
+	if len(keys) != len(vals) {
+		panic("efactory: TxnCommit keys/vals length mismatch")
+	}
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return 0, errs
+	}
+	c.drainNotifications()
+	tc, tr0 := c.beginTrace("txn_commit", kv.HashKey(keys[0]))
+	fail := func(err error) (uint64, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		c.endTrace(tc, tr0, err)
+		return 0, errs
+	}
+	ops := make([]wire.TxnOp, len(keys))
+	tCRC := c.nowNS()
+	for i := range keys {
+		p.Sleep(c.par.CRCTime(len(vals[i])))
+		ops[i] = wire.TxnOp{Crc: crc.Checksum(vals[i]), Key: keys[i], Value: vals[i]}
+	}
+	tc.Add("client_crc", tCRC, c.nowNS())
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TTxnCommit, Value: wire.EncodeTxnOps(ops), Trace: tc.ID()})
+	tc.Add("commit_rpc", tRPC, c.nowNS())
+	if err != nil {
+		return fail(err)
+	}
+	switch resp.Status {
+	case wire.StOK:
+	case wire.StFull:
+		return fail(ErrServerFull)
+	default:
+		return fail(ErrTxnAborted)
+	}
+	c.endTrace(tc, tr0, nil)
+	return resp.Off, errs
+}
+
+// TxnRead snapshot-reads keys at one consistent cut across shards. It
+// returns index-aligned values and errors: an absent key yields
+// ErrNotFound for its index and a nil value.
+func (c *Client) TxnRead(p *sim.Proc, keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return vals, errs
+	}
+	c.drainNotifications()
+	tc, tr0 := c.beginTrace("txn_read", kv.HashKey(keys[0]))
+	fail := func(err error) ([][]byte, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		c.endTrace(tc, tr0, err)
+		return vals, errs
+	}
+	ops := make([]wire.GetOp, len(keys))
+	for i, key := range keys {
+		ops[i] = wire.GetOp{Slot: wire.NoSlot, Key: key}
+	}
+	tRPC := c.nowNS()
+	resp, err := c.rpc(p, wire.Msg{Type: wire.TTxnRead, Value: wire.EncodeGetOps(ops), Trace: tc.ID()})
+	tc.Add("txn_read_rpc", tRPC, c.nowNS())
+	if err != nil {
+		return fail(err)
+	}
+	if resp.Status != wire.StOK {
+		return fail(fmt.Errorf("efactory: txn read failed with status %d", resp.Status))
+	}
+	rs, err := wire.DecodeTxnResults(resp.Value)
+	if err != nil || len(rs) != len(keys) {
+		return fail(fmt.Errorf("efactory: malformed txn read response: %v", err))
+	}
+	for i, r := range rs {
+		switch r.Status {
+		case wire.StOK:
+			vals[i] = append([]byte(nil), r.Value...)
+		case wire.StNotFound:
+			errs[i] = ErrNotFound
+		default:
+			errs[i] = fmt.Errorf("efactory: txn read op %d failed with status %d", i, r.Status)
+		}
+	}
+	c.endTrace(tc, tr0, nil)
+	return vals, errs
+}

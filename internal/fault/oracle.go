@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,11 +29,26 @@ type Oracle struct {
 	mu   sync.Mutex
 	keys map[string]*keyHist
 
+	// txns retains every transactional commit group for the atomicity
+	// check ("all-in or all-out"); keyTxns indexes which transaction ids
+	// ever wrote a key, so a per-key violation can name the transactions
+	// involved.
+	txns    []txnGroup
+	keyTxns map[string][]uint64
+
 	// spanDump, when set, renders the retained trace spans touching a
 	// key; violations append its output so a failing torture run shows
 	// WHAT the system was doing to the key around the inconsistency, not
 	// just that the recovered bytes are wrong.
 	spanDump func(key string) string
+}
+
+// txnGroup is one multi-key transactional commit the workload attempted.
+type txnGroup struct {
+	id    uint64
+	keys  [][]byte
+	vals  [][]byte
+	acked bool // commit acknowledged (vs straddling the crash point)
 }
 
 // SetSpanDump installs the per-key span-timeline renderer appended to
@@ -78,7 +94,7 @@ type keyHist struct {
 
 // NewOracle returns an empty history.
 func NewOracle() *Oracle {
-	return &Oracle{keys: make(map[string]*keyHist)}
+	return &Oracle{keys: make(map[string]*keyHist), keyTxns: make(map[string][]uint64)}
 }
 
 func (o *Oracle) hist(key []byte) *keyHist {
@@ -120,6 +136,60 @@ func (o *Oracle) DelPending(key []byte) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.hist(key).pendingDel = true
+}
+
+// TxnCommitted records an acknowledged multi-key transactional commit.
+// The ack is a durability promise for the whole group — the commit
+// record and every staged value are persisted before the server answers
+// — so each value is recorded both as an acknowledged complete PUT and
+// as observed-durable: recovery must produce it (or something newer),
+// and absence is a lost transaction, not a timed-out write. The group is
+// retained so Check can name the transaction when any of its keys
+// diverges.
+func (o *Oracle) TxnCommitted(id uint64, keys, vals [][]byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g := txnGroup{id: id, acked: true}
+	for i := range keys {
+		h := o.hist(keys[i])
+		v := append([]byte(nil), vals[i]...)
+		h.events = append(h.events, event{kind: evPut, value: v, complete: true})
+		h.events = append(h.events, event{kind: evDurable, value: v})
+		g.keys = append(g.keys, append([]byte(nil), keys[i]...))
+		g.vals = append(g.vals, v)
+		o.keyTxns[string(keys[i])] = append(o.keyTxns[string(keys[i])], id)
+	}
+	o.txns = append(o.txns, g)
+}
+
+// TxnPending records a commit that straddled the crash point: the crash
+// may have landed before, inside, or after the commit record, so each
+// key's transactional value is individually acceptable — but the group
+// must still recover all-in or all-out, which Check enforces.
+func (o *Oracle) TxnPending(id uint64, keys, vals [][]byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g := txnGroup{id: id}
+	for i := range keys {
+		h := o.hist(keys[i])
+		v := append([]byte(nil), vals[i]...)
+		h.pendingPut = append(h.pendingPut, v)
+		g.keys = append(g.keys, append([]byte(nil), keys[i]...))
+		g.vals = append(g.vals, v)
+		o.keyTxns[string(keys[i])] = append(o.keyTxns[string(keys[i])], id)
+	}
+	o.txns = append(o.txns, g)
+}
+
+// txnTag names the transactions that ever wrote key, so a per-key
+// violation on a transactional key identifies the offending commits.
+// Callers hold o.mu.
+func (o *Oracle) txnTag(key string) string {
+	ids := o.keyTxns[key]
+	if len(ids) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (txns touching key: %v)", ids)
 }
 
 // ObserveGet records and checks a live GET against the history so far:
@@ -302,7 +372,7 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 		switch {
 		case !found && !allowAbsent:
 			violations = append(violations, o.withSpans(k, fmt.Sprintf(
-				"key %q: observed-durable value lost (recovered absent, want %s)", k, valueSet(acceptable))))
+				"key %q: observed-durable value lost (recovered absent, want %s)%s", k, valueSet(acceptable), o.txnTag(k))))
 		case found && !acceptable[string(got)]:
 			kind := "torn or unknown value"
 			if deleted && o.valueBeforeLastDel(h, got) {
@@ -311,7 +381,44 @@ func (o *Oracle) Check(get func(key string) (value []byte, found bool)) []string
 				kind = "version regressed past an observed-durable version"
 			}
 			violations = append(violations, o.withSpans(k, fmt.Sprintf(
-				"key %q: %s: recovered %.40q, want %s", k, kind, got, valueSet(acceptable))))
+				"key %q: %s: recovered %.40q, want %s%s", k, kind, got, valueSet(acceptable), o.txnTag(k))))
+		}
+	}
+	violations = append(violations, o.checkTxnsLocked(get)...)
+	return violations
+}
+
+// checkTxnsLocked enforces transactional atomicity on the recovered
+// state: a commit that straddled the crash point must recover all-in or
+// all-out. (Acknowledged commits are enforced through the per-key
+// histories — each op is observed-durable, so losing ANY of them already
+// violates the key check above, with the transaction id in the message.)
+// A straddling commit is always the workload's last operation, so no
+// later write can legally mask part of its group: a mix of applied and
+// unapplied ops is exactly a torn transaction. Callers hold o.mu.
+func (o *Oracle) checkTxnsLocked(get func(key string) (value []byte, found bool)) []string {
+	var violations []string
+	for _, g := range o.txns {
+		if g.acked {
+			continue
+		}
+		applied, missing := 0, 0
+		firstMissing := ""
+		for i := range g.keys {
+			got, found := get(string(g.keys[i]))
+			if found && bytes.Equal(got, g.vals[i]) {
+				applied++
+			} else {
+				missing++
+				if firstMissing == "" {
+					firstMissing = string(g.keys[i])
+				}
+			}
+		}
+		if applied > 0 && missing > 0 {
+			violations = append(violations, o.withSpans(firstMissing, fmt.Sprintf(
+				"txn %d: torn transaction: %d of %d ops recovered (first missing key %q) — a transaction must be all-in or all-out",
+				g.id, applied, len(g.keys), firstMissing)))
 		}
 	}
 	return violations

@@ -205,3 +205,65 @@ func TestOracleBatchTornValueCaught(t *testing.T) {
 		t.Fatalf("not-found index must be skipped, got %v", vs)
 	}
 }
+
+// mapGet serves Check from a plain map: the recovered-state stand-in for
+// the transactional oracle tests.
+func mapGet(m map[string]string) func(string) ([]byte, bool) {
+	return func(k string) ([]byte, bool) {
+		v, ok := m[k]
+		return []byte(v), ok
+	}
+}
+
+func TestOracleTxnCommittedMustSurviveWhole(t *testing.T) {
+	o := NewOracle()
+	keys := [][]byte{[]byte("a"), []byte("b")}
+	vals := [][]byte{[]byte("va"), []byte("vb")}
+	o.TxnCommitted(7, keys, vals)
+	if vs := o.Check(mapGet(map[string]string{"a": "va", "b": "vb"})); len(vs) != 0 {
+		t.Fatalf("intact committed txn flagged: %v", vs)
+	}
+	// An acked commit is a durability promise per key: losing any op is a
+	// lost-value violation, and it must name the transaction.
+	vs := o.Check(mapGet(map[string]string{"a": "va"}))
+	if len(vs) != 1 || !strings.Contains(vs[0], "lost") || !strings.Contains(vs[0], "txn") {
+		t.Fatalf("want one lost violation naming the txn, got %v", vs)
+	}
+}
+
+func TestOracleTxnPendingAllInOrAllOut(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	vals := [][]byte{[]byte("va"), []byte("vb"), []byte("vc")}
+	for _, tc := range []struct {
+		name      string
+		recovered map[string]string
+		violation string // substring of the single expected violation, "" = none
+	}{
+		{"all-out", map[string]string{}, ""},
+		{"all-in", map[string]string{"a": "va", "b": "vb", "c": "vc"}, ""},
+		{"partial", map[string]string{"a": "va", "c": "vc"}, "torn transaction"},
+	} {
+		o := NewOracle()
+		o.TxnPending(9, keys, vals)
+		vs := o.Check(mapGet(tc.recovered))
+		if tc.violation == "" {
+			if len(vs) != 0 {
+				t.Fatalf("%s: pending txn flagged: %v", tc.name, vs)
+			}
+			continue
+		}
+		if len(vs) != 1 || !strings.Contains(vs[0], tc.violation) || !strings.Contains(vs[0], "txn 9") {
+			t.Fatalf("%s: want one %q violation naming txn 9, got %v", tc.name, tc.violation, vs)
+		}
+	}
+}
+
+func TestOracleTxnViolationCarriesSpanTimeline(t *testing.T) {
+	o := NewOracle()
+	o.SetSpanDump(func(key string) string { return "timeline-of-" + key })
+	o.TxnPending(3, [][]byte{[]byte("a"), []byte("b")}, [][]byte{[]byte("va"), []byte("vb")})
+	vs := o.Check(mapGet(map[string]string{"a": "va"}))
+	if len(vs) != 1 || !strings.Contains(vs[0], "timeline-of-b") {
+		t.Fatalf("torn-txn violation must attach the missing key's trace timeline, got %v", vs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"efactory/internal/kv"
 	"efactory/internal/nvm"
 	"efactory/internal/store"
+	"efactory/internal/txn"
 )
 
 // Config parameterizes one store-level torture run: a seeded mixed
@@ -34,7 +35,18 @@ type Config struct {
 	Survival      float64       // fraction of unflushed dirty lines surviving the crash (default 0: strict power failure)
 	CrashAt       int64         // trip at this boundary; <= 0 = run to completion, crash at end
 	GetBatch      bool          // serve the GET slice as 4-key batched multi-GETs (client transports also enable the hint cache)
+	// Txn carves a transactional leg out of the GET slice: multi-key
+	// atomic commits (2-4 distinct hot keys each) and snapshot multi-key
+	// reads. The crash sweep then visits every boundary of the commit
+	// protocol — staging charges and flushes, the commit-record append and
+	// flush, the visibility flips, the applied mark — and the oracle holds
+	// commits to "all-in or all-out, and acked commits survive".
+	Txn bool
 }
+
+// TxnMaxOps is the widest transactional commit the torture workload
+// issues (key count per commit is 2..TxnMaxOps, distinct hot keys).
+const TxnMaxOps = 4
 
 // GetBatchFan is the batch width of the GetBatch workload leg: each GET op
 // becomes one multi-GET over the drawn key plus three more hot keys.
@@ -147,6 +159,10 @@ func RunStore(cfg Config) (Result, error) {
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xfa17_707e))
 	var violations []string
 	claimed := make(map[string]bool) // keys ever successfully allocated
+	var mgr *txn.Manager
+	if cfg.Txn {
+		mgr = txn.NewManager(st, nopLocker{})
+	}
 
 	for op := 0; op < cfg.Ops && !plan.Tripped(); op++ {
 		if cfg.CleanEvery > 0 && op > 0 && op%cfg.CleanEvery == 0 {
@@ -200,6 +216,49 @@ func RunStore(cfg Config) (Result, error) {
 			if pr.Status == store.StatusOK {
 				claimed[string(key)] = true
 				oracle.PutAcked(key, val, false)
+			}
+		case kind >= 72 && kind < 85 && cfg.Txn: // TXN: snapshot reads and multi-key commits
+			// Both sub-choice draws happen unconditionally so the workload's
+			// boundary numbering stays identical across crash points.
+			snap := rng.IntN(4) == 0
+			n := 2 + rng.IntN(TxnMaxOps-1)
+			if n > cfg.Keys {
+				n = cfg.Keys // commits require distinct keys
+			}
+			keys := make([][]byte, n)
+			for j := range keys {
+				keys[j] = []byte(fmt.Sprintf("key-%02d", (keyIdx+j)%cfg.Keys))
+			}
+			if snap {
+				// Snapshot multi-key read at one cut; each hit is a durability
+				// observation like any GET (the store harness is sequential,
+				// so exact per-key checking applies).
+				for i, r := range mgr.SnapshotGet(nil, keys) {
+					if !plan.Tripped() && r.Status == store.StatusOK {
+						if v := oracle.ObserveGet(keys[i], r.Value, true); v != "" {
+							violations = append(violations, "live: "+v)
+						}
+					}
+				}
+				break
+			}
+			vals := make([][]byte, n)
+			for j := range keys {
+				vals[j] = WorkloadValue(cfg.Seed, string(keys[j]), op, cfg.ValueLen)
+			}
+			id, _, cst := mgr.Commit(nil, keys, vals)
+			if cst == store.StatusOK {
+				// The flip claimed table slots in memory even if the device
+				// froze mid-commit, so the capacity invariant counts these
+				// keys either way.
+				for _, k := range keys {
+					claimed[string(k)] = true
+				}
+				if plan.Tripped() {
+					oracle.TxnPending(id, keys, vals)
+				} else {
+					oracle.TxnCommitted(id, keys, vals)
+				}
 			}
 		case kind < 85 && !cfg.GetBatch: // GET: observe durability
 			gr := eng.Get(nil, key)

@@ -377,3 +377,56 @@ func TestTortureGetBatchCoverageAndDeterminism(t *testing.T) {
 		t.Errorf("non-deterministic batched runs: %+v vs %+v", b1, b2)
 	}
 }
+
+// TestTortureSweepStoreTxn reruns the store-level sweep with the
+// transactional workload leg: multi-key commits and snapshot reads, with
+// a crash at every boundary of the commit protocol — staging charges and
+// flushes, the commit-record append, the visibility flips, the applied
+// mark. The oracle holds every commit to "all-in or all-out, and acked
+// commits survive".
+func TestTortureSweepStoreTxn(t *testing.T) {
+	cfg := Config{Ops: 80, Shards: 2, Txn: true}
+	maxPoints := 0 // every boundary
+	if testing.Short() {
+		maxPoints = 40
+	}
+	sr, err := SweepStore(cfg, []uint64{1, 2, 3}, maxPoints)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 10 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}
+
+// TestTortureTxnCoverageAndDeterminism: the txn leg must really commit
+// and snapshot-read through the transaction manager, and stay a pure
+// function of the config.
+func TestTortureTxnCoverageAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 160, Shards: 2, Txn: true}
+	a, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+	if a.Stats.TxnCommits == 0 || a.Stats.TxnStages == 0 || a.Stats.TxnReads == 0 {
+		t.Errorf("txn leg coverage too thin: %+v", a.Stats)
+	}
+	cfg.CrashAt = 300
+	b1, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Boundaries != b2.Boundaries || b1.Tripped != b2.Tripped || len(b1.Violations) != len(b2.Violations) {
+		t.Errorf("non-deterministic txn runs: %+v vs %+v", b1, b2)
+	}
+}

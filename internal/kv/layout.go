@@ -26,10 +26,11 @@ import (
 //	32     4    CRC       checksum of the value bytes
 //	36     4    KLen      key length
 //	40     4    VLen      value length
-//	44     1    Flags     Valid | Durable | Trans bits
+//	44     1    Flags     Valid | Durable | Trans | Txn | TxnRec bits
 //	45     3    (pad)
 //	48     4    Magic     layout guard, set at allocation
-//	52     12   (reserved)
+//	52     4    (reserved)
+//	56     8    TxnID     transaction id (0 outside transactions)
 //	64     ...  key bytes, padded to 8
 //	...    ...  value bytes
 //
@@ -48,6 +49,7 @@ const (
 	offVLen      = 40
 	offFlags     = 44
 	offMagic     = 48
+	offTxnID     = 56
 )
 
 // NilPtr marks the absence of a previous/next version.
@@ -61,6 +63,8 @@ const (
 	FlagValid   = 1 << 0 // version participates in its object's chain
 	FlagDurable = 1 << 1 // verified + persisted (the durability flag)
 	FlagTrans   = 1 << 2 // previous version migrated to the new pool
+	FlagTxn     = 1 << 3 // staged by an uncommitted transaction (invisible)
+	FlagTxnRec  = 1 << 4 // transaction commit record (not key data)
 )
 
 // Header is the decoded object metadata.
@@ -74,6 +78,7 @@ type Header struct {
 	VLen      int
 	Flags     uint8
 	Magic     uint32
+	TxnID     uint64
 }
 
 // Valid reports the valid bit.
@@ -84,6 +89,13 @@ func (h *Header) Durable() bool { return h.Flags&FlagDurable != 0 }
 
 // Trans reports the transfer flag.
 func (h *Header) Trans() bool { return h.Flags&FlagTrans != 0 }
+
+// Staged reports whether the object is a transaction-staged version that
+// has not been committed (never visible to reads or recovery).
+func (h *Header) Staged() bool { return h.Flags&FlagTxn != 0 && h.Flags&FlagValid == 0 }
+
+// TxnRec reports whether the object is a transaction commit record.
+func (h *Header) IsTxnRec() bool { return h.Flags&FlagTxnRec != 0 }
 
 // EncodeHeader serializes h into a HeaderSize-byte buffer.
 func EncodeHeader(h *Header) []byte {
@@ -97,6 +109,7 @@ func EncodeHeader(h *Header) []byte {
 	binary.LittleEndian.PutUint32(b[offVLen:], uint32(h.VLen))
 	b[offFlags] = h.Flags
 	binary.LittleEndian.PutUint32(b[offMagic:], h.Magic)
+	binary.LittleEndian.PutUint64(b[offTxnID:], h.TxnID)
 	return b
 }
 
@@ -112,6 +125,7 @@ func DecodeHeader(b []byte) Header {
 		VLen:      int(binary.LittleEndian.Uint32(b[offVLen:])),
 		Flags:     b[offFlags],
 		Magic:     binary.LittleEndian.Uint32(b[offMagic:]),
+		TxnID:     binary.LittleEndian.Uint64(b[offTxnID:]),
 	}
 }
 
@@ -149,7 +163,7 @@ func WriteHeader(dev nvm.Device, base int, off uint64, h *Header) {
 	dev.Write8(a+offCRC, uint64(h.CRC)|uint64(uint32(h.KLen))<<32)
 	dev.Write8(a+offVLen, uint64(uint32(h.VLen))|uint64(h.Flags)<<32)
 	dev.Write8(a+offMagic, uint64(h.Magic))
-	dev.Write8(a+offMagic+8, 0)
+	dev.Write8(a+offTxnID, h.TxnID)
 }
 
 // ReadHeader loads a header from pool offset off through the coherent
@@ -173,6 +187,7 @@ func ReadHeader(dev nvm.Device, base int, off uint64) Header {
 		VLen:      int(uint32(wVLen)),
 		Flags:     uint8(wVLen >> 32),
 		Magic:     uint32(wMagic),
+		TxnID:     dev.Read8(a + offTxnID),
 	}
 }
 

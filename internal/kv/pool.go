@@ -173,6 +173,26 @@ func (p *Pool) SetNextPtr(off uint64, next uint64) {
 	p.dev.Drain()
 }
 
+// SetVersionSeq updates and persists the Seq word of the object at off
+// (an 8-byte atomic store: the field is 8-aligned within the header). The
+// transaction layer uses it to assign a staged version its commit-time
+// sequence number.
+func (p *Pool) SetVersionSeq(off uint64, seq uint64) {
+	addr := p.base + int(off) + offSeq
+	p.dev.Write8(addr, seq)
+	p.dev.Flush(addr, 8)
+	p.dev.Drain()
+}
+
+// SetPrePtr updates and persists the PrePtr word of the object at off,
+// linking a committing staged version to the previous version of its key.
+func (p *Pool) SetPrePtr(off uint64, pre uint64) {
+	addr := p.base + int(off) + offPrePtr
+	p.dev.Write8(addr, pre)
+	p.dev.Flush(addr, 8)
+	p.dev.Drain()
+}
+
 // SetFlags updates and persists the flags byte of the object at off.
 func (p *Pool) SetFlags(off uint64, flags uint8) {
 	SetFlags(p.dev, p.base, off, flags)

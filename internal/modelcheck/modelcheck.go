@@ -55,6 +55,10 @@ func (k OpKind) String() string {
 		return "put-batch"
 	case OpGetBatch:
 		return "get-batch"
+	case OpTxnCommit:
+		return "txn-commit"
+	case OpTxnRead:
+		return "txn-read"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -143,23 +147,29 @@ func DiffSteps(kv KV, notFound error, ops []Op, step func(i int)) error {
 	return nil
 }
 
-func diffOne(kv KV, notFound error, oracle map[string][]byte, op Op) error {
-	checkGet := func(key, val []byte, err error) error {
-		want, ok := oracle[string(key)]
-		if !ok {
-			if !errors.Is(err, notFound) {
-				return fmt.Errorf("key %s: absent in model, got val=%q err=%v", key, val, err)
-			}
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("key %s: %w (model has %d bytes)", key, err, len(want))
-		}
-		if !bytes.Equal(val, want) {
-			return fmt.Errorf("key %s: value diverged: got %d bytes %.32q, model %d bytes %.32q",
-				key, len(val), val, len(want), want)
+// checkGetAgainst verifies one read result (val, err) for key against the
+// model; shared by the single, batched, and transactional read checks.
+func checkGetAgainst(oracle map[string][]byte, notFound error, key, val []byte, err error) error {
+	want, ok := oracle[string(key)]
+	if !ok {
+		if !errors.Is(err, notFound) {
+			return fmt.Errorf("key %s: absent in model, got val=%q err=%v", key, val, err)
 		}
 		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("key %s: %w (model has %d bytes)", key, err, len(want))
+	}
+	if !bytes.Equal(val, want) {
+		return fmt.Errorf("key %s: value diverged: got %d bytes %.32q, model %d bytes %.32q",
+			key, len(val), val, len(want), want)
+	}
+	return nil
+}
+
+func diffOne(kv KV, notFound error, oracle map[string][]byte, op Op) error {
+	checkGet := func(key, val []byte, err error) error {
+		return checkGetAgainst(oracle, notFound, key, val, err)
 	}
 	switch op.Kind {
 	case OpPut:

@@ -448,7 +448,7 @@ func (e *Engine) Get(h any, key []byte) GetResult {
 	defer e.mu.Unlock()
 	t0 := e.sink.Now()
 	defer func() { e.observeMop(h, mopGet, t0) }()
-	return e.getLocked(h, key, -1)
+	return e.getLocked(h, key, -1, NoSeqLimit)
 }
 
 // GetBatch resolves several keys under ONE lock acquisition — the engine
@@ -467,14 +467,18 @@ func (e *Engine) GetBatch(h any, keys [][]byte, slots []int) []GetResult {
 		if slots != nil {
 			hint = slots[i]
 		}
-		res[i] = e.getLocked(h, key, hint)
+		res[i] = e.getLocked(h, key, hint, NoSeqLimit)
 		e.observeMop(h, mopGet, t0)
 	}
 	return res
 }
 
-// getLocked is the shared body of Get and GetBatch. Callers hold mu.
-func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
+// getLocked is the shared body of Get, GetBatch, and the snapshot read.
+// seqLimit bounds which versions may be served: versions with a larger
+// sequence number are walked past untouched (no verify, no timeout
+// invalidation) — they are simply "in the snapshot's future". Normal
+// reads pass NoSeqLimit, which admits everything. Callers hold mu.
+func (e *Engine) getLocked(h any, key []byte, slotHint int, seqLimit uint64) GetResult {
 	e.stats.Gets++
 	keyHash := kv.HashKey(key)
 	t0 := e.sink.Now()
@@ -513,7 +517,7 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 		if hd.Magic != kv.Magic {
 			break
 		}
-		if hd.Valid() {
+		if hd.Valid() && hd.Seq <= seqLimit {
 			if hd.Durable() && !e.cfg.DisableSelectiveDurability {
 				if first {
 					e.stats.GetFastPath++
@@ -548,7 +552,7 @@ func (e *Engine) getLocked(h any, key []byte, slotHint int) GetResult {
 					// The cleaner recycled this pool while the engine lock
 					// was dropped around the mirror call: restart from the
 					// table lookup.
-					return e.getLocked(h, key, -1)
+					return e.getLocked(h, key, -1, seqLimit)
 				}
 				if mirrored {
 					tFlush := e.sink.Now()

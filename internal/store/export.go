@@ -21,6 +21,7 @@ type ExportVersion struct {
 	CreatedAt uint64 `json:"at"`
 	CRC       uint32 `json:"crc"`
 	Flags     uint8  `json:"flags"`
+	TxnID     uint64 `json:"txn,omitempty"`
 	Value     []byte `json:"value"`
 }
 
@@ -117,6 +118,7 @@ func (e *Engine) exportEntryLocked(en kv.Entry) (ExportKey, bool) {
 				CreatedAt: hd.CreatedAt,
 				CRC:       hd.CRC,
 				Flags:     hd.Flags,
+				TxnID:     hd.TxnID,
 				Value:     append([]byte(nil), pool.ReadValueInto(nil, off, hd.KLen, hd.VLen)...),
 			})
 		}
@@ -218,6 +220,7 @@ func (e *Engine) ImportKey(h any, ek ExportKey) Status {
 			CRC:       v.CRC,
 			VLen:      len(v.Value),
 			Flags:     v.Flags,
+			TxnID:     v.TxnID,
 		}
 		size := kv.ObjectSize(len(ek.Key), len(v.Value))
 		off, allocOK := pool.AppendObject(&hd, ek.Key)

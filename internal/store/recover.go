@@ -136,6 +136,7 @@ func (e *Engine) recover(l kv.Layout) RecoveryStats {
 			CRC:       sv.h.CRC,
 			VLen:      sv.h.VLen,
 			Flags:     kv.FlagValid | kv.FlagDurable,
+			TxnID:     sv.h.TxnID,
 		}
 		off, ok := e.pools[0].AppendObject(&h, sv.key)
 		if !ok {

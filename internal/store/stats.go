@@ -30,6 +30,10 @@ type Stats struct {
 	KeysExported   int // hash entries serialized for migration export
 	KeysImported   int // exported keys ingested from a migration source
 	KeysPurged     int // entries cleared after their PG migrated away
+	TxnStages      int // transactional writes staged (invisible pre-commit)
+	TxnCommits     int // multi-key transactions committed
+	TxnAborts      int // transactions aborted (pool/table full during commit)
+	TxnReads       int // snapshot (seq-bounded) reads served
 }
 
 // Add accumulates o into s (aggregating per-shard stats).
@@ -60,6 +64,10 @@ func (s *Stats) Add(o Stats) {
 	s.KeysExported += o.KeysExported
 	s.KeysImported += o.KeysImported
 	s.KeysPurged += o.KeysPurged
+	s.TxnStages += o.TxnStages
+	s.TxnCommits += o.TxnCommits
+	s.TxnAborts += o.TxnAborts
+	s.TxnReads += o.TxnReads
 }
 
 // RecoveryStats summarizes what recovery found in the persisted image.
@@ -68,6 +76,8 @@ type RecoveryStats struct {
 	KeysLost          int // entries whose every version was torn or missing
 	VersionsDiscarded int // torn versions skipped while walking chains
 	RolledBack        int // keys recovered from a non-head (older) version
+	TxnsReplayed      int // committed transactions replayed from their record
+	TxnsDiscarded     int // unrecorded/torn transactions discarded whole
 }
 
 // Add accumulates o into r (aggregating per-shard recovery results).
@@ -76,4 +86,6 @@ func (r *RecoveryStats) Add(o RecoveryStats) {
 	r.KeysLost += o.KeysLost
 	r.VersionsDiscarded += o.VersionsDiscarded
 	r.RolledBack += o.RolledBack
+	r.TxnsReplayed += o.TxnsReplayed
+	r.TxnsDiscarded += o.TxnsDiscarded
 }

@@ -42,8 +42,17 @@ func New(dev nvm.Device, cfg Config, deps Deps) (*Store, RecoveryStats, error) {
 	var rst RecoveryStats
 	for i := range s.engines {
 		s.engines[i] = newEngine(dev, cfg, deps, l, i, s.reg)
+	}
+	// Capture unapplied transaction commit records BEFORE per-engine
+	// recovery rebuilds the pools (which zeroes staged objects and records
+	// alike), then replay the captured transactions over the recovered
+	// state — whole transactions or nothing, never a subset.
+	recs, discarded := s.captureTxnRecords()
+	rst.TxnsDiscarded = discarded
+	for i := range s.engines {
 		rst.Add(s.engines[i].recover(l))
 	}
+	rst.TxnsReplayed = s.replayTxns(recs)
 	s.registerMetrics()
 	return s, rst, nil
 }

@@ -290,6 +290,111 @@ func TestMigrationMovesStateBitIntact(t *testing.T) {
 	}
 }
 
+// TestClusterTxnRoutingAndCrossInstanceReject pins the routed
+// transactional surface end to end: a commit whose keys all live on one
+// instance routes there (riding the wrong-epoch refresh if the cached
+// map is stale), and a key set straddling two instances is rejected
+// whole with ErrTxnCrossInstance — no op of it is ever applied.
+func TestClusterTxnRoutingAndCrossInstanceReject(t *testing.T) {
+	cfg := clusterTestConfig()
+	const pgs = 4
+	const movedPG = 2
+	srvA, addrA := startClusterServer(t, "a", pgs, cfg)
+	srvB, _ := startClusterServer(t, "b", 0, cfg)
+	joinInstance(t, addrA, srvB)
+
+	// Partition a key universe by placement group: stayKeys remain on a,
+	// movedKeys follow pg 2 to b after the migration.
+	var stayKeys, movedKeys [][]byte
+	for i := 0; len(stayKeys) < 2 || len(movedKeys) < 2; i++ {
+		k := []byte(fmt.Sprintf("ctxn-%03d", i))
+		switch cluster.PGForKey(k, pgs) {
+		case movedPG:
+			if len(movedKeys) < 2 {
+				movedKeys = append(movedKeys, k)
+			}
+		default:
+			if len(stayKeys) < 2 {
+				stayKeys = append(stayKeys, k)
+			}
+		}
+	}
+
+	cc, err := DialCluster(addrA, DefaultClusterClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	stayVals := [][]byte{[]byte("stay-0"), []byte("stay-1")}
+	id, errs := cc.TxnCommit(stayKeys, stayVals)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("pre-migration commit op %d: %v", i, e)
+		}
+	}
+	if id == 0 {
+		t.Fatal("pre-migration commit returned id 0")
+	}
+	// Seed the migrating pg so the cutover actually carries state; the
+	// post-migration commit must then supersede this on b.
+	if _, errs := cc.TxnCommit(movedKeys, [][]byte{[]byte("pre-0"), []byte("pre-1")}); firstErr(errs) != nil {
+		t.Fatalf("seed commit: %v", firstErr(errs))
+	}
+
+	if _, err := srvA.MigratePG(movedPG, "b"); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	// The client's cached map predates the cutover: this commit must ride
+	// the wrong-epoch reject, refetch, and land on b.
+	movedVals := [][]byte{[]byte("moved-0"), []byte("moved-1")}
+	id2, errs := cc.TxnCommit(movedKeys, movedVals)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("post-migration commit op %d: %v", i, e)
+		}
+	}
+	if id2 == 0 {
+		t.Fatal("post-migration commit returned id 0")
+	}
+	if srvB.Stats().KeysImported == 0 {
+		t.Fatal("migration moved nothing to b")
+	}
+
+	// Snapshot reads route per-instance and see each commit whole.
+	for _, tc := range []struct {
+		keys [][]byte
+		vals [][]byte
+	}{{stayKeys, stayVals}, {movedKeys, movedVals}} {
+		got, rerrs := cc.TxnRead(tc.keys)
+		for i := range tc.keys {
+			if rerrs[i] != nil || !bytes.Equal(got[i], tc.vals[i]) {
+				t.Fatalf("txn read %q: %q, %v (want %q)", tc.keys[i], got[i], rerrs[i], tc.vals[i])
+			}
+		}
+	}
+
+	// A set straddling both instances fails whole, typed, on commit and
+	// on read — and applies nothing.
+	mixed := [][]byte{stayKeys[0], movedKeys[0]}
+	_, errs = cc.TxnCommit(mixed, [][]byte{[]byte("poison-a"), []byte("poison-b")})
+	for i, e := range errs {
+		if !errors.Is(e, ErrTxnCrossInstance) {
+			t.Fatalf("cross-instance commit op %d: %v, want ErrTxnCrossInstance", i, e)
+		}
+	}
+	if _, rerrs := cc.TxnRead(mixed); !errors.Is(rerrs[0], ErrTxnCrossInstance) || !errors.Is(rerrs[1], ErrTxnCrossInstance) {
+		t.Fatalf("cross-instance read: %v / %v, want ErrTxnCrossInstance", rerrs[0], rerrs[1])
+	}
+	if got, err := cc.Get(stayKeys[0]); err != nil || !bytes.Equal(got, stayVals[0]) {
+		t.Fatalf("key %q after rejected txn: %q, %v", stayKeys[0], got, err)
+	}
+	if got, err := cc.Get(movedKeys[0]); err != nil || !bytes.Equal(got, movedVals[0]) {
+		t.Fatalf("key %q after rejected txn: %q, %v", movedKeys[0], got, err)
+	}
+}
+
 // TestMigrationUnderLiveTraffic is the acceptance test: a two-instance
 // cluster serving concurrent mixed traffic (Get/Put/Del/GetBatch/
 // PutBatch through routed clients) while every placement group migrates

@@ -439,6 +439,21 @@ func (cc *ClusterClient) do(name string, key []byte, op func(c *Client, tc *trac
 }
 
 func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc *trace.Ctx) error) error {
+	return cc.routedCtx(tc, func(m *cluster.Map) (cluster.Instance, bool, error) {
+		in, _, ok := m.InstanceForKey(key)
+		if !ok {
+			return cluster.Instance{}, true, fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+		}
+		return in, false, nil
+	}, op)
+}
+
+// routedCtx drives the route/refetch/backoff loop shared by single-key
+// ops and transactional multi-key ops: resolve picks the serving
+// instance under the current map (retryable=true means invalidate the
+// map and re-route; false means the error is terminal), op runs against
+// it, and wrong-epoch / transport outcomes feed the router.
+func (cc *ClusterClient) routedCtx(tc *trace.Ctx, resolve func(m *cluster.Map) (cluster.Instance, bool, error), op func(c *Client, tc *trace.Ctx) error) error {
 	backoff := ccRouteBackoff
 	staleRounds := 0
 	var lastErr error
@@ -456,9 +471,12 @@ func (cc *ClusterClient) doCtx(tc *trace.Ctx, key []byte, op func(c *Client, tc 
 			lastErr = err
 			continue
 		}
-		in, _, ok := m.InstanceForKey(key)
-		if !ok {
-			lastErr = fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+		in, retryable, err := resolve(m)
+		if err != nil {
+			if !retryable {
+				return err
+			}
+			lastErr = err
 			cc.router.Invalidate()
 			continue
 		}
@@ -534,6 +552,89 @@ func (cc *ClusterClient) Get(key []byte) ([]byte, error) {
 func (cc *ClusterClient) Delete(key []byte) error {
 	var st delRetryState
 	return cc.do("del", key, func(c *Client, tc *trace.Ctx) error { return c.delCtxState(tc, key, &st) })
+}
+
+// ErrTxnCrossInstance reports a transactional op whose keys resolve to
+// more than one instance under the current cluster map. Transactions are
+// single-instance atomic (one store, one commit record); a caller that
+// needs a cross-instance transaction must re-partition its keys.
+// Terminal, not retryable: refetching the map cannot merge two placement
+// groups.
+var ErrTxnCrossInstance = errors.New("tcpkv: transaction spans multiple instances")
+
+// txnResolve builds the routedCtx resolver for a transactional op: every
+// key must land on one instance, or the op is rejected with the terminal
+// ErrTxnCrossInstance.
+func txnResolve(keys [][]byte) func(m *cluster.Map) (cluster.Instance, bool, error) {
+	return func(m *cluster.Map) (cluster.Instance, bool, error) {
+		in, _, ok := m.InstanceForKey(keys[0])
+		if !ok {
+			return cluster.Instance{}, true, fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+		}
+		for _, key := range keys[1:] {
+			o, _, ok := m.InstanceForKey(key)
+			if !ok {
+				return cluster.Instance{}, true, fmt.Errorf("tcpkv: no instance owns key under epoch %d", m.Epoch)
+			}
+			if o.Name != in.Name {
+				return cluster.Instance{}, false, fmt.Errorf("%w: keys split between %s and %s under epoch %d", ErrTxnCrossInstance, in.Name, o.Name, m.Epoch)
+			}
+		}
+		return in, false, nil
+	}
+}
+
+// TxnCommit commits keys[i] -> vals[i] atomically on the single instance
+// owning every key (the fast path — and today the only path; a key set
+// spanning instances fails whole with ErrTxnCrossInstance). Returns the
+// transaction id and index-aligned per-op errors; on failure every op
+// carries the shared reason, because no op of a failed transaction is
+// applied.
+func (cc *ClusterClient) TxnCommit(keys, vals [][]byte) (uint64, []error) {
+	if len(keys) != len(vals) {
+		panic("tcpkv: TxnCommit keys/vals length mismatch")
+	}
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return 0, errs
+	}
+	var id uint64
+	tc, t0 := beginOp(cc.tracer, "txn_commit", batchHash(keys))
+	err := cc.routedCtx(tc, txnResolve(keys), func(c *Client, tc *trace.Ctx) error {
+		var cerr error
+		id, cerr = c.txnCommitCtx(tc, keys, vals)
+		return cerr
+	})
+	endOp(cc.tracer, tc, t0, err)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return id, errs
+}
+
+// TxnRead snapshot-reads keys at one consistent cut on the single
+// instance owning every key (a snapshot is one store's cut, so a key set
+// spanning instances fails whole with ErrTxnCrossInstance). Returns
+// index-aligned values and errors; an absent key yields ErrNotFound.
+func (cc *ClusterClient) TxnRead(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return vals, errs
+	}
+	tc, t0 := beginOp(cc.tracer, "txn_read", batchHash(keys))
+	err := cc.routedCtx(tc, txnResolve(keys), func(c *Client, tc *trace.Ctx) error {
+		return c.txnReadCtx(tc, keys, vals, errs)
+	})
+	endOp(cc.tracer, tc, t0, firstErr(errs))
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return vals, errs
 }
 
 // PutBatch stores the pairs, grouping ops by owning instance so each

@@ -60,6 +60,7 @@ import (
 	"efactory/internal/obs"
 	"efactory/internal/store"
 	"efactory/internal/trace"
+	"efactory/internal/txn"
 	"efactory/internal/wire"
 )
 
@@ -183,6 +184,7 @@ type Server struct {
 	cfg    Config
 	dev    nvm.Device
 	st     *store.Store
+	txn    *txn.Manager
 	layout kv.Layout
 
 	closing   chan struct{}
@@ -313,6 +315,10 @@ func NewServer(dev nvm.Device, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("tcpkv: %w", err)
 	}
 	s.st = st
+	// nil lock = a real mutex: TCP handlers run on concurrent goroutines,
+	// so the transaction layer's commit/snapshot critical sections need
+	// actual mutual exclusion (unlike the cooperative simulation).
+	s.txn = txn.NewManager(st, nil)
 	s.layout = st.Layout()
 	// Cluster state is first-class telemetry even on an unclustered
 	// server: epoch 0 / zero rejects say "placement layer idle" instead
@@ -792,6 +798,10 @@ func rpcName(t uint8) string {
 		return "repl_append"
 	case wire.TPromote:
 		return "promote"
+	case wire.TTxnCommit:
+		return "txn_commit"
+	case wire.TTxnRead:
+		return "txn_read"
 	}
 	return "op"
 }
@@ -845,6 +855,10 @@ func (s *Server) dispatch(h any, m wire.Msg, sc *handlerScratch) wire.Msg {
 		return s.handleMigrate(m)
 	case wire.TMigIngest:
 		return s.handleMigIngest(m)
+	case wire.TTxnCommit:
+		return s.handleTxnCommit(h, m)
+	case wire.TTxnRead:
+		return s.handleTxnRead(h, m)
 	case wire.TReplAppend:
 		return s.handleReplAppend(m)
 	case wire.TReplPull:
@@ -1066,6 +1080,89 @@ func (s *Server) handleDel(h any, m wire.Msg) wire.Msg {
 		return wire.Msg{Type: wire.TDelResp, Status: wire.StError}
 	}
 	return wire.Msg{Type: wire.TDelResp, Status: wire.StOK}
+}
+
+// Txn exposes the server's transaction manager (tests and tooling).
+func (s *Server) Txn() *txn.Manager { return s.txn }
+
+// txnWireStatus maps a store status to its wire byte.
+func txnWireStatus(st store.Status) uint8 {
+	switch st {
+	case store.StatusOK:
+		return wire.StOK
+	case store.StatusNotFound:
+		return wire.StNotFound
+	case store.StatusFull:
+		return wire.StFull
+	}
+	return wire.StError
+}
+
+// handleTxnCommit applies one atomic multi-key commit. Like handleDel and
+// handlePutBatch it holds the opGate read side across ownership check,
+// commit, and dirty-notes, so a migration cutover cannot slip between
+// them; any unowned key rejects the whole transaction (commits are
+// single-instance atomic).
+func (s *Server) handleTxnCommit(h any, m wire.Msg) wire.Msg {
+	ops, err := wire.DecodeTxnOps(m.Value)
+	if err != nil || len(ops) == 0 {
+		return wire.Msg{Type: wire.TTxnCommitResp, Status: wire.StError}
+	}
+	keys := make([][]byte, len(ops))
+	vals := make([][]byte, len(ops))
+	for i := range ops {
+		keys[i] = ops[i].Key
+		vals[i] = ops[i].Value
+	}
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
+	if ep, reject := s.unownedAny(keys); reject {
+		return wire.Msg{Type: wire.TTxnCommitResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+	}
+	id, per, st := s.txn.Commit(h, keys, vals)
+	if st == store.StatusOK {
+		for _, key := range keys {
+			s.noteDirty(key)
+		}
+	}
+	sts := make([]uint8, len(per))
+	for i, p := range per {
+		sts[i] = txnWireStatus(p)
+	}
+	return wire.Msg{Type: wire.TTxnCommitResp, Status: txnWireStatus(st), Off: id, Value: wire.EncodeTxnStatuses(sts)}
+}
+
+// handleTxnRead serves a snapshot-isolated multi-key read: every key is
+// resolved against one consistent cut of the version chains. Values travel
+// inline in the response — a snapshot must be read at the pinned cut, so
+// there is no one-sided grant phase.
+func (s *Server) handleTxnRead(h any, m wire.Msg) wire.Msg {
+	ops, err := wire.DecodeGetOps(m.Value)
+	if err != nil {
+		return wire.Msg{Type: wire.TTxnReadResp, Status: wire.StError}
+	}
+	max := s.cfg.MaxGetBatch
+	if max <= 0 {
+		max = DefaultMaxGetBatch
+	}
+	if len(ops) > max {
+		return wire.Msg{Type: wire.TTxnReadResp, Status: wire.StError}
+	}
+	keys := make([][]byte, len(ops))
+	for i := range ops {
+		keys[i] = ops[i].Key
+	}
+	if len(keys) > 0 {
+		if ep, reject := s.unownedAny(keys); reject {
+			return wire.Msg{Type: wire.TTxnReadResp, Status: wire.StWrongEpoch, Token: uint32(ep)}
+		}
+	}
+	res := s.txn.SnapshotGet(h, keys)
+	rs := make([]wire.TxnResult, len(res))
+	for i, r := range res {
+		rs[i] = wire.TxnResult{Status: txnWireStatus(r.Status), Seq: r.Seq, Value: r.Value}
+	}
+	return wire.Msg{Type: wire.TTxnReadResp, Status: wire.StOK, Value: wire.EncodeTxnResults(rs)}
 }
 
 // background drives one shard's verification-and-persisting thread

@@ -159,6 +159,44 @@ func RunTCPTorture(tc fault.Config) (fault.Result, error) {
 			} else if err == nil {
 				oracle.PutAcked(key, val, false)
 			}
+		case kind >= 72 && kind < 85 && tc.Txn: // TXN: snapshot reads and multi-key commits
+			// Both sub-choice draws happen unconditionally so the op schedule
+			// stays identical across crash points of one seed.
+			snap := rng.IntN(4) == 0
+			n := 2 + rng.IntN(fault.TxnMaxOps-1)
+			if n > tc.Keys {
+				n = tc.Keys // commits require distinct keys
+			}
+			keys := make([][]byte, n)
+			for j := range keys {
+				keys[j] = []byte(fmt.Sprintf("key-%02d", (keyIdx+j)%tc.Keys))
+			}
+			if snap {
+				vals, errs := cl.TxnRead(keys)
+				if !plan.Tripped() {
+					for i := range keys {
+						if errs[i] == nil {
+							if v := oracle.ObserveGet(keys[i], vals[i], true); v != "" {
+								violations = append(violations, "live: "+v)
+							}
+						}
+					}
+				}
+				break
+			}
+			vals := make([][]byte, n)
+			for j := range keys {
+				vals[j] = fault.WorkloadValue(tc.Seed, string(keys[j]), op, tc.ValueLen)
+			}
+			id, errs := cl.TxnCommit(keys, vals)
+			switch {
+			case plan.Tripped():
+				// The crash landed inside the commit: the whole transaction
+				// may be in or out, never partial.
+				oracle.TxnPending(id, keys, vals)
+			case errs[0] == nil:
+				oracle.TxnCommitted(id, keys, vals)
+			}
 		case kind < 85 && !tc.GetBatch: // GET: observes durability
 			got, err := cl.Get(key)
 			if !plan.Tripped() && err == nil {

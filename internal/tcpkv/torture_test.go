@@ -95,3 +95,26 @@ func TestTCPTortureSweepGetBatch(t *testing.T) {
 		t.Fatalf("sweep ran only %d runs", sr.Runs)
 	}
 }
+
+// TestTCPTortureSweepTxn reruns the TCP sweep with the transactional
+// workload leg: multi-key commits and snapshot reads over the pipelined
+// mux, a process restart after each crash point, and the oracle's
+// all-in-or-all-out rule on every recovered image.
+func TestTCPTortureSweepTxn(t *testing.T) {
+	cfg := tcpTortureConfig()
+	cfg.Txn = true
+	points := 8
+	if testing.Short() {
+		points = 4
+	}
+	sr, err := fault.Sweep(RunTCPTorture, cfg, []uint64{1, 2}, points)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range sr.Violations {
+		t.Error(v)
+	}
+	if len(sr.Violations) == 0 && sr.Runs < 8 {
+		t.Fatalf("sweep ran only %d runs", sr.Runs)
+	}
+}

@@ -1,0 +1,161 @@
+package tcpkv
+
+import (
+	"errors"
+	"fmt"
+
+	"efactory/internal/crc"
+	"efactory/internal/kv"
+	"efactory/internal/trace"
+	"efactory/internal/wire"
+)
+
+// ErrTxnAborted is returned for every op of a transaction the server
+// rejected for a reason other than pool/table pressure (which maps to
+// ErrServerFull): the transaction applied none of its ops.
+var ErrTxnAborted = errors.New("tcpkv: transaction aborted")
+
+// TxnCommit commits keys[i] -> vals[i] atomically: all ops become
+// visible together or none do. The whole transaction travels in one
+// pipelined RPC (values inline — staging is server-driven, so there is
+// no one-sided write phase). It returns the transaction id and per-op
+// errors index-aligned with keys; on failure every op carries the abort
+// reason, because no op of a failed transaction is applied.
+//
+// Commits retried under the client's RetryPolicy are at-least-once like
+// every other op: a lost response frame does not reveal whether the
+// server committed, so a retried commit may apply the same transaction
+// twice (same values, a fresh transaction id).
+func (c *Client) TxnCommit(keys, vals [][]byte) (uint64, []error) {
+	if len(keys) != len(vals) {
+		panic("tcpkv: TxnCommit keys/vals length mismatch")
+	}
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return 0, errs
+	}
+	tc, t0 := c.beginTrace("txn_commit", kv.HashKey(keys[0]))
+	id, err := c.txnCommitCtx(tc, keys, vals)
+	c.endTrace(tc, t0, err)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return id, errs
+}
+
+// txnCommitCtx is TxnCommit's body under a caller-owned trace context;
+// ClusterClient threads its routed-op context through here.
+func (c *Client) txnCommitCtx(tc *trace.Ctx, keys, vals [][]byte) (uint64, error) {
+	tCRC := traceNow(tc)
+	ops := make([]wire.TxnOp, len(keys))
+	for i := range keys {
+		ops[i] = wire.TxnOp{Crc: crc.Checksum(vals[i]), Key: keys[i], Value: vals[i]}
+	}
+	tc.Add("client_crc", tCRC, traceNow(tc))
+	payload := wire.EncodeTxnOps(ops)
+	var id uint64
+	err := c.retrying(func() error {
+		tRPC := traceNow(tc)
+		req := wire.Msg{Type: wire.TTxnCommit, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Value: payload}
+		resp, raw, err := c.rpcShared(&req)
+		tc.Add("commit_rpc", tRPC, traceNow(tc))
+		if err != nil {
+			return err
+		}
+		// Per-op statuses are redundant with the overall status today
+		// (all-or-nothing), so only the scalar outcome is consumed.
+		releaseResp(raw)
+		switch resp.Status {
+		case wire.StOK:
+			id = resp.Off
+			return nil
+		case wire.StFull:
+			return ErrServerFull
+		case wire.StWrongEpoch:
+			return wrongEpoch(resp)
+		default:
+			return ErrTxnAborted
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i := range keys {
+		// The commit is a server-side write: warm the read predictor so
+		// hybrid reads skip the not-yet-durable window, and drop any
+		// location hint learned from the superseded version.
+		c.dropHint(keys[i])
+		c.predNotePut(kv.HashKey(keys[i]))
+	}
+	return id, nil
+}
+
+// TxnRead snapshot-reads keys at one consistent cut across shards. It
+// returns index-aligned values and errors: an absent key yields
+// ErrNotFound for its index and a nil value.
+func (c *Client) TxnRead(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return vals, errs
+	}
+	tc, t0 := c.beginTrace("txn_read", kv.HashKey(keys[0]))
+	err := c.txnReadCtx(tc, keys, vals, errs)
+	c.endTrace(tc, t0, err)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return vals, errs
+}
+
+// txnReadCtx is TxnRead's body under a caller-owned trace context. vals
+// and errs must be len(keys) long; they are filled in place.
+func (c *Client) txnReadCtx(tc *trace.Ctx, keys [][]byte, vals [][]byte, errs []error) error {
+	ops := make([]wire.GetOp, len(keys))
+	for i, key := range keys {
+		ops[i] = wire.GetOp{Slot: wire.NoSlot, Key: key}
+	}
+	payload := wire.EncodeGetOps(ops)
+	return c.retrying(func() error {
+		for i := range keys {
+			vals[i], errs[i] = nil, nil // a retried attempt refills every op
+		}
+		tRPC := traceNow(tc)
+		req := wire.Msg{Type: wire.TTxnRead, Trace: tc.ID(), Token: uint32(c.epoch.Load()), Value: payload}
+		resp, raw, err := c.rpcShared(&req)
+		tc.Add("txn_read_rpc", tRPC, traceNow(tc))
+		if err != nil {
+			return err
+		}
+		if resp.Status == wire.StWrongEpoch {
+			releaseResp(raw)
+			return wrongEpoch(resp)
+		}
+		if resp.Status != wire.StOK {
+			releaseResp(raw)
+			return fmt.Errorf("tcpkv: txn read status %d", resp.Status)
+		}
+		rs, derr := wire.DecodeTxnResults(resp.Value)
+		if derr != nil || len(rs) != len(keys) {
+			releaseResp(raw)
+			return fmt.Errorf("tcpkv: malformed txn read response: %v", derr)
+		}
+		for i, r := range rs {
+			switch r.Status {
+			case wire.StOK:
+				vals[i] = append([]byte(nil), r.Value...)
+			case wire.StNotFound:
+				errs[i] = ErrNotFound
+			default:
+				errs[i] = fmt.Errorf("tcpkv: txn read op %d status %d", i, r.Status)
+			}
+		}
+		// Values were copied out above — nothing aliases the buffer.
+		releaseResp(raw)
+		return nil
+	})
+}

@@ -1,0 +1,135 @@
+// Package txn is the transaction layer over internal/store: atomic
+// multi-key commit and snapshot-isolated multi-key reads, both built on
+// the engine's existing version chains and cut sequences (ROADMAP item
+// 3). The store contributes the mechanics — staging, the commit record,
+// the visibility flip, seq-bounded reads — and this package contributes
+// the protocol: transaction ids, the commit lock that makes records and
+// snapshot cuts totally ordered, and the post-commit durability settle
+// through the mirror seam.
+//
+// Commits are single-node-atomic: all keys must land on one store. The
+// cluster client enforces this with a typed cross-instance rejection;
+// distributed commit is future work (SafarDB is the reference point).
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"efactory/internal/store"
+)
+
+// Manager coordinates transactions over one store. The commit lock (mu)
+// serializes commit records and snapshot cuts: a cut taken under it can
+// never land between one transaction's record and its visibility flips,
+// so snapshots observe every transaction entirely or not at all.
+type Manager struct {
+	st     *store.Store
+	mu     sync.Locker
+	nextID uint64 // atomic
+}
+
+// NewManager wraps st. lock guards the commit section; nil gets a real
+// mutex (the TCP transport). The simulation passes its no-op locker —
+// there the commit section is yield-free, so mutual exclusion holds by
+// construction, exactly like the engine locks.
+func NewManager(st *store.Store, lock sync.Locker) *Manager {
+	if lock == nil {
+		lock = &sync.Mutex{}
+	}
+	return &Manager{st: st, mu: lock}
+}
+
+// Store returns the underlying store.
+func (m *Manager) Store() *store.Store { return m.st }
+
+// Commit atomically writes vals[i] to keys[i] for all i, or none of
+// them. It returns the transaction id, per-op statuses index-aligned
+// with keys, and the overall status: StatusOK means every op committed
+// and is visible; anything else means no op is (staged garbage is left
+// for the cleaner). Duplicate keys are allowed and apply in op order.
+//
+// A returned StatusOK is an acknowledgment that the whole transaction
+// survives any crash from this point on: the commit record and every
+// staged value are persisted before the record write, and recovery
+// replays recorded transactions whole. The per-version durability flags
+// then settle asynchronously (or synchronously below, best-effort)
+// through the usual verify/mirror path.
+func (m *Manager) Commit(h any, keys, vals [][]byte) (uint64, []store.Status, store.Status) {
+	per := make([]store.Status, len(keys))
+	fail := func(st store.Status) (uint64, []store.Status, store.Status) {
+		for i := range per {
+			per[i] = st
+		}
+		return 0, per, st
+	}
+	if len(keys) == 0 || len(keys) != len(vals) {
+		return fail(store.StatusFull)
+	}
+	id := atomic.AddUint64(&m.nextID, 1)
+
+	ops := make([]*store.StagedOp, len(keys))
+	for i := range keys {
+		op, st := m.st.TxnStage(h, id, keys[i], vals[i])
+		if st != store.StatusOK {
+			return fail(st)
+		}
+		ops[i] = op
+	}
+
+	// Charge the commit record's cost before taking the commit lock: the
+	// locked section below must not yield (simulation) or do slow work
+	// under the global lock (TCP).
+	m.st.Sink().Charge(h, store.OpAlloc, store.TxnRecordCost(len(ops)))
+	m.st.Sink().Charge(h, store.OpFlush, store.TxnRecordCost(len(ops)))
+
+	m.mu.Lock()
+	st := m.st.TxnCommit(h, id, ops)
+	m.mu.Unlock()
+	if st != store.StatusOK {
+		return fail(st)
+	}
+
+	// Best-effort synchronous settle: push each committed head through
+	// the verify/mirror/flag path so flag⇒quorum-durable extends to the
+	// whole transaction promptly. Failure is benign — the background
+	// verifier and the GET path retry.
+	for _, key := range keys {
+		m.st.Shard(m.st.ShardFor(key)).VerifyKeySettled(h, key)
+	}
+	for i := range per {
+		per[i] = store.StatusOK
+	}
+	return id, per, store.StatusOK
+}
+
+// SnapshotResult is one key's outcome of a SnapshotGet.
+type SnapshotResult struct {
+	Status store.Status
+	Seq    uint64 // served version's sequence number (0 if not found)
+	Value  []byte
+}
+
+// SnapshotGet reads keys at one consistent cut: a per-shard sequence
+// vector pinned under the commit lock. Every key is served from the
+// newest version at or below its shard's pinned sequence, so the result
+// set reflects a prefix of each shard's history that contains every
+// committed transaction entirely or not at all. Results are
+// index-aligned with keys.
+//
+// Two documented limits, both inherent to the substrate: DELETEs are not
+// versioned (a tombstone hides every version regardless of the cut), and
+// a snapshot does not pin versions against the log cleaner — the cut is
+// meant to be used promptly (one RPC), not held open.
+func (m *Manager) SnapshotGet(h any, keys [][]byte) []SnapshotResult {
+	m.mu.Lock()
+	vec := m.st.SeqVector()
+	m.mu.Unlock()
+	res := make([]SnapshotResult, len(keys))
+	for i, key := range keys {
+		sh := m.st.ShardFor(key)
+		val, seq, st := m.st.Shard(sh).GetAt(h, key, vec[sh])
+		res[i] = SnapshotResult{Status: st, Seq: seq, Value: val}
+	}
+	return res
+}

@@ -125,6 +125,9 @@ func FuzzWire(f *testing.F) {
 	f.Add(EncodeGetGrants([]GetGrant{{Status: StOK, Flags: GrantDurable, RKey: 2, Slot: 3, Len: 4, KLen: 1, Off: 5, Seq: 6}}))
 	f.Add(EncodePutOps([]PutOp{{Crc: 9, VLen: 48, Key: []byte("p")}}))
 	f.Add(EncodePutGrants([]PutGrant{{Status: StOK, RKey: 1, Off: 2, Len: 3}}))
+	f.Add(EncodeTxnOps([]TxnOp{{Crc: 5, Key: []byte("t"), Value: []byte("tv")}, {Key: []byte("u")}}))
+	f.Add(EncodeTxnResults([]TxnResult{{Status: StOK, Seq: 8, Value: []byte("r")}, {Status: StNotFound}}))
+	f.Add(EncodeTxnStatuses([]uint8{StOK, StFull}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if ops, err := DecodeGetOps(data); err == nil {
 			again, err := DecodeGetOps(EncodeGetOps(ops))
@@ -156,6 +159,34 @@ func FuzzWire(f *testing.F) {
 		if gs, err := DecodePutGrants(data); err == nil {
 			if _, err := DecodePutGrants(EncodePutGrants(gs)); err != nil {
 				t.Fatalf("put grants re-decode: %v", err)
+			}
+		}
+		if ops, err := DecodeTxnOps(data); err == nil {
+			again, err := DecodeTxnOps(EncodeTxnOps(ops))
+			if err != nil || len(again) != len(ops) {
+				t.Fatalf("txn ops re-decode: %v (%d vs %d)", err, len(again), len(ops))
+			}
+			for i := range ops {
+				if again[i].Crc != ops[i].Crc || !bytes.Equal(again[i].Key, ops[i].Key) || !bytes.Equal(again[i].Value, ops[i].Value) {
+					t.Fatalf("txn op %d round trip mismatch", i)
+				}
+			}
+		}
+		if rs, err := DecodeTxnResults(data); err == nil {
+			again, err := DecodeTxnResults(EncodeTxnResults(rs))
+			if err != nil || len(again) != len(rs) {
+				t.Fatalf("txn results re-decode: %v", err)
+			}
+			for i := range rs {
+				if again[i].Status != rs[i].Status || again[i].Seq != rs[i].Seq || !bytes.Equal(again[i].Value, rs[i].Value) {
+					t.Fatalf("txn result %d round trip mismatch", i)
+				}
+			}
+		}
+		if sts, err := DecodeTxnStatuses(data); err == nil {
+			again, err := DecodeTxnStatuses(EncodeTxnStatuses(sts))
+			if err != nil || !bytes.Equal(again, sts) {
+				t.Fatalf("txn statuses re-decode: %v", err)
 			}
 		}
 	})

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Transaction payloads. A TTxnCommit carries TxnOps (key + value + CRC
+// per op) in Msg.Value; the response carries one status byte per op. A
+// TTxnRead reuses the GetOps codec for its keys (Slot = NoSlot) and
+// answers with TxnResults. Both follow the batch codecs' shape: u32
+// count header, per-element fixed prefix + variable bytes, capHint
+// bounding preallocation against corrupt counts.
+
+// TxnOp is one write of a TTxnCommit request. Unlike TPut, the value
+// travels in the message: transactional staging is server-driven, so
+// there is no one-sided write phase to grant.
+type TxnOp struct {
+	Crc   uint32
+	Key   []byte
+	Value []byte
+}
+
+// TxnResult is one per-key result of a TTxnReadResp, index-aligned with
+// the request's keys. A non-OK Status leaves the other fields zero.
+type TxnResult struct {
+	Status uint8
+	Seq    uint64 // served version's sequence number
+	Value  []byte
+}
+
+// TxnOpsSize returns the encoded size of a TTxnCommit payload.
+func TxnOpsSize(ops []TxnOp) int {
+	n := 4
+	for _, op := range ops {
+		n += 12 + len(op.Key) + len(op.Value)
+	}
+	return n
+}
+
+// AppendTxnOps appends a TTxnCommit payload to b.
+func AppendTxnOps(b []byte, ops []TxnOp) []byte {
+	base := len(b)
+	b = appendZeros(b, TxnOpsSize(ops))
+	o := b[base:]
+	le := binary.LittleEndian
+	le.PutUint32(o, uint32(len(ops)))
+	p := 4
+	for _, op := range ops {
+		le.PutUint32(o[p:], op.Crc)
+		le.PutUint32(o[p+4:], uint32(len(op.Key)))
+		le.PutUint32(o[p+8:], uint32(len(op.Value)))
+		copy(o[p+12:], op.Key)
+		copy(o[p+12+len(op.Key):], op.Value)
+		p += 12 + len(op.Key) + len(op.Value)
+	}
+	return b
+}
+
+// EncodeTxnOps packs a TTxnCommit payload (carried in Msg.Value).
+func EncodeTxnOps(ops []TxnOp) []byte {
+	return AppendTxnOps(make([]byte, 0, TxnOpsSize(ops)), ops)
+}
+
+// DecodeTxnOps unpacks a TTxnCommit payload.
+func DecodeTxnOps(b []byte) ([]TxnOp, error) {
+	return decodeTxnOps(b, nil)
+}
+
+// DecodeTxnOpsInto unpacks a TTxnCommit payload into ops (resliced to
+// [:0]), reusing its backing array across calls.
+func DecodeTxnOpsInto(b []byte, ops []TxnOp) ([]TxnOp, error) {
+	return decodeTxnOps(b, ops[:0])
+}
+
+func decodeTxnOps(b []byte, ops []TxnOp) ([]TxnOp, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: txn batch header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	if cap(ops) == 0 {
+		ops = make([]TxnOp, 0, capHint(count, len(b)-4, 12))
+	}
+	p := 4
+	for i := 0; i < count; i++ {
+		if len(b) < p+12 {
+			return nil, fmt.Errorf("%w: txn op %d", ErrShort, i)
+		}
+		crc := le.Uint32(b[p:])
+		klen := int(le.Uint32(b[p+4:]))
+		vlen := int(le.Uint32(b[p+8:]))
+		if klen < 0 || vlen < 0 || len(b) < p+12+klen+vlen {
+			return nil, fmt.Errorf("%w: txn op %d body", ErrShort, i)
+		}
+		ops = append(ops, TxnOp{
+			Crc:   crc,
+			Key:   b[p+12 : p+12+klen : p+12+klen],
+			Value: b[p+12+klen : p+12+klen+vlen : p+12+klen+vlen],
+		})
+		p += 12 + klen + vlen
+	}
+	return ops, nil
+}
+
+// TxnStatusesSize returns the encoded size of a TTxnCommitResp payload.
+func TxnStatusesSize(sts []uint8) int { return 4 + len(sts) }
+
+// AppendTxnStatuses appends a TTxnCommitResp payload (one status byte
+// per op, index-aligned with the request) to b.
+func AppendTxnStatuses(b []byte, sts []uint8) []byte {
+	base := len(b)
+	b = appendZeros(b, TxnStatusesSize(sts))
+	o := b[base:]
+	binary.LittleEndian.PutUint32(o, uint32(len(sts)))
+	copy(o[4:], sts)
+	return b
+}
+
+// EncodeTxnStatuses packs a TTxnCommitResp payload.
+func EncodeTxnStatuses(sts []uint8) []byte {
+	return AppendTxnStatuses(make([]byte, 0, TxnStatusesSize(sts)), sts)
+}
+
+// DecodeTxnStatuses unpacks a TTxnCommitResp payload.
+func DecodeTxnStatuses(b []byte) ([]uint8, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: txn status header", ErrShort)
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	if count < 0 || len(b) < 4+count {
+		return nil, fmt.Errorf("%w: %d txn statuses in %d bytes", ErrShort, count, len(b))
+	}
+	return append([]uint8(nil), b[4:4+count]...), nil
+}
+
+// txnResultFixed is the fixed wire footprint of one TxnResult.
+const txnResultFixed = 1 + 8 + 4
+
+// TxnResultsSize returns the encoded size of a TTxnReadResp payload.
+func TxnResultsSize(rs []TxnResult) int {
+	n := 4
+	for _, r := range rs {
+		n += txnResultFixed + len(r.Value)
+	}
+	return n
+}
+
+// AppendTxnResults appends a TTxnReadResp payload to b.
+func AppendTxnResults(b []byte, rs []TxnResult) []byte {
+	base := len(b)
+	b = appendZeros(b, TxnResultsSize(rs))
+	o := b[base:]
+	le := binary.LittleEndian
+	le.PutUint32(o, uint32(len(rs)))
+	p := 4
+	for _, r := range rs {
+		o[p] = r.Status
+		le.PutUint64(o[p+1:], r.Seq)
+		le.PutUint32(o[p+9:], uint32(len(r.Value)))
+		copy(o[p+txnResultFixed:], r.Value)
+		p += txnResultFixed + len(r.Value)
+	}
+	return b
+}
+
+// EncodeTxnResults packs a TTxnReadResp payload (carried in Msg.Value).
+func EncodeTxnResults(rs []TxnResult) []byte {
+	return AppendTxnResults(make([]byte, 0, TxnResultsSize(rs)), rs)
+}
+
+// DecodeTxnResults unpacks a TTxnReadResp payload.
+func DecodeTxnResults(b []byte) ([]TxnResult, error) {
+	return decodeTxnResults(b, nil)
+}
+
+// DecodeTxnResultsInto unpacks a TTxnReadResp payload into rs.
+func DecodeTxnResultsInto(b []byte, rs []TxnResult) ([]TxnResult, error) {
+	return decodeTxnResults(b, rs[:0])
+}
+
+func decodeTxnResults(b []byte, rs []TxnResult) ([]TxnResult, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: txn result header", ErrShort)
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(b))
+	if cap(rs) == 0 {
+		rs = make([]TxnResult, 0, capHint(count, len(b)-4, txnResultFixed))
+	}
+	p := 4
+	for i := 0; i < count; i++ {
+		if len(b) < p+txnResultFixed {
+			return nil, fmt.Errorf("%w: txn result %d", ErrShort, i)
+		}
+		status := b[p]
+		seq := le.Uint64(b[p+1:])
+		vlen := int(le.Uint32(b[p+9:]))
+		if vlen < 0 || len(b) < p+txnResultFixed+vlen {
+			return nil, fmt.Errorf("%w: txn result %d value", ErrShort, i)
+		}
+		rs = append(rs, TxnResult{
+			Status: status,
+			Seq:    seq,
+			Value:  b[p+txnResultFixed : p+txnResultFixed+vlen : p+txnResultFixed+vlen],
+		})
+		p += txnResultFixed + vlen
+	}
+	return rs, nil
+}

@@ -156,6 +156,23 @@ const (
 	TReplPull
 	// TReplPullResp answers TReplPull.
 	TReplPullResp
+	// TTxnCommit asks the server to commit a multi-key transaction
+	// atomically: all ops become visible together or none do. Value
+	// carries the ops encoded by EncodeTxnOps (key, value, and CRC per
+	// op); the values travel in the message (the RPC write path) because
+	// staging is server-driven.
+	TTxnCommit
+	// TTxnCommitResp answers TTxnCommit: Off carries the transaction id,
+	// Status the overall verdict, and Value one status byte per op
+	// (EncodeTxnStatuses), index-aligned with the request.
+	TTxnCommitResp
+	// TTxnRead asks the server for a snapshot-isolated multi-key read:
+	// every key is resolved at one consistent cut across shards. Value
+	// carries the keys encoded by EncodeGetOps (Slot unused, NoSlot).
+	TTxnRead
+	// TTxnReadResp answers TTxnRead: Value carries one TxnResult per key
+	// (EncodeTxnResults), index-aligned with the request.
+	TTxnReadResp
 )
 
 // Status codes.
